@@ -1,0 +1,323 @@
+//! The client-IP pool.
+//!
+//! Section 7 characterizes ~2.1 M client IPs: 40% contact exactly one
+//! honeypot, 18% more than ten, 2% more than half the farm (Fig. 12); most
+//! are active a single day but >100 are active nearly every day (Fig. 13);
+//! 40% appear in more than one activity category. The pool allocates clients
+//! with a per-client *spread* (how many distinct honeypots it will ever
+//! touch) and a stable per-client pseudo-random target set, and lets several
+//! traffic sources share the same client (multi-role IPs).
+
+use std::collections::HashSet;
+
+use hf_geo::{CountryMix, CountryId, Ip4, World};
+use hf_hash::Fnv64;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::weights::HoneypotWeights;
+
+/// Handle to a pooled client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientRef(pub u32);
+
+/// One client IP and its behavioural constants.
+#[derive(Debug, Clone)]
+pub struct Client {
+    /// The address (unique within the pool).
+    pub ip: Ip4,
+    /// Country the IP geolocates to.
+    pub country: CountryId,
+    /// Size of this client's honeypot target set (1..=n_honeypots).
+    pub spread: u16,
+    /// Per-client PRF seed realizing the stable target set.
+    pub seed: u64,
+}
+
+/// Spread-distribution parameters: probability (permille) of each bucket.
+/// Buckets: exactly 1 / 2..=10 / 11..=110 / 111..=n.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpreadDist {
+    /// Permille of clients contacting exactly one honeypot.
+    pub single: u32,
+    /// Permille contacting 2–10.
+    pub few: u32,
+    /// Permille contacting 11–110.
+    pub many: u32,
+    /// Permille contacting >110 (remainder).
+    pub most: u32,
+}
+
+impl SpreadDist {
+    /// The overall distribution of *potential* spread. Calibrated slightly
+    /// above the paper's realized Fig. 12 buckets (40% single, 18% >10,
+    /// 2% >110) because reuse across sources and long-lived wide clients
+    /// dilute singles in the realized contact counts.
+    pub fn paper_overall() -> Self {
+        SpreadDist { single: 560, few: 330, many: 100, most: 10 }
+    }
+
+    /// FAIL_LOG clients spread widest (reconnaissance, Section 7.5).
+    pub fn paper_scouting() -> Self {
+        SpreadDist { single: 350, few: 400, many: 225, most: 25 }
+    }
+
+    /// Sample a spread value.
+    pub fn sample<R: Rng + ?Sized>(&self, n_honeypots: u16, rng: &mut R) -> u16 {
+        assert_eq!(self.single + self.few + self.many + self.most, 1000);
+        let x = rng.gen_range(0..1000);
+        let (lo, hi): (u16, u16) = if x < self.single {
+            (1, 1)
+        } else if x < self.single + self.few {
+            (2, 10)
+        } else if x < self.single + self.few + self.many {
+            (11, 110.min(n_honeypots as u32) as u16)
+        } else {
+            (111.min(n_honeypots) , n_honeypots)
+        };
+        if lo >= hi {
+            lo.min(n_honeypots)
+        } else {
+            rng.gen_range(lo..=hi.min(n_honeypots))
+        }
+    }
+}
+
+/// The pool.
+#[derive(Debug, Default)]
+pub struct ClientPool {
+    clients: Vec<Client>,
+    used_ips: HashSet<Ip4>,
+}
+
+impl ClientPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh client from `mix`, with a spread from `dist`.
+    pub fn alloc(
+        &mut self,
+        world: &World,
+        mix: &CountryMix,
+        dist: SpreadDist,
+        n_honeypots: u16,
+        rng: &mut SmallRng,
+    ) -> ClientRef {
+        let country = mix.sample(rng);
+        self.alloc_in_country(world, country, dist, n_honeypots, rng)
+    }
+
+    /// Allocate a fresh client homed in a specific country.
+    pub fn alloc_in_country(
+        &mut self,
+        world: &World,
+        country: CountryId,
+        dist: SpreadDist,
+        n_honeypots: u16,
+        rng: &mut SmallRng,
+    ) -> ClientRef {
+        // Draw until the IP is unique (collisions are rare in /20-per-AS space).
+        let mut ip = world.random_ip_in_country(country, rng);
+        let mut tries = 0;
+        while self.used_ips.contains(&ip) {
+            ip = world.random_ip_in_country(country, rng);
+            tries += 1;
+            if tries > 64 {
+                // Fall back to a linear probe in numeric space.
+                ip = Ip4(ip.0.wrapping_add(1));
+            }
+        }
+        self.used_ips.insert(ip);
+        // The IP may have probed outside the country's AS; re-locate so the
+        // stored geography always matches the collector's lookup.
+        let located = world.locate(ip).map(|i| i.country).unwrap_or(country);
+        let spread = dist.sample(n_honeypots, rng);
+        let id = self.clients.len() as u32;
+        self.clients.push(Client {
+            ip,
+            country: located,
+            spread,
+            seed: rng.gen(),
+        });
+        ClientRef(id)
+    }
+
+    /// Allocate a fresh client with its address inside a specific AS — used
+    /// for the Russian-datacenter NO_CMD prefix, where "a single prefix
+    /// originates most of these sessions" (Section 6).
+    pub fn alloc_in_as(
+        &mut self,
+        world: &World,
+        asn: hf_geo::Asn,
+        dist: SpreadDist,
+        n_honeypots: u16,
+        rng: &mut SmallRng,
+    ) -> ClientRef {
+        let mut ip = world.random_ip_in_as(asn, rng);
+        while self.used_ips.contains(&ip) {
+            ip = Ip4(ip.0.wrapping_add(1));
+        }
+        self.used_ips.insert(ip);
+        let located = world
+            .locate(ip)
+            .map(|i| i.country)
+            .unwrap_or(CountryId(u16::MAX - 1));
+        let spread = dist.sample(n_honeypots, rng);
+        let id = self.clients.len() as u32;
+        self.clients.push(Client {
+            ip,
+            country: located,
+            spread,
+            seed: rng.gen(),
+        });
+        ClientRef(id)
+    }
+
+    /// Look up a client.
+    pub fn get(&self, r: ClientRef) -> &Client {
+        &self.clients[r.0 as usize]
+    }
+
+    /// Number of allocated clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+}
+
+impl Client {
+    /// The client's `j`-th stable target (j < spread) under a weight vector.
+    pub fn target(&self, j: u16, weights: &HoneypotWeights) -> u16 {
+        let h = Fnv64::new().mix_u64(self.seed).mix_u64(j as u64).finish();
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        weights.pick(u)
+    }
+
+    /// Pick a target for one session: a uniformly random member of the
+    /// client's stable target set.
+    pub fn pick_target<R: Rng + ?Sized>(&self, weights: &HoneypotWeights, rng: &mut R) -> u16 {
+        let j = rng.gen_range(0..self.spread.max(1));
+        self.target(j, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::Dimension;
+    use hf_geo::WorldConfig;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::build(3, &WorldConfig::tiny())
+    }
+
+    #[test]
+    fn allocated_ips_unique_and_geolocated() {
+        let w = world();
+        let mut pool = ClientPool::new();
+        let mix = CountryMix::overall();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..500 {
+            pool.alloc(&w, &mix, SpreadDist::paper_overall(), 221, &mut rng);
+        }
+        assert_eq!(pool.len(), 500);
+        let mut ips: Vec<Ip4> = (0..500).map(|i| pool.get(ClientRef(i)).ip).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 500);
+        // Stored country always matches the collector's view.
+        for i in 0..500 {
+            let c = pool.get(ClientRef(i));
+            assert_eq!(w.locate(c.ip).unwrap().country, c.country);
+        }
+    }
+
+    #[test]
+    fn spread_distribution_matches_buckets() {
+        let dist = SpreadDist::paper_overall();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 100_000;
+        let mut single = 0;
+        let mut many = 0;
+        let mut most = 0;
+        for _ in 0..n {
+            let s = dist.sample(221, &mut rng);
+            if s == 1 {
+                single += 1;
+            }
+            if s > 10 {
+                many += 1;
+            }
+            if s > 110 {
+                most += 1;
+            }
+        }
+        let f = |x: i32| x as f64 / n as f64;
+        assert!((f(single) - 0.56).abs() < 0.01, "single {}", f(single));
+        assert!((f(many) - 0.11).abs() < 0.01, "many {}", f(many));
+        assert!((f(most) - 0.01).abs() < 0.005, "most {}", f(most));
+    }
+
+    #[test]
+    fn target_set_is_stable() {
+        let c = Client {
+            ip: Ip4::new(16, 0, 0, 1),
+            country: CountryId(0),
+            spread: 5,
+            seed: 42,
+        };
+        let w = HoneypotWeights::paper_shape(221, Dimension::Sessions, 1);
+        let set1: Vec<u16> = (0..5).map(|j| c.target(j, &w)).collect();
+        let set2: Vec<u16> = (0..5).map(|j| c.target(j, &w)).collect();
+        assert_eq!(set1, set2);
+    }
+
+    #[test]
+    fn single_spread_client_hits_one_honeypot() {
+        let c = Client {
+            ip: Ip4::new(16, 0, 0, 2),
+            country: CountryId(0),
+            spread: 1,
+            seed: 7,
+        };
+        let w = HoneypotWeights::uniform(221);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let targets: std::collections::BTreeSet<u16> =
+            (0..100).map(|_| c.pick_target(&w, &mut rng)).collect();
+        assert_eq!(targets.len(), 1);
+    }
+
+    #[test]
+    fn wide_spread_client_hits_many() {
+        let c = Client {
+            ip: Ip4::new(16, 0, 0, 3),
+            country: CountryId(0),
+            spread: 150,
+            seed: 9,
+        };
+        let w = HoneypotWeights::uniform(221);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let targets: std::collections::BTreeSet<u16> =
+            (0..2000).map(|_| c.pick_target(&w, &mut rng)).collect();
+        assert!(targets.len() > 80, "got {}", targets.len());
+    }
+
+    #[test]
+    fn country_pinned_allocation() {
+        let w = world();
+        let mut pool = ClientPool::new();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let ru = hf_geo::country::by_code("RU").unwrap();
+        let c = pool.alloc_in_country(&w, ru, SpreadDist::paper_overall(), 221, &mut rng);
+        // tiny worlds may lack RU ASes; country then reflects actual geo
+        let client = pool.get(c);
+        assert_eq!(w.locate(client.ip).unwrap().country, client.country);
+    }
+}

@@ -1,0 +1,213 @@
+//! Daily-volume curves: base level, ramps, dated spikes, deterministic jitter.
+//!
+//! Each traffic source has a curve describing how its daily session volume
+//! evolves over the 486-day window. The paper pins several dated features we
+//! reproduce literally:
+//!
+//! - scanning (NO_CRED) ramps up ~2 months in ("it takes scanners some time
+//!   to discover the honeypots"), Fig. 11,
+//! - a farm-wide FAIL_LOG spike on 2022-09-05 and another on 2022-11-05,
+//!   plus elevated activity in spring 2022 (Figs. 3, 6, 8),
+//! - the Russian-datacenter NO_CMD surges at the start and end of the window
+//!   (Fig. 6),
+//! - a CMD+URI burst in June 2022 with ~2,500 client IPs (Fig. 11).
+
+use hf_hash::Fnv64;
+use hf_simclock::{Date, StudyWindow};
+
+/// A dated spike: volume is multiplied by `factor` for `len_days` starting at
+/// `start` (day index).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spike {
+    /// First day index of the spike.
+    pub start: u32,
+    /// Number of days the spike lasts.
+    pub len_days: u32,
+    /// Multiplicative factor (>1).
+    pub factor: f64,
+}
+
+/// A per-source daily volume curve.
+#[derive(Debug, Clone)]
+pub struct DailyCurve {
+    /// Base relative level per day (before spikes/jitter), length = window days.
+    base: Vec<f64>,
+    /// Dated spikes.
+    spikes: Vec<Spike>,
+    /// Jitter amplitude: daily factor drawn in [1-a, 1+a].
+    jitter: f64,
+    /// Seed for the per-day jitter stream.
+    seed: u64,
+}
+
+impl DailyCurve {
+    /// Flat curve at level 1.
+    pub fn flat(days: u32, seed: u64) -> Self {
+        DailyCurve {
+            base: vec![1.0; days as usize],
+            spikes: Vec::new(),
+            jitter: 0.0,
+            seed,
+        }
+    }
+
+    /// Curve that ramps linearly from `lo` to `hi` between `ramp_start` and
+    /// `ramp_end` (day indices), flat elsewhere.
+    pub fn ramp(days: u32, lo: f64, hi: f64, ramp_start: u32, ramp_end: u32, seed: u64) -> Self {
+        assert!(ramp_start <= ramp_end);
+        let base = (0..days)
+            .map(|d| {
+                if d < ramp_start {
+                    lo
+                } else if d >= ramp_end {
+                    hi
+                } else {
+                    lo + (hi - lo) * (d - ramp_start) as f64 / (ramp_end - ramp_start) as f64
+                }
+            })
+            .collect();
+        DailyCurve {
+            base,
+            spikes: Vec::new(),
+            jitter: 0.0,
+            seed,
+        }
+    }
+
+    /// Set the base level for a day range (inclusive start, exclusive end).
+    pub fn set_range(mut self, start: u32, end: u32, level: f64) -> Self {
+        for d in start..end.min(self.base.len() as u32) {
+            self.base[d as usize] = level;
+        }
+        self
+    }
+
+    /// Add a spike.
+    pub fn with_spike(mut self, spike: Spike) -> Self {
+        self.spikes.push(spike);
+        self
+    }
+
+    /// Add a spike by calendar date.
+    pub fn with_spike_on(self, window: &StudyWindow, date: Date, len_days: u32, factor: f64) -> Self {
+        match window.day_index(date) {
+            Some(d) => self.with_spike(Spike { start: d, len_days, factor }),
+            None => self,
+        }
+    }
+
+    /// Set multiplicative jitter amplitude.
+    pub fn with_jitter(mut self, amplitude: f64) -> Self {
+        assert!((0.0..1.0).contains(&amplitude));
+        self.jitter = amplitude;
+        self
+    }
+
+    /// Relative level for a day, spikes and jitter applied.
+    pub fn level(&self, day: u32) -> f64 {
+        let mut v = *self.base.get(day as usize).unwrap_or(&0.0);
+        for s in &self.spikes {
+            if day >= s.start && day < s.start + s.len_days {
+                v *= s.factor;
+            }
+        }
+        if self.jitter > 0.0 {
+            // Deterministic per-day uniform in [1-j, 1+j].
+            let h = Fnv64::new().mix_u64(self.seed).mix_u64(day as u64).finish();
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+            v *= 1.0 - self.jitter + 2.0 * self.jitter * u;
+        }
+        v
+    }
+
+    /// Sum of levels over all days (for normalization).
+    pub fn total(&self) -> f64 {
+        (0..self.base.len() as u32).map(|d| self.level(d)).sum()
+    }
+
+    /// Number of days covered.
+    pub fn days(&self) -> u32 {
+        self.base.len() as u32
+    }
+
+    /// Absolute session count for a day, given the source's total volume.
+    /// The curve is normalized so that summing over all days ≈ `total_sessions`.
+    pub fn sessions_on(&self, day: u32, total_sessions: u64, norm: f64) -> u64 {
+        if norm <= 0.0 {
+            return 0;
+        }
+        (total_sessions as f64 * self.level(day) / norm).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_curve_levels() {
+        let c = DailyCurve::flat(10, 0);
+        assert_eq!(c.level(0), 1.0);
+        assert_eq!(c.level(9), 1.0);
+        assert_eq!(c.level(10), 0.0, "out of range is zero");
+        assert_eq!(c.total(), 10.0);
+    }
+
+    #[test]
+    fn ramp_shape() {
+        let c = DailyCurve::ramp(100, 1.0, 3.0, 20, 60, 0);
+        assert_eq!(c.level(0), 1.0);
+        assert_eq!(c.level(19), 1.0);
+        assert!((c.level(40) - 2.0).abs() < 0.01);
+        assert_eq!(c.level(60), 3.0);
+        assert_eq!(c.level(99), 3.0);
+    }
+
+    #[test]
+    fn spikes_multiply() {
+        let c = DailyCurve::flat(30, 0).with_spike(Spike { start: 10, len_days: 2, factor: 5.0 });
+        assert_eq!(c.level(9), 1.0);
+        assert_eq!(c.level(10), 5.0);
+        assert_eq!(c.level(11), 5.0);
+        assert_eq!(c.level(12), 1.0);
+    }
+
+    #[test]
+    fn spike_by_date() {
+        let w = StudyWindow::paper();
+        let c = DailyCurve::flat(w.num_days(), 0)
+            .with_spike_on(&w, Date::new(2022, 9, 5), 1, 10.0);
+        let d = w.day_index(Date::new(2022, 9, 5)).unwrap();
+        assert_eq!(c.level(d), 10.0);
+        assert_eq!(c.level(d - 1), 1.0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let a = DailyCurve::flat(100, 42).with_jitter(0.2);
+        let b = DailyCurve::flat(100, 42).with_jitter(0.2);
+        for d in 0..100 {
+            assert_eq!(a.level(d), b.level(d));
+            assert!(a.level(d) >= 0.8 && a.level(d) <= 1.2);
+        }
+        let c = DailyCurve::flat(100, 43).with_jitter(0.2);
+        assert!((0..100).any(|d| a.level(d) != c.level(d)));
+    }
+
+    #[test]
+    fn sessions_on_distributes_total() {
+        let c = DailyCurve::flat(10, 1).with_jitter(0.1);
+        let norm = c.total();
+        let sum: u64 = (0..10).map(|d| c.sessions_on(d, 10_000, norm)).sum();
+        assert!((sum as i64 - 10_000).abs() < 20, "sum={sum}");
+    }
+
+    #[test]
+    fn set_range_overrides() {
+        let c = DailyCurve::flat(10, 0).set_range(3, 6, 0.0);
+        assert_eq!(c.level(2), 1.0);
+        assert_eq!(c.level(3), 0.0);
+        assert_eq!(c.level(5), 0.0);
+        assert_eq!(c.level(6), 1.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Ecosystem assembly: one seed → the whole synthetic Internet's attacker
+//! population, calibrated to the paper's published aggregates.
+
+use hf_farm::FarmPlan;
+use hf_geo::{World, WorldConfig};
+use hf_hash::Fnv64;
+use hf_simclock::StudyWindow;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::campaigns::CampaignCatalog;
+use crate::clients::{Client, ClientPool, ClientRef};
+use crate::credentials::CredentialModel;
+use crate::plan::SessionPlan;
+use crate::scale::Scale;
+use crate::sources::{
+    BruteforceSource, CampaignPlanner, NoCmdSource, PlanCtx, ReconSource, ScannerSource,
+    SharedPools, TrafficSource,
+};
+
+/// Paper volume constants (scale 1.0).
+mod paper {
+    /// Total sessions over the window ("more than 402 million").
+    pub const TOTAL_SESSIONS: f64 = 402_000_000.0;
+    /// Category fractions (Table 1).
+    pub const FRAC_NO_CRED: f64 = 0.277;
+    pub const FRAC_FAIL_LOG: f64 = 0.42;
+    pub const FRAC_NO_CMD: f64 = 0.116;
+    /// CMD recon (file-less) share: CMD total 18% minus what the campaign
+    /// catalog provides (H1 ≈ 6.4%, headliners ≈ 0.2%, tail ≈ 0.4%).
+    pub const FRAC_RECON: f64 = 0.18 - 0.0704;
+}
+
+/// Configuration of a full ecosystem.
+#[derive(Debug, Clone)]
+pub struct EcosystemConfig {
+    /// Root seed: everything derives from it.
+    pub seed: u64,
+    /// Volume scale.
+    pub scale: Scale,
+    /// Observation window.
+    pub window: StudyWindow,
+}
+
+impl Default for EcosystemConfig {
+    fn default() -> Self {
+        EcosystemConfig {
+            seed: 0x0e0e_fa20,
+            scale: Scale::default_bench(),
+            window: StudyWindow::paper(),
+        }
+    }
+}
+
+/// The assembled ecosystem.
+pub struct Ecosystem {
+    /// Configuration used to build it.
+    pub config: EcosystemConfig,
+    /// The synthetic Internet.
+    pub world: World,
+    /// The farm deployment.
+    pub plan: FarmPlan,
+    /// The campaign catalog.
+    pub catalog: CampaignCatalog,
+    /// The credential model (Table 2 calibrated).
+    pub creds: CredentialModel,
+    pool: ClientPool,
+    shared: SharedPools,
+    scanner: ScannerSource,
+    bruteforce: BruteforceSource,
+    nocmd: NoCmdSource,
+    recon: ReconSource,
+    campaigns: CampaignPlanner,
+}
+
+impl Ecosystem {
+    /// Build everything from a config.
+    pub fn new(config: EcosystemConfig) -> Self {
+        let seed = config.seed;
+        let scale = config.scale;
+        let window = config.window;
+        // AS breadth scales sub-linearly, like hash diversity.
+        let world_cfg = WorldConfig {
+            client_as_count: ((17_700.0 * scale.hashes).ceil() as u32).max(300),
+            ..WorldConfig::default()
+        };
+        let world = World::build(Fnv64::new().mix_u64(seed).mix(b"world").finish(), &world_cfg);
+        let plan = FarmPlan::paper();
+        let n_honeypots = plan.len() as u16;
+        let catalog = CampaignCatalog::build(
+            Fnv64::new().mix_u64(seed).mix(b"catalog").finish(),
+            &scale,
+            &window,
+        );
+        // Truncated windows (tests) get a proportional share of the volume.
+        let window_frac = window.num_days() as f64 / StudyWindow::paper().num_days() as f64;
+        let total = scale.count(paper::TOTAL_SESSIONS) as f64 * window_frac;
+        let scanner = ScannerSource::new(
+            Fnv64::new().mix_u64(seed).mix(b"scan").finish(),
+            (total * paper::FRAC_NO_CRED) as u64,
+            &window,
+            n_honeypots,
+        );
+        let bruteforce = BruteforceSource::new(
+            Fnv64::new().mix_u64(seed).mix(b"brute").finish(),
+            (total * paper::FRAC_FAIL_LOG) as u64,
+            &window,
+            n_honeypots,
+        );
+        let nocmd = NoCmdSource::new(
+            Fnv64::new().mix_u64(seed).mix(b"nocmd").finish(),
+            (total * paper::FRAC_NO_CMD) as u64,
+            &window,
+            n_honeypots,
+        );
+        let recon = ReconSource::new(
+            Fnv64::new().mix_u64(seed).mix(b"recon").finish(),
+            (total * paper::FRAC_RECON) as u64,
+            &window,
+            n_honeypots,
+        );
+        let campaigns = CampaignPlanner::new(&catalog, window.num_days());
+        Ecosystem {
+            config,
+            world,
+            plan,
+            catalog,
+            creds: CredentialModel::new(),
+            pool: ClientPool::new(),
+            shared: SharedPools::default(),
+            scanner,
+            bruteforce,
+            nocmd,
+            recon,
+            campaigns,
+        }
+    }
+
+    /// Plan all sessions for one day, sorted by start time.
+    pub fn plan_day(&mut self, day: u32) -> Vec<SessionPlan> {
+        let mut out = Vec::new();
+        let seed = self.config.seed;
+        let mut ctx = PlanCtx {
+            world: &self.world,
+            plan: &self.plan,
+            pool: &mut self.pool,
+            shared: &mut self.shared,
+        };
+        let rng_for = |tag: &[u8]| {
+            SmallRng::seed_from_u64(
+                Fnv64::new().mix_u64(seed).mix(tag).mix_u64(day as u64).finish(),
+            )
+        };
+        self.scanner.plan_day(day, &mut ctx, &mut rng_for(b"scan"), &mut out);
+        self.bruteforce.plan_day(day, &mut ctx, &mut rng_for(b"brute"), &mut out);
+        self.nocmd.plan_day(day, &mut ctx, &mut rng_for(b"nocmd"), &mut out);
+        self.recon.plan_day(day, &mut ctx, &mut rng_for(b"recon"), &mut out);
+        self.campaigns
+            .plan_day(day, &self.catalog, &mut ctx, &mut rng_for(b"campaign"), &mut out);
+        // Deterministic chronological order.
+        out.sort_by_key(|p| (p.start_secs, p.honeypot, p.client.0, p.seed));
+        out
+    }
+
+    /// Look up a planned client.
+    pub fn client(&self, r: ClientRef) -> &Client {
+        self.pool.get(r)
+    }
+
+    /// Number of distinct clients allocated so far.
+    pub fn n_clients(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Read access to the client pool (the simulator resolves plan clients
+    /// through this).
+    pub fn pool_ref(&self) -> &ClientPool {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Behavior;
+
+    fn tiny_ecosystem() -> Ecosystem {
+        Ecosystem::new(EcosystemConfig {
+            seed: 42,
+            scale: Scale::tiny(),
+            window: StudyWindow::first_days(40),
+        })
+    }
+
+    #[test]
+    fn plan_day_is_deterministic() {
+        let mut a = tiny_ecosystem();
+        let mut b = tiny_ecosystem();
+        let pa = a.plan_day(10);
+        let pb = b.plan_day(10);
+        assert_eq!(pa.len(), pb.len());
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn plans_are_sorted_and_valid() {
+        let mut eco = tiny_ecosystem();
+        let plans = eco.plan_day(5);
+        assert!(!plans.is_empty());
+        assert!(plans.windows(2).all(|w| w[0].start_secs <= w[1].start_secs));
+        for p in &plans {
+            assert!((p.honeypot as usize) < eco.plan.len());
+            assert!((p.client.0 as usize) < eco.n_clients());
+        }
+    }
+
+    #[test]
+    fn category_mix_roughly_matches_table1() {
+        let mut eco = tiny_ecosystem();
+        let mut counts = [0usize; 4]; // scan, scout, login-idle, cmd-ish
+        for day in 0..40 {
+            for p in eco.plan_day(day) {
+                match p.behavior {
+                    Behavior::Scan { .. } => counts[0] += 1,
+                    Behavior::Scout { .. } => counts[1] += 1,
+                    Behavior::LoginIdle { .. } => counts[2] += 1,
+                    Behavior::Script { .. } | Behavior::Recon { .. } => counts[3] += 1,
+                }
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let frac = |c: usize| c as f64 / total as f64;
+        // Early-window (40 days) fractions skew: scanning hasn't ramped yet
+        // and the no-cmd prefix is in its strong phase. Just check sanity:
+        assert!(frac(counts[1]) > 0.25, "FAIL_LOG {}", frac(counts[1]));
+        assert!(frac(counts[0]) > 0.10, "NO_CRED {}", frac(counts[0]));
+        assert!(frac(counts[3]) > 0.08, "CMD-ish {}", frac(counts[3]));
+    }
+
+    #[test]
+    fn client_population_grows_with_days() {
+        let mut eco = tiny_ecosystem();
+        eco.plan_day(0);
+        let after_one = eco.n_clients();
+        for d in 1..10 {
+            eco.plan_day(d);
+        }
+        assert!(eco.n_clients() > after_one);
+    }
+
+    #[test]
+    fn multi_role_clients_exist() {
+        let mut eco = tiny_ecosystem();
+        let mut roles: std::collections::HashMap<u32, std::collections::BTreeSet<u8>> =
+            Default::default();
+        for day in 0..30 {
+            for p in eco.plan_day(day) {
+                let role = match p.behavior {
+                    Behavior::Scan { .. } => 0u8,
+                    Behavior::Scout { .. } => 1,
+                    Behavior::LoginIdle { .. } => 2,
+                    Behavior::Script { .. } | Behavior::Recon { .. } => 3,
+                };
+                roles.entry(p.client.0).or_default().insert(role);
+            }
+        }
+        let multi = roles.values().filter(|s| s.len() > 1).count();
+        // The paper's ~40% multi-role share needs the full window and scale
+        // (asserted in the integration suite); a tiny 30-day slice just has
+        // to exhibit the mechanism.
+        assert!(
+            multi as f64 / roles.len() as f64 > 0.005,
+            "multi-role fraction {}",
+            multi as f64 / roles.len() as f64
+        );
+    }
+}

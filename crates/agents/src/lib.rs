@@ -1,0 +1,46 @@
+//! The synthetic attacker ecosystem.
+//!
+//! The paper's dataset is private; what *is* published are its aggregate
+//! shapes — category mix (Table 1), heavy-tailed honeypot popularity (Fig. 2),
+//! client spread and lifetime ECDFs (Figs. 12–13), the campaign catalog
+//! (Tables 4–6), freshness dynamics (Fig. 17), geographic mixes (Fig. 10),
+//! and a handful of dated anomalies (the 2022-09-05 spike, the Russian
+//! datacenter NO_CMD prefix, the June 2022 CMD+URI burst). This crate encodes
+//! those shapes as a generative model:
+//!
+//! - [`scale`]: one knob scaling the paper's 402 M sessions down to laptop
+//!   size while preserving every ratio,
+//! - [`curves`]: per-source daily-volume curves (ramp-ups, dated spikes,
+//!   deterministic day-seeded jitter),
+//! - [`weights`]: per-source honeypot-popularity vectors (why the
+//!   sessions-richest honeypots differ from the clients-richest and the
+//!   hash-richest ones),
+//! - [`clients`]: the client-IP pool with per-client spread and lifetime,
+//! - [`credentials`]: username/password catalogs calibrated to Table 2,
+//! - [`campaigns`]: the intrusion-campaign catalog — headline campaigns
+//!   H1…H42 with the paper's per-campaign session/client/day/honeypot
+//!   cardinalities, plus the procedurally generated long tail,
+//! - [`sources`]: the scanner / bruteforce / no-cmd traffic sources,
+//! - [`plan`]: the [`plan::SessionPlan`] unit handed to the simulator,
+//! - [`ecosystem`]: assembly of all of the above from a single seed.
+//!
+//! Nothing here touches the honeypot directly: sources emit *plans*, and
+//! `hf-sim` executes every plan through the real
+//! `hf_honeypot::SessionDriver` + `hf_shell` code path, so the recorded
+//! dataset is produced by the same machinery a live deployment would use.
+
+pub mod campaigns;
+pub mod clients;
+pub mod credentials;
+pub mod curves;
+pub mod ecosystem;
+pub mod plan;
+pub mod scale;
+pub mod sources;
+pub mod weights;
+
+pub use campaigns::{CampaignCatalog, CampaignId, CampaignSpec, Tag, TargetSet};
+pub use clients::{ClientPool, ClientRef};
+pub use ecosystem::{Ecosystem, EcosystemConfig};
+pub use plan::{Behavior, SessionPlan};
+pub use scale::Scale;

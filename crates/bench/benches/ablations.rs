@@ -1,0 +1,209 @@
+//! Design-choice ablations called out in DESIGN.md:
+//!
+//! 1. columnar session store vs a naive row-of-structs vector,
+//! 2. interned u32 ids vs string keys in analysis maps,
+//! 3. ring/last-seen sliding freshness window vs a BTreeMap rescan,
+//! 4. shell script-cache fast path vs full re-execution.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hf_bench::fixture;
+use hf_farm::SessionStore;
+use hf_honeypot::SessionRecord;
+use hf_shell::{NullFetcher, ShellSession, SystemProfile};
+use hf_simclock::SlidingDayWindow;
+
+/// Naive alternative to the columnar store: full record structs in a Vec.
+fn naive_rows(n: usize) -> Vec<SessionRecord> {
+    use hf_geo::Ip4;
+    use hf_honeypot::{EndReason, LoginAttempt};
+    use hf_proto::creds::Credentials;
+    use hf_proto::Protocol;
+    use hf_shell::CommandRecord;
+    use hf_simclock::SimInstant;
+    (0..n)
+        .map(|i| SessionRecord {
+            honeypot: (i % 221) as u16,
+            protocol: Protocol::Ssh,
+            client_ip: Ip4((16 << 24) + i as u32),
+            client_port: 4000,
+            start: SimInstant::from_day_and_secs((i % 400) as u32, 10),
+            duration_secs: 30,
+            ended_by: EndReason::ClientClose,
+            ssh_client_version: Some("SSH-2.0-Go".to_string()),
+            logins: vec![LoginAttempt {
+                creds: Credentials::new("root", "1234"),
+                accepted: true,
+            }],
+            commands: vec![CommandRecord {
+                input: "uname -a".to_string(),
+                known: true,
+            }],
+            uris: vec![],
+            file_hashes: vec![],
+            download_hashes: vec![],
+        })
+        .collect()
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_store");
+    g.sample_size(10);
+    let records = naive_rows(50_000);
+    g.bench_function("columnar_ingest_50k", |b| {
+        b.iter(|| {
+            let mut store = SessionStore::with_capacity(records.len());
+            for r in &records {
+                store.ingest(r, None);
+            }
+            black_box(store.len())
+        })
+    });
+    g.bench_function("naive_clone_50k", |b| {
+        b.iter(|| black_box(records.clone().len()))
+    });
+    // Scan: count successful logins.
+    let mut store = SessionStore::with_capacity(records.len());
+    for r in &records {
+        store.ingest(r, None);
+    }
+    g.bench_function("columnar_scan_50k", |b| {
+        b.iter(|| black_box(store.iter().filter(|v| v.login_succeeded()).count()))
+    });
+    g.bench_function("naive_scan_50k", |b| {
+        b.iter(|| {
+            black_box(
+                records
+                    .iter()
+                    .filter(|r| r.logins.iter().any(|l| l.accepted))
+                    .count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("ablation_interning");
+    // Count command popularity by interned id (the shipped design) …
+    g.bench_function("count_by_interned_id", |b| {
+        b.iter(|| {
+            let mut counts: HashMap<u32, u64> = HashMap::new();
+            for v in f.dataset.sessions.iter() {
+                for &packed in f.dataset.sessions.lists.get(v.raw().cmd_list_id) {
+                    *counts.entry(packed >> 1).or_default() += 1;
+                }
+            }
+            black_box(counts.len())
+        })
+    });
+    // … vs materializing string keys.
+    g.bench_function("count_by_string_key", |b| {
+        b.iter(|| {
+            let mut counts: HashMap<String, u64> = HashMap::new();
+            for v in f.dataset.sessions.iter() {
+                for (cmd, _) in v.commands() {
+                    *counts.entry(cmd.to_string()).or_default() += 1;
+                }
+            }
+            black_box(counts.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_freshness(c: &mut Criterion) {
+    // Synthetic observation stream: 200 days × 400 hashes with recurrence.
+    let mut observations: Vec<(u32, u32)> = Vec::new();
+    for day in 0..200u32 {
+        for k in 0..400u32 {
+            if (day * 31 + k * 7) % 5 != 0 {
+                observations.push((k % (50 + day), day));
+            }
+        }
+    }
+    let mut g = c.benchmark_group("ablation_freshness");
+    g.bench_function("sliding_last_seen", |b| {
+        b.iter(|| {
+            let mut w = SlidingDayWindow::with_days(7);
+            let mut fresh = 0u64;
+            for &(h, d) in &observations {
+                if w.observe(h, d) {
+                    fresh += 1;
+                }
+            }
+            black_box(fresh)
+        })
+    });
+    g.bench_function("btreemap_rescan", |b| {
+        b.iter(|| {
+            // Naive: keep all (hash, day) sightings, rescan the last 7 days.
+            let mut seen: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+            let mut fresh = 0u64;
+            for &(h, d) in &observations {
+                let lo = d.saturating_sub(6);
+                let any_recent = (lo..=d.saturating_sub(0))
+                    .any(|day| seen.contains_key(&(h, day)));
+                if !any_recent {
+                    fresh += 1;
+                }
+                seen.insert((h, d), ());
+            }
+            black_box(fresh)
+        })
+    });
+    g.finish();
+}
+
+fn bench_shell_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_shell");
+    let script = "cd /tmp; echo deadbeef > .x; chmod 777 .x; ./.x";
+    g.bench_function("fresh_session_per_run", |b| {
+        b.iter(|| {
+            let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+            sh.execute(script);
+            black_box(sh.take_events().file_events.len())
+        })
+    });
+    g.bench_function("reused_session", |b| {
+        let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+        b.iter(|| {
+            sh.execute(script);
+            black_box(sh.take_events().file_events.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_script_cache(c: &mut Criterion) {
+    use hf_sim::{SimConfig, Simulation};
+    use hf_simclock::StudyWindow;
+    let mut g = c.benchmark_group("ablation_script_cache");
+    g.sample_size(10);
+    let cfg = |fast: bool| SimConfig {
+        seed: 0xab1a,
+        scale: hf_agents::Scale::of(0.001),
+        window: StudyWindow::first_days(30),
+        use_script_cache: fast,
+    };
+    g.bench_function("sim_30d_full_shell", |b| {
+        b.iter(|| black_box(Simulation::run(cfg(false)).dataset.len()))
+    });
+    g.bench_function("sim_30d_script_cache", |b| {
+        b.iter(|| black_box(Simulation::run(cfg(true)).dataset.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store,
+    bench_interning,
+    bench_freshness,
+    bench_shell_reuse,
+    bench_script_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! One benchmark target per table and figure of the paper.
+//!
+//! Each bench measures the cost of regenerating that experiment's rows or
+//! series from the precomputed aggregates (T1–T6, F1–F24); before the
+//! measurements start, the harness prints the reproduced headline rows so a
+//! `cargo bench` run doubles as a report of what the reproduction produces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hf_bench::fixture;
+use hf_core::report::{figures, tables, HashSortKey};
+use hf_core::Claims;
+use std::hint::black_box;
+
+fn print_reproduced_rows() {
+    let f = fixture();
+    println!("\n===== reproduced Table 1 =====\n{}", tables::table1(&f.agg));
+    println!("===== reproduced Table 2 =====\n{}", tables::table2(&f.dataset, &f.agg));
+    println!(
+        "===== reproduced Table 4 (top 10 by sessions) =====\n{}",
+        tables::hash_table(&f.dataset, &f.agg, &f.tags, HashSortKey::Sessions, 10)
+    );
+    println!("===== reproduced Fig. 2 =====\n{}", figures::fig2(&f.agg));
+    println!("===== headline claims =====\n{}", Claims::compute(&f.agg));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    print_reproduced_rows();
+    let f = fixture();
+    c.bench_function("bench_t1_classification", |b| {
+        b.iter(|| black_box(tables::table1(&f.agg)))
+    });
+    c.bench_function("bench_t2_passwords", |b| {
+        b.iter(|| black_box(tables::table2(&f.dataset, &f.agg)))
+    });
+    c.bench_function("bench_t3_commands", |b| {
+        b.iter(|| black_box(tables::table3(&f.dataset, &f.agg)))
+    });
+    c.bench_function("bench_t4_hashes_by_sessions", |b| {
+        b.iter(|| {
+            black_box(tables::hash_table(
+                &f.dataset,
+                &f.agg,
+                &f.tags,
+                HashSortKey::Sessions,
+                20,
+            ))
+        })
+    });
+    c.bench_function("bench_t5_hashes_by_clients", |b| {
+        b.iter(|| {
+            black_box(tables::hash_table(
+                &f.dataset,
+                &f.agg,
+                &f.tags,
+                HashSortKey::Clients,
+                20,
+            ))
+        })
+    });
+    c.bench_function("bench_t6_hashes_by_days", |b| {
+        b.iter(|| {
+            black_box(tables::hash_table(
+                &f.dataset,
+                &f.agg,
+                &f.tags,
+                HashSortKey::Days,
+                20,
+            ))
+        })
+    });
+}
+
+fn bench_volume_figures(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("bench_f1_deployment", |b| {
+        b.iter(|| black_box(figures::fig1(&f.dataset)))
+    });
+    c.bench_function("bench_f2_sessions_per_honeypot", |b| {
+        b.iter(|| black_box(figures::fig2(&f.agg)))
+    });
+    c.bench_function("bench_f3_top5_bands", |b| {
+        b.iter(|| black_box(figures::fig_bands(&f.agg, true)))
+    });
+    c.bench_function("bench_f4_all_bands", |b| {
+        b.iter(|| black_box(figures::fig_bands(&f.agg, false)))
+    });
+    c.bench_function("bench_f5_flow", |b| {
+        b.iter(|| black_box(figures::fig5(&f.agg)))
+    });
+    c.bench_function("bench_f6_category_timeseries", |b| {
+        b.iter(|| black_box(figures::fig6(&f.agg)))
+    });
+    c.bench_function("bench_f7_duration_ecdf", |b| {
+        b.iter(|| black_box(figures::fig7(&f.agg)))
+    });
+    c.bench_function("bench_f8_category_bands", |b| {
+        b.iter(|| black_box(figures::fig_cat_bands(&f.agg, false)))
+    });
+    c.bench_function("bench_f9_top5_category_bands", |b| {
+        b.iter(|| black_box(figures::fig_cat_bands(&f.agg, true)))
+    });
+}
+
+fn bench_client_figures(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("bench_f10_client_countries", |b| {
+        b.iter(|| black_box(figures::fig10(&f.agg)))
+    });
+    c.bench_function("bench_f11_daily_ips", |b| {
+        b.iter(|| black_box(figures::fig11(&f.agg)))
+    });
+    c.bench_function("bench_f12_spread_ecdf", |b| {
+        b.iter(|| black_box(figures::fig12(&f.agg)))
+    });
+    c.bench_function("bench_f13_days_ecdf", |b| {
+        b.iter(|| black_box(figures::fig13(&f.agg)))
+    });
+    c.bench_function("bench_f14_clients_per_honeypot", |b| {
+        b.iter(|| black_box(figures::fig14(&f.agg)))
+    });
+    c.bench_function("bench_f15_multirole", |b| {
+        b.iter(|| black_box(figures::fig15(&f.agg)))
+    });
+    c.bench_function("bench_f16_regional", |b| {
+        b.iter(|| black_box(figures::fig16(&f.agg)))
+    });
+    // Appendix figures share the builders with Figs. 10/16; bench under
+    // their own ids so every paper figure has a target.
+    c.bench_function("bench_f23_countries_by_category", |b| {
+        b.iter(|| black_box(figures::fig10(&f.agg).per_category))
+    });
+    c.bench_function("bench_f24_regional_by_category", |b| {
+        b.iter(|| black_box(figures::fig16(&f.agg).daily))
+    });
+}
+
+fn bench_hash_figures(c: &mut Criterion) {
+    let f = fixture();
+    c.bench_function("bench_f17_freshness", |b| {
+        b.iter(|| black_box(figures::fig17(&f.agg)))
+    });
+    c.bench_function("bench_f18_hashes_per_honeypot", |b| {
+        b.iter(|| black_box(figures::fig18(&f.agg)))
+    });
+    c.bench_function("bench_f19_hashes_vs_sessions", |b| {
+        // Fig. 19 is Fig. 18 with the sessions overlay; same builder.
+        b.iter(|| black_box(figures::fig18(&f.agg).sessions))
+    });
+    c.bench_function("bench_f20_clients_per_hash", |b| {
+        b.iter(|| black_box(figures::fig20(&f.agg)))
+    });
+    c.bench_function("bench_f21_hashes_per_client", |b| {
+        b.iter(|| black_box(figures::fig21(&f.agg)))
+    });
+    c.bench_function("bench_f22_campaign_length", |b| {
+        b.iter(|| black_box(figures::fig22(&f.dataset, &f.agg, &f.tags)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let f = fixture();
+    // The full aggregation pass itself (the analysis pipeline's hot loop).
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("aggregates_full_pass", |b| {
+        b.iter(|| {
+            black_box(hf_core::aggregates::Aggregates::compute(
+                &f.dataset, &f.tags,
+            ))
+        })
+    });
+    g.bench_function("claims", |b| {
+        b.iter(|| black_box(Claims::compute(&f.agg)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_volume_figures,
+    bench_client_figures,
+    bench_hash_figures,
+    bench_pipeline
+);
+criterion_main!(benches);

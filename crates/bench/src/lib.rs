@@ -1,0 +1,81 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! All experiment benches run against one lazily-simulated dataset so the
+//! (comparatively expensive) generation happens once per bench binary. The
+//! scale is tunable via `HF_BENCH_SCALE` (default 0.002 = 1:500 of the
+//! paper's volume over the full 486-day window) and `HF_BENCH_DAYS`.
+
+use std::sync::OnceLock;
+
+use hf_core::aggregates::Aggregates;
+use hf_farm::{Dataset, TagDb};
+use hf_sim::{SimConfig, Simulation};
+use hf_simclock::StudyWindow;
+
+/// The shared fixture.
+pub struct Fixture {
+    /// The simulated dataset.
+    pub dataset: Dataset,
+    /// Its tag database.
+    pub tags: TagDb,
+    /// Precomputed aggregates (the experiment benches measure the per-
+    /// table/figure reproducers on top of these, mirroring how an analyst
+    /// would iterate).
+    pub agg: Aggregates,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// Scale from the environment (default 0.002).
+pub fn bench_scale() -> f64 {
+    std::env::var("HF_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.002)
+}
+
+/// Window length in days from the environment (default: full 486).
+pub fn bench_days() -> u32 {
+    std::env::var("HF_BENCH_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(486)
+}
+
+/// Get (building on first use) the shared fixture.
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let days = bench_days();
+        let window = if days >= 486 {
+            StudyWindow::paper()
+        } else {
+            StudyWindow::first_days(days)
+        };
+        let cfg = SimConfig {
+            seed: 0xbe9c,
+            scale: hf_agents::Scale::of(bench_scale()),
+            window,
+            use_script_cache: false,
+        };
+        eprintln!(
+            "[hf-bench] simulating fixture: scale {} over {} days …",
+            bench_scale(),
+            days
+        );
+        let t0 = std::time::Instant::now();
+        let out = Simulation::run(cfg);
+        eprintln!(
+            "[hf-bench] fixture ready: {} sessions, {} clients, {} hashes in {:.1}s",
+            out.dataset.len(),
+            out.n_clients,
+            out.tags.len(),
+            t0.elapsed().as_secs_f64()
+        );
+        let agg = Aggregates::compute(&out.dataset, &out.tags);
+        Fixture {
+            dataset: out.dataset,
+            tags: out.tags,
+            agg,
+        }
+    })
+}

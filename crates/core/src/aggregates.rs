@@ -1,0 +1,567 @@
+//! One streaming pass over the session store computing every grouping the
+//! paper's tables and figures need.
+//!
+//! The dataset can hold millions of sessions, so the pass is engineered to
+//! touch each row once, keep per-entity state in dense arrays keyed by
+//! interned ids, and process day-grouped state (daily unique clients,
+//! freshness, regional diversity) with a flush at each day boundary.
+
+use std::collections::{HashMap, HashSet};
+
+use hf_farm::{Dataset, SessionView, TagDb};
+use hf_geo::World;
+use hf_honeypot::EndReason;
+use hf_proto::Protocol;
+
+use crate::classify::{classify, Category};
+use crate::metrics::freshness::{FreshnessPoint, FreshnessSeries};
+
+/// Bitset over honeypots (the farm has 221 ≤ 256 nodes).
+pub type HpBitset = [u64; 4];
+
+/// Set a bit.
+fn bit_set(b: &mut HpBitset, i: u16) {
+    b[(i >> 6) as usize] |= 1u64 << (i & 63);
+}
+
+/// Count set bits.
+pub fn bit_count(b: &HpBitset) -> u32 {
+    b.iter().map(|w| w.count_ones()).sum()
+}
+
+/// Per-client accumulated state.
+#[derive(Clone)]
+pub struct ClientAgg {
+    /// Honeypots contacted, overall and per category.
+    pub honeypots: HpBitset,
+    /// Per-category honeypot sets (Fig. 12's per-category ECDFs).
+    pub honeypots_by_cat: [HpBitset; 5],
+    /// Distinct active days, overall and per category (Fig. 13).
+    pub days: u32,
+    pub days_by_cat: [u32; 5],
+    last_day: u32,
+    last_day_by_cat: [u32; 5],
+    /// Categories this client ever appeared in (bitmask by Category index).
+    pub cats: u8,
+    /// Sessions by this client.
+    pub sessions: u64,
+    /// Distinct hashes this client produced (Fig. 21).
+    pub hashes: HashSet<u32>,
+    /// Client country (u16::MAX = unknown).
+    pub country: u16,
+}
+
+impl Default for ClientAgg {
+    fn default() -> Self {
+        ClientAgg {
+            honeypots: [0; 4],
+            honeypots_by_cat: [[0; 4]; 5],
+            days: 0,
+            days_by_cat: [0; 5],
+            last_day: u32::MAX,
+            last_day_by_cat: [u32::MAX; 5],
+            cats: 0,
+            sessions: 0,
+            hashes: HashSet::new(),
+            country: u16::MAX,
+        }
+    }
+}
+
+/// Per-hash accumulated state.
+#[derive(Clone)]
+pub struct HashAgg {
+    /// Sessions containing this hash.
+    pub sessions: u64,
+    /// Distinct client IPs.
+    pub clients: HashSet<u32>,
+    /// Distinct active days.
+    pub days: u32,
+    last_day: u32,
+    /// First day observed.
+    pub first_day: u32,
+    /// Honeypot that observed it first.
+    pub first_honeypot: u16,
+    /// Honeypots that ever observed it.
+    pub honeypots: HpBitset,
+}
+
+impl Default for HashAgg {
+    fn default() -> Self {
+        HashAgg {
+            sessions: 0,
+            clients: HashSet::new(),
+            days: 0,
+            last_day: u32::MAX,
+            first_day: u32::MAX,
+            first_honeypot: u16::MAX,
+            honeypots: [0; 4],
+        }
+    }
+}
+
+/// Daily state that flushes at day boundaries.
+#[derive(Default)]
+struct DayState {
+    /// ip → category bitmask seen today.
+    client_cats: HashMap<u32, u8>,
+    /// ip → (overall relation mask, per-category relation masks).
+    client_regions: HashMap<u32, [u8; 6]>,
+}
+
+/// Everything computed by the pass.
+pub struct Aggregates {
+    /// Days covered (max session day + 1).
+    pub n_days: u32,
+    /// Honeypot count.
+    pub n_honeypots: usize,
+    /// Sessions per (day × honeypot), row-major by day.
+    pub day_hp_sessions: Vec<u32>,
+    /// Same, per category.
+    pub day_hp_by_cat: [Vec<u32>; 5],
+    /// Total sessions per day.
+    pub day_total: Vec<u64>,
+    /// Sessions per day per category.
+    pub day_by_cat: [Vec<u64>; 5],
+    /// Daily unique client IPs per category (Fig. 11) + overall (index 5).
+    pub day_unique_ips: Vec<[u32; 6]>,
+    /// Daily counts of clients per category-combination bitmask over
+    /// {NO_CRED, FAIL_LOG, CMD} (Fig. 15): index = bitmask (1..=7).
+    pub day_combo_clients: Vec<[u32; 8]>,
+    /// Daily counts of clients per regional-relation combination, for
+    /// overall (index 0) and each category (1..=5). Relation mask bits:
+    /// 1 = same country, 2 = same continent, 4 = different continent.
+    pub day_region_combos: Vec<[[u32; 8]; 6]>,
+    /// Category totals (Table 1).
+    pub cat_totals: [u64; 5],
+    /// SSH sessions per category (Table 1's protocol split).
+    pub cat_ssh: [u64; 5],
+    /// End reasons per category: [client, timeout, auth-limit].
+    pub cat_end_reasons: [[u64; 3]; 5],
+    /// Session duration histogram per category, seconds 0..=600 (cap).
+    pub dur_hist: [Vec<u64>; 5],
+    /// Sessions per honeypot.
+    pub hp_sessions: Vec<u64>,
+    /// Distinct clients per honeypot, overall.
+    pub hp_clients: Vec<HashSet<u32>>,
+    /// Distinct clients per honeypot per category.
+    pub hp_clients_by_cat: Vec<[HashSet<u32>; 5]>,
+    /// Distinct hashes per honeypot (Fig. 18/19).
+    pub hp_hashes: Vec<HashSet<u32>>,
+    /// Hashes first seen at each honeypot (early-observer analysis).
+    pub hp_first_hashes: Vec<u32>,
+    /// Per-client aggregates keyed by IP.
+    pub clients: HashMap<u32, ClientAgg>,
+    /// Per-hash aggregates indexed by digest id.
+    pub hashes: Vec<HashAgg>,
+    /// Successful-login password counts (cred pool id → count).
+    pub password_counts: HashMap<u32, u64>,
+    /// Command popularity (command pool id → count).
+    pub command_counts: HashMap<u32, u64>,
+    /// SSH client version counts (pool id → count).
+    pub ssh_version_counts: HashMap<u32, u64>,
+    /// Sessions that created/modified ≥1, ≥2, >10 files.
+    pub file_sessions: (u64, u64, u64),
+    /// Daily hash freshness (Fig. 17).
+    pub freshness: Vec<FreshnessPoint>,
+    /// Total sessions.
+    pub total_sessions: u64,
+}
+
+impl Aggregates {
+    /// Run the pass.
+    pub fn compute(dataset: &Dataset, _tags: &TagDb) -> Self {
+        let n_honeypots = dataset.plan.len();
+        let store = &dataset.sessions;
+        let n_days = store
+            .iter()
+            .map(|v| v.day())
+            .max()
+            .map(|d| d + 1)
+            .unwrap_or(1);
+
+        // Row order must be day-ordered for the streaming day state; build an
+        // order index if not (robustness for hand-built stores).
+        let mut order: Vec<u32> = (0..store.len() as u32).collect();
+        let ordered = store
+            .rows()
+            .windows(2)
+            .all(|w| w[0].start_secs / 86_400 <= w[1].start_secs / 86_400);
+        if !ordered {
+            order.sort_by_key(|&i| store.rows()[i as usize].start_secs);
+        }
+
+        let nd = n_days as usize;
+        let mut agg = Aggregates {
+            n_days,
+            n_honeypots,
+            day_hp_sessions: vec![0; nd * n_honeypots],
+            day_hp_by_cat: std::array::from_fn(|_| vec![0; nd * n_honeypots]),
+            day_total: vec![0; nd],
+            day_by_cat: std::array::from_fn(|_| vec![0; nd]),
+            day_unique_ips: vec![[0; 6]; nd],
+            day_combo_clients: vec![[0; 8]; nd],
+            day_region_combos: vec![[[0; 8]; 6]; nd],
+            cat_totals: [0; 5],
+            cat_ssh: [0; 5],
+            cat_end_reasons: [[0; 3]; 5],
+            dur_hist: std::array::from_fn(|_| vec![0; 601]),
+            hp_sessions: vec![0; n_honeypots],
+            hp_clients: vec![HashSet::new(); n_honeypots],
+            hp_clients_by_cat: (0..n_honeypots)
+                .map(|_| std::array::from_fn(|_| HashSet::new()))
+                .collect(),
+            hp_hashes: vec![HashSet::new(); n_honeypots],
+            hp_first_hashes: vec![0; n_honeypots],
+            clients: HashMap::new(),
+            hashes: Vec::new(),
+            password_counts: HashMap::new(),
+            command_counts: HashMap::new(),
+            ssh_version_counts: HashMap::new(),
+            file_sessions: (0, 0, 0),
+            freshness: Vec::new(),
+            total_sessions: store.len() as u64,
+        };
+
+        let mut day_state = DayState::default();
+        let mut current_day = 0u32;
+        let mut fresh = FreshnessSeries::new();
+        let mut session_hashes: Vec<u32> = Vec::new();
+
+        for &idx in &order {
+            let v = store.view(idx as usize);
+            let day = v.day();
+            if day != current_day {
+                agg.flush_day(current_day, &mut day_state);
+                current_day = day;
+            }
+            agg.ingest_session(dataset, &v, &mut day_state, &mut fresh, &mut session_hashes);
+        }
+        agg.flush_day(current_day, &mut day_state);
+        agg.freshness = fresh.finish();
+        agg
+    }
+
+    fn ingest_session(
+        &mut self,
+        dataset: &Dataset,
+        v: &SessionView<'_>,
+        day_state: &mut DayState,
+        fresh: &mut FreshnessSeries,
+        session_hashes: &mut Vec<u32>,
+    ) {
+        let cat = classify(v);
+        let ci = cat.index();
+        let day = v.day() as usize;
+        let hp = v.honeypot();
+        let ip = v.client_ip().0;
+
+        // Volume matrices.
+        self.day_hp_sessions[day * self.n_honeypots + hp as usize] += 1;
+        self.day_hp_by_cat[ci][day * self.n_honeypots + hp as usize] += 1;
+        self.day_total[day] += 1;
+        self.day_by_cat[ci][day] += 1;
+        self.cat_totals[ci] += 1;
+        if v.protocol() == Protocol::Ssh {
+            self.cat_ssh[ci] += 1;
+        }
+        let reason_idx = match v.ended_by() {
+            EndReason::ClientClose => 0,
+            EndReason::Timeout => 1,
+            EndReason::AuthLimit => 2,
+        };
+        self.cat_end_reasons[ci][reason_idx] += 1;
+        let d = (v.duration_secs() as usize).min(600);
+        self.dur_hist[ci][d] += 1;
+
+        // Per honeypot.
+        self.hp_sessions[hp as usize] += 1;
+        self.hp_clients[hp as usize].insert(ip);
+        self.hp_clients_by_cat[hp as usize][ci].insert(ip);
+
+        // Per client.
+        let client = self.clients.entry(ip).or_default();
+        client.sessions += 1;
+        client.cats |= 1 << ci;
+        bit_set(&mut client.honeypots, hp);
+        bit_set(&mut client.honeypots_by_cat[ci], hp);
+        if client.last_day != v.day() {
+            // works for first session because last_day starts at MAX
+            client.days += 1;
+            client.last_day = v.day();
+        }
+        if client.last_day_by_cat[ci] != v.day() {
+            client.days_by_cat[ci] += 1;
+            client.last_day_by_cat[ci] = v.day();
+        }
+        if client.country == u16::MAX {
+            if let Some(c) = v.client_country() {
+                client.country = c.0;
+            }
+        }
+
+        // Credentials / commands / ssh versions, counted by interned id.
+        // Password counts: successful attempts only.
+        for packed in dataset.sessions.lists.get(self.raw_login_list(v)) {
+            if packed & 1 == 1 {
+                *self.password_counts.entry(packed >> 1).or_default() += 1;
+            }
+        }
+        for packed in dataset.sessions.lists.get(self.raw_cmd_list(v)) {
+            *self.command_counts.entry(packed >> 1).or_default() += 1;
+        }
+        if let Some(vid) = self.raw_ssh_version(v) {
+            *self.ssh_version_counts.entry(vid).or_default() += 1;
+        }
+
+        // Hashes.
+        session_hashes.clear();
+        session_hashes.extend_from_slice(v.hash_ids());
+        session_hashes.extend_from_slice(v.download_hash_ids());
+        session_hashes.sort_unstable();
+        session_hashes.dedup();
+        let n_files = v.hash_ids().len();
+        if n_files >= 1 {
+            self.file_sessions.0 += 1;
+        }
+        if n_files >= 2 {
+            self.file_sessions.1 += 1;
+        }
+        if n_files > 10 {
+            self.file_sessions.2 += 1;
+        }
+        for &hid in session_hashes.iter() {
+            if self.hashes.len() <= hid as usize {
+                self.hashes.resize(hid as usize + 1, HashAgg::default());
+            }
+            let h = &mut self.hashes[hid as usize];
+            h.sessions += 1;
+            h.clients.insert(ip);
+            bit_set(&mut h.honeypots, hp);
+            if h.last_day != v.day() {
+                h.days += 1;
+                h.last_day = v.day();
+            }
+            if h.first_day == u32::MAX {
+                h.first_day = v.day();
+                h.first_honeypot = hp;
+                self.hp_first_hashes[hp as usize] += 1;
+            }
+            self.hp_hashes[hp as usize].insert(hid);
+            fresh.observe(hid, v.day());
+        }
+        if !session_hashes.is_empty() {
+            let client = self.clients.entry(ip).or_default();
+            client.hashes.extend(session_hashes.iter().copied());
+        }
+
+        // Daily per-client state.
+        let combo_bit = match cat {
+            Category::NoCred => Some(0u8),
+            Category::FailLog => Some(1),
+            Category::Cmd | Category::CmdUri => Some(2),
+            Category::NoCmd => None,
+        };
+        let entry = day_state.client_cats.entry(ip).or_insert(0);
+        if let Some(b) = combo_bit {
+            *entry |= 1 << b;
+        }
+        *entry |= 1 << (ci + 3); // upper bits: any-category presence
+
+        // Regional relation.
+        if let Some(cc) = v.client_country() {
+            let hp_country = dataset.plan.node(hp).country;
+            let rel = World::region_relation(cc, hp_country);
+            let bit = match rel {
+                hf_geo::RegionRelation::SameCountry => 1u8,
+                hf_geo::RegionRelation::SameContinent => 2,
+                hf_geo::RegionRelation::DifferentContinent => 4,
+            };
+            let masks = day_state.client_regions.entry(ip).or_insert([0; 6]);
+            masks[0] |= bit;
+            masks[ci + 1] |= bit;
+        }
+    }
+
+    /// Raw list-pool ids (the view doesn't expose them; mirror its fields).
+    fn raw_login_list(&self, v: &SessionView<'_>) -> u32 {
+        v.raw().login_list_id
+    }
+    fn raw_cmd_list(&self, v: &SessionView<'_>) -> u32 {
+        v.raw().cmd_list_id
+    }
+    fn raw_ssh_version(&self, v: &SessionView<'_>) -> Option<u32> {
+        let id = v.raw().ssh_version_id;
+        (id != u32::MAX).then_some(id)
+    }
+
+    fn flush_day(&mut self, day: u32, state: &mut DayState) {
+        let d = day as usize;
+        if d >= self.day_unique_ips.len() {
+            state.client_cats.clear();
+            state.client_regions.clear();
+            return;
+        }
+        for (_, mask) in state.client_cats.iter() {
+            // Per-category daily unique IPs.
+            for ci in 0..5 {
+                if mask & (1 << (ci + 3)) != 0 {
+                    self.day_unique_ips[d][ci] += 1;
+                }
+            }
+            self.day_unique_ips[d][5] += 1;
+            // Combo over {NO_CRED, FAIL_LOG, CMD}.
+            let combo = mask & 0b111;
+            if combo != 0 {
+                self.day_combo_clients[d][combo as usize] += 1;
+            }
+        }
+        for (_, masks) in state.client_regions.iter() {
+            for (slot, &m) in masks.iter().enumerate() {
+                if m != 0 {
+                    self.day_region_combos[d][slot][m as usize] += 1;
+                }
+            }
+        }
+        state.client_cats.clear();
+        state.client_regions.clear();
+    }
+
+    /// Distinct client count.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Distinct hash count.
+    pub fn n_hashes(&self) -> usize {
+        self.hashes.iter().filter(|h| h.sessions > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_sim::{SimConfig, Simulation};
+
+    fn small() -> (Dataset, TagDb) {
+        let out = Simulation::run(SimConfig::test(10));
+        (out.dataset, out.tags)
+    }
+
+    #[test]
+    fn totals_are_consistent() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        assert_eq!(agg.total_sessions, ds.len() as u64);
+        assert_eq!(agg.cat_totals.iter().sum::<u64>(), agg.total_sessions);
+        assert_eq!(agg.day_total.iter().sum::<u64>(), agg.total_sessions);
+        let matrix_sum: u64 = agg.day_hp_sessions.iter().map(|&c| c as u64).sum();
+        assert_eq!(matrix_sum, agg.total_sessions);
+        for ci in 0..5 {
+            assert_eq!(
+                agg.day_by_cat[ci].iter().sum::<u64>(),
+                agg.cat_totals[ci],
+                "category {ci}"
+            );
+            assert!(agg.cat_ssh[ci] <= agg.cat_totals[ci]);
+        }
+    }
+
+    #[test]
+    fn per_honeypot_sums_match() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        assert_eq!(agg.hp_sessions.iter().sum::<u64>(), agg.total_sessions);
+        // Clients per honeypot never exceed total clients.
+        for set in &agg.hp_clients {
+            assert!(set.len() <= agg.n_clients());
+        }
+    }
+
+    #[test]
+    fn client_aggregates_consistent() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        assert!(agg.n_clients() > 0);
+        let total_client_sessions: u64 = agg.clients.values().map(|c| c.sessions).sum();
+        assert_eq!(total_client_sessions, agg.total_sessions);
+        for c in agg.clients.values() {
+            assert!(bit_count(&c.honeypots) >= 1);
+            assert!(c.days >= 1);
+            assert!(c.cats != 0);
+            // Per-category days never exceed overall days.
+            for ci in 0..5 {
+                assert!(c.days_by_cat[ci] <= c.days);
+                assert!(bit_count(&c.honeypots_by_cat[ci]) <= bit_count(&c.honeypots));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_aggregates_consistent() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        assert!(agg.n_hashes() > 0);
+        for h in agg.hashes.iter().filter(|h| h.sessions > 0) {
+            assert!(!h.clients.is_empty());
+            assert!(h.days >= 1);
+            assert!(h.first_day != u32::MAX);
+            assert!(bit_count(&h.honeypots) >= 1);
+            assert!(h.sessions >= h.days as u64);
+        }
+        // First-hash counters sum to the number of distinct hashes.
+        let first_sum: u32 = agg.hp_first_hashes.iter().sum();
+        assert_eq!(first_sum as usize, agg.n_hashes());
+    }
+
+    #[test]
+    fn daily_unique_ips_bounded() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        for d in 0..agg.n_days as usize {
+            let overall = agg.day_unique_ips[d][5];
+            for ci in 0..5 {
+                assert!(agg.day_unique_ips[d][ci] <= overall);
+            }
+            // Unique IPs never exceed sessions that day.
+            assert!(overall as u64 <= agg.day_total[d]);
+        }
+    }
+
+    #[test]
+    fn freshness_day_one_is_all_fresh() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        let first = agg.freshness.first().expect("some hashes exist");
+        assert_eq!(first.unique, first.fresh_ever);
+    }
+
+    #[test]
+    fn password_counts_only_successful() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        // Every counted credential must be an accepted one: its password is
+        // not "root" and its username is root.
+        for (&cred_id, _) in agg.password_counts.iter() {
+            let key = ds.sessions.creds.get(cred_id);
+            let (user, pass) = key.split_once('\0').unwrap();
+            assert_eq!(user, "root");
+            assert_ne!(pass, "root");
+        }
+    }
+
+    #[test]
+    fn duration_histogram_totals() {
+        let (ds, tags) = small();
+        let agg = Aggregates::compute(&ds, &tags);
+        let hist_total: u64 = agg.dur_hist.iter().map(|h| h.iter().sum::<u64>()).sum();
+        assert_eq!(hist_total, agg.total_sessions);
+        // NO_CMD durations concentrate at/above the 180 s timeout.
+        let no_cmd = &agg.dur_hist[Category::NoCmd.index()];
+        let at_timeout: u64 = no_cmd[180..].iter().sum();
+        let total: u64 = no_cmd.iter().sum();
+        if total > 20 {
+            assert!(at_timeout as f64 / total as f64 > 0.7, "{at_timeout}/{total}");
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's headline scalar findings, computed from a dataset.
+//!
+//! These are the quantitative claims scattered through the text (not tied to
+//! a single figure) that EXPERIMENTS.md compares paper-vs-measured:
+//! top-10 honeypots hold ~14% of sessions, >60% of hashes are seen by exactly
+//! one honeypot, ~40% of client IPs are multi-role, the hash-richest
+//! honeypots are early observers, and so on.
+
+use serde::Serialize;
+
+use crate::aggregates::{bit_count, Aggregates};
+
+/// Headline scalar findings.
+#[derive(Debug, Clone, Serialize)]
+pub struct Claims {
+    /// Total sessions.
+    pub total_sessions: u64,
+    /// Distinct client IPs.
+    pub total_clients: u64,
+    /// Distinct hashes.
+    pub total_hashes: u64,
+    /// SSH share of all sessions (paper: 75.84%).
+    pub ssh_share: f64,
+    /// Share of sessions on the 10 busiest honeypots (paper: 14%).
+    pub top10_session_share: f64,
+    /// Max/min sessions-per-honeypot ratio (paper: >30×).
+    pub session_spread: f64,
+    /// Fraction of clients contacting exactly one honeypot (paper: ~40%).
+    pub clients_single_honeypot: f64,
+    /// Fraction contacting more than 10 (paper: 18%).
+    pub clients_gt10_honeypots: f64,
+    /// Fraction contacting more than half the farm (paper: 2%).
+    pub clients_gt_half: f64,
+    /// Fraction of clients active exactly one day (paper: >50%).
+    pub clients_single_day: f64,
+    /// Clients active on >90% of days (paper: >100 IPs).
+    pub clients_almost_daily: u64,
+    /// Fraction of clients appearing in more than one category (paper: ~40%).
+    pub multi_role_share: f64,
+    /// Fraction of hashes seen by exactly one honeypot (paper: >60%).
+    pub hashes_single_honeypot: f64,
+    /// Fraction of hashes seen at more than 10 honeypots (paper: >6.8%).
+    pub hashes_gt10_honeypots: f64,
+    /// Hashes seen by more than half the honeypots (paper: >200).
+    pub hashes_gt_half: u64,
+    /// Share of all hashes seen by the hash-richest honeypot (paper: <5%).
+    pub top_honeypot_hash_share: f64,
+    /// Fraction of command sessions (CMD + CMD+URI) that created/modified a
+    /// file (paper: about one third).
+    pub file_session_share: f64,
+    /// Fraction of command sessions touching ≥2 files (paper: 0.5%).
+    pub multi_file_share: f64,
+    /// Spearman-style agreement check: are the top-10 honeypots by hash
+    /// count also the top-10 by session count? (paper: no).
+    pub hash_top10_equals_session_top10: bool,
+    /// Mean rank (by hash-first-seen count) of the top-10 hash-richest
+    /// honeypots — small means the hash-rich nodes see hashes first
+    /// (paper: they do).
+    pub hash_rich_are_early_observers: bool,
+}
+
+impl Claims {
+    /// Compute all claims.
+    pub fn compute(agg: &Aggregates) -> Claims {
+        let total_sessions = agg.total_sessions;
+        let ssh: u64 = agg.cat_ssh.iter().sum();
+
+        // Honeypot session ranking.
+        let mut hp_rank: Vec<usize> = (0..agg.n_honeypots).collect();
+        hp_rank.sort_by(|&a, &b| agg.hp_sessions[b].cmp(&agg.hp_sessions[a]));
+        let top10: u64 = hp_rank.iter().take(10).map(|&h| agg.hp_sessions[h]).sum();
+        let max = agg.hp_sessions.iter().max().copied().unwrap_or(0);
+        let min = agg
+            .hp_sessions
+            .iter()
+            .filter(|&&s| s > 0)
+            .min()
+            .copied()
+            .unwrap_or(1);
+
+        // Client spread / lifetime.
+        let n_clients = agg.clients.len().max(1) as f64;
+        let mut single_hp = 0u64;
+        let mut gt10 = 0u64;
+        let mut gt_half = 0u64;
+        let mut single_day = 0u64;
+        let mut almost_daily = 0u64;
+        let mut multi_role = 0u64;
+        let half = (agg.n_honeypots / 2) as u32;
+        for c in agg.clients.values() {
+            let n = bit_count(&c.honeypots);
+            if n == 1 {
+                single_hp += 1;
+            }
+            if n > 10 {
+                gt10 += 1;
+            }
+            if n > half {
+                gt_half += 1;
+            }
+            if c.days == 1 {
+                single_day += 1;
+            }
+            if c.days as f64 > agg.n_days as f64 * 0.9 {
+                almost_daily += 1;
+            }
+            if c.cats.count_ones() > 1 {
+                multi_role += 1;
+            }
+        }
+
+        // Hash coverage.
+        let live_hashes: Vec<&crate::aggregates::HashAgg> =
+            agg.hashes.iter().filter(|h| h.sessions > 0).collect();
+        let n_hashes = live_hashes.len().max(1) as f64;
+        let h_single = live_hashes.iter().filter(|h| bit_count(&h.honeypots) == 1).count();
+        let h_gt10 = live_hashes.iter().filter(|h| bit_count(&h.honeypots) > 10).count();
+        let h_gt_half = live_hashes
+            .iter()
+            .filter(|h| bit_count(&h.honeypots) > half)
+            .count() as u64;
+        let top_hp_hashes = agg.hp_hashes.iter().map(|s| s.len()).max().unwrap_or(0);
+
+        // Hash-rich vs session-rich honeypots.
+        let mut hash_rank: Vec<usize> = (0..agg.n_honeypots).collect();
+        hash_rank.sort_by(|&a, &b| agg.hp_hashes[b].len().cmp(&agg.hp_hashes[a].len()));
+        let hash_top10: std::collections::BTreeSet<usize> =
+            hash_rank.iter().take(10).copied().collect();
+        let session_top10: std::collections::BTreeSet<usize> =
+            hp_rank.iter().take(10).copied().collect();
+
+        // Early-observer check: the hash-richest 10% of honeypots should hold
+        // a disproportionate share of first sightings.
+        let k = (agg.n_honeypots / 10).max(1);
+        let first_in_rich: u64 = hash_rank
+            .iter()
+            .take(k)
+            .map(|&h| agg.hp_first_hashes[h] as u64)
+            .sum();
+        let total_first: u64 = agg.hp_first_hashes.iter().map(|&x| x as u64).sum();
+        let early = total_first > 0 && first_in_rich as f64 / total_first as f64 > k as f64 / agg.n_honeypots as f64 * 1.5;
+
+        // Command sessions and file involvement.
+        let cmd_sessions = agg.cat_totals[3] + agg.cat_totals[4];
+
+        Claims {
+            total_sessions,
+            total_clients: agg.clients.len() as u64,
+            total_hashes: live_hashes.len() as u64,
+            ssh_share: ssh as f64 / total_sessions.max(1) as f64,
+            top10_session_share: top10 as f64 / total_sessions.max(1) as f64,
+            session_spread: max as f64 / min as f64,
+            clients_single_honeypot: single_hp as f64 / n_clients,
+            clients_gt10_honeypots: gt10 as f64 / n_clients,
+            clients_gt_half: gt_half as f64 / n_clients,
+            clients_single_day: single_day as f64 / n_clients,
+            clients_almost_daily: almost_daily,
+            multi_role_share: multi_role as f64 / n_clients,
+            hashes_single_honeypot: h_single as f64 / n_hashes,
+            hashes_gt10_honeypots: h_gt10 as f64 / n_hashes,
+            hashes_gt_half: h_gt_half,
+            top_honeypot_hash_share: top_hp_hashes as f64 / n_hashes,
+            file_session_share: agg.file_sessions.0 as f64 / cmd_sessions.max(1) as f64,
+            multi_file_share: agg.file_sessions.1 as f64 / cmd_sessions.max(1) as f64,
+            hash_top10_equals_session_top10: hash_top10 == session_top10,
+            hash_rich_are_early_observers: early,
+        }
+    }
+
+    /// JSON rendering (for EXPERIMENTS.md tooling).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("claims serialize")
+    }
+}
+
+impl std::fmt::Display for Claims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "sessions            {:>14}", self.total_sessions)?;
+        writeln!(f, "clients             {:>14}", self.total_clients)?;
+        writeln!(f, "hashes              {:>14}", self.total_hashes)?;
+        writeln!(f, "ssh share           {:>13.2}%", self.ssh_share * 100.0)?;
+        writeln!(f, "top10 session share {:>13.2}%", self.top10_session_share * 100.0)?;
+        writeln!(f, "session spread      {:>13.1}x", self.session_spread)?;
+        writeln!(f, "1-honeypot clients  {:>13.2}%", self.clients_single_honeypot * 100.0)?;
+        writeln!(f, ">10-honeypot clients{:>13.2}%", self.clients_gt10_honeypots * 100.0)?;
+        writeln!(f, ">half-farm clients  {:>13.2}%", self.clients_gt_half * 100.0)?;
+        writeln!(f, "1-day clients       {:>13.2}%", self.clients_single_day * 100.0)?;
+        writeln!(f, "near-daily clients  {:>14}", self.clients_almost_daily)?;
+        writeln!(f, "multi-role clients  {:>13.2}%", self.multi_role_share * 100.0)?;
+        writeln!(f, "1-honeypot hashes   {:>13.2}%", self.hashes_single_honeypot * 100.0)?;
+        writeln!(f, ">half-farm hashes   {:>14}", self.hashes_gt_half)?;
+        writeln!(f, "top honeypot hashes {:>13.2}%", self.top_honeypot_hash_share * 100.0)?;
+        writeln!(f, "file sessions/CMD   {:>13.2}%", self.file_session_share * 100.0)?;
+        writeln!(
+            f,
+            "hash-top10 == session-top10: {}",
+            self.hash_top10_equals_session_top10
+        )?;
+        writeln!(
+            f,
+            "hash-rich are early observers: {}",
+            self.hash_rich_are_early_observers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn claims_compute_on_small_run() {
+        let out = Simulation::run(SimConfig::test(10));
+        let agg = Aggregates::compute(&out.dataset, &out.tags);
+        let c = Claims::compute(&agg);
+        assert_eq!(c.total_sessions, out.dataset.len() as u64);
+        assert!(c.ssh_share > 0.4 && c.ssh_share < 0.95, "{}", c.ssh_share);
+        assert!(c.clients_single_honeypot > 0.1);
+        // The paper-level >60% single-honeypot-hash claim is asserted at
+        // proper scale in tests/paper_claims.rs; a 10-day tiny run only has
+        // to show the long tail exists.
+        assert!(c.hashes_single_honeypot > 0.05);
+        assert!((0.0..=1.0).contains(&c.multi_role_share));
+        // Display and JSON render without panicking.
+        let _ = c.to_string();
+        let _ = c.to_json();
+    }
+}

@@ -1,0 +1,11 @@
+//! Statistics toolkit used by every figure reproducer.
+
+pub mod bands;
+pub mod ecdf;
+pub mod freshness;
+pub mod ranks;
+
+pub use bands::{BandPoint, BandSeries};
+pub use ecdf::Ecdf;
+pub use freshness::FreshnessSeries;
+pub use ranks::rank_series;

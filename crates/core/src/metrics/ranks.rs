@@ -1,0 +1,62 @@
+//! Rank (long-tail) series: values sorted descending with rank indices —
+//! the form of Figs. 2, 14, 18–21.
+
+/// Sort counts descending, returning `(rank, value)` pairs (rank is
+/// 1-based, as plotted on the paper's log axes).
+pub fn rank_series(counts: impl IntoIterator<Item = u64>) -> Vec<(u32, u64)> {
+    let mut v: Vec<u64> = counts.into_iter().collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v.into_iter()
+        .enumerate()
+        .map(|(i, c)| (i as u32 + 1, c))
+        .collect()
+}
+
+/// Share of the total held by the top `k` entries of a rank series.
+pub fn top_k_share(series: &[(u32, u64)], k: usize) -> f64 {
+    let total: u64 = series.iter().map(|(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let top: u64 = series.iter().take(k).map(|(_, c)| c).sum();
+    top as f64 / total as f64
+}
+
+/// Ratio between the maximum and minimum non-zero values.
+pub fn max_min_ratio(series: &[(u32, u64)]) -> Option<f64> {
+    let max = series.first().map(|&(_, c)| c)?;
+    let min = series.iter().rev().map(|&(_, c)| c).find(|&c| c > 0)?;
+    Some(max as f64 / min as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_descending() {
+        let s = rank_series(vec![5, 100, 1, 42]);
+        assert_eq!(s, vec![(1, 100), (2, 42), (3, 5), (4, 1)]);
+    }
+
+    #[test]
+    fn top_k_share_math() {
+        let s = rank_series(vec![50, 30, 20]);
+        assert!((top_k_share(&s, 1) - 0.5).abs() < 1e-12);
+        assert!((top_k_share(&s, 2) - 0.8).abs() < 1e-12);
+        assert!((top_k_share(&s, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_ignores_zeros() {
+        let s = rank_series(vec![90, 3, 0, 0]);
+        assert_eq!(max_min_ratio(&s), Some(30.0));
+        assert_eq!(max_min_ratio(&[]), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(rank_series(Vec::<u64>::new()).is_empty());
+        assert_eq!(top_k_share(&[], 3), 0.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-table and per-figure reproducers.
+//!
+//! Every table (T1–T6) and figure (F1–F24) of the paper has a builder here
+//! returning typed rows/series; [`Report::build`] assembles them all and
+//! [`Report::write_dir`] dumps TSV files plus a human-readable summary — the
+//! "same rows/series the paper reports".
+
+pub mod figures;
+pub mod render;
+pub mod tables;
+
+use std::io::Write as _;
+use std::path::Path;
+
+use hf_farm::{Dataset, TagDb};
+
+use crate::aggregates::Aggregates;
+
+pub use figures::*;
+pub use tables::*;
+
+/// The full reproduction report.
+pub struct Report {
+    /// Table 1: session percentages per category and protocol.
+    pub table1: Table1,
+    /// Table 2: top successful passwords.
+    pub table2: Table2,
+    /// Table 3: top command lines.
+    pub table3: Table3,
+    /// Table 4: top hashes by sessions.
+    pub table4: HashTable,
+    /// Table 5: top hashes by client IPs.
+    pub table5: HashTable,
+    /// Table 6: top hashes by active days.
+    pub table6: HashTable,
+    /// Figure 1: honeypots per country.
+    pub fig1: Fig1,
+    /// Figure 2: sessions per honeypot, ranked.
+    pub fig2: Fig2,
+    /// Figure 3: daily bands, top-5% honeypots.
+    pub fig3: FigBands,
+    /// Figure 4: daily bands, all honeypots.
+    pub fig4: FigBands,
+    /// Figure 5: classification flow counts.
+    pub fig5: Fig5,
+    /// Figure 6: category fractions over time.
+    pub fig6: Fig6,
+    /// Figure 7: session-duration ECDFs per category.
+    pub fig7: Fig7,
+    /// Figure 8: per-category daily bands, all honeypots.
+    pub fig8: FigCatBands,
+    /// Figure 9: per-category daily bands, top-5% honeypots.
+    pub fig9: FigCatBands,
+    /// Figure 10 (and 23): client IPs per country, overall and per category.
+    pub fig10: Fig10,
+    /// Figure 11: daily unique client IPs per category.
+    pub fig11: Fig11,
+    /// Figure 12: ECDF of honeypots contacted per client.
+    pub fig12: FigClientEcdf,
+    /// Figure 13: ECDF of active days per client.
+    pub fig13: FigClientEcdf,
+    /// Figure 14: clients per honeypot, ranked, with session overlay.
+    pub fig14: Fig14,
+    /// Figure 15: daily clients per category combination.
+    pub fig15: Fig15,
+    /// Figure 16 (and 24): regional diversity over time.
+    pub fig16: Fig16,
+    /// Figure 17: daily unique hashes and freshness.
+    pub fig17: Fig17,
+    /// Figure 18/19: hashes per honeypot with client/session overlays.
+    pub fig18: Fig18,
+    /// Figure 20: clients per hash, ranked.
+    pub fig20: FigRank,
+    /// Figure 21: hashes per client, ranked.
+    pub fig21: FigRank,
+    /// Figure 22: campaign-length ECDFs by tag.
+    pub fig22: Fig22,
+}
+
+impl Report {
+    /// Build every table and figure from the aggregates.
+    pub fn build_with_tags(dataset: &Dataset, agg: &Aggregates, tags: &TagDb) -> Report {
+        Report {
+            table1: tables::table1(agg),
+            table2: tables::table2(dataset, agg),
+            table3: tables::table3(dataset, agg),
+            table4: tables::hash_table(dataset, agg, tags, HashSortKey::Sessions, 20),
+            table5: tables::hash_table(dataset, agg, tags, HashSortKey::Clients, 20),
+            table6: tables::hash_table(dataset, agg, tags, HashSortKey::Days, 20),
+            fig1: figures::fig1(dataset),
+            fig2: figures::fig2(agg),
+            fig3: figures::fig_bands(agg, true),
+            fig4: figures::fig_bands(agg, false),
+            fig5: figures::fig5(agg),
+            fig6: figures::fig6(agg),
+            fig7: figures::fig7(agg),
+            fig8: figures::fig_cat_bands(agg, false),
+            fig9: figures::fig_cat_bands(agg, true),
+            fig10: figures::fig10(agg),
+            fig11: figures::fig11(agg),
+            fig12: figures::fig12(agg),
+            fig13: figures::fig13(agg),
+            fig14: figures::fig14(agg),
+            fig15: figures::fig15(agg),
+            fig16: figures::fig16(agg),
+            fig17: figures::fig17(agg),
+            fig18: figures::fig18(agg),
+            fig20: figures::fig20(agg),
+            fig21: figures::fig21(agg),
+            fig22: figures::fig22(dataset, agg, tags),
+        }
+    }
+
+    /// Convenience wrapper using an empty tag database.
+    pub fn build(dataset: &Dataset, agg: &Aggregates) -> Report {
+        Self::build_with_tags(dataset, agg, &TagDb::new())
+    }
+
+    /// Write every table/figure as TSV plus `summary.md` into a directory.
+    pub fn write_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let write = |name: &str, content: String| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(dir.join(name))?;
+            f.write_all(content.as_bytes())
+        };
+        write("table1.tsv", self.table1.to_tsv())?;
+        write("table2.tsv", self.table2.to_tsv())?;
+        write("table3.tsv", self.table3.to_tsv())?;
+        write("table4.tsv", self.table4.to_tsv())?;
+        write("table5.tsv", self.table5.to_tsv())?;
+        write("table6.tsv", self.table6.to_tsv())?;
+        write("fig01_deployment.tsv", self.fig1.to_tsv())?;
+        write("fig02_sessions_per_honeypot.tsv", self.fig2.to_tsv())?;
+        write("fig03_bands_top5.tsv", self.fig3.to_tsv())?;
+        write("fig04_bands_all.tsv", self.fig4.to_tsv())?;
+        write("fig05_flow.tsv", self.fig5.to_tsv())?;
+        write("fig06_category_timeseries.tsv", self.fig6.to_tsv())?;
+        write("fig07_duration_ecdf.tsv", self.fig7.to_tsv())?;
+        write("fig08_category_bands_all.tsv", self.fig8.to_tsv())?;
+        write("fig09_category_bands_top5.tsv", self.fig9.to_tsv())?;
+        write("fig10_23_client_countries.tsv", self.fig10.to_tsv())?;
+        write("fig11_daily_ips.tsv", self.fig11.to_tsv())?;
+        write("fig12_spread_ecdf.tsv", self.fig12.to_tsv())?;
+        write("fig13_days_ecdf.tsv", self.fig13.to_tsv())?;
+        write("fig14_clients_per_honeypot.tsv", self.fig14.to_tsv())?;
+        write("fig15_multirole.tsv", self.fig15.to_tsv())?;
+        write("fig16_24_regional.tsv", self.fig16.to_tsv())?;
+        write("fig17_freshness.tsv", self.fig17.to_tsv())?;
+        write("fig18_19_hashes_per_honeypot.tsv", self.fig18.to_tsv())?;
+        write("fig20_clients_per_hash.tsv", self.fig20.to_tsv())?;
+        write("fig21_hashes_per_client.tsv", self.fig21.to_tsv())?;
+        write("fig22_campaign_length.tsv", self.fig22.to_tsv())?;
+        write("summary.md", self.summary())?;
+        Ok(())
+    }
+
+    /// Human-readable summary of the headline tables.
+    pub fn summary(&self) -> String {
+        format!(
+            "# Honeyfarm reproduction report\n\n## Table 1\n{}\n## Table 2\n{}\n## Table 4 (top hashes by sessions)\n{}\n## Fig. 2\n{}\n",
+            self.table1, self.table2, self.table4, self.fig2
+        )
+    }
+}

@@ -1,0 +1,35 @@
+//! Small rendering helpers shared by table/figure types.
+
+/// Render rows of string cells as TSV with a header.
+pub fn tsv(header: &[&str], rows: impl IntoIterator<Item = Vec<String>>) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join("\t"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_shape() {
+        let s = tsv(&["a", "b"], vec![vec!["1".into(), "2".into()]]);
+        assert_eq!(s, "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,224 @@
+//! Interning pools: strings, digests, and small id-lists.
+//!
+//! A 400-million-session dataset cannot store credential strings and command
+//! lists per row. But honeypot traffic is massively repetitive — a campaign
+//! replays the same password and the same command script from thousands of
+//! clients — so pooling turns per-session variable-size data into fixed-size
+//! u32 handles. DESIGN.md lists "interned ids vs string keys" as an ablation;
+//! `hf-bench` measures it.
+
+use std::collections::HashMap;
+
+use hf_hash::Digest;
+
+/// Sentinel id meaning "no value".
+pub const NONE_ID: u32 = u32::MAX;
+
+/// Deduplicating string pool.
+#[derive(Debug, Default, Clone)]
+pub struct StringPool {
+    by_str: HashMap<String, u32>,
+    items: Vec<String>,
+}
+
+impl StringPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.by_str.get(s) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(s.to_string());
+        self.by_str.insert(s.to_string(), id);
+        id
+    }
+
+    /// Resolve an id.
+    pub fn get(&self, id: u32) -> &str {
+        &self.items[id as usize]
+    }
+
+    /// Find without inserting.
+    pub fn lookup(&self, s: &str) -> Option<u32> {
+        self.by_str.get(s).copied()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(id, string)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.items.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+/// Deduplicating digest pool (SHA-256 values).
+#[derive(Debug, Default, Clone)]
+pub struct DigestPool {
+    by_digest: HashMap<Digest, u32>,
+    items: Vec<Digest>,
+}
+
+impl DigestPool {
+    /// Empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a digest.
+    pub fn intern(&mut self, d: Digest) -> u32 {
+        if let Some(&id) = self.by_digest.get(&d) {
+            return id;
+        }
+        let id = self.items.len() as u32;
+        self.items.push(d);
+        self.by_digest.insert(d, id);
+        id
+    }
+
+    /// Resolve an id.
+    pub fn get(&self, id: u32) -> Digest {
+        self.items[id as usize]
+    }
+
+    /// Find without inserting.
+    pub fn lookup(&self, d: &Digest) -> Option<u32> {
+        self.by_digest.get(d).copied()
+    }
+
+    /// Number of distinct digests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate `(id, digest)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Digest)> + '_ {
+        self.items.iter().enumerate().map(|(i, d)| (i as u32, *d))
+    }
+}
+
+/// Deduplicating pool of u32 lists, stored flattened (arena + ranges).
+#[derive(Debug, Default, Clone)]
+pub struct ListPool {
+    by_list: HashMap<Vec<u32>, u32>,
+    /// Flattened contents.
+    arena: Vec<u32>,
+    /// (offset, len) per list id.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ListPool {
+    /// Empty pool with the empty list pre-interned as id 0.
+    pub fn new() -> Self {
+        let mut p = ListPool::default();
+        p.intern(&[]);
+        p
+    }
+
+    /// Id of the empty list.
+    pub const EMPTY: u32 = 0;
+
+    /// Intern a list.
+    pub fn intern(&mut self, list: &[u32]) -> u32 {
+        if let Some(&id) = self.by_list.get(list) {
+            return id;
+        }
+        let id = self.ranges.len() as u32;
+        let offset = self.arena.len() as u32;
+        self.arena.extend_from_slice(list);
+        self.ranges.push((offset, list.len() as u32));
+        self.by_list.insert(list.to_vec(), id);
+        id
+    }
+
+    /// Resolve an id to its slice.
+    pub fn get(&self, id: u32) -> &[u32] {
+        let (off, len) = self.ranges[id as usize];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    /// Number of distinct lists.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Is the pool empty (it never is after `new`)?
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total flattened size (for memory accounting).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_hash::Sha256;
+
+    #[test]
+    fn string_pool_dedups() {
+        let mut p = StringPool::new();
+        let a = p.intern("root");
+        let b = p.intern("1234");
+        let a2 = p.intern("root");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(p.get(a), "root");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.lookup("1234"), Some(b));
+        assert_eq!(p.lookup("nope"), None);
+    }
+
+    #[test]
+    fn digest_pool_dedups() {
+        let mut p = DigestPool::new();
+        let d1 = Sha256::digest(b"a");
+        let d2 = Sha256::digest(b"b");
+        let i1 = p.intern(d1);
+        let i2 = p.intern(d2);
+        assert_eq!(p.intern(d1), i1);
+        assert_ne!(i1, i2);
+        assert_eq!(p.get(i2), d2);
+    }
+
+    #[test]
+    fn list_pool_roundtrip() {
+        let mut p = ListPool::new();
+        assert_eq!(p.get(ListPool::EMPTY), &[] as &[u32]);
+        let a = p.intern(&[1, 2, 3]);
+        let b = p.intern(&[1, 2]);
+        let a2 = p.intern(&[1, 2, 3]);
+        assert_eq!(a, a2);
+        assert_eq!(p.get(a), &[1, 2, 3]);
+        assert_eq!(p.get(b), &[1, 2]);
+        assert_eq!(p.len(), 3); // empty + two lists
+    }
+
+    #[test]
+    fn list_pool_distinguishes_order() {
+        let mut p = ListPool::new();
+        let a = p.intern(&[1, 2]);
+        let b = p.intern(&[2, 1]);
+        assert_ne!(a, b);
+    }
+}

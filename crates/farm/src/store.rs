@@ -1,0 +1,429 @@
+//! The columnar session store.
+//!
+//! One fixed-size [`Row`] per session; every variable-length attribute
+//! (credentials, command lists, URI lists, hash lists) lives in shared
+//! interning pools. A 4-million-session store (the default 1:100-scale run)
+//! fits comfortably in memory, and scans are cache-friendly — DESIGN.md's
+//! "columnar vs row-of-structs" ablation is benchmarked in `hf-bench`.
+
+use hf_geo::{Asn, CountryId, Ip4};
+use hf_hash::Digest;
+use hf_honeypot::{EndReason, SessionRecord};
+use hf_proto::Protocol;
+use hf_simclock::SimInstant;
+
+use crate::intern::{DigestPool, ListPool, StringPool, NONE_ID};
+
+/// Compact per-session row. Fixed size (~56 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Session start, seconds since the sim epoch (fits u32 for 486 days).
+    pub start_secs: u32,
+    /// Duration in seconds.
+    pub duration_secs: u32,
+    /// Honeypot id.
+    pub honeypot: u16,
+    /// Client source port.
+    pub client_port: u16,
+    /// Client IPv4.
+    pub client_ip: u32,
+    /// Client AS number (u32::MAX when unknown).
+    pub client_asn: u32,
+    /// Client country id (u16::MAX when unknown).
+    pub client_country: u16,
+    /// Protocol (0 = SSH, 1 = Telnet).
+    pub protocol: u8,
+    /// End reason (0 client, 1 timeout, 2 auth limit).
+    pub end_reason: u8,
+    /// Interned SSH client version (NONE_ID when absent).
+    pub ssh_version_id: u32,
+    /// Interned list of login attempts (cred_id << 1 | accepted).
+    pub login_list_id: u32,
+    /// Interned list of command ids (cmd_id << 1 | known).
+    pub cmd_list_id: u32,
+    /// Interned list of URI string ids.
+    pub uri_list_id: u32,
+    /// Interned list of file-hash digest ids.
+    pub hash_list_id: u32,
+    /// Interned list of download-hash digest ids.
+    pub dl_list_id: u32,
+}
+
+/// The store: rows + pools.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStore {
+    rows: Vec<Row>,
+    /// Credentials as "user\0pass".
+    pub creds: StringPool,
+    /// Command strings.
+    pub commands: StringPool,
+    /// URI strings.
+    pub uris: StringPool,
+    /// SSH client version strings.
+    pub ssh_versions: StringPool,
+    /// File/download content hashes.
+    pub digests: DigestPool,
+    /// All id-lists.
+    pub lists: ListPool,
+}
+
+impl SessionStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SessionStore {
+            rows: Vec::new(),
+            creds: StringPool::new(),
+            commands: StringPool::new(),
+            uris: StringPool::new(),
+            ssh_versions: StringPool::new(),
+            digests: DigestPool::new(),
+            lists: ListPool::new(),
+        }
+    }
+
+    /// Pre-allocate row capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut s = Self::new();
+        s.rows.reserve(n);
+        s
+    }
+
+    /// Ingest a finished session record. `geo` is the collector-side
+    /// geolocation of the client (country, AS), if resolvable.
+    pub fn ingest(&mut self, rec: &SessionRecord, geo: Option<(CountryId, Asn)>) {
+        let login_ids: Vec<u32> = rec
+            .logins
+            .iter()
+            .map(|l| {
+                let key = format!("{}\0{}", l.creds.username, l.creds.password);
+                (self.creds.intern(&key) << 1) | l.accepted as u32
+            })
+            .collect();
+        let cmd_ids: Vec<u32> = rec
+            .commands
+            .iter()
+            .map(|c| (self.commands.intern(&c.input) << 1) | c.known as u32)
+            .collect();
+        let uri_ids: Vec<u32> = rec.uris.iter().map(|u| self.uris.intern(u)).collect();
+        let hash_ids: Vec<u32> = rec.file_hashes.iter().map(|h| self.digests.intern(*h)).collect();
+        let dl_ids: Vec<u32> = rec
+            .download_hashes
+            .iter()
+            .map(|h| self.digests.intern(*h))
+            .collect();
+
+        let row = Row {
+            start_secs: rec.start.0 as u32,
+            duration_secs: rec.duration_secs,
+            honeypot: rec.honeypot,
+            client_port: rec.client_port,
+            client_ip: rec.client_ip.0,
+            client_asn: geo.map(|(_, a)| a.0).unwrap_or(u32::MAX),
+            client_country: geo.map(|(c, _)| c.0).unwrap_or(u16::MAX),
+            protocol: match rec.protocol {
+                Protocol::Ssh => 0,
+                Protocol::Telnet => 1,
+            },
+            end_reason: match rec.ended_by {
+                EndReason::ClientClose => 0,
+                EndReason::Timeout => 1,
+                EndReason::AuthLimit => 2,
+            },
+            ssh_version_id: rec
+                .ssh_client_version
+                .as_deref()
+                .map(|v| self.ssh_versions.intern(v))
+                .unwrap_or(NONE_ID),
+            login_list_id: self.lists.intern(&login_ids),
+            cmd_list_id: self.lists.intern(&cmd_ids),
+            uri_list_id: self.lists.intern(&uri_ids),
+            hash_list_id: self.lists.intern(&hash_ids),
+            dl_list_id: self.lists.intern(&dl_ids),
+        };
+        self.rows.push(row);
+    }
+
+    /// Number of sessions stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Raw row access (benchmarks, compaction tooling).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Typed view of one session.
+    pub fn view(&self, idx: usize) -> SessionView<'_> {
+        SessionView {
+            store: self,
+            row: &self.rows[idx],
+        }
+    }
+
+    /// Iterate typed views over all sessions.
+    pub fn iter(&self) -> impl Iterator<Item = SessionView<'_>> {
+        self.rows.iter().map(move |row| SessionView { store: self, row })
+    }
+}
+
+/// A typed, zero-copy view of one stored session.
+#[derive(Clone, Copy)]
+pub struct SessionView<'a> {
+    store: &'a SessionStore,
+    row: &'a Row,
+}
+
+impl<'a> SessionView<'a> {
+    /// Honeypot id.
+    pub fn honeypot(&self) -> u16 {
+        self.row.honeypot
+    }
+
+    /// Protocol.
+    pub fn protocol(&self) -> Protocol {
+        if self.row.protocol == 0 {
+            Protocol::Ssh
+        } else {
+            Protocol::Telnet
+        }
+    }
+
+    /// Client address.
+    pub fn client_ip(&self) -> Ip4 {
+        Ip4(self.row.client_ip)
+    }
+
+    /// Client country (if geolocated).
+    pub fn client_country(&self) -> Option<CountryId> {
+        (self.row.client_country != u16::MAX).then_some(CountryId(self.row.client_country))
+    }
+
+    /// Client AS (if resolved).
+    pub fn client_asn(&self) -> Option<Asn> {
+        (self.row.client_asn != u32::MAX).then_some(Asn(self.row.client_asn))
+    }
+
+    /// Session start instant.
+    pub fn start(&self) -> SimInstant {
+        SimInstant(self.row.start_secs as u64)
+    }
+
+    /// Day index of the start.
+    pub fn day(&self) -> u32 {
+        self.start().day()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> u32 {
+        self.row.duration_secs
+    }
+
+    /// End reason.
+    pub fn ended_by(&self) -> EndReason {
+        match self.row.end_reason {
+            0 => EndReason::ClientClose,
+            1 => EndReason::Timeout,
+            _ => EndReason::AuthLimit,
+        }
+    }
+
+    /// SSH client version string.
+    pub fn ssh_version(&self) -> Option<&'a str> {
+        (self.row.ssh_version_id != NONE_ID)
+            .then(|| self.store.ssh_versions.get(self.row.ssh_version_id))
+    }
+
+    /// Login attempts as (username, password, accepted).
+    pub fn logins(&self) -> impl Iterator<Item = (&'a str, &'a str, bool)> + 'a {
+        let store = self.store;
+        store.lists.get(self.row.login_list_id).iter().map(move |&packed| {
+            let accepted = packed & 1 == 1;
+            let key = store.creds.get(packed >> 1);
+            let (u, p) = key.split_once('\0').unwrap_or((key, ""));
+            (u, p, accepted)
+        })
+    }
+
+    /// Did the client attempt any login?
+    pub fn attempted_login(&self) -> bool {
+        self.row.login_list_id != ListPool::EMPTY
+    }
+
+    /// Did a login succeed?
+    pub fn login_succeeded(&self) -> bool {
+        self.logins().any(|(_, _, ok)| ok)
+    }
+
+    /// Commands as (command string, known).
+    pub fn commands(&self) -> impl Iterator<Item = (&'a str, bool)> + 'a {
+        let store = self.store;
+        store.lists.get(self.row.cmd_list_id).iter().map(move |&packed| {
+            (store.commands.get(packed >> 1), packed & 1 == 1)
+        })
+    }
+
+    /// Number of commands executed.
+    pub fn n_commands(&self) -> usize {
+        self.store.lists.get(self.row.cmd_list_id).len()
+    }
+
+    /// URIs referenced.
+    pub fn uris(&self) -> impl Iterator<Item = &'a str> + 'a {
+        let store = self.store;
+        store.lists.get(self.row.uri_list_id).iter().map(move |&id| store.uris.get(id))
+    }
+
+    /// Did any command reference a URI?
+    pub fn has_uri(&self) -> bool {
+        self.row.uri_list_id != ListPool::EMPTY
+    }
+
+    /// Interned ids of file hashes (use [`SessionStore::digests`] to resolve).
+    pub fn hash_ids(&self) -> &'a [u32] {
+        self.store.lists.get(self.row.hash_list_id)
+    }
+
+    /// File hashes created/modified in this session.
+    pub fn file_hashes(&self) -> impl Iterator<Item = Digest> + 'a {
+        let store = self.store;
+        self.hash_ids().iter().map(move |&id| store.digests.get(id))
+    }
+
+    /// Interned ids of download hashes.
+    pub fn download_hash_ids(&self) -> &'a [u32] {
+        self.store.lists.get(self.row.dl_list_id)
+    }
+
+    /// The raw compact row (for analyses that count by interned id without
+    /// resolving strings).
+    pub fn raw(&self) -> &'a Row {
+        self.row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_hash::Sha256;
+    use hf_honeypot::LoginAttempt;
+    use hf_proto::creds::Credentials;
+    use hf_shell::CommandRecord;
+
+    fn record(hp: u16, day: u32, proto: Protocol) -> SessionRecord {
+        SessionRecord {
+            honeypot: hp,
+            protocol: proto,
+            client_ip: Ip4::new(16, 0, 0, 1),
+            client_port: 4000,
+            start: SimInstant::from_day_and_secs(day, 100),
+            duration_secs: 30,
+            ended_by: EndReason::ClientClose,
+            ssh_client_version: Some("SSH-2.0-Go".into()),
+            logins: vec![
+                LoginAttempt { creds: Credentials::new("root", "root"), accepted: false },
+                LoginAttempt { creds: Credentials::new("root", "1234"), accepted: true },
+            ],
+            commands: vec![
+                CommandRecord { input: "uname -a".into(), known: true },
+                CommandRecord { input: "weird --thing".into(), known: false },
+            ],
+            uris: vec!["http://h/x".into()],
+            file_hashes: vec![Sha256::digest(b"payload")],
+            download_hashes: vec![Sha256::digest(b"body")],
+        }
+    }
+
+    #[test]
+    fn ingest_and_view_roundtrip() {
+        let mut s = SessionStore::new();
+        s.ingest(&record(3, 10, Protocol::Ssh), Some((CountryId(1), Asn(99))));
+        assert_eq!(s.len(), 1);
+        let v = s.view(0);
+        assert_eq!(v.honeypot(), 3);
+        assert_eq!(v.protocol(), Protocol::Ssh);
+        assert_eq!(v.day(), 10);
+        assert_eq!(v.duration_secs(), 30);
+        assert_eq!(v.client_country(), Some(CountryId(1)));
+        assert_eq!(v.client_asn(), Some(Asn(99)));
+        assert_eq!(v.ssh_version(), Some("SSH-2.0-Go"));
+        assert!(v.attempted_login());
+        assert!(v.login_succeeded());
+        let logins: Vec<_> = v.logins().collect();
+        assert_eq!(logins, vec![("root", "root", false), ("root", "1234", true)]);
+        let cmds: Vec<_> = v.commands().collect();
+        assert_eq!(cmds, vec![("uname -a", true), ("weird --thing", false)]);
+        assert_eq!(v.uris().collect::<Vec<_>>(), vec!["http://h/x"]);
+        assert_eq!(v.file_hashes().next().unwrap(), Sha256::digest(b"payload"));
+        assert_eq!(v.download_hash_ids().len(), 1);
+    }
+
+    #[test]
+    fn interning_collapses_repeated_sessions() {
+        let mut s = SessionStore::new();
+        for i in 0..1000 {
+            s.ingest(&record(i % 5, 0, Protocol::Ssh), None);
+        }
+        assert_eq!(s.len(), 1000);
+        // 1000 identical sessions → 1 cred pair ×2 creds, 2 commands, 1 uri …
+        assert_eq!(s.creds.len(), 2);
+        assert_eq!(s.commands.len(), 2);
+        assert_eq!(s.uris.len(), 1);
+        assert_eq!(s.digests.len(), 2);
+        // Lists are shared across attribute kinds, so the single-element
+        // lists [0] (uris, file hashes) collapse to one entry:
+        // empty + logins + commands + [0] + [1] = 5.
+        assert_eq!(s.lists.len(), 5);
+    }
+
+    #[test]
+    fn missing_geo_is_none() {
+        let mut s = SessionStore::new();
+        s.ingest(&record(0, 0, Protocol::Telnet), None);
+        let v = s.view(0);
+        assert_eq!(v.client_country(), None);
+        assert_eq!(v.client_asn(), None);
+        assert_eq!(v.protocol(), Protocol::Telnet);
+    }
+
+    #[test]
+    fn empty_session_has_empty_iterators() {
+        let mut rec = record(0, 0, Protocol::Ssh);
+        rec.logins.clear();
+        rec.commands.clear();
+        rec.uris.clear();
+        rec.file_hashes.clear();
+        rec.download_hashes.clear();
+        rec.ssh_client_version = None;
+        let mut s = SessionStore::new();
+        s.ingest(&rec, None);
+        let v = s.view(0);
+        assert!(!v.attempted_login());
+        assert!(!v.login_succeeded());
+        assert_eq!(v.n_commands(), 0);
+        assert!(!v.has_uri());
+        assert_eq!(v.hash_ids().len(), 0);
+        assert_eq!(v.ssh_version(), None);
+    }
+
+    #[test]
+    fn iter_covers_all_rows() {
+        let mut s = SessionStore::new();
+        for d in 0..7 {
+            s.ingest(&record(0, d, Protocol::Ssh), None);
+        }
+        let days: Vec<u32> = s.iter().map(|v| v.day()).collect();
+        assert_eq!(days, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn row_size_is_compact() {
+        // The memory story of the columnar design: fixed 56-byte rows.
+        assert!(std::mem::size_of::<Row>() <= 56, "{}", std::mem::size_of::<Row>());
+    }
+}

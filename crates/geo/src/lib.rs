@@ -1,0 +1,32 @@
+//! Synthetic Internet registry for the honeyfarm reproduction.
+//!
+//! The paper geolocates client IPs with MaxMind's commercial API and maps them
+//! to ASes with routing data. Neither is available offline, and the *actual*
+//! client addresses are private anyway, so this crate builds a synthetic but
+//! internally-consistent Internet:
+//!
+//! - a catalog of countries with continents ([`country`]),
+//! - a population of autonomous systems, each homed in one country and one
+//!   network class ([`asn`]),
+//! - a longest-prefix-match table mapping IPv4 space to ASes ([`prefix`]),
+//! - a [`World`] that ties it together and answers MaxMind-style lookups,
+//! - paper-calibrated client-origin country mixes per session category
+//!   ([`mix`]).
+//!
+//! The substitution is faithful because every analysis in the paper only needs
+//! a *consistent* mapping IP → (AS, country, continent); the marginal country
+//! distributions are calibrated to the percentages the paper reports.
+
+pub mod asn;
+pub mod country;
+pub mod ip;
+pub mod mix;
+pub mod prefix;
+pub mod world;
+
+pub use asn::{AsInfo, Asn, NetworkClass};
+pub use country::{Continent, Country, CountryId};
+pub use ip::Ip4;
+pub use mix::CountryMix;
+pub use prefix::{Prefix, PrefixTable};
+pub use world::{RegionRelation, World, WorldConfig};

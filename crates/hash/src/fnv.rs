@@ -1,0 +1,88 @@
+//! FNV-1a 64-bit, used for cheap deterministic seed derivation in the
+//! simulator (e.g., deriving an independent RNG stream per `(day, source)`),
+//! never for artifact identity (that is SHA-256's job).
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(data);
+    h.finish()
+}
+
+/// Streaming FNV-1a state.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh state at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a u64 (little-endian), handy for mixing counters into seeds.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Builder-style mixing: `Fnv64::new().mix(b"day").mix_u64(42).finish()`.
+    pub fn mix(mut self, data: &[u8]) -> Self {
+        self.write(data);
+        self
+    }
+
+    /// Builder-style u64 mixing.
+    pub fn mix_u64(mut self, v: u64) -> Self {
+        self.write_u64(v);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn builder_is_order_sensitive() {
+        let a = Fnv64::new().mix(b"x").mix_u64(1).finish();
+        let b = Fnv64::new().mix_u64(1).mix(b"x").finish();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal hex encoding/decoding (lowercase), used for digests and event logs.
+
+/// Errors from [`decode_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexError {
+    /// Input length is odd or does not match the expected output size.
+    BadLength,
+    /// A character outside `[0-9a-fA-F]` was encountered at this byte offset.
+    BadChar(usize),
+}
+
+impl std::fmt::Display for HexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HexError::BadLength => write!(f, "hex string has invalid length"),
+            HexError::BadChar(i) => write!(f, "invalid hex character at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for HexError {}
+
+const TABLE: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as lowercase hex.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn nibble(c: u8, pos: usize) -> Result<u8, HexError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(HexError::BadChar(pos)),
+    }
+}
+
+/// Decode a hex string (case-insensitive) into bytes.
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, HexError> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(2) {
+        return Err(HexError::BadLength);
+    }
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for (i, pair) in b.chunks_exact(2).enumerate() {
+        out.push((nibble(pair[0], i * 2)? << 4) | nibble(pair[1], i * 2 + 1)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_basic() {
+        assert_eq!(encode_hex(&[]), "");
+        assert_eq!(encode_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
+    }
+
+    #[test]
+    fn decode_basic() {
+        assert_eq!(decode_hex("00ff0a").unwrap(), vec![0x00, 0xff, 0x0a]);
+        assert_eq!(decode_hex("00FF0A").unwrap(), vec![0x00, 0xff, 0x0a]);
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode_hex("abc"), Err(HexError::BadLength));
+        assert_eq!(decode_hex("zz"), Err(HexError::BadChar(0)));
+        assert_eq!(decode_hex("a!"), Err(HexError::BadChar(1)));
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode_hex(&encode_hex(&all)).unwrap(), all);
+    }
+}

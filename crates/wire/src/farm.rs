@@ -1,0 +1,187 @@
+//! A loopback mini-farm: several live honeypots reporting to one collector —
+//! the live-mode analogue of the simulated honeyfarm.
+
+use std::net::SocketAddr;
+
+use hf_farm::{Collector, Dataset, FarmPlan};
+use hf_geo::{World, WorldConfig};
+use hf_honeypot::{HoneypotConfig, SessionRecord};
+use hf_shell::SystemProfile;
+use hf_simclock::SimInstant;
+use parking_lot::Mutex;
+use tokio::sync::mpsc;
+
+use crate::ssh_server::SshHoneypotServer;
+use crate::telnet_server::TelnetHoneypotServer;
+
+/// Configuration of the live mini-farm.
+#[derive(Debug, Clone)]
+pub struct LiveFarmConfig {
+    /// Number of honeypot nodes (each gets one SSH + one Telnet listener).
+    pub nodes: u16,
+    /// Override timeouts (seconds) for fast tests; `None` keeps the paper's.
+    pub preauth_timeout_secs: Option<u32>,
+    /// Idle timeout override.
+    pub idle_timeout_secs: Option<u32>,
+}
+
+impl Default for LiveFarmConfig {
+    fn default() -> Self {
+        LiveFarmConfig {
+            nodes: 3,
+            preauth_timeout_secs: None,
+            idle_timeout_secs: None,
+        }
+    }
+}
+
+/// Addresses of one live node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeAddrs {
+    /// Node id.
+    pub id: u16,
+    /// SSH listener address.
+    pub ssh: SocketAddr,
+    /// Telnet listener address.
+    pub telnet: SocketAddr,
+}
+
+/// The running mini-farm.
+pub struct LiveFarm {
+    /// Per-node listener addresses.
+    pub nodes: Vec<NodeAddrs>,
+    servers_ssh: Vec<SshHoneypotServer>,
+    servers_telnet: Vec<TelnetHoneypotServer>,
+    records: std::sync::Arc<Mutex<Vec<SessionRecord>>>,
+    pump: tokio::task::JoinHandle<()>,
+}
+
+impl LiveFarm {
+    /// Start `config.nodes` honeypots on loopback ephemeral ports.
+    pub async fn start(config: LiveFarmConfig) -> std::io::Result<LiveFarm> {
+        let (tx, mut rx) = mpsc::unbounded_channel::<SessionRecord>();
+        let records = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let records_pump = records.clone();
+        let pump = tokio::spawn(async move {
+            while let Some(rec) = rx.recv().await {
+                records_pump.lock().push(rec);
+            }
+        });
+
+        let mut nodes = Vec::new();
+        let mut servers_ssh = Vec::new();
+        let mut servers_telnet = Vec::new();
+        for id in 0..config.nodes {
+            let mut hp_config = HoneypotConfig::paper(SystemProfile::for_node(id as u32));
+            if let Some(t) = config.preauth_timeout_secs {
+                hp_config.preauth_timeout_secs = t;
+            }
+            if let Some(t) = config.idle_timeout_secs {
+                hp_config.idle_timeout_secs = t;
+            }
+            let ssh = SshHoneypotServer::start(
+                "127.0.0.1:0".parse().unwrap(),
+                hp_config.clone(),
+                id,
+                SimInstant::EPOCH,
+                tx.clone(),
+            )
+            .await?;
+            let telnet = TelnetHoneypotServer::start(
+                "127.0.0.1:0".parse().unwrap(),
+                hp_config,
+                id,
+                SimInstant::EPOCH,
+                tx.clone(),
+            )
+            .await?;
+            nodes.push(NodeAddrs {
+                id,
+                ssh: ssh.local_addr,
+                telnet: telnet.local_addr,
+            });
+            servers_ssh.push(ssh);
+            servers_telnet.push(telnet);
+        }
+        Ok(LiveFarm {
+            nodes,
+            servers_ssh,
+            servers_telnet,
+            records,
+            pump,
+        })
+    }
+
+    /// Number of records collected so far.
+    pub fn collected(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Stop all listeners and return the collected records.
+    pub fn shutdown(self) -> Vec<SessionRecord> {
+        for s in self.servers_ssh {
+            s.shutdown();
+        }
+        for s in self.servers_telnet {
+            s.shutdown();
+        }
+        self.pump.abort();
+        std::mem::take(&mut *self.records.lock())
+    }
+
+    /// Build an analysis-ready [`Dataset`] from collected records (live mode
+    /// has no synthetic world; clients are unroutable loopback addresses, so
+    /// geo fields stay unknown — exactly what a collector without a
+    /// geolocation feed would produce).
+    pub fn into_dataset(self) -> Dataset {
+        let records = self.shutdown();
+        let world = World::build(0, &WorldConfig::tiny());
+        let mut collector = Collector::new(&world, FarmPlan::paper());
+        for rec in &records {
+            collector.ingest(rec);
+        }
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{AttackClient, AttackScript};
+    use hf_proto::Protocol;
+
+    #[tokio::test]
+    async fn mini_farm_collects_from_all_nodes() {
+        let farm = LiveFarm::start(LiveFarmConfig::default()).await.unwrap();
+        assert_eq!(farm.nodes.len(), 3);
+        for node in farm.nodes.clone() {
+            let s = AttackScript::intrusion(Protocol::Ssh, "1234", &["uname"]);
+            AttackClient::run(node.ssh, &s).await.unwrap();
+            let s = AttackScript::scan(Protocol::Telnet);
+            AttackClient::run(node.telnet, &s).await.unwrap();
+        }
+        // Give the pump a moment to drain.
+        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        let records = farm.shutdown();
+        assert_eq!(records.len(), 6, "3 intrusions + 3 scans");
+        let intrusions = records.iter().filter(|r| r.login_succeeded()).count();
+        assert_eq!(intrusions, 3);
+        let hps: std::collections::BTreeSet<u16> = records.iter().map(|r| r.honeypot).collect();
+        assert_eq!(hps.len(), 3, "records carry their node ids");
+    }
+
+    #[tokio::test]
+    async fn live_records_feed_the_analysis_dataset() {
+        let farm = LiveFarm::start(LiveFarmConfig::default()).await.unwrap();
+        let node = farm.nodes[0];
+        let s = AttackScript::intrusion(Protocol::Ssh, "abc", &["echo x > /tmp/f"]);
+        AttackClient::run(node.ssh, &s).await.unwrap();
+        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        let ds = farm.into_dataset();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.artifacts.len(), 1);
+        let v = ds.sessions.view(0);
+        assert!(v.login_succeeded());
+        assert_eq!(v.hash_ids().len(), 1);
+    }
+}

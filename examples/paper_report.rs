@@ -1,0 +1,98 @@
+//! Regenerate every table and figure of the paper into `out/report/`.
+//!
+//! ```sh
+//! # default: 1:100 scale over the full 486-day window (takes a while)
+//! cargo run --release --example paper_report
+//! # smaller/faster:
+//! cargo run --release --example paper_report -- --scale 0.002 --days 180
+//! ```
+
+use std::path::PathBuf;
+
+use honeyfarm::prelude::*;
+
+struct Args {
+    scale: f64,
+    days: u32,
+    seed: u64,
+    out: PathBuf,
+    fast: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.01,
+        days: 486,
+        seed: 0x0e0e_fa20,
+        out: PathBuf::from("out/report"),
+        fast: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--scale" => args.scale = val().parse().expect("--scale f64"),
+            "--days" => args.days = val().parse().expect("--days u32"),
+            "--seed" => args.seed = val().parse().expect("--seed u64"),
+            "--out" => args.out = PathBuf::from(val()),
+            "--fast" => args.fast = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let window = if args.days >= 486 {
+        StudyWindow::paper()
+    } else {
+        StudyWindow::first_days(args.days)
+    };
+    let config = SimConfig {
+        seed: args.seed,
+        scale: Scale::of(args.scale),
+        window,
+        use_script_cache: args.fast,
+    };
+    eprintln!(
+        "simulating {} days at scale {} (seed {}) …",
+        window.num_days(),
+        args.scale,
+        args.seed
+    );
+    let t0 = std::time::Instant::now();
+    let out = Simulation::run_with_progress(config, |day, total| {
+        if day % 30 == 0 || day == total {
+            eprintln!(
+                "  day {day}/{total} ({:.0}s elapsed)",
+                t0.elapsed().as_secs_f64()
+            );
+        }
+    });
+    eprintln!(
+        "simulation done in {:.1}s: {} sessions / {} clients / {} hashes",
+        t0.elapsed().as_secs_f64(),
+        out.dataset.len(),
+        out.n_clients,
+        out.tags.len()
+    );
+
+    let t1 = std::time::Instant::now();
+    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    eprintln!("aggregation pass: {:.1}s", t1.elapsed().as_secs_f64());
+    let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
+    let claims = Claims::compute(&agg);
+
+    report.write_dir(&args.out).expect("write report dir");
+    std::fs::write(args.out.join("claims.json"), claims.to_json()).expect("write claims");
+    std::fs::write(args.out.join("claims.txt"), claims.to_string()).expect("write claims");
+
+    println!("{}", report.summary());
+    println!("## Claims\n{claims}");
+    println!("full report written to {}", args.out.display());
+}

@@ -1,0 +1,160 @@
+//! `hfarm` — command-line front door to the honeyfarm reproduction suite.
+//!
+//! ```text
+//! hfarm simulate [--scale F] [--days N] [--seed S] [--out DIR]
+//!     Simulate the study window and write every table/figure + claims.
+//! hfarm claims   [--scale F] [--days N] [--seed S]
+//!     Print the headline findings only.
+//! hfarm birth    [--scale F] [--days N] [--seed S]
+//!     Print the farm-discovery timeline (Section 9).
+//! hfarm serve    [--nodes N]
+//!     Run live TCP honeypots on loopback and stream Cowrie JSON events
+//!     until Ctrl-C.
+//! ```
+
+use std::path::PathBuf;
+
+use honeyfarm::core::birth::birth_report;
+use honeyfarm::honeypot::EventLog;
+use honeyfarm::prelude::*;
+
+struct Common {
+    scale: f64,
+    days: u32,
+    seed: u64,
+    out: PathBuf,
+    nodes: u16,
+    fast: bool,
+}
+
+fn parse(args: &[String]) -> Common {
+    let mut c = Common {
+        scale: 0.005,
+        days: 486,
+        seed: 0x0e0e_fa20,
+        out: PathBuf::from("out/report"),
+        nodes: 3,
+        fast: false,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match flag.as_str() {
+            "--scale" => c.scale = val().parse().unwrap_or_else(|_| usage("--scale f64")),
+            "--days" => c.days = val().parse().unwrap_or_else(|_| usage("--days u32")),
+            "--seed" => c.seed = val().parse().unwrap_or_else(|_| usage("--seed u64")),
+            "--out" => c.out = PathBuf::from(val()),
+            "--nodes" => c.nodes = val().parse().unwrap_or_else(|_| usage("--nodes u16")),
+            "--fast" => c.fast = true,
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    c
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: hfarm <simulate|claims|birth|serve> [--scale F] [--days N] [--seed S] [--out DIR] [--nodes N] [--fast]"
+    );
+    std::process::exit(2)
+}
+
+fn simulate(c: &Common) -> (SimOutput, Aggregates) {
+    let window = if c.days >= 486 {
+        StudyWindow::paper()
+    } else {
+        StudyWindow::first_days(c.days)
+    };
+    eprintln!(
+        "simulating {} days at scale {} (seed {}) …",
+        window.num_days(),
+        c.scale,
+        c.seed
+    );
+    let out = Simulation::run(SimConfig {
+        seed: c.seed,
+        scale: Scale::of(c.scale),
+        window,
+        use_script_cache: c.fast,
+    });
+    eprintln!(
+        "{} sessions / {} clients / {} hashes",
+        out.dataset.len(),
+        out.n_clients,
+        out.tags.len()
+    );
+    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    (out, agg)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage("missing subcommand")
+    };
+    let c = parse(rest);
+    match cmd.as_str() {
+        "simulate" => {
+            let (out, agg) = simulate(&c);
+            let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
+            report.write_dir(&c.out).expect("write report");
+            let claims = Claims::compute(&agg);
+            std::fs::write(c.out.join("claims.json"), claims.to_json()).expect("claims");
+            println!("{}", report.summary());
+            println!("report written to {}", c.out.display());
+        }
+        "claims" => {
+            let (_, agg) = simulate(&c);
+            println!("{}", Claims::compute(&agg));
+        }
+        "birth" => {
+            let (_, agg) = simulate(&c);
+            println!("{}", birth_report(&agg));
+        }
+        "serve" => serve(c.nodes),
+        other => usage(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn serve(nodes: u16) {
+    use honeyfarm::wire::{LiveFarm, LiveFarmConfig};
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    rt.block_on(async move {
+        let farm = LiveFarm::start(LiveFarmConfig {
+            nodes,
+            ..Default::default()
+        })
+        .await
+        .expect("start farm");
+        println!("live honeyfarm up — press Ctrl-C to stop:");
+        for n in &farm.nodes {
+            println!("  node {}: ssh {}  telnet {}", n.id, n.ssh, n.telnet);
+        }
+        let mut seen = 0usize;
+        loop {
+            tokio::select! {
+                _ = tokio::signal::ctrl_c() => break,
+                _ = tokio::time::sleep(std::time::Duration::from_millis(500)) => {}
+            }
+            let records = farm.collected();
+            if records > seen {
+                seen = records;
+                eprintln!("[{seen} sessions captured]");
+            }
+        }
+        let records = farm.shutdown();
+        println!("captured {} sessions:", records.len());
+        for rec in &records {
+            for line in EventLog::render(rec) {
+                println!("{line}");
+            }
+        }
+    });
+}
