@@ -15,8 +15,8 @@
 //! honeypot. Two sessions of the same campaign produce the same file content
 //! and therefore the same SHA-256.
 
-use hf_hash::Fnv64;
 use hf_geo::CountryMix;
+use hf_hash::Fnv64;
 use hf_simclock::{Date, StudyWindow};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -206,7 +206,10 @@ impl CampaignSpec {
         if !self.kind.has_uri() {
             return None;
         }
-        let h = Fnv64::new().mix_u64(self.payload_seed).mix(b"host").finish();
+        let h = Fnv64::new()
+            .mix_u64(self.payload_seed)
+            .mix(b"host")
+            .finish();
         let host = format!(
             "{}.{}.{}.{}",
             45 + (h % 150) as u8,
@@ -229,7 +232,11 @@ impl CampaignSpec {
             .mix(b"bin")
             .mix_u64(variant as u64)
             .finish();
-        format!("b{:x}.{}", h % 0xffff, archs[(h >> 16) as usize % archs.len()])
+        format!(
+            "b{:x}.{}",
+            h % 0xffff,
+            archs[(h >> 16) as usize % archs.len()]
+        )
     }
 
     /// The command lines this campaign's sessions execute, for a variant.
@@ -348,7 +355,11 @@ pub fn recon_script(variant: u64) -> Vec<String> {
     const TEMPLATES: &[&[&str]] = &[
         &["uname -a", "cat /proc/cpuinfo | grep model", "free -m"],
         &["uname -s -m", "nproc", "w"],
-        &["cat /proc/cpuinfo | grep name | wc -l", "free -m | grep Mem", "ls /bin"],
+        &[
+            "cat /proc/cpuinfo | grep name | wc -l",
+            "free -m | grep Mem",
+            "ls /bin",
+        ],
         &["ps x", "which busybox sh", "uname -a"],
         &["cat /proc/version", "uptime", "whoami"],
         &["top", "df", "cat /proc/meminfo | head -2"],
@@ -386,6 +397,7 @@ fn day_of(window: &StudyWindow, y: i32, m: u8, d: u8) -> u32 {
     window.day_index(Date::new(y, m, d)).unwrap_or(0)
 }
 
+#[rustfmt::skip] // one headliner per line keeps the Table 4–6 data scannable
 fn headliners(window: &StudyWindow) -> Vec<Headliner> {
     use ScriptKind::*;
     use Tag::*;
@@ -484,16 +496,26 @@ impl CampaignCatalog {
                 Fnv64::new().mix_u64(seed).mix(h.name.as_bytes()).finish(),
             );
             let targets = if h.kind.has_uri() && !is77 {
-                TargetSet::LocalSubset { seed: target_seed, size: h.honeypots }
+                TargetSet::LocalSubset {
+                    seed: target_seed,
+                    size: h.honeypots,
+                }
             } else {
-                TargetSet::Subset { seed: target_seed, size: h.honeypots }
+                TargetSet::Subset {
+                    seed: target_seed,
+                    size: h.honeypots,
+                }
             };
             specs.push(CampaignSpec {
                 id,
                 name: h.name.to_string(),
                 tag: h.tag,
                 kind: h.kind,
-                payload_seed: Fnv64::new().mix_u64(seed).mix(b"payload").mix(h.name.as_bytes()).finish(),
+                payload_seed: Fnv64::new()
+                    .mix_u64(seed)
+                    .mix(b"payload")
+                    .mix(h.name.as_bytes())
+                    .finish(),
                 n_variants: 1,
                 // Sessions prorated to the share of active days that fit
                 // inside a (possibly truncated) window.
@@ -517,7 +539,6 @@ impl CampaignCatalog {
                     CountryMix::command()
                 },
                 reuse_bruteforce_permille: 400,
-
             });
             headline_ids.push((h.name.to_string(), id));
         }
@@ -544,11 +565,19 @@ impl CampaignCatalog {
             }
             active.sort_unstable();
             active.dedup();
-            let clients = if f == 0 { 2_500.0 } else { 100.0 + (fam_seed % 700) as f64 };
+            let clients = if f == 0 {
+                2_500.0
+            } else {
+                100.0 + (fam_seed % 700) as f64
+            };
             specs.push(CampaignSpec {
                 id,
                 name: format!("uri-family-{f:02}"),
-                tag: if fam_seed.is_multiple_of(3) { Tag::Mirai } else { Tag::Malicious },
+                tag: if fam_seed.is_multiple_of(3) {
+                    Tag::Mirai
+                } else {
+                    Tag::Malicious
+                },
                 kind: if fam_seed.is_multiple_of(2) {
                     ScriptKind::DownloaderWget
                 } else {
@@ -567,14 +596,14 @@ impl CampaignCatalog {
                 fixed_password: None,
                 origin: CountryMix::command_uri(),
                 reuse_bruteforce_permille: 600,
-
             });
         }
 
         // --- the long tail ----------------------------------------------
-        let n_tail = (scale.hash_count(TAIL_HASHES) as f64 * window_frac).ceil().max(8.0) as usize;
-        let tail_sessions_total =
-            scale.count_min(TAIL_SESSIONS * window_frac, n_tail as u64);
+        let n_tail = (scale.hash_count(TAIL_HASHES) as f64 * window_frac)
+            .ceil()
+            .max(8.0) as usize;
+        let tail_sessions_total = scale.count_min(TAIL_SESSIONS * window_frac, n_tail as u64);
         let mut remaining_sessions = tail_sessions_total;
         for t in 0..n_tail {
             let id = CampaignId(specs.len() as u32);
@@ -598,9 +627,12 @@ impl CampaignCatalog {
             let sessions = if t + 1 == n_tail {
                 remaining_sessions.max(1)
             } else {
-                let draw = 1 + (Fnv64::new().mix_u64(cseed).mix(b"s").finish()
-                    % (2 * mean).max(2));
-                draw.min(remaining_sessions.saturating_sub((n_tail - t - 1) as u64).max(1))
+                let draw = 1 + (Fnv64::new().mix_u64(cseed).mix(b"s").finish() % (2 * mean).max(2));
+                draw.min(
+                    remaining_sessions
+                        .saturating_sub((n_tail - t - 1) as u64)
+                        .max(1),
+                )
             };
             remaining_sessions = remaining_sessions.saturating_sub(sessions);
             // >60% single honeypot; rest small subsets.
@@ -623,16 +655,21 @@ impl CampaignCatalog {
                 total_sessions: sessions.max(1),
                 n_clients: 1 + cseed % 3,
                 active_days,
-                targets: TargetSet::HashWeightedSubset { seed: cseed ^ 0xbeef, size: hp },
+                targets: TargetSet::HashWeightedSubset {
+                    seed: cseed ^ 0xbeef,
+                    size: hp,
+                },
                 telnet_permille: 100,
                 fixed_password: None,
                 origin: CountryMix::command(),
                 reuse_bruteforce_permille: 800,
-
             });
         }
 
-        CampaignCatalog { specs, headline_ids }
+        CampaignCatalog {
+            specs,
+            headline_ids,
+        }
     }
 
     /// All campaigns.
@@ -706,7 +743,12 @@ mod tests {
             .map(|s| s.total_sessions)
             .max()
             .unwrap();
-        assert!(h1.total_sessions > 20 * next_best, "{} vs {}", h1.total_sessions, next_best);
+        assert!(
+            h1.total_sessions > 20 * next_best,
+            "{} vs {}",
+            h1.total_sessions,
+            next_best
+        );
         assert_eq!(h1.tag, Tag::Trojan);
         assert!(h1.active_days.len() > 450);
     }
@@ -775,8 +817,11 @@ mod tests {
     #[test]
     fn tail_is_long_and_mostly_single_honeypot() {
         let c = catalog();
-        let tail: Vec<&CampaignSpec> =
-            c.specs().iter().filter(|s| s.name.starts_with("tail-")).collect();
+        let tail: Vec<&CampaignSpec> = c
+            .specs()
+            .iter()
+            .filter(|s| s.name.starts_with("tail-"))
+            .collect();
         assert!(tail.len() > 1000, "tail size {}", tail.len());
         let single = tail
             .iter()

@@ -10,7 +10,7 @@
 
 use std::collections::HashSet;
 
-use hf_geo::{CountryMix, CountryId, Ip4, World};
+use hf_geo::{CountryId, CountryMix, Ip4, World};
 use hf_hash::Fnv64;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -54,12 +54,22 @@ impl SpreadDist {
     /// 2% >110) because reuse across sources and long-lived wide clients
     /// dilute singles in the realized contact counts.
     pub fn paper_overall() -> Self {
-        SpreadDist { single: 560, few: 330, many: 100, most: 10 }
+        SpreadDist {
+            single: 560,
+            few: 330,
+            many: 100,
+            most: 10,
+        }
     }
 
     /// FAIL_LOG clients spread widest (reconnaissance, Section 7.5).
     pub fn paper_scouting() -> Self {
-        SpreadDist { single: 350, few: 400, many: 225, most: 25 }
+        SpreadDist {
+            single: 350,
+            few: 400,
+            many: 225,
+            most: 25,
+        }
     }
 
     /// Sample a spread value.
@@ -73,7 +83,7 @@ impl SpreadDist {
         } else if x < self.single + self.few + self.many {
             (11, 110.min(n_honeypots as u32) as u16)
         } else {
-            (111.min(n_honeypots) , n_honeypots)
+            (111.min(n_honeypots), n_honeypots)
         };
         if lo >= hi {
             lo.min(n_honeypots)

@@ -26,10 +26,36 @@ pub const TOP_PASSWORDS: &[(&str, u32)] = &[
 
 /// Long-tail password pool (weights far below the head).
 pub const TAIL_PASSWORDS: &[&str] = &[
-    "password", "123456", "admin123", "default", "support", "qwerty", "111111", "666666",
-    "user", "guest", "service", "system", "super", "letmein", "abc123", "pass", "raspberry",
-    "ubnt", "oracle", "test", "changeme", "alpine", "anko", "xc3511", "vizxv", "888888",
-    "juantech", "123321", "fucker", "klv123",
+    "password",
+    "123456",
+    "admin123",
+    "default",
+    "support",
+    "qwerty",
+    "111111",
+    "666666",
+    "user",
+    "guest",
+    "service",
+    "system",
+    "super",
+    "letmein",
+    "abc123",
+    "pass",
+    "raspberry",
+    "ubnt",
+    "oracle",
+    "test",
+    "changeme",
+    "alpine",
+    "anko",
+    "xc3511",
+    "vizxv",
+    "888888",
+    "juantech",
+    "123321",
+    "fucker",
+    "klv123",
 ];
 
 /// Usernames offered in failed attempts (paper: "nproc", "admin", "user" are

@@ -89,9 +89,19 @@ impl DailyCurve {
     }
 
     /// Add a spike by calendar date.
-    pub fn with_spike_on(self, window: &StudyWindow, date: Date, len_days: u32, factor: f64) -> Self {
+    pub fn with_spike_on(
+        self,
+        window: &StudyWindow,
+        date: Date,
+        len_days: u32,
+        factor: f64,
+    ) -> Self {
         match window.day_index(date) {
-            Some(d) => self.with_spike(Spike { start: d, len_days, factor }),
+            Some(d) => self.with_spike(Spike {
+                start: d,
+                len_days,
+                factor,
+            }),
             None => self,
         }
     }
@@ -165,7 +175,11 @@ mod tests {
 
     #[test]
     fn spikes_multiply() {
-        let c = DailyCurve::flat(30, 0).with_spike(Spike { start: 10, len_days: 2, factor: 5.0 });
+        let c = DailyCurve::flat(30, 0).with_spike(Spike {
+            start: 10,
+            len_days: 2,
+            factor: 5.0,
+        });
         assert_eq!(c.level(9), 1.0);
         assert_eq!(c.level(10), 5.0);
         assert_eq!(c.level(11), 5.0);
@@ -175,8 +189,7 @@ mod tests {
     #[test]
     fn spike_by_date() {
         let w = StudyWindow::paper();
-        let c = DailyCurve::flat(w.num_days(), 0)
-            .with_spike_on(&w, Date::new(2022, 9, 5), 1, 10.0);
+        let c = DailyCurve::flat(w.num_days(), 0).with_spike_on(&w, Date::new(2022, 9, 5), 1, 10.0);
         let d = w.day_index(Date::new(2022, 9, 5)).unwrap();
         assert_eq!(c.level(d), 10.0);
         assert_eq!(c.level(d - 1), 1.0);

@@ -84,7 +84,10 @@ impl Ecosystem {
             client_as_count: ((17_700.0 * scale.hashes).ceil() as u32).max(300),
             ..WorldConfig::default()
         };
-        let world = World::build(Fnv64::new().mix_u64(seed).mix(b"world").finish(), &world_cfg);
+        let world = World::build(
+            Fnv64::new().mix_u64(seed).mix(b"world").finish(),
+            &world_cfg,
+        );
         let plan = FarmPlan::paper();
         let n_honeypots = plan.len() as u16;
         let catalog = CampaignCatalog::build(
@@ -136,7 +139,24 @@ impl Ecosystem {
         }
     }
 
-    /// Plan all sessions for one day, sorted by start time.
+    /// Expected session total for the configured scale and window — the
+    /// budget the traffic sources were sized from. Actual counts drift a
+    /// little (per-day rounding, diurnal shaping), so treat this as a
+    /// capacity hint, not an exact count.
+    pub fn estimated_sessions(&self) -> usize {
+        let window_frac =
+            self.config.window.num_days() as f64 / StudyWindow::paper().num_days() as f64;
+        (self.config.scale.count(paper::TOTAL_SESSIONS) as f64 * window_frac) as usize
+    }
+
+    /// Plan all sessions for one day.
+    ///
+    /// The returned vector is in a *total* deterministic order — sorted by
+    /// `(start_secs, honeypot, client, seed)`, a key that is unique per plan
+    /// in practice — not merely chronological. Downstream consumers rely on
+    /// this: `hf-sim` shards the vector into contiguous chunks for parallel
+    /// execution and merges results back in chunk order, which is only
+    /// reproducible because the order here is already fully determined.
     pub fn plan_day(&mut self, day: u32) -> Vec<SessionPlan> {
         let mut out = Vec::new();
         let seed = self.config.seed;
@@ -148,16 +168,30 @@ impl Ecosystem {
         };
         let rng_for = |tag: &[u8]| {
             SmallRng::seed_from_u64(
-                Fnv64::new().mix_u64(seed).mix(tag).mix_u64(day as u64).finish(),
+                Fnv64::new()
+                    .mix_u64(seed)
+                    .mix(tag)
+                    .mix_u64(day as u64)
+                    .finish(),
             )
         };
-        self.scanner.plan_day(day, &mut ctx, &mut rng_for(b"scan"), &mut out);
-        self.bruteforce.plan_day(day, &mut ctx, &mut rng_for(b"brute"), &mut out);
-        self.nocmd.plan_day(day, &mut ctx, &mut rng_for(b"nocmd"), &mut out);
-        self.recon.plan_day(day, &mut ctx, &mut rng_for(b"recon"), &mut out);
-        self.campaigns
-            .plan_day(day, &self.catalog, &mut ctx, &mut rng_for(b"campaign"), &mut out);
-        // Deterministic chronological order.
+        self.scanner
+            .plan_day(day, &mut ctx, &mut rng_for(b"scan"), &mut out);
+        self.bruteforce
+            .plan_day(day, &mut ctx, &mut rng_for(b"brute"), &mut out);
+        self.nocmd
+            .plan_day(day, &mut ctx, &mut rng_for(b"nocmd"), &mut out);
+        self.recon
+            .plan_day(day, &mut ctx, &mut rng_for(b"recon"), &mut out);
+        self.campaigns.plan_day(
+            day,
+            &self.catalog,
+            &mut ctx,
+            &mut rng_for(b"campaign"),
+            &mut out,
+        );
+        // Total deterministic order (see the doc comment above): ties on
+        // start time are broken by honeypot, client, and per-plan seed.
         out.sort_by_key(|p| (p.start_secs, p.honeypot, p.client.0, p.seed));
         out
     }
@@ -235,6 +269,20 @@ mod tests {
         assert!(frac(counts[1]) > 0.25, "FAIL_LOG {}", frac(counts[1]));
         assert!(frac(counts[0]) > 0.10, "NO_CRED {}", frac(counts[0]));
         assert!(frac(counts[3]) > 0.08, "CMD-ish {}", frac(counts[3]));
+    }
+
+    #[test]
+    fn estimated_sessions_tracks_planned_volume() {
+        let mut eco = tiny_ecosystem();
+        let est = eco.estimated_sessions();
+        assert!(est > 0);
+        let planned: usize = (0..40).map(|d| eco.plan_day(d).len()).sum();
+        // The estimate is a sizing hint; it should land within a factor of
+        // two of what the sources actually emit.
+        assert!(
+            planned / 2 <= est && est <= planned * 2,
+            "estimate {est} vs planned {planned}"
+        );
     }
 
     #[test]

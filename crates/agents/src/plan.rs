@@ -77,7 +77,13 @@ mod tests {
         assert!(!Behavior::Scan { linger_secs: 5 }.attempts_login());
         assert!(Behavior::Scout { attempts: 2 }.attempts_login());
         assert!(!Behavior::Scout { attempts: 2 }.logs_in());
-        assert!(Behavior::LoginIdle { idle_to_timeout: true }.logs_in());
-        assert!(Behavior::Script { campaign: CampaignId(0) }.logs_in());
+        assert!(Behavior::LoginIdle {
+            idle_to_timeout: true
+        }
+        .logs_in());
+        assert!(Behavior::Script {
+            campaign: CampaignId(0)
+        }
+        .logs_in());
     }
 }

@@ -27,13 +27,19 @@ pub struct Scale {
 impl Scale {
     /// The paper's full scale.
     pub fn full() -> Self {
-        Scale { volume: 1.0, hashes: 1.0 }
+        Scale {
+            volume: 1.0,
+            hashes: 1.0,
+        }
     }
 
     /// A scale with the default sub-linear hash dimension (`sqrt(volume)`).
     pub fn of(volume: f64) -> Self {
         assert!(volume > 0.0 && volume <= 1.0, "scale must be in (0, 1]");
-        Scale { volume, hashes: volume.sqrt() }
+        Scale {
+            volume,
+            hashes: volume.sqrt(),
+        }
     }
 
     /// Default benchmark/example scale: 1:100 sessions, 1:10 hashes.

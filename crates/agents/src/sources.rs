@@ -7,8 +7,8 @@
 //! overlaps (Fig. 15) come out right.
 
 use hf_farm::FarmPlan;
-use hf_hash::Fnv64;
 use hf_geo::{country, CountryMix, World};
+use hf_hash::Fnv64;
 use hf_proto::Protocol;
 use hf_simclock::{Date, StudyWindow};
 use rand::rngs::SmallRng;
@@ -90,7 +90,12 @@ fn sample_lifetime(rng: &mut SmallRng) -> u32 {
 /// contact more of them", Section 7.5).
 fn spread_for_lifetime(lifetime: u32, base: SpreadDist) -> SpreadDist {
     if lifetime >= 6 {
-        SpreadDist { single: 50, few: 470, many: 450, most: 30 }
+        SpreadDist {
+            single: 50,
+            few: 470,
+            many: 450,
+            most: 30,
+        }
     } else {
         base
     }
@@ -217,7 +222,12 @@ impl TrafficSource for ScannerSource {
                     ctx.world,
                     &self.mix,
                     // Persistent scanners sweep widely.
-                    SpreadDist { single: 0, few: 100, many: 500, most: 400 },
+                    SpreadDist {
+                        single: 0,
+                        few: 100,
+                        many: 500,
+                        most: 400,
+                    },
                     n_honeypots,
                     rng,
                 );
@@ -229,12 +239,13 @@ impl TrafficSource for ScannerSource {
         let n_honeypots = ctx.n_honeypots();
         let (world, mix, shared) = (ctx.world, &self.mix, &mut ctx.shared.scanner_clients);
         let pool = &mut *ctx.pool;
-        self.roster.refresh(day, target.max(1), rng, |rng, lifetime| {
-            let dist = spread_for_lifetime(lifetime, SpreadDist::paper_overall());
-            let c = pool.alloc(world, mix, dist, n_honeypots, rng);
-            shared.push(c);
-            c
-        });
+        self.roster
+            .refresh(day, target.max(1), rng, |rng, lifetime| {
+                let dist = spread_for_lifetime(lifetime, SpreadDist::paper_overall());
+                let c = pool.alloc(world, mix, dist, n_honeypots, rng);
+                shared.push(c);
+                c
+            });
         // Persistent scanners sweep every single day (the paper's >100 IPs
         // active on >90% of days) — one guaranteed session each, so the
         // fixed-size core never swamps the volume ramp at reduced scale.
@@ -252,7 +263,9 @@ impl TrafficSource for ScannerSource {
                     Protocol::Ssh
                 },
                 client: cref,
-                behavior: Behavior::Scan { linger_secs: rng.gen_range(0..8) as u16 },
+                behavior: Behavior::Scan {
+                    linger_secs: rng.gen_range(0..8) as u16,
+                },
                 seed: rng.gen(),
             });
         }
@@ -278,7 +291,9 @@ impl TrafficSource for ScannerSource {
                 honeypot,
                 protocol,
                 client: cref,
-                behavior: Behavior::Scan { linger_secs: linger },
+                behavior: Behavior::Scan {
+                    linger_secs: linger,
+                },
                 seed: rng.gen(),
             });
         }
@@ -354,7 +369,8 @@ impl TrafficSource for BruteforceSource {
             self.clients_at_level1 =
                 ((self.total_sessions as f64 / self.curve.days() as f64) / 50.0).ceil() as usize;
         }
-        let target = ((self.clients_at_level1 as f64) * self.curve.level(day).min(2.0)).ceil() as usize;
+        let target =
+            ((self.clients_at_level1 as f64) * self.curve.level(day).min(2.0)).ceil() as usize;
         {
             let (world, mix, shared, scanners, n_honeypots) = (
                 ctx.world,
@@ -364,17 +380,18 @@ impl TrafficSource for BruteforceSource {
                 ctx.plan.len() as u16,
             );
             let pool = &mut *ctx.pool;
-            self.roster.refresh(day, target.max(1), rng, |rng, lifetime| {
-                // Most brute-forcers are multi-role IPs that also scan (Fig. 15).
-                let c = if !scanners.is_empty() && rng.gen_ratio(80, 100) {
-                    scanners[rng.gen_range(0..scanners.len())]
-                } else {
-                    let dist = spread_for_lifetime(lifetime, SpreadDist::paper_scouting());
-                    pool.alloc(world, mix, dist, n_honeypots, rng)
-                };
-                shared.push(c);
-                c
-            });
+            self.roster
+                .refresh(day, target.max(1), rng, |rng, lifetime| {
+                    // Most brute-forcers are multi-role IPs that also scan (Fig. 15).
+                    let c = if !scanners.is_empty() && rng.gen_ratio(80, 100) {
+                        scanners[rng.gen_range(0..scanners.len())]
+                    } else {
+                        let dist = spread_for_lifetime(lifetime, SpreadDist::paper_scouting());
+                        pool.alloc(world, mix, dist, n_honeypots, rng)
+                    };
+                    shared.push(c);
+                    c
+                });
         }
         let is_spike = self.spike_days.contains(&day);
         for _ in 0..n {
@@ -435,8 +452,8 @@ impl NoCmdSource {
     pub fn new(seed: u64, total_sessions: u64, window: &StudyWindow, n_honeypots: u16) -> Self {
         let days = window.num_days();
         let end_start = days.saturating_sub(106); // ~mid-Dec 2022 onward
-        // The datacenter prefix: strong at the start (first ~90 days) and the
-        // end (last ~106 days) of the window — Fig. 6's >20% NO_CMD share.
+                                                  // The datacenter prefix: strong at the start (first ~90 days) and the
+                                                  // end (last ~106 days) of the window — Fig. 6's >20% NO_CMD share.
         let prefix_curve = DailyCurve::flat(days, seed ^ 0xc3)
             .set_range(90, end_start, 0.0)
             .set_range(0, 90, 0.8)
@@ -479,13 +496,16 @@ impl TrafficSource for NoCmdSource {
         rng: &mut SmallRng,
         out: &mut Vec<SessionPlan>,
     ) {
-        let n_base = self.baseline_curve.sessions_on(day, self.baseline_total, self.baseline_norm);
-        let n_prefix = self.prefix_curve.sessions_on(day, self.prefix_total, self.prefix_norm);
+        let n_base = self
+            .baseline_curve
+            .sessions_on(day, self.baseline_total, self.baseline_norm);
+        let n_prefix = self
+            .prefix_curve
+            .sessions_on(day, self.prefix_total, self.prefix_norm);
         if self.clients_at_level1 == 0 {
-            self.clients_at_level1 = ((self.baseline_total as f64
-                / self.baseline_curve.days() as f64)
-                / 25.0)
-                .ceil() as usize;
+            self.clients_at_level1 =
+                ((self.baseline_total as f64 / self.baseline_curve.days() as f64) / 25.0).ceil()
+                    as usize;
         }
         // Resolve the Russian datacenter AS once.
         if self.prefix_asn.is_none() {
@@ -521,22 +541,33 @@ impl TrafficSource for NoCmdSource {
             let world = ctx.world;
             let pool = &mut *ctx.pool;
             let target = (n_prefix / 12).clamp(1, 400_000) as usize;
-            self.prefix_roster.refresh_min_lifetime(day, target, 90, rng, |rng, _lifetime| match asn {
-                Some(a) => pool.alloc_in_as(
-                    world,
-                    a,
-                    SpreadDist { single: 100, few: 300, many: 450, most: 150 },
-                    n_honeypots,
-                    rng,
-                ),
-                None => pool.alloc(
-                    world,
-                    &CountryMix::no_cmd(),
-                    SpreadDist::paper_overall(),
-                    n_honeypots,
-                    rng,
-                ),
-            });
+            self.prefix_roster.refresh_min_lifetime(
+                day,
+                target,
+                90,
+                rng,
+                |rng, _lifetime| match asn {
+                    Some(a) => pool.alloc_in_as(
+                        world,
+                        a,
+                        SpreadDist {
+                            single: 100,
+                            few: 300,
+                            many: 450,
+                            most: 150,
+                        },
+                        n_honeypots,
+                        rng,
+                    ),
+                    None => pool.alloc(
+                        world,
+                        &CountryMix::no_cmd(),
+                        SpreadDist::paper_overall(),
+                        n_honeypots,
+                        rng,
+                    ),
+                },
+            );
         }
         for (count, roster) in [
             (n_base, &self.baseline_roster),
@@ -561,7 +592,9 @@ impl TrafficSource for NoCmdSource {
                     protocol,
                     client: cref,
                     // >90% of NO_CMD sessions end in the idle timeout (Fig. 7).
-                    behavior: Behavior::LoginIdle { idle_to_timeout: rng.gen_range(0..100) < 92 },
+                    behavior: Behavior::LoginIdle {
+                        idle_to_timeout: rng.gen_range(0..100) < 92,
+                    },
                     seed: rng.gen(),
                 });
             }
@@ -639,18 +672,19 @@ impl TrafficSource for ReconSource {
                 ctx.plan.len() as u16,
             );
             let pool = &mut *ctx.pool;
-            self.roster.refresh(day, target.max(1), rng, |rng, lifetime| {
-                // Most intruders reuse brute-force IPs; some reuse scanners.
-                let x = rng.gen_range(0..100);
-                if x < 40 && !bruteforce.is_empty() {
-                    bruteforce[rng.gen_range(0..bruteforce.len())]
-                } else if x < 85 && !scanners.is_empty() {
-                    scanners[rng.gen_range(0..scanners.len())]
-                } else {
-                    let dist = spread_for_lifetime(lifetime, SpreadDist::paper_overall());
-                    pool.alloc(world, mix, dist, n_honeypots, rng)
-                }
-            });
+            self.roster
+                .refresh(day, target.max(1), rng, |rng, lifetime| {
+                    // Most intruders reuse brute-force IPs; some reuse scanners.
+                    let x = rng.gen_range(0..100);
+                    if x < 40 && !bruteforce.is_empty() {
+                        bruteforce[rng.gen_range(0..bruteforce.len())]
+                    } else if x < 85 && !scanners.is_empty() {
+                        scanners[rng.gen_range(0..scanners.len())]
+                    } else {
+                        let dist = spread_for_lifetime(lifetime, SpreadDist::paper_overall());
+                        pool.alloc(world, mix, dist, n_honeypots, rng)
+                    }
+                });
         }
         for _ in 0..n {
             let cref = self.roster.pick(rng);
@@ -667,7 +701,9 @@ impl TrafficSource for ReconSource {
                 honeypot,
                 protocol,
                 client: cref,
-                behavior: Behavior::Recon { variant: rng.gen_range(0..64) },
+                behavior: Behavior::Recon {
+                    variant: rng.gen_range(0..64),
+                },
                 seed: rng.gen(),
             });
         }
@@ -862,7 +898,12 @@ mod tests {
         pool: &'a mut ClientPool,
         shared: &'a mut SharedPools,
     ) -> PlanCtx<'a> {
-        PlanCtx { world, plan, pool, shared }
+        PlanCtx {
+            world,
+            plan,
+            pool,
+            shared,
+        }
     }
 
     #[test]
@@ -877,9 +918,14 @@ mod tests {
         let mut c = ctx(&world, &plan, &mut pool, &mut shared);
         src.plan_day(5, &mut c, &mut rng, &mut out);
         assert!(!out.is_empty());
-        assert!(out.iter().all(|p| matches!(p.behavior, Behavior::Scan { .. })));
+        assert!(out
+            .iter()
+            .all(|p| matches!(p.behavior, Behavior::Scan { .. })));
         // Telnet-dominated.
-        let telnet = out.iter().filter(|p| p.protocol == Protocol::Telnet).count();
+        let telnet = out
+            .iter()
+            .filter(|p| p.protocol == Protocol::Telnet)
+            .count();
         assert!(telnet * 10 > out.len() * 7, "{telnet}/{}", out.len());
         assert!(!shared.scanner_clients.is_empty());
     }
@@ -898,7 +944,9 @@ mod tests {
         assert!(!out.is_empty());
         let ssh = out.iter().filter(|p| p.protocol == Protocol::Ssh).count();
         assert!(ssh * 100 > out.len() * 95);
-        assert!(out.iter().all(|p| matches!(p.behavior, Behavior::Scout { attempts: 1..=3 })));
+        assert!(out
+            .iter()
+            .all(|p| matches!(p.behavior, Behavior::Scout { attempts: 1..=3 })));
     }
 
     #[test]
@@ -929,9 +977,16 @@ mod tests {
         src.plan_day(20, &mut c, &mut rng, &mut start);
         src.plan_day(250, &mut c, &mut rng, &mut middle);
         src.plan_day(450, &mut c, &mut rng, &mut end);
-        assert!(start.len() > middle.len() * 3, "{} vs {}", start.len(), middle.len());
+        assert!(
+            start.len() > middle.len() * 3,
+            "{} vs {}",
+            start.len(),
+            middle.len()
+        );
         assert!(end.len() > middle.len() * 3);
-        assert!(start.iter().all(|p| matches!(p.behavior, Behavior::LoginIdle { .. })));
+        assert!(start
+            .iter()
+            .all(|p| matches!(p.behavior, Behavior::LoginIdle { .. })));
     }
 
     #[test]
@@ -948,7 +1003,9 @@ mod tests {
         // H1 is active nearly every day; day 100 must include it.
         planner.plan_day(100, &catalog, &mut c, &mut rng, &mut out);
         let h1 = catalog.by_name("H1").unwrap().id;
-        assert!(out.iter().any(|p| p.behavior == Behavior::Script { campaign: h1 }));
+        assert!(out
+            .iter()
+            .any(|p| p.behavior == Behavior::Script { campaign: h1 }));
         // All campaign targets are valid honeypot ids.
         assert!(out.iter().all(|p| (p.honeypot as usize) < plan.len()));
     }
@@ -987,8 +1044,7 @@ mod tests {
         let mut planner = CampaignPlanner::new(&catalog, window.num_days());
         let mut rng = SmallRng::seed_from_u64(7);
         let h24 = catalog.by_name("H24").unwrap();
-        let allowed: std::collections::BTreeSet<u16> =
-            h24.target_nodes(221).into_iter().collect();
+        let allowed: std::collections::BTreeSet<u16> = h24.target_nodes(221).into_iter().collect();
         let mut out = Vec::new();
         let mut c = ctx(&world, &plan, &mut pool, &mut shared);
         // Sessions are spread sparsely across active days at tiny scale;

@@ -83,9 +83,7 @@ impl HoneypotWeights {
             Dimension::Clients => 2,
             Dimension::Hashes => 3,
         };
-        let mut rng = SmallRng::seed_from_u64(
-            Fnv64::new().mix_u64(seed).mix_u64(dim_tag).finish(),
-        );
+        let mut rng = SmallRng::seed_from_u64(Fnv64::new().mix_u64(seed).mix_u64(dim_tag).finish());
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
         let mut weights = vec![0.0; n];
@@ -163,7 +161,10 @@ mod tests {
         let top10_of = |dim| {
             let w = HoneypotWeights::paper_shape(221, dim, 7);
             let ranked = w.ranked();
-            ranked[..10].iter().map(|&i| w.mass(i as usize)).sum::<f64>()
+            ranked[..10]
+                .iter()
+                .map(|&i| w.mass(i as usize))
+                .sum::<f64>()
         };
         // Clients holds the paper's 14%; Sessions is boosted to 20% so the
         // multi-source blend lands at 14%; Hashes is the most concentrated.
@@ -187,7 +188,10 @@ mod tests {
         let c = HoneypotWeights::paper_shape(221, Dimension::Clients, 7);
         let h = HoneypotWeights::paper_shape(221, Dimension::Hashes, 7);
         let top = |w: &HoneypotWeights| {
-            w.ranked()[..10].iter().copied().collect::<std::collections::BTreeSet<u16>>()
+            w.ranked()[..10]
+                .iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<u16>>()
         };
         let (ts, tc, th) = (top(&s), top(&c), top(&h));
         assert_ne!(ts, tc);
@@ -202,9 +206,15 @@ mod tests {
         let hot = w.ranked()[0] as usize;
         let mut rng = SmallRng::seed_from_u64(9);
         let n = 200_000;
-        let hits = (0..n).filter(|_| w.sample(&mut rng) as usize == hot).count();
+        let hits = (0..n)
+            .filter(|_| w.sample(&mut rng) as usize == hot)
+            .count();
         let frac = hits as f64 / n as f64;
-        assert!((frac - w.mass(hot)).abs() < 0.003, "frac {frac} vs mass {}", w.mass(hot));
+        assert!(
+            (frac - w.mass(hot)).abs() < 0.003,
+            "frac {frac} vs mass {}",
+            w.mass(hot)
+        );
     }
 
     #[test]

@@ -145,8 +145,7 @@ fn bench_freshness(c: &mut Criterion) {
             let mut fresh = 0u64;
             for &(h, d) in &observations {
                 let lo = d.saturating_sub(6);
-                let any_recent = (lo..=d.saturating_sub(0))
-                    .any(|day| seen.contains_key(&(h, day)));
+                let any_recent = (lo..=d.saturating_sub(0)).any(|day| seen.contains_key(&(h, day)));
                 if !any_recent {
                     fresh += 1;
                 }
@@ -188,6 +187,7 @@ fn bench_script_cache(c: &mut Criterion) {
         scale: hf_agents::Scale::of(0.001),
         window: StudyWindow::first_days(30),
         use_script_cache: fast,
+        threads: 1,
     };
     g.bench_function("sim_30d_full_shell", |b| {
         b.iter(|| black_box(Simulation::run(cfg(false)).dataset.len()))

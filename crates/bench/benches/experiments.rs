@@ -13,8 +13,14 @@ use std::hint::black_box;
 
 fn print_reproduced_rows() {
     let f = fixture();
-    println!("\n===== reproduced Table 1 =====\n{}", tables::table1(&f.agg));
-    println!("===== reproduced Table 2 =====\n{}", tables::table2(&f.dataset, &f.agg));
+    println!(
+        "\n===== reproduced Table 1 =====\n{}",
+        tables::table1(&f.agg)
+    );
+    println!(
+        "===== reproduced Table 2 =====\n{}",
+        tables::table2(&f.dataset, &f.agg)
+    );
     println!(
         "===== reproduced Table 4 (top 10 by sessions) =====\n{}",
         tables::hash_table(&f.dataset, &f.agg, &f.tags, HashSortKey::Sessions, 10)
@@ -169,9 +175,7 @@ fn bench_pipeline(c: &mut Criterion) {
             ))
         })
     });
-    g.bench_function("claims", |b| {
-        b.iter(|| black_box(Claims::compute(&f.agg)))
-    });
+    g.bench_function("claims", |b| b.iter(|| black_box(Claims::compute(&f.agg))));
     g.finish();
 }
 

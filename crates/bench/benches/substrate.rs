@@ -47,7 +47,12 @@ fn bench_proto(c: &mut Criterion) {
 
 fn bench_shell(c: &mut Criterion) {
     c.bench_function("shell_session_create", |b| {
-        b.iter(|| black_box(ShellSession::new(SystemProfile::default(), Box::new(NullFetcher))))
+        b.iter(|| {
+            black_box(ShellSession::new(
+                SystemProfile::default(),
+                Box::new(NullFetcher),
+            ))
+        })
     });
     c.bench_function("shell_recon_script", |b| {
         b.iter(|| {

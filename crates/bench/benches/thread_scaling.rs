@@ -1,0 +1,45 @@
+//! Thread-scaling of the parallel day loop.
+//!
+//! Runs the same fixed short window at 1/2/4/8 worker threads, with the
+//! script cache off (full shell emulation per session — the compute-bound
+//! case parallelism targets) and on (the fast path, where per-session work
+//! is lighter and merge overhead is proportionally larger). Output is
+//! bit-identical across thread counts (see `hf_sim::parallel`), so the
+//! numbers compare like for like.
+//!
+//! ```sh
+//! cargo bench -p hf-bench --bench thread_scaling
+//! ```
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hf_sim::{SimConfig, Simulation};
+use hf_simclock::StudyWindow;
+
+fn cfg(threads: usize, fast: bool) -> SimConfig {
+    SimConfig {
+        seed: 0x5ca1e,
+        scale: hf_agents::Scale::of(0.001),
+        window: StudyWindow::first_days(20),
+        use_script_cache: fast,
+        threads,
+    }
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("thread_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("sim_20d_full_shell_t{threads}"), |b| {
+            b.iter(|| black_box(Simulation::run(cfg(threads, false)).dataset.len()))
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("sim_20d_script_cache_t{threads}"), |b| {
+            b.iter(|| black_box(Simulation::run(cfg(threads, true)).dataset.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling);
+criterion_main!(benches);

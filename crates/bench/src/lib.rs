@@ -56,6 +56,7 @@ pub fn fixture() -> &'static Fixture {
             scale: hf_agents::Scale::of(bench_scale()),
             window,
             use_script_cache: false,
+            threads: 1,
         };
         eprintln!(
             "[hf-bench] simulating fixture: scale {} over {} days …",

@@ -561,7 +561,10 @@ mod tests {
         let at_timeout: u64 = no_cmd[180..].iter().sum();
         let total: u64 = no_cmd.iter().sum();
         if total > 20 {
-            assert!(at_timeout as f64 / total as f64 > 0.7, "{at_timeout}/{total}");
+            assert!(
+                at_timeout as f64 / total as f64 > 0.7,
+                "{at_timeout}/{total}"
+            );
         }
     }
 }

@@ -49,7 +49,12 @@ pub struct BirthReport {
 pub fn birth_report(agg: &Aggregates) -> BirthReport {
     let n_weeks = agg.n_days.div_ceil(7);
     let mut weeks: Vec<BirthWeek> = (0..n_weeks)
-        .map(|week| BirthWeek { week, scanning: 0, scouting: 0, intrusion: 0 })
+        .map(|week| BirthWeek {
+            week,
+            scanning: 0,
+            scouting: 0,
+            intrusion: 0,
+        })
         .collect();
     for day in 0..agg.n_days as usize {
         let w = day / 7;
@@ -88,14 +93,22 @@ pub fn birth_report(agg: &Aggregates) -> BirthReport {
     BirthReport {
         scouting_rampup_week: rampup(|w| w.scouting),
         scanning_rampup_week: rampup(|w| w.scanning),
-        final_month_vs_peak: if peak == 0 { 0.0 } else { last_full as f64 / peak as f64 },
+        final_month_vs_peak: if peak == 0 {
+            0.0
+        } else {
+            last_full as f64 / peak as f64
+        },
         weeks,
     }
 }
 
 impl std::fmt::Display for BirthReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:>5} {:>12} {:>12} {:>12}", "week", "scanning", "scouting", "intrusion")?;
+        writeln!(
+            f,
+            "{:>5} {:>12} {:>12} {:>12}",
+            "week", "scanning", "scouting", "intrusion"
+        )?;
         for w in self.weeks.iter().take(12) {
             writeln!(
                 f,
@@ -128,6 +141,7 @@ mod tests {
             scale: hf_agents::Scale::of(0.001),
             window: StudyWindow::first_days(140),
             use_script_cache: false,
+            threads: 1,
         });
         let agg = Aggregates::compute(&out.dataset, &TagDb::new());
         let rep = birth_report(&agg);
@@ -152,6 +166,7 @@ mod tests {
             scale: hf_agents::Scale::tiny(),
             window: StudyWindow::first_days(100),
             use_script_cache: false,
+            threads: 1,
         });
         let agg = Aggregates::compute(&out.dataset, &TagDb::new());
         let rep = birth_report(&agg);

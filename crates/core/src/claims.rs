@@ -113,8 +113,14 @@ impl Claims {
         let live_hashes: Vec<&crate::aggregates::HashAgg> =
             agg.hashes.iter().filter(|h| h.sessions > 0).collect();
         let n_hashes = live_hashes.len().max(1) as f64;
-        let h_single = live_hashes.iter().filter(|h| bit_count(&h.honeypots) == 1).count();
-        let h_gt10 = live_hashes.iter().filter(|h| bit_count(&h.honeypots) > 10).count();
+        let h_single = live_hashes
+            .iter()
+            .filter(|h| bit_count(&h.honeypots) == 1)
+            .count();
+        let h_gt10 = live_hashes
+            .iter()
+            .filter(|h| bit_count(&h.honeypots) > 10)
+            .count();
         let h_gt_half = live_hashes
             .iter()
             .filter(|h| bit_count(&h.honeypots) > half)
@@ -138,7 +144,8 @@ impl Claims {
             .map(|&h| agg.hp_first_hashes[h] as u64)
             .sum();
         let total_first: u64 = agg.hp_first_hashes.iter().map(|&x| x as u64).sum();
-        let early = total_first > 0 && first_in_rich as f64 / total_first as f64 > k as f64 / agg.n_honeypots as f64 * 1.5;
+        let early = total_first > 0
+            && first_in_rich as f64 / total_first as f64 > k as f64 / agg.n_honeypots as f64 * 1.5;
 
         // Command sessions and file involvement.
         let cmd_sessions = agg.cat_totals[3] + agg.cat_totals[4];
@@ -179,18 +186,54 @@ impl std::fmt::Display for Claims {
         writeln!(f, "clients             {:>14}", self.total_clients)?;
         writeln!(f, "hashes              {:>14}", self.total_hashes)?;
         writeln!(f, "ssh share           {:>13.2}%", self.ssh_share * 100.0)?;
-        writeln!(f, "top10 session share {:>13.2}%", self.top10_session_share * 100.0)?;
+        writeln!(
+            f,
+            "top10 session share {:>13.2}%",
+            self.top10_session_share * 100.0
+        )?;
         writeln!(f, "session spread      {:>13.1}x", self.session_spread)?;
-        writeln!(f, "1-honeypot clients  {:>13.2}%", self.clients_single_honeypot * 100.0)?;
-        writeln!(f, ">10-honeypot clients{:>13.2}%", self.clients_gt10_honeypots * 100.0)?;
-        writeln!(f, ">half-farm clients  {:>13.2}%", self.clients_gt_half * 100.0)?;
-        writeln!(f, "1-day clients       {:>13.2}%", self.clients_single_day * 100.0)?;
+        writeln!(
+            f,
+            "1-honeypot clients  {:>13.2}%",
+            self.clients_single_honeypot * 100.0
+        )?;
+        writeln!(
+            f,
+            ">10-honeypot clients{:>13.2}%",
+            self.clients_gt10_honeypots * 100.0
+        )?;
+        writeln!(
+            f,
+            ">half-farm clients  {:>13.2}%",
+            self.clients_gt_half * 100.0
+        )?;
+        writeln!(
+            f,
+            "1-day clients       {:>13.2}%",
+            self.clients_single_day * 100.0
+        )?;
         writeln!(f, "near-daily clients  {:>14}", self.clients_almost_daily)?;
-        writeln!(f, "multi-role clients  {:>13.2}%", self.multi_role_share * 100.0)?;
-        writeln!(f, "1-honeypot hashes   {:>13.2}%", self.hashes_single_honeypot * 100.0)?;
+        writeln!(
+            f,
+            "multi-role clients  {:>13.2}%",
+            self.multi_role_share * 100.0
+        )?;
+        writeln!(
+            f,
+            "1-honeypot hashes   {:>13.2}%",
+            self.hashes_single_honeypot * 100.0
+        )?;
         writeln!(f, ">half-farm hashes   {:>14}", self.hashes_gt_half)?;
-        writeln!(f, "top honeypot hashes {:>13.2}%", self.top_honeypot_hash_share * 100.0)?;
-        writeln!(f, "file sessions/CMD   {:>13.2}%", self.file_session_share * 100.0)?;
+        writeln!(
+            f,
+            "top honeypot hashes {:>13.2}%",
+            self.top_honeypot_hash_share * 100.0
+        )?;
+        writeln!(
+            f,
+            "file sessions/CMD   {:>13.2}%",
+            self.file_session_share * 100.0
+        )?;
         writeln!(
             f,
             "hash-top10 == session-top10: {}",

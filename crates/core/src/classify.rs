@@ -154,21 +154,39 @@ mod tests {
         assert_eq!(classify_record(base()), Category::NoCred);
         // FAIL_LOG
         let mut r = base();
-        r.logins.push(LoginAttempt { creds: Credentials::new("root", "root"), accepted: false });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("root", "root"),
+            accepted: false,
+        });
         assert_eq!(classify_record(r), Category::FailLog);
         // NO_CMD
         let mut r = base();
-        r.logins.push(LoginAttempt { creds: Credentials::new("root", "x"), accepted: true });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("root", "x"),
+            accepted: true,
+        });
         assert_eq!(classify_record(r), Category::NoCmd);
         // CMD
         let mut r = base();
-        r.logins.push(LoginAttempt { creds: Credentials::new("root", "x"), accepted: true });
-        r.commands.push(CommandRecord { input: "uname".into(), known: true });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("root", "x"),
+            accepted: true,
+        });
+        r.commands.push(CommandRecord {
+            input: "uname".into(),
+            known: true,
+        });
         assert_eq!(classify_record(r), Category::Cmd);
         // CMD+URI
         let mut r = base();
-        r.logins.push(LoginAttempt { creds: Credentials::new("root", "x"), accepted: true });
-        r.commands.push(CommandRecord { input: "wget http://h/x".into(), known: true });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("root", "x"),
+            accepted: true,
+        });
+        r.commands.push(CommandRecord {
+            input: "wget http://h/x".into(),
+            known: true,
+        });
         r.uris.push("http://h/x".into());
         assert_eq!(classify_record(r), Category::CmdUri);
     }
@@ -178,8 +196,14 @@ mod tests {
         // "there might have been unsuccessful login attempts prior to the
         // successful one within the same session" — still NO_CMD.
         let mut r = base();
-        r.logins.push(LoginAttempt { creds: Credentials::new("admin", "x"), accepted: false });
-        r.logins.push(LoginAttempt { creds: Credentials::new("root", "x"), accepted: true });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("admin", "x"),
+            accepted: false,
+        });
+        r.logins.push(LoginAttempt {
+            creds: Credentials::new("root", "x"),
+            accepted: true,
+        });
         assert_eq!(classify_record(r), Category::NoCmd);
     }
 
@@ -203,6 +227,9 @@ mod tests {
     #[test]
     fn labels_match_paper() {
         let labels: Vec<&str> = Category::ALL.iter().map(|c| c.label()).collect();
-        assert_eq!(labels, vec!["NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD+URI"]);
+        assert_eq!(
+            labels,
+            vec!["NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD+URI"]
+        );
     }
 }

@@ -111,7 +111,11 @@ pub fn federate(farms: &[FarmSightings]) -> FederationReport {
         } else {
             union_coverage as f64 / best_single as f64
         },
-        mean_detection_lead_days: if lead_n == 0 { 0.0 } else { lead_sum / lead_n as f64 },
+        mean_detection_lead_days: if lead_n == 0 {
+            0.0
+        } else {
+            lead_sum / lead_n as f64
+        },
         week_early_warnings: week_early,
     }
 }
@@ -121,7 +125,11 @@ impl std::fmt::Display for FederationReport {
         for (name, cov) in &self.per_farm {
             writeln!(f, "farm {name:<12} sees {cov:>7} distinct hashes")?;
         }
-        writeln!(f, "union               {:>7} ({:.2}x the best single farm)", self.union_coverage, self.coverage_gain)?;
+        writeln!(
+            f,
+            "union               {:>7} ({:.2}x the best single farm)",
+            self.union_coverage, self.coverage_gain
+        )?;
         writeln!(f, "seen by all members {:>7}", self.intersection_coverage)?;
         writeln!(
             f,
@@ -143,6 +151,7 @@ mod tests {
             scale: hf_agents::Scale::tiny(),
             window: StudyWindow::first_days(25),
             use_script_cache: false,
+            threads: 1,
         });
         FarmSightings::from_dataset(&format!("farm-{seed}"), &out.dataset)
     }

@@ -47,7 +47,12 @@ impl BandSeries {
     /// `counts[day * n_entities + e]` = value of entity `e` on `day`.
     /// `entities` optionally restricts which entity columns participate
     /// (e.g. the top-5% honeypots of Fig. 3).
-    pub fn from_matrix(counts: &[u32], n_days: u32, n_entities: usize, entities: Option<&[u16]>) -> Self {
+    pub fn from_matrix(
+        counts: &[u32],
+        n_days: u32,
+        n_entities: usize,
+        entities: Option<&[u16]>,
+    ) -> Self {
         assert_eq!(counts.len(), n_days as usize * n_entities);
         let mut points = Vec::with_capacity(n_days as usize);
         let mut scratch: Vec<u32> = Vec::new();

@@ -62,7 +62,13 @@ impl FreshnessSeries {
             w7: SlidingDayWindow::with_days(7),
             today: Default::default(),
             current_day: 0,
-            current: FreshnessPoint { day: 0, unique: 0, fresh_ever: 0, fresh_30d: 0, fresh_7d: 0 },
+            current: FreshnessPoint {
+                day: 0,
+                unique: 0,
+                fresh_ever: 0,
+                fresh_30d: 0,
+                fresh_7d: 0,
+            },
             points: Vec::new(),
         }
     }
@@ -73,7 +79,10 @@ impl FreshnessSeries {
         if day != self.current_day {
             self.flush_day();
             self.current_day = day;
-            self.current = FreshnessPoint { day, ..self.current };
+            self.current = FreshnessPoint {
+                day,
+                ..self.current
+            };
         }
         if !self.today.insert(hash_id) {
             return; // already counted today; windows already updated
@@ -151,8 +160,14 @@ mod tests {
         f.observe(1, 60);
         let pts = f.finish();
         assert_eq!(pts.len(), 3);
-        assert_eq!((pts[1].fresh_ever, pts[1].fresh_30d, pts[1].fresh_7d), (0, 0, 1));
-        assert_eq!((pts[2].fresh_ever, pts[2].fresh_30d, pts[2].fresh_7d), (0, 1, 1));
+        assert_eq!(
+            (pts[1].fresh_ever, pts[1].fresh_30d, pts[1].fresh_7d),
+            (0, 0, 1)
+        );
+        assert_eq!(
+            (pts[2].fresh_ever, pts[2].fresh_30d, pts[2].fresh_7d),
+            (0, 1, 1)
+        );
     }
 
     #[test]

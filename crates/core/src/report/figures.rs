@@ -46,7 +46,9 @@ impl Fig1 {
     pub fn to_tsv(&self) -> String {
         tsv(
             &["country", "honeypots"],
-            self.rows.iter().map(|(c, n)| vec![c.clone(), n.to_string()]),
+            self.rows
+                .iter()
+                .map(|(c, n)| vec![c.clone(), n.to_string()]),
         )
     }
 }
@@ -206,7 +208,9 @@ pub fn fig6(agg: &Aggregates) -> Fig6 {
     let mut fractions = Vec::with_capacity(agg.n_days as usize);
     for d in 0..agg.n_days as usize {
         let total = agg.day_total[d].max(1) as f64;
-        fractions.push(std::array::from_fn(|ci| agg.day_by_cat[ci][d] as f64 / total));
+        fractions.push(std::array::from_fn(|ci| {
+            agg.day_by_cat[ci][d] as f64 / total
+        }));
     }
     Fig6 {
         fractions,
@@ -218,7 +222,9 @@ impl Fig6 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "total"],
+            &[
+                "day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "total",
+            ],
             self.fractions.iter().enumerate().map(|(d, fr)| {
                 let mut row: Vec<String> = vec![d.to_string()];
                 row.extend(fr.iter().map(|x| format!("{x:.4}")));
@@ -260,7 +266,11 @@ impl Fig7 {
         let mut rows = Vec::new();
         for (c, e) in &self.ecdfs {
             for (v, fr) in e.points(100) {
-                rows.push(vec![c.label().to_string(), v.to_string(), format!("{fr:.4}")]);
+                rows.push(vec![
+                    c.label().to_string(),
+                    v.to_string(),
+                    format!("{fr:.4}"),
+                ]);
             }
         }
         tsv(&["category", "duration_s", "F"], rows)
@@ -317,7 +327,10 @@ impl FigCatBands {
                 ]);
             }
         }
-        tsv(&["category", "day", "p5", "q25", "median", "q75", "p95"], rows)
+        tsv(
+            &["category", "day", "p5", "q25", "median", "q75", "p95"],
+            rows,
+        )
     }
 }
 
@@ -357,7 +370,12 @@ pub fn fig10(agg: &Aggregates) -> Fig10 {
             .iter()
             .enumerate()
             .filter(|&(_, &n)| n > 0)
-            .map(|(i, &n)| (country::get(hf_geo::CountryId(i as u16)).code.to_string(), n))
+            .map(|(i, &n)| {
+                (
+                    country::get(hf_geo::CountryId(i as u16)).code.to_string(),
+                    n,
+                )
+            })
             .collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         rows
@@ -407,7 +425,9 @@ impl Fig11 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "all"],
+            &[
+                "day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "all",
+            ],
             self.daily.iter().enumerate().map(|(d, row)| {
                 let mut r = vec![d.to_string()];
                 r.extend(row.iter().map(|x| x.to_string()));
@@ -489,7 +509,11 @@ impl FigClientEcdf {
         }
         for (c, e) in &self.per_category {
             for (v, fr) in e.points(200) {
-                rows.push(vec![c.label().to_string(), v.to_string(), format!("{fr:.4}")]);
+                rows.push(vec![
+                    c.label().to_string(),
+                    v.to_string(),
+                    format!("{fr:.4}"),
+                ]);
             }
         }
         tsv(&["category", self.metric, "F"], rows)
@@ -549,7 +573,10 @@ impl Fig14 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["rank", "honeypot", "clients", "sessions", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri"],
+            &[
+                "rank", "honeypot", "clients", "sessions", "no_cred", "fail_log", "no_cmd", "cmd",
+                "cmd_uri",
+            ],
             (0..self.order.len()).map(|i| {
                 let mut row = vec![
                     (i + 1).to_string(),
@@ -601,7 +628,16 @@ impl Fig15 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["day", "scan", "faillog", "scan+faillog", "cmd", "scan+cmd", "faillog+cmd", "all3"],
+            &[
+                "day",
+                "scan",
+                "faillog",
+                "scan+faillog",
+                "cmd",
+                "scan+cmd",
+                "faillog+cmd",
+                "all3",
+            ],
             self.daily.iter().enumerate().map(|(d, row)| {
                 let mut r = vec![d.to_string()];
                 r.extend(row[1..8].iter().map(|n| n.to_string()));
@@ -697,7 +733,15 @@ impl Fig16 {
             }
         }
         tsv(
-            &["day", "slot", "in_country", "in_continent", "out", "mixed", "clients"],
+            &[
+                "day",
+                "slot",
+                "in_country",
+                "in_continent",
+                "out",
+                "mixed",
+                "clients",
+            ],
             rows,
         )
     }
@@ -799,7 +843,14 @@ impl Fig18 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["rank", "honeypot", "hashes", "first_seen", "clients", "sessions"],
+            &[
+                "rank",
+                "honeypot",
+                "hashes",
+                "first_seen",
+                "clients",
+                "sessions",
+            ],
             (0..self.order.len()).map(|i| {
                 vec![
                     (i + 1).to_string(),
@@ -931,7 +982,11 @@ mod tests {
         FX.get_or_init(|| {
             let out = Simulation::run(SimConfig::test(14));
             let agg = Aggregates::compute(&out.dataset, &out.tags);
-            Fx { ds: out.dataset, tags: out.tags, agg }
+            Fx {
+                ds: out.dataset,
+                tags: out.tags,
+                agg,
+            }
         })
     }
 
@@ -942,7 +997,11 @@ mod tests {
         assert_eq!(top.len(), 12, "ceil(221 * 0.05)");
         // Every selected honeypot has at least as many sessions as any
         // non-selected one.
-        let min_sel = top.iter().map(|&h| f.agg.hp_sessions[h as usize]).min().unwrap();
+        let min_sel = top
+            .iter()
+            .map(|&h| f.agg.hp_sessions[h as usize])
+            .min()
+            .unwrap();
         let max_rest = (0..221u16)
             .filter(|h| !top.contains(h))
             .map(|h| f.agg.hp_sessions[h as usize])

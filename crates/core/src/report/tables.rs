@@ -53,7 +53,11 @@ pub fn table1(agg: &Aggregates) -> Table1 {
             Table1Row {
                 category: c,
                 sessions,
-                share: if total == 0 { 0.0 } else { sessions as f64 / total as f64 },
+                share: if total == 0 {
+                    0.0
+                } else {
+                    sessions as f64 / total as f64
+                },
                 ssh_within: ssh_in,
                 telnet_within: 1.0 - ssh_in,
             }
@@ -61,8 +65,16 @@ pub fn table1(agg: &Aggregates) -> Table1 {
         .collect();
     Table1 {
         rows,
-        ssh_total: if total == 0 { 0.0 } else { ssh as f64 / total as f64 },
-        telnet_total: if total == 0 { 0.0 } else { 1.0 - ssh as f64 / total as f64 },
+        ssh_total: if total == 0 {
+            0.0
+        } else {
+            ssh as f64 / total as f64
+        },
+        telnet_total: if total == 0 {
+            0.0
+        } else {
+            1.0 - ssh as f64 / total as f64
+        },
     }
 }
 
@@ -70,7 +82,13 @@ impl Table1 {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["category", "sessions", "share", "ssh_within", "telnet_within"],
+            &[
+                "category",
+                "sessions",
+                "share",
+                "ssh_within",
+                "telnet_within",
+            ],
             self.rows.iter().map(|r| {
                 vec![
                     r.category.label().to_string(),
@@ -299,7 +317,15 @@ impl HashTable {
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
         tsv(
-            &["hash", "campaign", "sessions", "clients", "days", "tag", "honeypots"],
+            &[
+                "hash",
+                "campaign",
+                "sessions",
+                "clients",
+                "days",
+                "tag",
+                "honeypots",
+            ],
             self.rows.iter().map(|r| {
                 vec![
                     r.hash.clone(),

@@ -74,6 +74,19 @@ impl Collector {
         self.store.ingest(rec, geo);
     }
 
+    /// Ingest a batch of finished sessions in slice order.
+    ///
+    /// Order matters: artifact `first_seen` and store row order follow
+    /// ingest order, so callers merging per-worker outputs must concatenate
+    /// them in plan order before calling this (see `hf-sim`'s parallel
+    /// day execution).
+    pub fn ingest_batch(&mut self, recs: &[SessionRecord]) {
+        self.store.reserve(recs.len());
+        for rec in recs {
+            self.ingest(rec);
+        }
+    }
+
     /// Sessions ingested so far.
     pub fn len(&self) -> usize {
         self.store.len()

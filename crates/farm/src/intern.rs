@@ -60,7 +60,10 @@ impl StringPool {
 
     /// Iterate `(id, string)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.items.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_str()))
     }
 }
 

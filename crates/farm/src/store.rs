@@ -88,6 +88,11 @@ impl SessionStore {
         s
     }
 
+    /// Reserve room for `n` additional rows.
+    pub fn reserve(&mut self, n: usize) {
+        self.rows.reserve(n);
+    }
+
     /// Ingest a finished session record. `geo` is the collector-side
     /// geolocation of the client (country, AS), if resolvable.
     pub fn ingest(&mut self, rec: &SessionRecord, geo: Option<(CountryId, Asn)>) {
@@ -105,7 +110,11 @@ impl SessionStore {
             .map(|c| (self.commands.intern(&c.input) << 1) | c.known as u32)
             .collect();
         let uri_ids: Vec<u32> = rec.uris.iter().map(|u| self.uris.intern(u)).collect();
-        let hash_ids: Vec<u32> = rec.file_hashes.iter().map(|h| self.digests.intern(*h)).collect();
+        let hash_ids: Vec<u32> = rec
+            .file_hashes
+            .iter()
+            .map(|h| self.digests.intern(*h))
+            .collect();
         let dl_ids: Vec<u32> = rec
             .download_hashes
             .iter()
@@ -168,7 +177,9 @@ impl SessionStore {
 
     /// Iterate typed views over all sessions.
     pub fn iter(&self) -> impl Iterator<Item = SessionView<'_>> {
-        self.rows.iter().map(move |row| SessionView { store: self, row })
+        self.rows
+            .iter()
+            .map(move |row| SessionView { store: self, row })
     }
 }
 
@@ -242,12 +253,16 @@ impl<'a> SessionView<'a> {
     /// Login attempts as (username, password, accepted).
     pub fn logins(&self) -> impl Iterator<Item = (&'a str, &'a str, bool)> + 'a {
         let store = self.store;
-        store.lists.get(self.row.login_list_id).iter().map(move |&packed| {
-            let accepted = packed & 1 == 1;
-            let key = store.creds.get(packed >> 1);
-            let (u, p) = key.split_once('\0').unwrap_or((key, ""));
-            (u, p, accepted)
-        })
+        store
+            .lists
+            .get(self.row.login_list_id)
+            .iter()
+            .map(move |&packed| {
+                let accepted = packed & 1 == 1;
+                let key = store.creds.get(packed >> 1);
+                let (u, p) = key.split_once('\0').unwrap_or((key, ""));
+                (u, p, accepted)
+            })
     }
 
     /// Did the client attempt any login?
@@ -263,9 +278,11 @@ impl<'a> SessionView<'a> {
     /// Commands as (command string, known).
     pub fn commands(&self) -> impl Iterator<Item = (&'a str, bool)> + 'a {
         let store = self.store;
-        store.lists.get(self.row.cmd_list_id).iter().map(move |&packed| {
-            (store.commands.get(packed >> 1), packed & 1 == 1)
-        })
+        store
+            .lists
+            .get(self.row.cmd_list_id)
+            .iter()
+            .map(move |&packed| (store.commands.get(packed >> 1), packed & 1 == 1))
     }
 
     /// Number of commands executed.
@@ -276,7 +293,11 @@ impl<'a> SessionView<'a> {
     /// URIs referenced.
     pub fn uris(&self) -> impl Iterator<Item = &'a str> + 'a {
         let store = self.store;
-        store.lists.get(self.row.uri_list_id).iter().map(move |&id| store.uris.get(id))
+        store
+            .lists
+            .get(self.row.uri_list_id)
+            .iter()
+            .map(move |&id| store.uris.get(id))
     }
 
     /// Did any command reference a URI?
@@ -326,12 +347,24 @@ mod tests {
             ended_by: EndReason::ClientClose,
             ssh_client_version: Some("SSH-2.0-Go".into()),
             logins: vec![
-                LoginAttempt { creds: Credentials::new("root", "root"), accepted: false },
-                LoginAttempt { creds: Credentials::new("root", "1234"), accepted: true },
+                LoginAttempt {
+                    creds: Credentials::new("root", "root"),
+                    accepted: false,
+                },
+                LoginAttempt {
+                    creds: Credentials::new("root", "1234"),
+                    accepted: true,
+                },
             ],
             commands: vec![
-                CommandRecord { input: "uname -a".into(), known: true },
-                CommandRecord { input: "weird --thing".into(), known: false },
+                CommandRecord {
+                    input: "uname -a".into(),
+                    known: true,
+                },
+                CommandRecord {
+                    input: "weird --thing".into(),
+                    known: false,
+                },
             ],
             uris: vec!["http://h/x".into()],
             file_hashes: vec![Sha256::digest(b"payload")],
@@ -355,7 +388,10 @@ mod tests {
         assert!(v.attempted_login());
         assert!(v.login_succeeded());
         let logins: Vec<_> = v.logins().collect();
-        assert_eq!(logins, vec![("root", "root", false), ("root", "1234", true)]);
+        assert_eq!(
+            logins,
+            vec![("root", "root", false), ("root", "1234", true)]
+        );
         let cmds: Vec<_> = v.commands().collect();
         assert_eq!(cmds, vec![("uname -a", true), ("weird --thing", false)]);
         assert_eq!(v.uris().collect::<Vec<_>>(), vec!["http://h/x"]);
@@ -424,6 +460,10 @@ mod tests {
     #[test]
     fn row_size_is_compact() {
         // The memory story of the columnar design: fixed 56-byte rows.
-        assert!(std::mem::size_of::<Row>() <= 56, "{}", std::mem::size_of::<Row>());
+        assert!(
+            std::mem::size_of::<Row>() <= 56,
+            "{}",
+            std::mem::size_of::<Row>()
+        );
     }
 }

@@ -41,6 +41,24 @@ impl TagDb {
         });
     }
 
+    /// Absorb another database, keeping existing entries on conflict.
+    ///
+    /// Combined with first-wins [`TagDb::record`], merging per-shard
+    /// databases in plan order reproduces exactly the database a serial run
+    /// records: an entry present in several shards keeps the earliest
+    /// shard's association, which is the earliest plan's. Within one merge
+    /// the iteration order of `other` is irrelevant — each hash occurs at
+    /// most once per shard.
+    pub fn merge(&mut self, other: TagDb) {
+        if self.map.is_empty() {
+            self.map = other.map;
+            return;
+        }
+        for (hash, entry) in other.map {
+            self.map.entry(hash).or_insert(entry);
+        }
+    }
+
     /// Look up a hash's tag label.
     pub fn tag(&self, hash: &Digest) -> Option<&str> {
         self.map.get(hash).map(|e| e.tag.as_str())

@@ -80,16 +80,21 @@ mod tests {
     #[test]
     fn parse_valid() {
         assert_eq!(Ip4::parse("10.0.0.1"), Some(Ip4::new(10, 0, 0, 1)));
-        assert_eq!(
-            Ip4::parse("255.255.255.255"),
-            Some(Ip4(0xffff_ffff))
-        );
+        assert_eq!(Ip4::parse("255.255.255.255"), Some(Ip4(0xffff_ffff)));
         assert_eq!(Ip4::parse("0.0.0.0"), Some(Ip4(0)));
     }
 
     #[test]
     fn parse_invalid() {
-        for s in ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1..2.3", "1.2.3.1234"] {
+        for s in [
+            "",
+            "1.2.3",
+            "1.2.3.4.5",
+            "256.0.0.1",
+            "a.b.c.d",
+            "1..2.3",
+            "1.2.3.1234",
+        ] {
             assert_eq!(Ip4::parse(s), None, "should reject {s:?}");
         }
     }

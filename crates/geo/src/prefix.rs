@@ -202,11 +202,23 @@ mod tests {
         assert!(t.insert(p("10.0.0.0", 16), Asn(1)));
         assert!(t.insert(p("10.1.0.0", 16), Asn(2)));
         assert!(t.insert(p("172.16.0.0", 12), Asn(3)));
-        assert!(!t.insert(p("10.0.128.0", 24), Asn(4)), "overlap must be rejected");
+        assert!(
+            !t.insert(p("10.0.128.0", 24), Asn(4)),
+            "overlap must be rejected"
+        );
         t.freeze();
-        assert_eq!(t.lookup(Ip4::parse("10.0.3.4").unwrap()).unwrap().asn, Asn(1));
-        assert_eq!(t.lookup(Ip4::parse("10.1.255.255").unwrap()).unwrap().asn, Asn(2));
-        assert_eq!(t.lookup(Ip4::parse("172.31.0.1").unwrap()).unwrap().asn, Asn(3));
+        assert_eq!(
+            t.lookup(Ip4::parse("10.0.3.4").unwrap()).unwrap().asn,
+            Asn(1)
+        );
+        assert_eq!(
+            t.lookup(Ip4::parse("10.1.255.255").unwrap()).unwrap().asn,
+            Asn(2)
+        );
+        assert_eq!(
+            t.lookup(Ip4::parse("172.31.0.1").unwrap()).unwrap().asn,
+            Asn(3)
+        );
         assert_eq!(t.lookup(Ip4::parse("11.0.0.0").unwrap()), None);
         assert_eq!(t.lookup(Ip4::parse("9.255.255.255").unwrap()), None);
     }

@@ -125,7 +125,10 @@ impl World {
             let n_prefixes = if rng.gen_ratio(1, 5) { 2 } else { 1 };
             let mut prefixes = Vec::with_capacity(n_prefixes);
             for _ in 0..n_prefixes {
-                assert!(cursor + step <= u32::MAX as u64 + 1, "address plan exhausted");
+                assert!(
+                    cursor + step <= u32::MAX as u64 + 1,
+                    "address plan exhausted"
+                );
                 let p = Prefix::new(Ip4(cursor as u32), cfg.client_prefix_len);
                 table.insert_unchecked(p, asn);
                 prefixes.push(p);
@@ -280,8 +283,7 @@ mod tests {
     fn as_country_distribution_mirrors_mix() {
         let w = World::build(11, &WorldConfig::default());
         let cn = country::by_code("CN").unwrap();
-        let frac = w.ases().iter().filter(|a| a.country == cn).count() as f64
-            / w.as_count() as f64;
+        let frac = w.ases().iter().filter(|a| a.country == cn).count() as f64 / w.as_count() as f64;
         assert!((frac - 0.31).abs() < 0.02, "CN AS fraction {frac}");
     }
 
@@ -291,7 +293,10 @@ mod tests {
         let ca = country::by_code("CA").unwrap();
         let cn = country::by_code("CN").unwrap();
         assert_eq!(World::region_relation(us, us), RegionRelation::SameCountry);
-        assert_eq!(World::region_relation(us, ca), RegionRelation::SameContinent);
+        assert_eq!(
+            World::region_relation(us, ca),
+            RegionRelation::SameContinent
+        );
         assert_eq!(
             World::region_relation(us, cn),
             RegionRelation::DifferentContinent

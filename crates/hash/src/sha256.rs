@@ -52,14 +52,14 @@ impl Digest {
 impl serde::Serialize for Digest {
     /// Serializes as a 64-char lowercase hex string — the format Cowrie logs
     /// and the analyses exchange.
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_str(&self.to_hex())
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_hex())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Digest {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(d)?;
+impl serde::Deserialize for Digest {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = <String as serde::Deserialize>::from_value(v)?;
         Digest::from_hex(&s).map_err(serde::de::Error::custom)
     }
 }

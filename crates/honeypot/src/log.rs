@@ -66,7 +66,10 @@ pub struct EventLog;
 impl EventLog {
     /// Render the event lines for a session.
     pub fn render(record: &SessionRecord) -> Vec<String> {
-        let sid = format!("s{:08x}", record.start.0 as u32 ^ ((record.honeypot as u32) << 20));
+        let sid = format!(
+            "s{:08x}",
+            record.start.0 as u32 ^ ((record.honeypot as u32) << 20)
+        );
         let ip = record.client_ip.to_string();
         let mut events = Vec::new();
         let mut t = record.start;
@@ -212,7 +215,9 @@ mod tests {
         assert!(parsed.iter().any(|e| e.eventid == "cowrie.login.failed"));
         assert!(parsed.iter().any(|e| e.eventid == "cowrie.login.success"));
         assert!(parsed.iter().any(|e| e.eventid == "cowrie.command.input"));
-        assert!(parsed.iter().any(|e| e.eventid == "cowrie.session.file_download"));
+        assert!(parsed
+            .iter()
+            .any(|e| e.eventid == "cowrie.session.file_download"));
     }
 
     #[test]

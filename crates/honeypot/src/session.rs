@@ -142,10 +142,7 @@ impl SessionDriver {
             return AuthResult::Rejected; // already logged in; ignore
         }
         let accepted = self.config.auth.check(&creds) == AuthOutcome::Accepted;
-        self.record.logins.push(LoginAttempt {
-            creds,
-            accepted,
-        });
+        self.record.logins.push(LoginAttempt { creds, accepted });
         if accepted {
             let fetcher = self.fetcher.take().expect("fetcher consumed once");
             self.shell = Some(ShellSession::new(self.config.profile.clone(), fetcher));
@@ -392,7 +389,10 @@ mod tests {
         let r = d.into_record();
         assert!(r.accessed_uri());
         assert_eq!(r.download_hashes.len(), 1);
-        assert!(r.duration_secs > 180, "CMD+URI sessions may cross the timeout");
+        assert!(
+            r.duration_secs > 180,
+            "CMD+URI sessions may cross the timeout"
+        );
     }
 
     #[test]

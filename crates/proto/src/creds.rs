@@ -88,15 +88,27 @@ mod tests {
     #[test]
     fn paper_policy_accepts_root_with_any_other_password() {
         let p = AuthPolicy::paper();
-        assert_eq!(p.check(&Credentials::new("root", "1234")), AuthOutcome::Accepted);
-        assert_eq!(p.check(&Credentials::new("root", "admin")), AuthOutcome::Accepted);
-        assert_eq!(p.check(&Credentials::new("root", "")), AuthOutcome::Accepted);
+        assert_eq!(
+            p.check(&Credentials::new("root", "1234")),
+            AuthOutcome::Accepted
+        );
+        assert_eq!(
+            p.check(&Credentials::new("root", "admin")),
+            AuthOutcome::Accepted
+        );
+        assert_eq!(
+            p.check(&Credentials::new("root", "")),
+            AuthOutcome::Accepted
+        );
     }
 
     #[test]
     fn paper_policy_rejects_root_root() {
         let p = AuthPolicy::paper();
-        assert_eq!(p.check(&Credentials::new("root", "root")), AuthOutcome::Rejected);
+        assert_eq!(
+            p.check(&Credentials::new("root", "root")),
+            AuthOutcome::Rejected
+        );
     }
 
     #[test]

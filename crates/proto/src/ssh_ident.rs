@@ -175,13 +175,22 @@ mod tests {
 
     #[test]
     fn parse_errors() {
-        assert_eq!(SshIdent::parse("HTTP/1.1 400"), Err(IdentError::MissingPrefix));
-        assert_eq!(SshIdent::parse("SSH-2.0"), Err(IdentError::MissingVersionSeparator));
+        assert_eq!(
+            SshIdent::parse("HTTP/1.1 400"),
+            Err(IdentError::MissingPrefix)
+        );
+        assert_eq!(
+            SshIdent::parse("SSH-2.0"),
+            Err(IdentError::MissingVersionSeparator)
+        );
         assert_eq!(SshIdent::parse("SSH--x"), Err(IdentError::EmptyField));
         assert_eq!(SshIdent::parse("SSH-2.0-"), Err(IdentError::EmptyField));
         let long = format!("SSH-2.0-{}", "x".repeat(300));
         assert_eq!(SshIdent::parse(&long), Err(IdentError::TooLong));
-        assert_eq!(SshIdent::parse("SSH-2.0-x\u{7f}y"), Err(IdentError::BadByte));
+        assert_eq!(
+            SshIdent::parse("SSH-2.0-x\u{7f}y"),
+            Err(IdentError::BadByte)
+        );
     }
 
     #[test]

@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(
             ev,
             vec![
-                TelnetEvent::Negotiate { verb: DO, opt: option::ECHO },
+                TelnetEvent::Negotiate {
+                    verb: DO,
+                    opt: option::ECHO
+                },
                 TelnetEvent::Data(b"x".to_vec()),
             ]
         );
@@ -275,13 +278,13 @@ mod tests {
     fn split_across_feeds() {
         let mut d = TelnetDecoder::new();
         assert_eq!(d.feed(&[IAC]), vec![]);
-        assert_eq!(
-            d.feed(&[WILL]),
-            vec![],
-        );
+        assert_eq!(d.feed(&[WILL]), vec![],);
         assert_eq!(
             d.feed(&[option::SGA]),
-            vec![TelnetEvent::Negotiate { verb: WILL, opt: option::SGA }],
+            vec![TelnetEvent::Negotiate {
+                verb: WILL,
+                opt: option::SGA
+            }],
         );
     }
 

@@ -45,7 +45,11 @@ impl Ctx<'_> {
             let hash = Sha256::digest(self.vfs.read_file(abs).unwrap());
             self.file_events.push(FileEvent {
                 path: abs.to_string(),
-                op: if existed { FileOp::Modified } else { FileOp::Created },
+                op: if existed {
+                    FileOp::Modified
+                } else {
+                    FileOp::Created
+                },
                 size: content.len(),
                 sha256: hash,
             });
@@ -65,12 +69,18 @@ pub struct CmdOutput {
 impl CmdOutput {
     /// An emulated command's output.
     pub fn known(stdout: String) -> Self {
-        CmdOutput { stdout, known: true }
+        CmdOutput {
+            stdout,
+            known: true,
+        }
     }
 
     /// An unknown command's output.
     pub fn unknown(stdout: String) -> Self {
-        CmdOutput { stdout, known: false }
+        CmdOutput {
+            stdout,
+            known: false,
+        }
     }
 }
 
@@ -95,7 +105,9 @@ pub fn run(ctx: &mut Ctx, argv: &[String], stdin: &str) -> Option<CmdOutput> {
         "w" | "who" => w_output(ctx.profile),
         "whoami" => "root\n".to_string(),
         "id" => "uid=0(root) gid=0(root) groups=0(root)\n".to_string(),
-        "uptime" => " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\n".to_string(),
+        "uptime" => {
+            " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\n".to_string()
+        }
         "ps" => ps_output(&args),
         "nproc" => format!("{}\n", ctx.profile.cpu_cores),
         "lscpu" => lscpu(ctx.profile),
@@ -228,7 +240,11 @@ fn top(p: &SystemProfile) -> String {
 }
 
 fn ping(args: &[&str]) -> String {
-    let host = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or("127.0.0.1");
+    let host = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .copied()
+        .unwrap_or("127.0.0.1");
     format!(
         "PING {host} ({host}): 56 data bytes\n64 bytes from {host}: seq=0 ttl=64 time=0.4 ms\n64 bytes from {host}: seq=1 ttl=64 time=0.4 ms\n--- {host} ping statistics ---\n2 packets transmitted, 2 packets received, 0% packet loss\n"
     )
@@ -255,7 +271,10 @@ fn echo(args: &[&str]) -> String {
     }
     let mut s = args.join(" ");
     if interpret {
-        s = s.replace("\\n", "\n").replace("\\t", "\t").replace("\\r", "\r");
+        s = s
+            .replace("\\n", "\n")
+            .replace("\\t", "\t")
+            .replace("\\r", "\r");
     }
     if newline {
         s.push('\n');
@@ -293,7 +312,11 @@ fn cd(ctx: &mut Ctx, args: &[&str]) -> String {
 fn ls(ctx: &mut Ctx, args: &[&str]) -> String {
     let long = args.iter().any(|a| a.starts_with('-') && a.contains('l'));
     let all = args.iter().any(|a| a.starts_with('-') && a.contains('a'));
-    let target = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or(".");
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .copied()
+        .unwrap_or(".");
     let abs = ctx.abs(target);
     if !ctx.vfs.exists(&abs) {
         return format!("ls: {target}: No such file or directory\n");
@@ -346,7 +369,9 @@ fn mkdir(ctx: &mut Ctx, args: &[&str]) -> String {
         let abs = ctx.abs(a);
         let parents = args.contains(&"-p");
         if !parents && ctx.vfs.exists(&abs) {
-            out.push_str(&format!("mkdir: can't create directory '{a}': File exists\n"));
+            out.push_str(&format!(
+                "mkdir: can't create directory '{a}': File exists\n"
+            ));
             continue;
         }
         let _ = ctx.vfs.mkdir_p(&abs);
@@ -360,7 +385,9 @@ fn rm(ctx: &mut Ctx, args: &[&str]) -> String {
     for a in args.iter().filter(|a| !a.starts_with('-')) {
         let abs = ctx.abs(a);
         if ctx.vfs.remove(&abs).is_err() && !force {
-            out.push_str(&format!("rm: can't remove '{a}': No such file or directory\n"));
+            out.push_str(&format!(
+                "rm: can't remove '{a}': No such file or directory\n"
+            ));
         }
     }
     out
@@ -376,7 +403,11 @@ fn cp(ctx: &mut Ctx, args: &[&str]) -> String {
     match ctx.vfs.copy_file(&from, &to) {
         Ok(existed) => {
             let dest = if ctx.vfs.is_dir(&to) {
-                format!("{}/{}", to.trim_end_matches('/'), from.rsplit('/').next().unwrap())
+                format!(
+                    "{}/{}",
+                    to.trim_end_matches('/'),
+                    from.rsplit('/').next().unwrap()
+                )
             } else {
                 to
             };
@@ -384,7 +415,11 @@ fn cp(ctx: &mut Ctx, args: &[&str]) -> String {
             let size = ctx.vfs.size(&dest).unwrap_or(0);
             ctx.file_events.push(FileEvent {
                 path: dest,
-                op: if existed { FileOp::Modified } else { FileOp::Created },
+                op: if existed {
+                    FileOp::Modified
+                } else {
+                    FileOp::Created
+                },
                 size,
                 sha256: hash,
             });
@@ -417,7 +452,10 @@ fn touch(ctx: &mut Ctx, args: &[&str]) -> String {
 }
 
 fn chmod(ctx: &mut Ctx, args: &[&str]) -> String {
-    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-') || a.len() <= 1).collect();
+    let pos: Vec<&&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-') || a.len() <= 1)
+        .collect();
     if pos.len() < 2 {
         return "chmod: missing operand\n".to_string();
     }
@@ -426,9 +464,7 @@ fn chmod(ctx: &mut Ctx, args: &[&str]) -> String {
     for target in &pos[1..] {
         let abs = ctx.abs(target);
         if ctx.vfs.chmod(&abs, mode).is_err() {
-            out.push_str(&format!(
-                "chmod: {target}: No such file or directory\n"
-            ));
+            out.push_str(&format!("chmod: {target}: No such file or directory\n"));
         }
     }
     out
@@ -557,7 +593,11 @@ fn which(ctx: &mut Ctx, args: &[&str]) -> String {
 // ---- accounts ---------------------------------------------------------------
 
 fn passwd(ctx: &mut Ctx, args: &[&str]) -> String {
-    let user = args.iter().find(|a| !a.starts_with('-')).copied().unwrap_or("root");
+    let user = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .copied()
+        .unwrap_or("root");
     // Changing a password rewrites /etc/shadow → recorded file event.
     let content = format!("{user}:$6$rounds=5000$changed$:18113:0:99999:7:::\n");
     ctx.write_recorded("/etc/shadow", content.as_bytes(), 0o600);
@@ -570,7 +610,10 @@ fn chpasswd(ctx: &mut Ctx, stdin: &str) -> String {
     let mut shadow = String::new();
     for line in stdin.lines() {
         if let Some((user, pass)) = line.split_once(':') {
-            shadow.push_str(&format!("{user}:$6${}$:18113:0:99999:7:::\n", obfuscate(pass)));
+            shadow.push_str(&format!(
+                "{user}:$6${}$:18113:0:99999:7:::\n",
+                obfuscate(pass)
+            ));
         }
     }
     if !shadow.is_empty() {
@@ -650,8 +693,7 @@ fn curl(ctx: &mut Ctx, args: &[&str]) -> String {
     let Some(url) = args.iter().find(|a| a.contains("://")).copied() else {
         return "curl: no URL specified!\n".to_string();
     };
-    let to_file = args.contains(&"-O")
-        || args.windows(2).any(|w| w[0] == "-o");
+    let to_file = args.contains(&"-O") || args.windows(2).any(|w| w[0] == "-o");
     if to_file {
         let dest = args
             .windows(2)
@@ -693,7 +735,10 @@ fn ftpget(ctx: &mut Ctx, argv: &[String]) -> String {
     };
     // busybox ftpget: LOCAL is the 2nd positional arg.
     let pos: Vec<&String> = argv[1..].iter().filter(|a| !a.starts_with('-')).collect();
-    let dest = pos.get(1).map(|s| s.to_string()).unwrap_or_else(|| basename_of_uri(&u.0));
+    let dest = pos
+        .get(1)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| basename_of_uri(&u.0));
     match download_to(ctx, &u.0, &dest) {
         Ok(_) => String::new(),
         Err(()) => "ftpget: can't connect to remote host: Connection refused\n".to_string(),
@@ -702,7 +747,7 @@ fn ftpget(ctx: &mut Ctx, argv: &[String]) -> String {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::interp::{ShellSession, SyntheticFetcher};
     use crate::profile::SystemProfile;
 
@@ -800,8 +845,14 @@ mod tests {
         assert_eq!(s.execute("head -2 /tmp/t").rendered, "l1\nl2\n");
         assert_eq!(s.execute("tail -n 1 /tmp/t").rendered, "l4\n");
         assert_eq!(s.execute("grep l3 /tmp/t").rendered, "l3\n");
-        assert_eq!(s.execute("cat /tmp/t | grep -v l2 | head -1").rendered, "l1\n");
-        assert_eq!(s.execute("cat /tmp/t | wc").rendered, "       4       4      12\n");
+        assert_eq!(
+            s.execute("cat /tmp/t | grep -v l2 | head -1").rendered,
+            "l1\n"
+        );
+        assert_eq!(
+            s.execute("cat /tmp/t | wc").rendered,
+            "       4       4      12\n"
+        );
     }
 
     #[test]
@@ -818,7 +869,10 @@ mod tests {
         assert_eq!(s.execute("busybox echo hi").rendered, "hi\n");
         assert!(s.execute("busybox").rendered.contains("BusyBox"));
         // Unknown applet handled gracefully and still "known".
-        assert!(s.execute("busybox zzz").rendered.contains("applet not found"));
+        assert!(s
+            .execute("busybox zzz")
+            .rendered
+            .contains("applet not found"));
     }
 
     #[test]

@@ -292,7 +292,11 @@ impl ShellSession {
         };
         self.events.file_events.push(FileEvent {
             path: abs.to_string(),
-            op: if existed { FileOp::Modified } else { FileOp::Created },
+            op: if existed {
+                FileOp::Modified
+            } else {
+                FileOp::Created
+            },
             size: content.len(),
             sha256: Sha256::digest(content),
         });
@@ -355,9 +359,7 @@ impl ShellSession {
 
 /// Extract the argument of `-c` from an argv.
 fn flag_c_argument(argv: &[String]) -> Option<String> {
-    argv.windows(2)
-        .find(|w| w[0] == "-c")
-        .map(|w| w[1].clone())
+    argv.windows(2).find(|w| w[0] == "-c").map(|w| w[1].clone())
 }
 
 #[cfg(test)]
@@ -413,13 +415,17 @@ mod tests {
     fn trojan_ssh_key_scenario() {
         // The paper's H1: echo an attacker key into authorized_keys.
         let mut sh = session();
-        sh.execute("mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys");
+        sh.execute(
+            "mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys",
+        );
         let ev = sh.take_events();
         assert_eq!(ev.file_events.len(), 1);
         assert_eq!(ev.file_events[0].path, "/root/.ssh/authorized_keys");
         // Same command on a new session yields the same hash — campaign identity.
         let mut sh2 = session();
-        sh2.execute("mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys");
+        sh2.execute(
+            "mkdir -p /root/.ssh && echo 'ssh-rsa AAAAB3Nza...' >> /root/.ssh/authorized_keys",
+        );
         let ev2 = sh2.take_events();
         assert_eq!(ev.file_events[0].sha256, ev2.file_events[0].sha256);
     }

@@ -165,7 +165,8 @@ impl<'a> Lexer<'a> {
                 b'2' if self.src.get(self.pos + 1) == Some(&b'>') => {
                     // `2>` / `2>&1` only when `2` starts a word.
                     self.pos += 2;
-                    if self.src.get(self.pos) == Some(&b'&') && self.src.get(self.pos + 1) == Some(&b'1')
+                    if self.src.get(self.pos) == Some(&b'&')
+                        && self.src.get(self.pos + 1) == Some(&b'1')
                     {
                         self.pos += 2;
                         out.push(Token::RedirErrToOut);
@@ -389,10 +390,7 @@ mod tests {
         let cmd = &s[0].pipeline[0];
         assert_eq!(
             cmd.redirs,
-            vec![
-                Redirection::Err("/dev/null".into()),
-                Redirection::ErrToOut,
-            ]
+            vec![Redirection::Err("/dev/null".into()), Redirection::ErrToOut,]
         );
     }
 

@@ -109,15 +109,11 @@ fn tftp_host(argv: &[String]) -> Option<String> {
 }
 
 fn flag_value(argv: &[String], flag: &str) -> Option<String> {
-    argv.windows(2)
-        .find(|w| w[0] == flag)
-        .map(|w| w[1].clone())
+    argv.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
 }
 
 fn get_after(argv: &[String], word: &str) -> Option<String> {
-    argv.windows(2)
-        .find(|w| w[0] == word)
-        .map(|w| w[1].clone())
+    argv.windows(2).find(|w| w[0] == word).map(|w| w[1].clone())
 }
 
 /// Extract URIs from a raw command line (lexes it first).
@@ -168,14 +164,24 @@ mod tests {
 
     #[test]
     fn ftpget_form() {
-        let u = extract_from_argv(&argv(&["ftpget", "-u", "anonymous", "203.0.113.5", "x", "bot.arm"]));
+        let u = extract_from_argv(&argv(&[
+            "ftpget",
+            "-u",
+            "anonymous",
+            "203.0.113.5",
+            "x",
+            "bot.arm",
+        ]));
         assert_eq!(u, vec![RecordedUri("ftp://203.0.113.5/bot.arm".into())]);
     }
 
     #[test]
     fn scp_form() {
         let u = extract_from_argv(&argv(&["scp", "root@198.51.100.2:/tmp/x", "."]));
-        assert_eq!(u, vec![RecordedUri("scp://root@198.51.100.2//tmp/x".into())]);
+        assert_eq!(
+            u,
+            vec![RecordedUri("scp://root@198.51.100.2//tmp/x".into())]
+        );
     }
 
     #[test]

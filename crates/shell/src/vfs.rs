@@ -115,22 +115,40 @@ impl Vfs {
     pub fn seeded(profile: &SystemProfile) -> Self {
         let mut fs = Vfs::empty();
         for d in [
-            "/bin", "/sbin", "/usr/bin", "/usr/sbin", "/etc", "/etc/init.d", "/dev", "/proc",
-            "/sys", "/tmp", "/var", "/var/run", "/var/tmp", "/var/log", "/root", "/home", "/opt",
-            "/lib", "/mnt",
+            "/bin",
+            "/sbin",
+            "/usr/bin",
+            "/usr/sbin",
+            "/etc",
+            "/etc/init.d",
+            "/dev",
+            "/proc",
+            "/sys",
+            "/tmp",
+            "/var",
+            "/var/run",
+            "/var/tmp",
+            "/var/log",
+            "/root",
+            "/home",
+            "/opt",
+            "/lib",
+            "/mnt",
         ] {
             fs.mkdir_p(d).expect("seed dirs");
         }
         // Fake binaries so `ls /bin` and `which` look right.
         for b in [
             "busybox", "sh", "ash", "cat", "chmod", "cp", "echo", "grep", "kill", "ls", "mkdir",
-            "mount", "mv", "ping", "ps", "rm", "sed", "sleep", "su", "touch", "uname", "dd",
-            "df", "head", "tail", "wget", "tftp", "free", "top", "nproc",
+            "mount", "mv", "ping", "ps", "rm", "sed", "sleep", "su", "touch", "uname", "dd", "df",
+            "head", "tail", "wget", "tftp", "free", "top", "nproc",
         ] {
-            fs.write_file(&format!("/bin/{b}"), b"\x7fELF", 0o755).unwrap();
+            fs.write_file(&format!("/bin/{b}"), b"\x7fELF", 0o755)
+                .unwrap();
         }
         for b in ["ifconfig", "reboot", "init", "iptables", "telnetd"] {
-            fs.write_file(&format!("/sbin/{b}"), b"\x7fELF", 0o755).unwrap();
+            fs.write_file(&format!("/sbin/{b}"), b"\x7fELF", 0o755)
+                .unwrap();
         }
         fs.write_file(
             "/etc/passwd",
@@ -297,12 +315,10 @@ impl Vfs {
             Some(Node {
                 kind: NodeKind::Dir(children),
                 ..
-            }) => {
-                children
-                    .remove(&name)
-                    .map(|_| ())
-                    .ok_or(VfsError::NotFound(abs.to_string()))
-            }
+            }) => children
+                .remove(&name)
+                .map(|_| ())
+                .ok_or(VfsError::NotFound(abs.to_string())),
             _ => Err(VfsError::NotFound(abs.to_string())),
         }
     }
@@ -386,9 +402,16 @@ mod tests {
     #[test]
     fn append_creates_then_extends() {
         let mut fs = Vfs::empty();
-        assert!(!fs.append_file("/root/.ssh/authorized_keys", b"k1\n").unwrap());
-        assert!(fs.append_file("/root/.ssh/authorized_keys", b"k2\n").unwrap());
-        assert_eq!(fs.read_file("/root/.ssh/authorized_keys").unwrap(), b"k1\nk2\n");
+        assert!(!fs
+            .append_file("/root/.ssh/authorized_keys", b"k1\n")
+            .unwrap());
+        assert!(fs
+            .append_file("/root/.ssh/authorized_keys", b"k2\n")
+            .unwrap());
+        assert_eq!(
+            fs.read_file("/root/.ssh/authorized_keys").unwrap(),
+            b"k1\nk2\n"
+        );
     }
 
     #[test]

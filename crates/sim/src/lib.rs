@@ -13,7 +13,11 @@
 //! flows through the identical honeypot code path.
 
 pub mod exec;
+pub mod parallel;
 pub mod runner;
 
-pub use exec::{execute_plan, execute_plan_cached, ExecCtx, ScriptCache, ScriptOutcome};
+pub use exec::{
+    execute_plan, execute_plan_cached, execute_plan_prepared, ExecCtx, ScriptCache, ScriptOutcome,
+};
+pub use parallel::{execute_day_sharded, DayStats};
 pub use runner::{SimConfig, SimOutput, Simulation};

@@ -1,0 +1,215 @@
+//! Deterministic parallel day execution.
+//!
+//! The simulation's unit of work is one planned session: given the immutable
+//! [`ExecCtx`] and a [`SessionPlan`], `execute_plan*` derives everything else
+//! from the plan's own seed. Sessions within a day therefore have no data
+//! dependencies on each other — the only cross-session state is *recording*
+//! (the collector's ingest order and the tag database's first-wins rule),
+//! and both are functions of plan order alone.
+//!
+//! That makes the day loop parallelizable without giving up bit-for-bit
+//! reproducibility:
+//!
+//! 1. `plan_day` returns plans in a total deterministic order (it sorts by a
+//!    unique key; see `Ecosystem::plan_day`).
+//! 2. The plan slice is split into `threads` *contiguous* chunks. Each worker
+//!    executes its chunk in order into a private record vector and a private
+//!    [`TagDb`] shard. Workers share nothing mutable — the script cache, when
+//!    enabled, is pre-filled serially by `ScriptCache::precompute_day` and
+//!    read immutably.
+//! 3. Shards are merged *in chunk order*: record vectors are concatenated
+//!    (which reproduces the serial ingest order exactly, because
+//!    concatenating in-order chunks of an ordered sequence yields the
+//!    sequence), and tag shards are folded with [`TagDb::merge`], whose
+//!    keep-existing rule makes "first shard wins" equal "first plan wins".
+//!
+//! The result: `threads = N` produces byte-identical output to `threads = 1`
+//! for every N, and the scheduler's interleaving of workers is invisible.
+
+use std::time::Duration;
+
+use hf_agents::SessionPlan;
+use hf_farm::TagDb;
+use hf_honeypot::SessionRecord;
+
+use crate::exec::{execute_plan, execute_plan_prepared, ExecCtx, ScriptCache};
+
+/// Per-day throughput report, passed to the progress callback after each
+/// simulated day completes.
+#[derive(Debug, Clone)]
+pub struct DayStats {
+    /// Days completed so far (1-based: the day just finished).
+    pub day: u32,
+    /// Total days in the study window.
+    pub days_total: u32,
+    /// Sessions executed on this day.
+    pub day_sessions: usize,
+    /// Sessions executed since the run started.
+    pub total_sessions: usize,
+    /// Worker threads used for this day.
+    pub threads: usize,
+    /// Wall-clock time spent on this day (planning + execution + ingest).
+    pub day_wall: Duration,
+}
+
+impl DayStats {
+    /// This day's throughput in sessions per wall-clock second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.day_wall.as_secs_f64();
+        if secs > 0.0 {
+            self.day_sessions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Execute one day's plans across `threads` workers, returning the finished
+/// records in plan order plus the day's merged tag shard.
+///
+/// `cache` selects the script fast-path: `Some` must be a cache already
+/// filled for these plans by [`ScriptCache::precompute_day`]; `None` runs
+/// the full shell emulation per session. Output is byte-identical for any
+/// `threads >= 1` — see the module docs for why.
+pub fn execute_day_sharded(
+    ctx: &ExecCtx<'_>,
+    plans: &[SessionPlan],
+    threads: usize,
+    cache: Option<&ScriptCache>,
+) -> (Vec<SessionRecord>, TagDb) {
+    let threads = threads.max(1);
+    let chunk_len = plans.len().div_ceil(threads).max(1);
+
+    let mut shards: Vec<(Vec<SessionRecord>, TagDb)> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .chunks(chunk_len)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut records = Vec::with_capacity(chunk.len());
+                    let mut tags = TagDb::new();
+                    for plan in chunk {
+                        let rec = match cache {
+                            Some(c) => execute_plan_prepared(ctx, plan, &mut tags, c),
+                            None => execute_plan(ctx, plan, &mut tags),
+                        };
+                        records.push(rec);
+                    }
+                    (records, tags)
+                })
+            })
+            .collect();
+        // Joining in spawn order *is* the ordered merge: chunk i's results
+        // land before chunk i+1's regardless of which finished first.
+        shards = handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect();
+    });
+
+    let mut records = Vec::with_capacity(plans.len());
+    let mut tags = TagDb::new();
+    for (shard_records, shard_tags) in shards {
+        records.extend(shard_records);
+        tags.merge(shard_tags);
+    }
+    (records, tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::build_configs;
+    use hf_agents::{Ecosystem, EcosystemConfig, Scale};
+    use hf_simclock::StudyWindow;
+
+    fn day_plans() -> (Ecosystem, Vec<SessionPlan>) {
+        let mut eco = Ecosystem::new(EcosystemConfig {
+            seed: 1234,
+            scale: Scale::tiny(),
+            window: StudyWindow::first_days(10),
+        });
+        let plans = eco.plan_day(0);
+        (eco, plans)
+    }
+
+    fn run(threads: usize, use_cache: bool) -> (Vec<SessionRecord>, TagDb) {
+        let (eco, plans) = day_plans();
+        let configs = build_configs(&eco.plan);
+        let ctx = ExecCtx {
+            plan: &eco.plan,
+            configs: &configs,
+            catalog: &eco.catalog,
+            creds: &eco.creds,
+            pool: eco.pool_ref(),
+        };
+        let mut cache = ScriptCache::new();
+        let cache_ref = if use_cache {
+            cache.precompute_day(&ctx, &plans);
+            Some(&cache)
+        } else {
+            None
+        };
+        execute_day_sharded(&ctx, &plans, threads, cache_ref)
+    }
+
+    fn assert_same(a: &(Vec<SessionRecord>, TagDb), b: &(Vec<SessionRecord>, TagDb)) {
+        assert_eq!(a.0, b.0, "records must match in content and order");
+        assert_eq!(a.1.len(), b.1.len());
+        for (h, e) in a.1.iter() {
+            assert_eq!(b.1.tag(h), Some(e.tag.as_str()));
+            assert_eq!(b.1.campaign(h), Some(e.campaign.as_str()));
+        }
+    }
+
+    #[test]
+    fn sharded_execution_is_thread_count_invariant() {
+        let one = run(1, false);
+        assert!(!one.0.is_empty());
+        for threads in [2, 3, 4, 7] {
+            assert_same(&run(threads, false), &one);
+        }
+    }
+
+    #[test]
+    fn sharded_execution_with_cache_is_thread_count_invariant() {
+        let one = run(1, true);
+        for threads in [2, 4] {
+            assert_same(&run(threads, true), &one);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_plans_is_fine() {
+        let (eco, plans) = day_plans();
+        let configs = build_configs(&eco.plan);
+        let ctx = ExecCtx {
+            plan: &eco.plan,
+            configs: &configs,
+            catalog: &eco.catalog,
+            creds: &eco.creds,
+            pool: eco.pool_ref(),
+        };
+        let few = &plans[..3.min(plans.len())];
+        let (records, _) = execute_day_sharded(&ctx, few, 64, None);
+        assert_eq!(records.len(), few.len());
+    }
+
+    #[test]
+    fn day_stats_throughput() {
+        let s = DayStats {
+            day: 1,
+            days_total: 10,
+            day_sessions: 500,
+            total_sessions: 500,
+            threads: 2,
+            day_wall: Duration::from_millis(250),
+        };
+        assert!((s.sessions_per_sec() - 2000.0).abs() < 1e-6);
+        let zero = DayStats {
+            day_wall: Duration::ZERO,
+            ..s
+        };
+        assert_eq!(zero.sessions_per_sec(), 0.0);
+    }
+}

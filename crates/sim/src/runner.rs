@@ -1,10 +1,13 @@
 //! The day-loop runner: ecosystem → plans → honeypot execution → collector.
 
+use std::time::Instant;
+
 use hf_agents::{Ecosystem, EcosystemConfig, Scale};
 use hf_farm::{Collector, Dataset, TagDb};
 use hf_simclock::StudyWindow;
 
 use crate::exec::{build_configs, execute_plan, execute_plan_cached, ExecCtx, ScriptCache};
+use crate::parallel::{execute_day_sharded, DayStats};
 
 /// Simulation configuration (mirrors [`EcosystemConfig`]).
 #[derive(Debug, Clone)]
@@ -20,6 +23,11 @@ pub struct SimConfig {
     /// command-heavy runs; session *content* is identical, only per-session
     /// timing randomness differs from the reference path. Default off.
     pub use_script_cache: bool,
+    /// Worker threads for day execution. `1` (the default) runs the
+    /// reference serial loop; `N > 1` shards each day's plans across `N`
+    /// scoped workers with an ordered merge, producing byte-identical
+    /// output for every thread count (see `crate::parallel`).
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -29,6 +37,7 @@ impl Default for SimConfig {
             scale: Scale::default_bench(),
             window: StudyWindow::paper(),
             use_script_cache: false,
+            threads: 1,
         }
     }
 }
@@ -41,6 +50,7 @@ impl SimConfig {
             scale: Scale::tiny(),
             window: StudyWindow::first_days(days),
             use_script_cache: false,
+            threads: 1,
         }
     }
 }
@@ -61,22 +71,27 @@ pub struct Simulation;
 impl Simulation {
     /// Run the full window.
     pub fn run(config: SimConfig) -> SimOutput {
-        Self::run_with_progress(config, |_, _| {})
+        Self::run_with_progress(config, |_| {})
     }
 
-    /// Run with a per-day progress callback `(day_done, total_days)`.
-    pub fn run_with_progress(config: SimConfig, mut progress: impl FnMut(u32, u32)) -> SimOutput {
+    /// Run with a per-day progress callback receiving a [`DayStats`]
+    /// throughput report after each simulated day.
+    pub fn run_with_progress(config: SimConfig, mut progress: impl FnMut(&DayStats)) -> SimOutput {
         let mut eco = Ecosystem::new(EcosystemConfig {
             seed: config.seed,
             scale: config.scale,
             window: config.window,
         });
         let configs = build_configs(&eco.plan);
-        let mut collector = Collector::new(&eco.world, eco.plan.clone());
+        let mut collector =
+            Collector::with_capacity(&eco.world, eco.plan.clone(), eco.estimated_sessions());
         let mut tags = TagDb::new();
         let mut cache = ScriptCache::new();
         let days = config.window.num_days();
+        let threads = config.threads.max(1);
+        let mut total_sessions = 0usize;
         for day in 0..days {
+            let day_start = Instant::now();
             let plans = eco.plan_day(day);
             let ctx = ExecCtx {
                 plan: &eco.plan,
@@ -85,15 +100,40 @@ impl Simulation {
                 creds: &eco.creds,
                 pool: eco.pool_ref(),
             };
-            for plan in &plans {
-                let rec = if config.use_script_cache {
-                    execute_plan_cached(&ctx, plan, &mut tags, &mut cache)
+            if threads == 1 {
+                // Reference serial path: execute and ingest in plan order,
+                // filling the script cache lazily when enabled.
+                for plan in &plans {
+                    let rec = if config.use_script_cache {
+                        execute_plan_cached(&ctx, plan, &mut tags, &mut cache)
+                    } else {
+                        execute_plan(&ctx, plan, &mut tags)
+                    };
+                    collector.ingest(&rec);
+                }
+            } else {
+                // Parallel path: serial cache pre-pass, sharded execution,
+                // ordered merge. Byte-identical to the serial path — see
+                // `crate::parallel` for the argument.
+                let cache_ref = if config.use_script_cache {
+                    cache.precompute_day(&ctx, &plans);
+                    Some(&cache)
                 } else {
-                    execute_plan(&ctx, plan, &mut tags)
+                    None
                 };
-                collector.ingest(&rec);
+                let (records, day_tags) = execute_day_sharded(&ctx, &plans, threads, cache_ref);
+                collector.ingest_batch(&records);
+                tags.merge(day_tags);
             }
-            progress(day + 1, days);
+            total_sessions += plans.len();
+            progress(&DayStats {
+                day: day + 1,
+                days_total: days,
+                day_sessions: plans.len(),
+                total_sessions,
+                threads,
+                day_wall: day_start.elapsed(),
+            });
         }
         SimOutput {
             dataset: collector.finish(),
@@ -191,7 +231,13 @@ mod tests {
         // per-session timing randomness differs between the paths.
         assert_eq!(slow.dataset.len(), fast.dataset.len());
         let digests = |out: &SimOutput| {
-            let mut v: Vec<_> = out.dataset.sessions.digests.iter().map(|(_, d)| d).collect();
+            let mut v: Vec<_> = out
+                .dataset
+                .sessions
+                .digests
+                .iter()
+                .map(|(_, d)| d)
+                .collect();
             v.sort();
             v
         };
@@ -205,9 +251,8 @@ mod tests {
                 .sum::<usize>()
         };
         assert_eq!(cmd_count(&slow), cmd_count(&fast));
-        let uri_sessions = |out: &SimOutput| {
-            out.dataset.sessions.iter().filter(|v| v.has_uri()).count()
-        };
+        let uri_sessions =
+            |out: &SimOutput| out.dataset.sessions.iter().filter(|v| v.has_uri()).count();
         assert_eq!(uri_sessions(&slow), uri_sessions(&fast));
     }
 
@@ -227,5 +272,18 @@ mod tests {
             .filter(|(_, d)| out.tags.tag(d).is_some())
             .count();
         assert_eq!(tagged, out.dataset.sessions.digests.len());
+    }
+
+    #[test]
+    fn progress_reports_every_day() {
+        let mut seen = Vec::new();
+        Simulation::run_with_progress(SimConfig::test(4), |s| {
+            seen.push((s.day, s.days_total, s.day_sessions, s.threads));
+        });
+        assert_eq!(seen.len(), 4);
+        assert_eq!(seen.last().unwrap().0, 4);
+        assert!(seen
+            .iter()
+            .all(|&(_, total, n, t)| total == 4 && n > 0 && t == 1));
     }
 }

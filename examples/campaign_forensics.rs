@@ -19,6 +19,7 @@ fn main() {
         scale: Scale::of(0.002),
         window: StudyWindow::first_days(240),
         use_script_cache: false,
+        threads: 1,
     };
     eprintln!("simulating 240 days …");
     let out = Simulation::run(config);
@@ -43,7 +44,10 @@ fn main() {
     // Deep-dive the three biggest campaigns by sessions.
     let top = tables::hash_table(&out.dataset, &agg, &out.tags, HashSortKey::Sessions, 3);
     for row in &top.rows {
-        println!("\n==================== campaign {} ====================", row.campaign);
+        println!(
+            "\n==================== campaign {} ====================",
+            row.campaign
+        );
         println!(
             "hash {}…  tag {}  {} sessions, {} clients, {} days, {} honeypots",
             row.hash, row.tag, row.sessions, row.clients, row.days, row.honeypots

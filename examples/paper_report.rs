@@ -17,6 +17,7 @@ struct Args {
     seed: u64,
     out: PathBuf,
     fast: bool,
+    threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -26,6 +27,7 @@ fn parse_args() -> Args {
         seed: 0x0e0e_fa20,
         out: PathBuf::from("out/report"),
         fast: false,
+        threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -36,9 +38,12 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val().parse().expect("--seed u64"),
             "--out" => args.out = PathBuf::from(val()),
             "--fast" => args.fast = true,
+            "--threads" => args.threads = val().parse().expect("--threads usize"),
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast]");
+                eprintln!(
+                    "usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast] [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
@@ -58,19 +63,25 @@ fn main() {
         scale: Scale::of(args.scale),
         window,
         use_script_cache: args.fast,
+        threads: args.threads,
     };
     eprintln!(
-        "simulating {} days at scale {} (seed {}) …",
+        "simulating {} days at scale {} (seed {}, {} thread{}) …",
         window.num_days(),
         args.scale,
-        args.seed
+        args.seed,
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
     );
     let t0 = std::time::Instant::now();
-    let out = Simulation::run_with_progress(config, |day, total| {
-        if day % 30 == 0 || day == total {
+    let out = Simulation::run_with_progress(config, |s| {
+        if s.day % 30 == 0 || s.day == s.days_total {
             eprintln!(
-                "  day {day}/{total} ({:.0}s elapsed)",
-                t0.elapsed().as_secs_f64()
+                "  day {}/{} ({:.0}s elapsed, {:.0} sessions/s today)",
+                s.day,
+                s.days_total,
+                t0.elapsed().as_secs_f64(),
+                s.sessions_per_sec()
             );
         }
     });

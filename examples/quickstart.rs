@@ -14,12 +14,22 @@ fn main() {
         scale: Scale::of(0.002),
         window: StudyWindow::first_days(60),
         use_script_cache: false,
+        threads: 1,
     };
-    println!("simulating 60 days of honeyfarm traffic (seed {}) …", config.seed);
+    println!(
+        "simulating 60 days of honeyfarm traffic (seed {}) …",
+        config.seed
+    );
     let t0 = std::time::Instant::now();
-    let out = Simulation::run_with_progress(config, |day, total| {
-        if day % 10 == 0 || day == total {
-            eprintln!("  day {day}/{total}");
+    let out = Simulation::run_with_progress(config, |s| {
+        if s.day % 10 == 0 || s.day == s.days_total {
+            eprintln!(
+                "  day {}/{} ({} sessions, {:.0}/s)",
+                s.day,
+                s.days_total,
+                s.total_sessions,
+                s.sessions_per_sec()
+            );
         }
     });
     println!(

@@ -15,7 +15,6 @@
 use std::path::PathBuf;
 
 use honeyfarm::core::birth::birth_report;
-use honeyfarm::honeypot::EventLog;
 use honeyfarm::prelude::*;
 
 struct Common {
@@ -25,6 +24,7 @@ struct Common {
     out: PathBuf,
     nodes: u16,
     fast: bool,
+    threads: usize,
 }
 
 fn parse(args: &[String]) -> Common {
@@ -35,6 +35,7 @@ fn parse(args: &[String]) -> Common {
         out: PathBuf::from("out/report"),
         nodes: 3,
         fast: false,
+        threads: 1,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -49,6 +50,7 @@ fn parse(args: &[String]) -> Common {
             "--out" => c.out = PathBuf::from(val()),
             "--nodes" => c.nodes = val().parse().unwrap_or_else(|_| usage("--nodes u16")),
             "--fast" => c.fast = true,
+            "--threads" => c.threads = val().parse().unwrap_or_else(|_| usage("--threads usize")),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -58,7 +60,7 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|claims|birth|serve> [--scale F] [--days N] [--seed S] [--out DIR] [--nodes N] [--fast]"
+        "usage: hfarm <simulate|claims|birth|serve> [--scale F] [--days N] [--seed S] [--out DIR] [--nodes N] [--fast] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -70,16 +72,19 @@ fn simulate(c: &Common) -> (SimOutput, Aggregates) {
         StudyWindow::first_days(c.days)
     };
     eprintln!(
-        "simulating {} days at scale {} (seed {}) …",
+        "simulating {} days at scale {} (seed {}, {} thread{}) …",
         window.num_days(),
         c.scale,
-        c.seed
+        c.seed,
+        c.threads,
+        if c.threads == 1 { "" } else { "s" }
     );
     let out = Simulation::run(SimConfig {
         seed: c.seed,
         scale: Scale::of(c.scale),
         window,
         use_script_cache: c.fast,
+        threads: c.threads,
     });
     eprintln!(
         "{} sessions / {} clients / {} hashes",
@@ -121,40 +126,13 @@ fn main() {
 }
 
 fn serve(nodes: u16) {
-    use honeyfarm::wire::{LiveFarm, LiveFarmConfig};
-    let rt = tokio::runtime::Builder::new_current_thread()
-        .enable_all()
-        .build()
-        .expect("tokio runtime");
-    rt.block_on(async move {
-        let farm = LiveFarm::start(LiveFarmConfig {
-            nodes,
-            ..Default::default()
-        })
-        .await
-        .expect("start farm");
-        println!("live honeyfarm up — press Ctrl-C to stop:");
-        for n in &farm.nodes {
-            println!("  node {}: ssh {}  telnet {}", n.id, n.ssh, n.telnet);
-        }
-        let mut seen = 0usize;
-        loop {
-            tokio::select! {
-                _ = tokio::signal::ctrl_c() => break,
-                _ = tokio::time::sleep(std::time::Duration::from_millis(500)) => {}
-            }
-            let records = farm.collected();
-            if records > seen {
-                seen = records;
-                eprintln!("[{seen} sessions captured]");
-            }
-        }
-        let records = farm.shutdown();
-        println!("captured {} sessions:", records.len());
-        for rec in &records {
-            for line in EventLog::render(rec) {
-                println!("{line}");
-            }
-        }
-    });
+    // The live TCP front-end lives in hf-wire, which needs Tokio; that crate
+    // is parked while builds run offline (see crates/wire/Cargo.toml).
+    let _ = nodes;
+    eprintln!(
+        "hfarm serve is unavailable in this build: the hf-wire crate (live \
+         Tokio TCP front-end) is excluded from offline builds. Restore it in \
+         the root Cargo.toml on a machine with crates.io access."
+    );
+    std::process::exit(1)
 }

@@ -20,7 +20,10 @@
 //! | [`agents`] | `hf-agents` | the attacker ecosystem |
 //! | [`sim`] | `hf-sim` | the 15-month simulator |
 //! | [`core`] | `hf-core` | classification, metrics, tables & figures |
-//! | [`wire`] | `hf-wire` | live Tokio TCP front-end |
+//!
+//! The live Tokio TCP front-end (`hf-wire`, previously re-exported as
+//! `wire`) is parked outside the workspace while builds run offline; see
+//! `crates/wire/Cargo.toml` for how to restore it.
 //!
 //! ## Quickstart
 //!
@@ -47,7 +50,6 @@ pub use hf_proto as proto;
 pub use hf_shell as shell;
 pub use hf_sim as sim;
 pub use hf_simclock as simclock;
-pub use hf_wire as wire;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -55,7 +57,7 @@ pub mod prelude {
     pub use hf_core::{Aggregates, Claims, Report};
     pub use hf_farm::{Collector, Dataset, FarmPlan, TagDb};
     pub use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
-    pub use hf_sim::{SimConfig, SimOutput, Simulation};
+    pub use hf_sim::{DayStats, SimConfig, SimOutput, Simulation};
     pub use hf_simclock::StudyWindow;
 }
 

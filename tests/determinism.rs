@@ -1,0 +1,81 @@
+//! Parallel-execution determinism: `threads = N` must be bit-identical to
+//! `threads = 1` — same session rows in the same order, same digest universe,
+//! same tag database — with the script cache on or off.
+
+use honeyfarm::prelude::*;
+
+fn run(threads: usize, use_script_cache: bool) -> SimOutput {
+    let mut cfg = SimConfig::test(8);
+    cfg.threads = threads;
+    cfg.use_script_cache = use_script_cache;
+    Simulation::run(cfg)
+}
+
+fn assert_identical(a: &SimOutput, b: &SimOutput) {
+    // Session rows: identical content in identical (plan) order.
+    assert_eq!(a.dataset.len(), b.dataset.len());
+    let rows_equal = a
+        .dataset
+        .sessions
+        .rows()
+        .iter()
+        .zip(b.dataset.sessions.rows())
+        .all(|(x, y)| x == y);
+    assert!(rows_equal, "rows must match in content and order");
+    assert_eq!(a.n_clients, b.n_clients);
+
+    // Digest universe (sorted: the pool's intern order is an implementation
+    // detail of the store, the set of hashes is the invariant).
+    let digests = |out: &SimOutput| {
+        let mut v: Vec<_> = out
+            .dataset
+            .sessions
+            .digests
+            .iter()
+            .map(|(_, d)| d)
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(digests(a), digests(b));
+
+    // Artifact metadata, including ingest-order-sensitive first_seen.
+    assert_eq!(a.dataset.artifacts.len(), b.dataset.artifacts.len());
+    for (_, d) in a.dataset.sessions.digests.iter() {
+        let ma = a.dataset.artifacts.get(&d).expect("artifact in a");
+        let mb = b.dataset.artifacts.get(&d).expect("artifact in b");
+        assert_eq!(ma.first_seen, mb.first_seen, "first_seen for {d:?}");
+        assert_eq!(ma.occurrences, mb.occurrences);
+    }
+
+    // Tag database: same associations, including first-wins resolution.
+    assert_eq!(a.tags.len(), b.tags.len());
+    for (h, e) in a.tags.iter() {
+        assert_eq!(b.tags.tag(h), Some(e.tag.as_str()), "tag for {h:?}");
+        assert_eq!(
+            b.tags.campaign(h),
+            Some(e.campaign.as_str()),
+            "campaign for {h:?}"
+        );
+    }
+}
+
+#[test]
+fn four_threads_bit_identical_to_one() {
+    let serial = run(1, false);
+    assert!(serial.dataset.len() > 100, "fixture must be non-trivial");
+    let parallel = run(4, false);
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn four_threads_bit_identical_to_one_with_script_cache() {
+    let serial = run(1, true);
+    let parallel = run(4, true);
+    assert_identical(&serial, &parallel);
+}
+
+#[test]
+fn two_threads_bit_identical_to_one() {
+    assert_identical(&run(1, false), &run(2, false));
+}

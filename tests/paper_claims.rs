@@ -25,7 +25,8 @@ fn fixture() -> &'static Fixture {
             seed: 0x0e0e_fa20,
             scale: Scale::of(0.002),
             window: StudyWindow::paper(),
-        use_script_cache: false,
+            use_script_cache: false,
+            threads: 1,
         });
         let agg = Aggregates::compute(&out.dataset, &out.tags);
         let claims = Claims::compute(&agg);
@@ -39,11 +40,31 @@ fn table1_category_mix() {
     let f = fixture();
     let total = f.claims.total_sessions as f64;
     let share = |c: Category| f.agg.cat_totals[c.index()] as f64 / total;
-    assert!((share(Category::NoCred) - 0.277).abs() < 0.02, "NO_CRED {}", share(Category::NoCred));
-    assert!((share(Category::FailLog) - 0.42).abs() < 0.02, "FAIL_LOG {}", share(Category::FailLog));
-    assert!((share(Category::NoCmd) - 0.116).abs() < 0.02, "NO_CMD {}", share(Category::NoCmd));
-    assert!((share(Category::Cmd) - 0.18).abs() < 0.02, "CMD {}", share(Category::Cmd));
-    assert!((share(Category::CmdUri) - 0.007).abs() < 0.005, "CMD+URI {}", share(Category::CmdUri));
+    assert!(
+        (share(Category::NoCred) - 0.277).abs() < 0.02,
+        "NO_CRED {}",
+        share(Category::NoCred)
+    );
+    assert!(
+        (share(Category::FailLog) - 0.42).abs() < 0.02,
+        "FAIL_LOG {}",
+        share(Category::FailLog)
+    );
+    assert!(
+        (share(Category::NoCmd) - 0.116).abs() < 0.02,
+        "NO_CMD {}",
+        share(Category::NoCmd)
+    );
+    assert!(
+        (share(Category::Cmd) - 0.18).abs() < 0.02,
+        "CMD {}",
+        share(Category::Cmd)
+    );
+    assert!(
+        (share(Category::CmdUri) - 0.007).abs() < 0.005,
+        "CMD+URI {}",
+        share(Category::CmdUri)
+    );
 }
 
 /// Table 1: protocol split — SSH ~75.8% overall; NO_CRED Telnet-dominated;
@@ -51,10 +72,13 @@ fn table1_category_mix() {
 #[test]
 fn table1_protocol_split() {
     let f = fixture();
-    assert!((f.claims.ssh_share - 0.7584).abs() < 0.03, "{}", f.claims.ssh_share);
-    let ssh_within = |c: Category| {
-        f.agg.cat_ssh[c.index()] as f64 / f.agg.cat_totals[c.index()].max(1) as f64
-    };
+    assert!(
+        (f.claims.ssh_share - 0.7584).abs() < 0.03,
+        "{}",
+        f.claims.ssh_share
+    );
+    let ssh_within =
+        |c: Category| f.agg.cat_ssh[c.index()] as f64 / f.agg.cat_totals[c.index()].max(1) as f64;
     assert!((ssh_within(Category::NoCred) - 0.2182).abs() < 0.03);
     assert!(ssh_within(Category::FailLog) > 0.97);
     assert!(ssh_within(Category::NoCmd) > 0.95);
@@ -68,8 +92,16 @@ fn table1_protocol_split() {
 #[test]
 fn fig2_honeypot_popularity() {
     let f = fixture();
-    assert!((f.claims.top10_session_share - 0.14).abs() < 0.035, "{}", f.claims.top10_session_share);
-    assert!(f.claims.session_spread > 25.0, "{}", f.claims.session_spread);
+    assert!(
+        (f.claims.top10_session_share - 0.14).abs() < 0.035,
+        "{}",
+        f.claims.top10_session_share
+    );
+    assert!(
+        f.claims.session_spread > 25.0,
+        "{}",
+        f.claims.session_spread
+    );
     let fig2 = figures::fig2(&f.agg);
     let min = fig2.series.last().unwrap().1;
     // Paper: even the least targeted sees >360k (scaled: >360k × 0.002 = 720).
@@ -84,8 +116,16 @@ fn table2_passwords() {
     let got: std::collections::BTreeSet<&str> =
         report.rows.iter().map(|(p, _)| p.as_str()).collect();
     for expected in [
-        "admin", "1234", "3245gs5662d34", "dreambox", "vertex25ektks123", "12345", "h3c",
-        "1qaz2wsx3edc", "passw0rd", "GM8182",
+        "admin",
+        "1234",
+        "3245gs5662d34",
+        "dreambox",
+        "vertex25ektks123",
+        "12345",
+        "h3c",
+        "1qaz2wsx3edc",
+        "passw0rd",
+        "GM8182",
     ] {
         assert!(got.contains(expected), "missing {expected}: {got:?}");
     }
@@ -119,7 +159,13 @@ fn table3_trojan_dominates() {
 fn tables456_headline_hashes() {
     let f = fixture();
     use honeyfarm::core::report::{tables, HashSortKey};
-    let t4 = tables::hash_table(&f.out.dataset, &f.agg, &f.out.tags, HashSortKey::Sessions, 20);
+    let t4 = tables::hash_table(
+        &f.out.dataset,
+        &f.agg,
+        &f.out.tags,
+        HashSortKey::Sessions,
+        20,
+    );
     let top = &t4.rows[0];
     assert_eq!(top.campaign, "H1");
     assert_eq!(top.tag, "trojan");
@@ -186,13 +232,21 @@ fn client_spread_and_lifetime() {
         "gt10 {}",
         f.claims.clients_gt10_honeypots
     );
-    assert!(f.claims.clients_gt_half < 0.05, "gt-half {}", f.claims.clients_gt_half);
+    assert!(
+        f.claims.clients_gt_half < 0.05,
+        "gt-half {}",
+        f.claims.clients_gt_half
+    );
     assert!(
         (0.30..0.65).contains(&f.claims.clients_single_day),
         "single-day {}",
         f.claims.clients_single_day
     );
-    assert!(f.claims.clients_almost_daily >= 100, "{}", f.claims.clients_almost_daily);
+    assert!(
+        f.claims.clients_almost_daily >= 100,
+        "{}",
+        f.claims.clients_almost_daily
+    );
 }
 
 /// Section 9: a large share of client IPs play more than one role.
@@ -212,8 +266,16 @@ fn multi_role_clients() {
 #[test]
 fn hash_coverage_claims() {
     let f = fixture();
-    assert!(f.claims.hashes_single_honeypot > 0.6, "{}", f.claims.hashes_single_honeypot);
-    assert!(f.claims.top_honeypot_hash_share < 0.05, "{}", f.claims.top_honeypot_hash_share);
+    assert!(
+        f.claims.hashes_single_honeypot > 0.6,
+        "{}",
+        f.claims.hashes_single_honeypot
+    );
+    assert!(
+        f.claims.top_honeypot_hash_share < 0.05,
+        "{}",
+        f.claims.top_honeypot_hash_share
+    );
     assert!(!f.claims.hash_top10_equals_session_top10);
     assert!(f.claims.hash_rich_are_early_observers);
     // >200 hashes seen by more than half the farm, scaled by the hash scale
@@ -286,14 +348,24 @@ fn freshness_dynamics() {
 fn client_geography() {
     let f = fixture();
     let fig10 = figures::fig10(&f.agg);
-    assert_eq!(fig10.overall[0].0, "CN", "overall top origin: {:?}", &fig10.overall[..3]);
+    assert_eq!(
+        fig10.overall[0].0,
+        "CN",
+        "overall top origin: {:?}",
+        &fig10.overall[..3]
+    );
     let uri = &fig10
         .per_category
         .iter()
         .find(|(c, _)| *c == Category::CmdUri)
         .unwrap()
         .1;
-    assert_eq!(uri[0].0, "US", "CMD+URI top origin: {:?}", &uri[..3.min(uri.len())]);
+    assert_eq!(
+        uri[0].0,
+        "US",
+        "CMD+URI top origin: {:?}",
+        &uri[..3.min(uri.len())]
+    );
 }
 
 /// Fig. 11: scanning ramps up visibly ~2 months in (sessions ramp ~2×; the
@@ -310,7 +382,10 @@ fn scanning_rampup() {
     let scan_sessions = &f.agg.day_by_cat[Category::NoCred.index()];
     let early_s = mean(scan_sessions, 10..40);
     let late_s = mean(scan_sessions, 100..130);
-    assert!(late_s > early_s * 1.6, "sessions early {early_s} late {late_s}");
+    assert!(
+        late_s > early_s * 1.6,
+        "sessions early {early_s} late {late_s}"
+    );
     let early_ips: f64 = (10..40)
         .map(|d| f.agg.day_unique_ips[d][Category::NoCred.index()] as f64)
         .sum::<f64>()
@@ -319,7 +394,10 @@ fn scanning_rampup() {
         .map(|d| f.agg.day_unique_ips[d][Category::NoCred.index()] as f64)
         .sum::<f64>()
         / 30.0;
-    assert!(late_ips > early_ips * 1.05, "ips early {early_ips} late {late_ips}");
+    assert!(
+        late_ips > early_ips * 1.05,
+        "ips early {early_ips} late {late_ips}"
+    );
 }
 
 /// The dated anomalies: the 2022-09-05 FAIL_LOG spike and the NO_CMD
@@ -332,8 +410,7 @@ fn dated_anomalies() {
         .day_index(honeyfarm::simclock::Date::new(2022, 9, 5))
         .unwrap() as usize;
     let fail = &f.agg.day_by_cat[Category::FailLog.index()];
-    let neighborhood: f64 =
-        (sep5 - 10..sep5).map(|d| fail[d] as f64).sum::<f64>() / 10.0;
+    let neighborhood: f64 = (sep5 - 10..sep5).map(|d| fail[d] as f64).sum::<f64>() / 10.0;
     assert!(
         fail[sep5] as f64 > neighborhood * 3.0,
         "2022-09-05 spike: {} vs baseline {neighborhood}",

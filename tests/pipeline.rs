@@ -10,6 +10,7 @@ fn run_small() -> (SimOutput, Aggregates) {
         scale: Scale::of(0.001),
         window: StudyWindow::first_days(45),
         use_script_cache: false,
+        threads: 1,
     });
     let agg = Aggregates::compute(&out.dataset, &out.tags);
     (out, agg)
@@ -28,7 +29,12 @@ fn full_pipeline_produces_consistent_report() {
         direct[classify(&v).index()] += 1;
     }
     for row in &report.table1.rows {
-        assert_eq!(row.sessions, direct[row.category.index()], "{}", row.category);
+        assert_eq!(
+            row.sessions,
+            direct[row.category.index()],
+            "{}",
+            row.category
+        );
     }
 
     // Flow diagram is monotone.
@@ -41,11 +47,7 @@ fn full_pipeline_produces_consistent_report() {
 
     // Fig. 2 rank series covers all honeypots and is descending.
     assert_eq!(report.fig2.series.len(), out.dataset.plan.len());
-    assert!(report
-        .fig2
-        .series
-        .windows(2)
-        .all(|w| w[0].1 >= w[1].1));
+    assert!(report.fig2.series.windows(2).all(|w| w[0].1 >= w[1].1));
 
     // Hash tables are sorted by their keys and carry tags.
     let t4 = &report.table4;

@@ -21,7 +21,10 @@ fn arb_record() -> impl Strategy<Value = SessionRecord> {
         0u32..86_400,
         0u32..400,
         0u8..3,
-        prop::collection::vec(("[a-z]{1,8}", "[ -~&&[^\\\\]]{0,12}", prop::bool::ANY), 0..4),
+        prop::collection::vec(
+            ("[a-z]{1,8}", "[ -~&&[^\\\\]]{0,12}", prop::bool::ANY),
+            0..4,
+        ),
         prop::collection::vec(("[a-z /.-]{1,24}", prop::bool::ANY), 0..5),
         prop::collection::vec("[a-z0-9./:-]{5,30}", 0..3),
         prop::collection::vec(any::<u64>(), 0..4),

@@ -1,0 +1,209 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! Keeps the registration API (`criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with throughput) so the
+//! bench targets compile and run unchanged, but replaces the statistical
+//! machinery with a plain wall-clock loop: warm up once, pick an iteration
+//! count that targets ~1 s, report mean time per iteration (and MiB/s when
+//! a byte throughput is set). A substring filter can be passed on the
+//! command line, as with real criterion: `cargo bench -- day_loop`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark context; also carries the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip harness flags cargo passes (--bench, --quiet, ...); the
+        // first bare argument is a name filter.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(&name, self.filter.as_deref(), None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for a group; only bytes are used here.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored runner sizes its loop
+    /// from wall-clock time instead of a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.criterion.filter.as_deref(), self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(name: &str, filter: Option<&str>, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    // Warmup pass sizes the measurement loop: target ~1 s total, capped so
+    // multi-second simulations still finish promptly.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_secs(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut bench = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bench);
+    let mean = bench.elapsed / (bench.iters as u32).max(1);
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(bytes)) if mean > Duration::ZERO => {
+            let mib_s = bytes as f64 / mean.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  ({mib_s:.1} MiB/s)")
+        }
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            let elem_s = n as f64 / mean.as_secs_f64();
+            format!("  ({elem_s:.0} elem/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {name:<44} {}  [{} iters]{rate}",
+        fmt_duration(mean),
+        bench.iters
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            let _ = &$config;
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` for a bench target (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_iters() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 5,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

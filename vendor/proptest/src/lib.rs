@@ -1,0 +1,697 @@
+//! Offline vendored subset of `proptest`.
+//!
+//! Implements the API surface this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, regex-string strategies for
+//! `&str` literals, integer/float range strategies, `any::<T>()`,
+//! [`collection::vec`], [`option::of`], tuple strategies, and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! case generation is fully deterministic (seeded per case index, no
+//! entropy), and there is no shrinking — a failing case reports its inputs
+//! via the assertion message and the case seed instead.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Transform generated values (`proptest`'s combinator of the same
+        /// name).
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A regex literal is a strategy for strings matching it.
+    impl Strategy for str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            crate::string_regex::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident . $n:tt),+)),+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+    );
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, Standard};
+    use std::marker::PhantomData;
+
+    /// Strategy for "any value of T" (uniform over the whole domain).
+    pub struct Any<T>(PhantomData<T>);
+
+    /// `any::<T>()` — uniform strategy over all of `T`.
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy yielding either boolean with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut SmallRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, len_range)` — vectors of generated elements.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`; `None` one time in four (matching
+    /// real proptest's default weighting).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_ratio(1, 4) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string_regex {
+    //! A tiny regex-pattern string *generator* (not a matcher). Supports
+    //! the constructs this workspace's tests use: literals, `.`, escaped
+    //! metacharacters, character classes with ranges and `&&[^...]`
+    //! subtraction, groups, and `{n}` / `{m,n}` repetition.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    enum Node {
+        Lit(char),
+        /// `.` — any printable char (plus a couple of multibyte ones so
+        /// UTF-8 handling gets exercised).
+        Dot,
+        Class(Vec<char>),
+        Group(Vec<Atom>),
+    }
+
+    struct Atom {
+        node: Node,
+        min: u32,
+        max: u32,
+    }
+
+    /// Generate one string matching `pattern`. Panics on syntax this
+    /// subset does not implement — the failure is loud at test time, not a
+    /// silently wrong distribution.
+    pub fn generate(pattern: &str, rng: &mut SmallRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let atoms = parse_seq(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex construct at char {pos} in {pattern:?}"
+        );
+        let mut out = String::new();
+        emit_seq(&atoms, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(atoms: &[Atom], rng: &mut SmallRng, out: &mut String) {
+        for atom in atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                match &atom.node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Dot => {
+                        // Printable ASCII, weighted, with occasional tab
+                        // and non-ASCII chars.
+                        let roll = rng.gen_range(0u32..100);
+                        out.push(match roll {
+                            0..=93 => char::from(rng.gen_range(0x20u8..0x7f)),
+                            94..=95 => '\t',
+                            96..=97 => 'ß',
+                            _ => '赤',
+                        });
+                    }
+                    Node::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Node::Group(inner) => emit_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        while *pos < chars.len() {
+            let node = match chars[*pos] {
+                ')' => break,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_seq(chars, pos, pattern);
+                    assert!(
+                        chars.get(*pos) == Some(&')'),
+                        "unclosed group in {pattern:?}"
+                    );
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '[' => Node::Class(parse_class(chars, pos, pattern)),
+                '.' => {
+                    *pos += 1;
+                    Node::Dot
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = *chars
+                        .get(*pos)
+                        .unwrap_or_else(|| panic!("trailing backslash in {pattern:?}"));
+                    *pos += 1;
+                    Node::Lit(unescape(c, pattern))
+                }
+                '|' | '*' | '+' | '?' | '^' | '$' => {
+                    panic!(
+                        "unsupported regex construct '{}' in {pattern:?}",
+                        chars[*pos]
+                    )
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pattern);
+            atoms.push(Atom { node, min, max });
+        }
+        atoms
+    }
+
+    /// `{n}` / `{m,n}` after an atom; defaults to exactly once.
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pattern: &str) -> (u32, u32) {
+        if chars.get(*pos) != Some(&'{') {
+            return (1, 1);
+        }
+        *pos += 1;
+        let mut lo = String::new();
+        let mut hi = String::new();
+        let mut in_hi = false;
+        loop {
+            match chars.get(*pos) {
+                Some('}') => {
+                    *pos += 1;
+                    break;
+                }
+                Some(',') => in_hi = true,
+                Some(d) if d.is_ascii_digit() => {
+                    if in_hi {
+                        hi.push(*d);
+                    } else {
+                        lo.push(*d);
+                    }
+                }
+                other => panic!("bad quantifier {other:?} in {pattern:?}"),
+            }
+            *pos += 1;
+        }
+        let min: u32 = lo
+            .parse()
+            .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"));
+        let max: u32 = if in_hi {
+            hi.parse()
+                .unwrap_or_else(|_| panic!("bad quantifier in {pattern:?}"))
+        } else {
+            min
+        };
+        assert!(min <= max, "inverted quantifier in {pattern:?}");
+        (min, max)
+    }
+
+    /// Parse `[...]`, supporting ranges, negation, escapes, and one level
+    /// of `&&[^...]` class subtraction (as in `[ -~&&[^']]`).
+    fn parse_class(chars: &[char], pos: &mut usize, pattern: &str) -> Vec<char> {
+        assert!(chars[*pos] == '[');
+        *pos += 1;
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            match chars.get(*pos) {
+                None => panic!("unterminated class in {pattern:?}"),
+                Some(']') => {
+                    *pos += 1;
+                    break;
+                }
+                Some('&') if chars.get(*pos + 1) == Some(&'&') => {
+                    *pos += 2;
+                    assert!(
+                        chars.get(*pos) == Some(&'['),
+                        "class op needs a bracketed operand in {pattern:?}"
+                    );
+                    let operand = parse_class(chars, pos, pattern);
+                    // `A&&[^B]` (the only form used) parses the operand with
+                    // its own negation applied, so intersecting is always
+                    // right; the outer `]` still follows.
+                    set.retain(|c| operand.contains(c));
+                    assert!(
+                        chars.get(*pos) == Some(&']'),
+                        "expected ']' after class op in {pattern:?}"
+                    );
+                    *pos += 1;
+                    break;
+                }
+                Some(&c) => {
+                    *pos += 1;
+                    let c = if c == '\\' {
+                        let e = *chars
+                            .get(*pos)
+                            .unwrap_or_else(|| panic!("trailing backslash in {pattern:?}"));
+                        *pos += 1;
+                        unescape(e, pattern)
+                    } else {
+                        c
+                    };
+                    // Range if '-' follows and isn't the closing literal.
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|&n| n != ']')
+                    {
+                        *pos += 1;
+                        let mut end = chars[*pos];
+                        *pos += 1;
+                        if end == '\\' {
+                            end = unescape(chars[*pos], pattern);
+                            *pos += 1;
+                        }
+                        assert!(c <= end, "inverted range in {pattern:?}");
+                        for v in c as u32..=end as u32 {
+                            if let Some(ch) = char::from_u32(v) {
+                                set.push(ch);
+                            }
+                        }
+                    } else {
+                        set.push(c);
+                    }
+                }
+            }
+        }
+        if negated {
+            // Complement within printable ASCII — all the tests that use
+            // `[^...]` operate on printable input.
+            let out: Vec<char> = (0x20u8..0x7f)
+                .map(char::from)
+                .filter(|c| !set.contains(c))
+                .collect();
+            return out;
+        }
+        assert!(!set.is_empty(), "empty class in {pattern:?}");
+        set
+    }
+
+    fn unescape(c: char, pattern: &str) -> char {
+        match c {
+            '.' | '\\' | '[' | ']' | '(' | ')' | '{' | '}' | '-' | '^' | '$' | '*' | '+' | '?'
+            | '|' | '/' | '&' | '\'' | '"' | ' ' => c,
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => panic!("unsupported escape '\\{other}' in {pattern:?}"),
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Error carried out of a failing test case (`prop_assert!` family).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Drive one property: a fresh deterministically-seeded generator per
+    /// case. No shrinking; the panic names the failing case index so it
+    /// can be replayed (generation depends only on the index).
+    pub fn run_cases<F>(config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut SmallRng) -> Result<(), TestCaseError>,
+    {
+        for i in 0..config.cases {
+            let mut rng = SmallRng::seed_from_u64(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1));
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest case {i}/{} failed: {}", config.cases, e.0);
+            }
+        }
+    }
+}
+
+/// Umbrella module mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The proptest entry macro: wraps each contained `#[test]` fn so its
+/// arguments are drawn from strategies and the body runs once per case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg = $cfg;
+                $crate::test_runner::run_cases(&__cfg, |__rng| {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    let __out: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    __out
+                });
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $id:ident : $ty:ty) => {
+        let $id = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+    };
+    ($rng:ident; $id:ident : $ty:ty, $($rest:tt)*) => {
+        let $id = $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+    };
+    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; failure aborts only this case with a
+/// message rather than panicking the whole process immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn gen_one<S: Strategy>(s: &S, seed: u64) -> S::Value {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        s.generate(&mut rng)
+    }
+
+    #[test]
+    fn regex_class_subtraction_excludes_quote() {
+        for seed in 0..200 {
+            let s = gen_one(&"[ -~&&[^']]{1,40}", seed);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(!s.contains('\''), "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn regex_groups_and_ranges() {
+        for seed in 0..200 {
+            let s = gen_one(&"(/[a-z]{1,5}){0,3}", seed);
+            if !s.is_empty() {
+                assert!(s.starts_with('/'), "{s:?}");
+            }
+            for seg in s.split('/').skip(1) {
+                assert!((1..=5).contains(&seg.len()), "{s:?}");
+                assert!(seg.chars().all(|c| c.is_ascii_lowercase()));
+            }
+            let v = gen_one(&"[0-9]\\.[0-9]{1,2}", seed);
+            let (a, b) = v.split_once('.').unwrap();
+            assert_eq!(a.len(), 1);
+            assert!((1..=2).contains(&b.len()));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_strategies_respect_bounds() {
+        for seed in 0..100 {
+            let v = gen_one(&prop::collection::vec(any::<u8>(), 2..7), seed);
+            assert!((2..7).contains(&v.len()));
+            let _o: Option<u32> = gen_one(&prop::option::of(0u32..9), seed);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro surface itself: `in` bindings, typed bindings via a
+        /// second block, tuples, and assertion forms.
+        #[test]
+        fn macro_roundtrip(a in 0u32..50, (b, c) in (0u8..4, prop::bool::ANY)) {
+            prop_assert!(a < 50);
+            prop_assert!(b < 4, "b was {b}");
+            prop_assert_eq!(c as u8 <= 1, true);
+        }
+
+        #[test]
+        fn typed_param(v: u16) {
+            prop_assert!(u32::from(v) <= 65_535);
+        }
+    }
+}

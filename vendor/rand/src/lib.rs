@@ -1,0 +1,328 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment has no crates.io access, so the workspace wires
+//! this path crate in through `[workspace.dependencies]`. It implements the
+//! exact API surface the honeyfarm crates use — [`rngs::SmallRng`], the
+//! [`Rng`] / [`SeedableRng`] traits, and [`seq::SliceRandom::shuffle`] —
+//! with the same *structure* as the real crate so a future build against
+//! crates.io rand only changes the generated streams, not any code.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 (the same
+//! construction rand 0.8's `SmallRng` uses on 64-bit targets). Streams are
+//! fully deterministic for a given seed, which is the property the
+//! simulation relies on; no entropy source is ever consulted.
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic, platform-independent).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 — used to expand a 64-bit seed into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in s.iter_mut() {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce it from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Types that can be sampled uniformly over their whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly between two bounds.
+///
+/// Mirrors real rand's structure (one *generic* range impl over a per-type
+/// uniform-sampling trait) because type inference depends on it: the blanket
+/// `Range<T>: SampleRange<T>` impl is what unifies an integer literal's type
+/// with the comparison context, e.g. `rng.gen_range(0..1000) < some_u32`.
+pub trait SampleUniform: Sized {
+    /// Uniform over `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-domain u64 range.
+                        return rng.next_u64() as $t;
+                    }
+                    lo + (rng.next_u64() % span) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as u64) - (lo as u64);
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64 + 1;
+                    (lo as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                    (lo as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + <f64 as Standard>::sample(rng) * (hi - lo)
+    }
+}
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample a value uniformly over its whole domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample(self)
+    }
+
+    /// Return `true` with probability `num / den`.
+    #[inline]
+    fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(den > 0 && num <= den, "gen_ratio: need num <= den, den > 0");
+        self.gen_range(0..den) < num
+    }
+
+    /// Return `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers (`shuffle`).
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle, deterministic for a given generator state.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(2..=5u32);
+            assert!((2..=5).contains(&w));
+            let f = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let s = r.gen_range(-10i64..10);
+            assert!((-10..10).contains(&s));
+        }
+    }
+
+    #[test]
+    fn ratio_is_roughly_calibrated() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| r.gen_ratio(3, 10)).count();
+        assert!((2_600..3_400).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move things");
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline vendored `Serialize` / `Deserialize` derives.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are unavailable
+//! in this offline build environment, so this implementation parses the
+//! item's token stream by hand. It supports exactly the shapes the
+//! workspace derives on:
+//!
+//! - structs with named fields (honoring
+//!   `#[serde(skip_serializing_if = "path")]`),
+//! - tuple structs (newtype structs serialize as their inner value),
+//! - enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde).
+//!
+//! Generic types are not supported — none of the workspace's serialized
+//! types are generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------- model --
+
+struct Field {
+    name: String,
+    skip_if: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// --------------------------------------------------------------- parsing --
+
+/// Extract `skip_serializing_if = "..."` from a `#[serde(...)]` attribute
+/// body, if present.
+fn serde_attr_skip_if(attr_body: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = attr_body.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "skip_serializing_if" {
+                // expect `= "literal"`
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (tokens.get(i + 1), tokens.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Consume leading attributes from `tokens[*pos..]`, returning any
+/// `skip_serializing_if` path found in `#[serde(...)]` attributes.
+fn consume_attrs(tokens: &[TokenTree], pos: &mut usize) -> Option<String> {
+    let mut skip_if = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos + 1) {
+            // `#[serde(...)]` → bracket group containing `serde ( ... )`.
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(body))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "serde" {
+                    if let Some(s) = serde_attr_skip_if(body.stream()) {
+                        skip_if = Some(s);
+                    }
+                }
+            }
+            *pos += 2;
+        } else {
+            break;
+        }
+    }
+    skip_if
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …) if present.
+fn consume_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip tokens until a top-level `,` (tracking `<`/`>` angle depth so commas
+/// inside generic arguments are not treated as separators). Leaves `pos`
+/// after the comma (or at end of input).
+fn skip_past_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle: i32 = 0;
+    while *pos < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Parse the fields of a brace-delimited struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip_if = consume_attrs(&tokens, &mut pos);
+        consume_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        // `: Type` — skip to the next top-level comma.
+        skip_past_comma(&tokens, &mut pos);
+        fields.push(Field { name, skip_if });
+    }
+    fields
+}
+
+/// Count the fields of a paren-delimited tuple body (top-level commas).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_past_comma(&tokens, &mut pos);
+        n += 1;
+    }
+    n
+}
+
+/// Parse the variants of a brace-delimited enum body.
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        consume_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                pos += 1;
+                Fields::Named(named)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        skip_past_comma(&tokens, &mut pos);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                pos += 1;
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => pos += 1,
+            None => panic!("serde_derive: no struct/enum found"),
+        }
+    };
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Item::Struct {
+                    name,
+                    fields: Fields::Named(parse_named_fields(g.stream())),
+                }
+            } else {
+                Item::Enum {
+                    name,
+                    variants: parse_variants(g.stream()),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+            name,
+            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+        },
+        _ if kind == "struct" => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        other => panic!("serde_derive: unexpected item body {other:?}"),
+    }
+}
+
+// --------------------------------------------------------------- codegen --
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let mut s =
+                        String::from("let mut m: Vec<(String, serde::Value)> = Vec::new();\n");
+                    for f in fs {
+                        let push = format!(
+                            "m.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                            n = f.name
+                        );
+                        match &f.skip_if {
+                            Some(path) => {
+                                s += &format!("if !{path}(&self.{n}) {{ {push} }}\n", n = f.name)
+                            }
+                            None => s += &push,
+                        }
+                    }
+                    s += "serde::Value::Map(m)";
+                    s
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Seq(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms +=
+                            &format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n");
+                    }
+                    Fields::Tuple(1) => {
+                        arms += &format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(f0))]),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn}({b}) => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Seq(vec![{i}]))]),\n",
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> = fs.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{n}\".to_string(), serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        arms += &format!(
+                            "{name}::{vn} {{ {b} }} => serde::Value::Map(vec![(\"{vn}\".to_string(), serde::Value::Map(vec![{i}]))]),\n",
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        );
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{\n match self {{\n {arms} }}\n }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_ctor(path: &str, fs: &[Field], src: &str) -> String {
+    let mut s = format!("Ok({path} {{\n");
+    for f in fs {
+        s += &format!(
+            "{n}: serde::Deserialize::from_value({src}.field(\"{n}\"))?,\n",
+            n = f.name
+        );
+    }
+    s += "})";
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => gen_named_ctor(name, fs, "v"),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let mut s = format!(
+                        "let seq = v.as_seq_len({n}).ok_or_else(|| serde::Error::custom(\"{name}: expected {n}-element sequence\"))?;\n"
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                        .collect();
+                    s += &format!("Ok({name}({}))", items.join(", "));
+                    s
+                }
+                Fields::Unit => format!("Ok({name})"),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n {body}\n }}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms += &format!("\"{vn}\" => Ok({name}::{vn}),\n");
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms += &format!(
+                            "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(inner)?)),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&seq[{i}])?"))
+                            .collect();
+                        data_arms += &format!(
+                            "\"{vn}\" => {{\n let seq = inner.as_seq_len({n}).ok_or_else(|| serde::Error::custom(\"{name}::{vn}: expected {n}-element sequence\"))?;\n Ok({name}::{vn}({items}))\n }}\n",
+                            items = items.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = gen_named_ctor(&format!("{name}::{vn}"), fs, "inner");
+                        data_arms += &format!("\"{vn}\" => {{ {ctor} }}\n");
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n match v {{\n serde::Value::Str(s) => match s.as_str() {{\n {unit_arms} other => Err(serde::Error::custom(format!(\"{name}: unknown variant {{other}}\"))),\n }},\n serde::Value::Map(entries) if entries.len() == 1 => {{\n let (tag, inner) = &entries[0];\n let _ = inner;\n match tag.as_str() {{\n {data_arms} other => Err(serde::Error::custom(format!(\"{name}: unknown variant {{other}}\"))),\n }}\n }},\n _ => Err(serde::Error::custom(\"{name}: expected string or single-key map\")),\n }}\n }}\n}}\n"
+            )
+        }
+    }
+}
