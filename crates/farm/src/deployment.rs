@@ -99,6 +99,29 @@ const PLAN: &[(&str, u16, u16)] = &[
 /// synthetic 32-bit range in `hf-geo`).
 const FIRST_FARM_ASN: u32 = 64_512;
 
+/// Hosts assigned per /24 block (`.1` – `.250`), leaving the network,
+/// broadcast, and a small tail of each block unused.
+const HOSTS_PER_BLOCK: u32 = 250;
+
+/// Derive a node's public address inside 198.18.0.0/15, the RFC 2544
+/// benchmarking range.
+///
+/// The range spans 512 /24 blocks (198.18.0.0/24 … 198.19.255.0/24); at
+/// [`HOSTS_PER_BLOCK`] hosts per block it addresses 128 000 nodes, covering
+/// the full `u16` id space. Every octet is derived with checked arithmetic —
+/// the naive `(id / 250) as u8` truncates for ids ≥ 63 750 and silently
+/// hands the same address to multiple nodes.
+pub fn node_ip(id: u16) -> Ip4 {
+    let block = id as u32 / HOSTS_PER_BLOCK;
+    let host = (id as u32 % HOSTS_PER_BLOCK + 1) as u8;
+    let (hi, lo) = (block / 256, block % 256);
+    assert!(
+        hi < 2,
+        "node id {id} falls outside the 198.18.0.0/15 deployable range"
+    );
+    Ip4::new(198, 18 + hi as u8, lo as u8, host)
+}
+
 /// The full deployment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FarmPlan {
@@ -133,7 +156,7 @@ impl FarmPlan {
                 };
                 nodes.push(HoneypotNode {
                     id,
-                    ip: Ip4::new(198, 18, (id / 250) as u8, (id % 250 + 1) as u8),
+                    ip: node_ip(id),
                     country: ctry,
                     asn,
                     class,
@@ -228,6 +251,23 @@ mod tests {
         let before = ips.len();
         ips.dedup();
         assert_eq!(ips.len(), before);
+    }
+
+    #[test]
+    fn node_ips_unique_over_full_deployable_range() {
+        // Regression: the old `(id / 250) as u8` derivation truncated for
+        // ids ≥ 63 750, colliding e.g. id 64 000 with id 0.
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..=u16::MAX {
+            let ip = node_ip(id);
+            assert!(seen.insert(ip), "ip {ip:?} reused at node id {id}");
+            // Every address stays inside 198.18.0.0/15 with a host octet
+            // in .1 – .250.
+            let [a, b, c, d] = ip.octets();
+            assert_eq!(a, 198, "id {id}");
+            assert!(b == 18 || b == 19, "id {id} escaped /15: {a}.{b}.{c}.{d}");
+            assert!((1..=250).contains(&d), "id {id} host octet {d}");
+        }
     }
 
     #[test]

@@ -14,16 +14,21 @@
 //!   [`store::SessionView`] query API,
 //! - [`collector`]: the ingest pipeline gluing honeypot
 //!   [`hf_honeypot::SessionRecord`]s, geolocation, and the artifact store
-//!   into a finished [`collector::Dataset`].
+//!   into a finished [`collector::Dataset`],
+//! - [`snapshot`]: the `hfstore` on-disk format — versioned, per-section
+//!   checksummed snapshots of store + tags + deployment, so reanalysis
+//!   (`hfarm report`) never has to re-simulate.
 
 pub mod collector;
 pub mod deployment;
 pub mod intern;
+pub mod snapshot;
 pub mod store;
 pub mod tags;
 
 pub use collector::{Collector, Dataset};
 pub use deployment::{FarmPlan, HoneypotNode};
 pub use intern::{DigestPool, ListPool, StringPool};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotMeta};
 pub use store::{SessionStore, SessionView};
 pub use tags::{TagDb, TagEntry};

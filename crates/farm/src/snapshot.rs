@@ -1,0 +1,1033 @@
+//! `hfstore` — durable, checksummed on-disk snapshots of a collected run.
+//!
+//! The paper's pipeline re-analyzes a fixed 15-month session database; this
+//! module gives the reproduction the same workflow: `hfarm simulate` writes
+//! the collected [`SessionStore`] + [`TagDb`] + deployment plan once, and
+//! `hfarm report` (or any reanalysis tool) reloads it without re-simulating.
+//!
+//! ## Format (version 1)
+//!
+//! ```text
+//! [magic "HFSTORE\0" : 8 bytes]
+//! [format version    : u32 LE]
+//! [section count     : u32 LE]
+//! then, for each section in the fixed order below:
+//! [section id   : u32 LE]
+//! [payload len  : u64 LE]
+//! [SHA-256 of the payload : 32 bytes]          (via hf-hash)
+//! [payload      : len bytes]
+//! ```
+//!
+//! Sections, in order: META, PLAN, CREDS, COMMANDS, URIS, SSH_VERSIONS,
+//! DIGESTS, LISTS, ROWS, TAGS. All integers are little-endian and
+//! fixed-width; rows use the same 48-byte layout as the in-memory
+//! [`Row`]. String/digest/list pools are written in insertion order and tag
+//! entries sorted by digest, so snapshots of a deterministic run are
+//! byte-identical across thread counts (see DESIGN.md §5).
+//!
+//! ## Error handling
+//!
+//! The load path never panics and never `unwrap()`s: a truncated file, bad
+//! magic, unsupported version, checksum mismatch, or dangling interned id
+//! each surfaces as a distinct [`SnapshotError`] variant, verified by the
+//! fault-injection suite in `tests/snapshot_faults.rs`.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use hf_geo::{Asn, CountryId, Ip4, NetworkClass};
+use hf_hash::{Digest, Sha256};
+use hf_honeypot::ArtifactStore;
+use hf_simclock::SimInstant;
+
+use crate::collector::Dataset;
+use crate::deployment::{FarmPlan, HoneypotNode};
+use crate::intern::{DigestPool, ListPool, StringPool, MAX_POOL_LEN, NONE_ID};
+use crate::store::{Row, SessionStore};
+use crate::tags::TagDb;
+
+/// File magic: identifies an hfstore snapshot.
+pub const MAGIC: [u8; 8] = *b"HFSTORE\0";
+
+/// Current format version. Bump on any layout change; readers reject other
+/// versions with [`SnapshotError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// `(section id, section name)` in on-disk order. Section ids are part of
+/// the format; names appear in error messages and tests.
+pub const SECTIONS: [(u32, &str); 10] = [
+    (1, "meta"),
+    (2, "plan"),
+    (3, "creds"),
+    (4, "commands"),
+    (5, "uris"),
+    (6, "ssh_versions"),
+    (7, "digests"),
+    (8, "lists"),
+    (9, "rows"),
+    (10, "tags"),
+];
+
+/// Run-level metadata stored in the META section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnapshotMeta {
+    /// Root seed of the run that produced the snapshot.
+    pub seed: u64,
+    /// Volume scale factor (1.0 = the paper's 402 M sessions).
+    pub scale_volume: f64,
+    /// Hash-diversity scale factor.
+    pub scale_hashes: f64,
+    /// Days simulated.
+    pub days: u32,
+    /// Distinct client IPs the ecosystem allocated.
+    pub n_clients: u64,
+}
+
+/// A complete, self-contained snapshot of a collected run.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Run-level metadata.
+    pub meta: SnapshotMeta,
+    /// The deployment that produced the data.
+    pub plan: FarmPlan,
+    /// All sessions (rows + interning pools).
+    pub sessions: SessionStore,
+    /// Hash → tag/campaign database.
+    pub tags: TagDb,
+}
+
+/// Everything that can go wrong writing or (mostly) loading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure (not a format problem).
+    Io(io::Error),
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 8],
+    },
+    /// The file declares a format version this reader does not speak.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// The single version this build supports.
+        supported: u32,
+    },
+    /// The file ended before the named section was complete.
+    Truncated {
+        /// Section being read when the data ran out ("header" for the
+        /// file header).
+        section: &'static str,
+    },
+    /// A section's payload does not hash to its stored checksum.
+    ChecksumMismatch {
+        /// The corrupted section.
+        section: &'static str,
+    },
+    /// A section header carries an id other than the one mandated by the
+    /// fixed section order.
+    UnexpectedSection {
+        /// Section id the format requires at this position.
+        expected: u32,
+        /// Section id found in the file.
+        found: u32,
+    },
+    /// A row references a pool id that the snapshot's pools do not contain.
+    DanglingId {
+        /// Which pool the id points into ("cred", "command", "uri",
+        /// "ssh_version", "digest", "list").
+        kind: &'static str,
+        /// The out-of-range id.
+        id: u32,
+    },
+    /// A section passed its checksum but its contents are internally
+    /// inconsistent (duplicate pool entry, count mismatch, bad enum value…).
+    Corrupt {
+        /// The inconsistent section.
+        section: &'static str,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Refusing to write a pool whose ids no longer fit in 31 bits (they
+    /// would corrupt the packed `id << 1 | flag` encoding; see
+    /// [`MAX_POOL_LEN`]).
+    PoolOverflow {
+        /// The overflowing pool.
+        pool: &'static str,
+        /// Its entry count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not an hfstore snapshot (magic {found:02x?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported hfstore version {found} (this build reads version {supported})"
+            ),
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated inside the {section} section")
+            }
+            SnapshotError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in the {section} section")
+            }
+            SnapshotError::UnexpectedSection { expected, found } => write!(
+                f,
+                "unexpected section id {found} (expected {expected}); sections are ordered"
+            ),
+            SnapshotError::DanglingId { kind, id } => {
+                write!(f, "row references dangling {kind} id {id}")
+            }
+            SnapshotError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section} section: {detail}")
+            }
+            SnapshotError::PoolOverflow { pool, len } => write!(
+                f,
+                "{pool} pool holds {len} entries; ids beyond 2^31-1 cannot be encoded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl Snapshot {
+    /// Write the snapshot to `w` in hfstore format.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        let s = &self.sessions;
+        for (pool, len) in [
+            ("creds", s.creds.len()),
+            ("commands", s.commands.len()),
+            ("uris", s.uris.len()),
+            ("ssh_versions", s.ssh_versions.len()),
+            ("digests", s.digests.len()),
+            ("lists", s.lists.len()),
+        ] {
+            if len > MAX_POOL_LEN {
+                return Err(SnapshotError::PoolOverflow { pool, len });
+            }
+        }
+
+        w.write_all(&MAGIC)?;
+        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+        w.write_all(&(SECTIONS.len() as u32).to_le_bytes())?;
+
+        let mut buf = Vec::new();
+        for (id, name) in SECTIONS {
+            buf.clear();
+            match name {
+                "meta" => self.encode_meta(&mut buf),
+                "plan" => encode_plan(&self.plan, &mut buf),
+                "creds" => encode_string_pool(&s.creds, &mut buf),
+                "commands" => encode_string_pool(&s.commands, &mut buf),
+                "uris" => encode_string_pool(&s.uris, &mut buf),
+                "ssh_versions" => encode_string_pool(&s.ssh_versions, &mut buf),
+                "digests" => encode_digest_pool(&s.digests, &mut buf),
+                "lists" => encode_list_pool(&s.lists, &mut buf),
+                "rows" => encode_rows(s.rows(), &mut buf),
+                "tags" => encode_tags(&self.tags, &mut buf),
+                _ => unreachable!("section table is exhaustive"),
+            }
+            w.write_all(&id.to_le_bytes())?;
+            w.write_all(&(buf.len() as u64).to_le_bytes())?;
+            w.write_all(&Sha256::digest(&buf).0)?;
+            w.write_all(&buf)?;
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Write the snapshot to a file (buffered).
+    pub fn write_file<P: AsRef<Path>>(&self, path: P) -> Result<(), SnapshotError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        self.write_to(&mut w)
+    }
+
+    /// Read a snapshot from `r`, validating magic, version, per-section
+    /// checksums, and every interned id a row references.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Snapshot, SnapshotError> {
+        let mut magic = [0u8; 8];
+        read_exact(r, &mut magic, "header")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(read_array(r, "header")?);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let n_sections = u32::from_le_bytes(read_array(r, "header")?);
+        if n_sections != SECTIONS.len() as u32 {
+            return Err(SnapshotError::Corrupt {
+                section: "header",
+                detail: format!(
+                    "section count {n_sections}, version {FORMAT_VERSION} has {}",
+                    SECTIONS.len()
+                ),
+            });
+        }
+
+        // Sections arrive in the fixed SECTIONS order; decode each fully
+        // (including a trailing-bytes check) before moving to the next.
+        fn section<R: Read, T>(
+            r: &mut R,
+            idx: usize,
+            decode: impl FnOnce(&mut Cursor<'_>) -> Result<T, SnapshotError>,
+        ) -> Result<T, SnapshotError> {
+            let (id, name) = SECTIONS[idx];
+            let payload = read_section(r, id, name)?;
+            let mut cur = Cursor::new(&payload, name);
+            let out = decode(&mut cur)?;
+            cur.finish()?;
+            Ok(out)
+        }
+        let meta = section(r, 0, decode_meta)?;
+        let plan = section(r, 1, decode_plan)?;
+        let creds = section(r, 2, decode_string_pool)?;
+        let commands = section(r, 3, decode_string_pool)?;
+        let uris = section(r, 4, decode_string_pool)?;
+        let ssh_versions = section(r, 5, decode_string_pool)?;
+        let digests = section(r, 6, decode_digest_pool)?;
+        let lists = section(r, 7, decode_list_pool)?;
+        let rows = section(r, 8, decode_rows)?;
+        let tags = section(r, 9, decode_tags)?;
+
+        validate_rows(
+            &rows,
+            &creds,
+            &commands,
+            &uris,
+            &ssh_versions,
+            &digests,
+            &lists,
+        )?;
+        if meta.n_rows != rows.len() as u64 {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("meta declares {} rows, found {}", meta.n_rows, rows.len()),
+            });
+        }
+
+        Ok(Snapshot {
+            meta: meta.public,
+            plan,
+            sessions: SessionStore::from_parts(
+                rows,
+                creds,
+                commands,
+                uris,
+                ssh_versions,
+                digests,
+                lists,
+            ),
+            tags,
+        })
+    }
+
+    /// Read a snapshot from a file (buffered).
+    pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Snapshot, SnapshotError> {
+        let mut r = BufReader::new(File::open(path)?);
+        Snapshot::read_from(&mut r)
+    }
+
+    /// Rebuild the artifact store by replaying stored rows in order —
+    /// exactly the observation sequence [`crate::Collector::ingest`]
+    /// performed (file hashes then download hashes, per session, at the
+    /// session's start), so `first_seen` / `last_seen` / `occurrences`
+    /// match the live collector's.
+    pub fn rebuild_artifacts(&self) -> ArtifactStore {
+        let mut artifacts = ArtifactStore::new();
+        for row in self.sessions.rows() {
+            let at = SimInstant(row.start_secs as u64);
+            for &id in self.sessions.lists.get(row.hash_list_id) {
+                artifacts.observe_hash(self.sessions.digests.get(id), 0, at);
+            }
+            for &id in self.sessions.lists.get(row.dl_list_id) {
+                artifacts.observe_hash(self.sessions.digests.get(id), 0, at);
+            }
+        }
+        artifacts
+    }
+
+    /// Consume the snapshot into the [`Dataset`] + [`TagDb`] pair the
+    /// report pipeline runs on, plus the run metadata.
+    pub fn into_dataset(self) -> (Dataset, TagDb, SnapshotMeta) {
+        let artifacts = self.rebuild_artifacts();
+        (
+            Dataset {
+                sessions: self.sessions,
+                artifacts,
+                plan: self.plan,
+            },
+            self.tags,
+            self.meta,
+        )
+    }
+
+    fn encode_meta(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.meta.seed.to_le_bytes());
+        buf.extend_from_slice(&self.meta.scale_volume.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.meta.scale_hashes.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.meta.days.to_le_bytes());
+        buf.extend_from_slice(&self.meta.n_clients.to_le_bytes());
+        buf.extend_from_slice(&(self.sessions.len() as u64).to_le_bytes());
+    }
+}
+
+/// META plus the row count cross-check it carries.
+struct DecodedMeta {
+    public: SnapshotMeta,
+    n_rows: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Section encoders. All integers little-endian; lengths precede payloads.
+
+fn encode_plan(plan: &FarmPlan, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(plan.nodes.len() as u32).to_le_bytes());
+    for n in &plan.nodes {
+        buf.extend_from_slice(&n.id.to_le_bytes());
+        buf.extend_from_slice(&n.ip.0.to_le_bytes());
+        buf.extend_from_slice(&n.country.0.to_le_bytes());
+        buf.extend_from_slice(&n.asn.0.to_le_bytes());
+        let class = NetworkClass::ALL
+            .iter()
+            .position(|c| *c == n.class)
+            .expect("NetworkClass::ALL is exhaustive") as u8;
+        buf.push(class);
+    }
+}
+
+fn encode_string_pool(pool: &StringPool, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(pool.len() as u32).to_le_bytes());
+    for (_, s) in pool.iter() {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+fn encode_digest_pool(pool: &DigestPool, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(pool.len() as u32).to_le_bytes());
+    for (_, d) in pool.iter() {
+        buf.extend_from_slice(&d.0);
+    }
+}
+
+fn encode_list_pool(pool: &ListPool, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(pool.len() as u32).to_le_bytes());
+    for (_, list) in pool.iter() {
+        buf.extend_from_slice(&(list.len() as u32).to_le_bytes());
+        for &v in list {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn encode_rows(rows: &[Row], buf: &mut Vec<u8>) {
+    buf.reserve(8 + rows.len() * 48);
+    buf.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    for r in rows {
+        buf.extend_from_slice(&r.start_secs.to_le_bytes());
+        buf.extend_from_slice(&r.duration_secs.to_le_bytes());
+        buf.extend_from_slice(&r.honeypot.to_le_bytes());
+        buf.extend_from_slice(&r.client_port.to_le_bytes());
+        buf.extend_from_slice(&r.client_ip.to_le_bytes());
+        buf.extend_from_slice(&r.client_asn.to_le_bytes());
+        buf.extend_from_slice(&r.client_country.to_le_bytes());
+        buf.push(r.protocol);
+        buf.push(r.end_reason);
+        buf.extend_from_slice(&r.ssh_version_id.to_le_bytes());
+        buf.extend_from_slice(&r.login_list_id.to_le_bytes());
+        buf.extend_from_slice(&r.cmd_list_id.to_le_bytes());
+        buf.extend_from_slice(&r.uri_list_id.to_le_bytes());
+        buf.extend_from_slice(&r.hash_list_id.to_le_bytes());
+        buf.extend_from_slice(&r.dl_list_id.to_le_bytes());
+    }
+}
+
+fn encode_tags(tags: &TagDb, buf: &mut Vec<u8>) {
+    buf.extend_from_slice(&(tags.len() as u64).to_le_bytes());
+    for (digest, entry) in tags.entries_sorted() {
+        buf.extend_from_slice(&digest.0);
+        buf.extend_from_slice(&(entry.tag.len() as u32).to_le_bytes());
+        buf.extend_from_slice(entry.tag.as_bytes());
+        buf.extend_from_slice(&(entry.campaign.len() as u32).to_le_bytes());
+        buf.extend_from_slice(entry.campaign.as_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section decoders, over an in-memory, checksum-verified payload.
+
+/// Bounds-checked reader over one section payload. Overrunning the payload
+/// means a length field inside it lies about the (checksum-verified) data,
+/// so overruns surface as [`SnapshotError::Corrupt`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Cursor {
+            buf,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let out = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(out)
+            }
+            None => Err(SnapshotError::Corrupt {
+                section: self.section,
+                detail: format!(
+                    "length field overruns payload ({} of {} bytes consumed, {n} more wanted)",
+                    self.pos,
+                    self.buf.len()
+                ),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn digest(&mut self) -> Result<Digest, SnapshotError> {
+        Ok(Digest(self.take(32)?.try_into().expect("len 32")))
+    }
+
+    fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| SnapshotError::Corrupt {
+            section: self.section,
+            detail: format!("invalid utf-8 in string: {e}"),
+        })
+    }
+
+    /// Every payload byte must be consumed; trailing garbage is corruption.
+    fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos != self.buf.len() {
+            return Err(SnapshotError::Corrupt {
+                section: self.section,
+                detail: format!(
+                    "{} trailing bytes after section contents",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn decode_meta(cur: &mut Cursor<'_>) -> Result<DecodedMeta, SnapshotError> {
+    let seed = cur.u64()?;
+    let scale_volume = f64::from_bits(cur.u64()?);
+    let scale_hashes = f64::from_bits(cur.u64()?);
+    let days = cur.u32()?;
+    let n_clients = cur.u64()?;
+    let n_rows = cur.u64()?;
+    Ok(DecodedMeta {
+        public: SnapshotMeta {
+            seed,
+            scale_volume,
+            scale_hashes,
+            days,
+            n_clients,
+        },
+        n_rows,
+    })
+}
+
+fn decode_plan(cur: &mut Cursor<'_>) -> Result<FarmPlan, SnapshotError> {
+    let n = cur.u32()? as usize;
+    let mut nodes = Vec::with_capacity(n.min(1 << 16));
+    for i in 0..n {
+        let id = cur.u16()?;
+        if id as usize != i {
+            return Err(SnapshotError::Corrupt {
+                section: "plan",
+                detail: format!("node {i} carries id {id}; ids must be dense"),
+            });
+        }
+        let ip = Ip4(cur.u32()?);
+        let country = CountryId(cur.u16()?);
+        let asn = Asn(cur.u32()?);
+        let class_byte = cur.u8()?;
+        let class =
+            *NetworkClass::ALL
+                .get(class_byte as usize)
+                .ok_or_else(|| SnapshotError::Corrupt {
+                    section: "plan",
+                    detail: format!("node {i} has unknown network class {class_byte}"),
+                })?;
+        nodes.push(HoneypotNode {
+            id,
+            ip,
+            country,
+            asn,
+            class,
+        });
+    }
+    Ok(FarmPlan { nodes })
+}
+
+fn decode_string_pool(cur: &mut Cursor<'_>) -> Result<StringPool, SnapshotError> {
+    let n = cur.u32()?;
+    let mut pool = StringPool::new();
+    for i in 0..n {
+        let s = cur.str()?;
+        if pool.intern(s) != i {
+            return Err(SnapshotError::Corrupt {
+                section: cur.section,
+                detail: format!("duplicate pool entry at id {i}"),
+            });
+        }
+    }
+    Ok(pool)
+}
+
+fn decode_digest_pool(cur: &mut Cursor<'_>) -> Result<DigestPool, SnapshotError> {
+    let n = cur.u32()?;
+    let mut pool = DigestPool::new();
+    for i in 0..n {
+        let d = cur.digest()?;
+        if pool.intern(d) != i {
+            return Err(SnapshotError::Corrupt {
+                section: "digests",
+                detail: format!("duplicate digest at id {i}"),
+            });
+        }
+    }
+    Ok(pool)
+}
+
+fn decode_list_pool(cur: &mut Cursor<'_>) -> Result<ListPool, SnapshotError> {
+    let n = cur.u32()?;
+    if n == 0 {
+        return Err(SnapshotError::Corrupt {
+            section: "lists",
+            detail: "list pool must contain at least the empty list".into(),
+        });
+    }
+    let mut pool = ListPool::new(); // pre-interns [] as id 0
+    let mut list = Vec::new();
+    for i in 0..n {
+        let len = cur.u32()? as usize;
+        list.clear();
+        for _ in 0..len {
+            list.push(cur.u32()?);
+        }
+        if i == 0 {
+            if !list.is_empty() {
+                return Err(SnapshotError::Corrupt {
+                    section: "lists",
+                    detail: "list id 0 must be the empty list".into(),
+                });
+            }
+            continue;
+        }
+        if pool.intern(&list) != i {
+            return Err(SnapshotError::Corrupt {
+                section: "lists",
+                detail: format!("duplicate list at id {i}"),
+            });
+        }
+    }
+    Ok(pool)
+}
+
+fn decode_rows(cur: &mut Cursor<'_>) -> Result<Vec<Row>, SnapshotError> {
+    let n = cur.u64()? as usize;
+    // Guard the allocation against a lying count: each row takes 48 payload
+    // bytes, so the remaining payload bounds the real row count.
+    let mut rows = Vec::with_capacity(n.min(cur.buf.len() / 48 + 1));
+    for _ in 0..n {
+        let start_secs = cur.u32()?;
+        let duration_secs = cur.u32()?;
+        let honeypot = cur.u16()?;
+        let client_port = cur.u16()?;
+        let client_ip = cur.u32()?;
+        let client_asn = cur.u32()?;
+        let client_country = cur.u16()?;
+        let protocol = cur.u8()?;
+        let end_reason = cur.u8()?;
+        if protocol > 1 {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("protocol byte {protocol} (0 = SSH, 1 = Telnet)"),
+            });
+        }
+        if end_reason > 2 {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("end_reason byte {end_reason} (0..=2)"),
+            });
+        }
+        rows.push(Row {
+            start_secs,
+            duration_secs,
+            honeypot,
+            client_port,
+            client_ip,
+            client_asn,
+            client_country,
+            protocol,
+            end_reason,
+            ssh_version_id: cur.u32()?,
+            login_list_id: cur.u32()?,
+            cmd_list_id: cur.u32()?,
+            uri_list_id: cur.u32()?,
+            hash_list_id: cur.u32()?,
+            dl_list_id: cur.u32()?,
+        });
+    }
+    Ok(rows)
+}
+
+fn decode_tags(cur: &mut Cursor<'_>) -> Result<TagDb, SnapshotError> {
+    let n = cur.u64()?;
+    let mut tags = TagDb::new();
+    for _ in 0..n {
+        let digest = cur.digest()?;
+        let tag = cur.str()?;
+        let campaign = cur.str()?;
+        tags.record(digest, tag, campaign);
+    }
+    // `record` is first-wins, so a duplicate digest collapses and the
+    // count betrays it.
+    if tags.len() as u64 != n {
+        return Err(SnapshotError::Corrupt {
+            section: "tags",
+            detail: format!("{n} entries declared, {} distinct digests", tags.len()),
+        });
+    }
+    Ok(tags)
+}
+
+/// Check that every pool id a row references resolves — the "dangling
+/// intern id" class of corruption a checksum cannot catch (a consistent
+/// snapshot re-encoded with a hostile tool, or a bug in a foreign writer).
+#[allow(clippy::too_many_arguments)]
+fn validate_rows(
+    rows: &[Row],
+    creds: &StringPool,
+    commands: &StringPool,
+    uris: &StringPool,
+    ssh_versions: &StringPool,
+    digests: &DigestPool,
+    lists: &ListPool,
+) -> Result<(), SnapshotError> {
+    let dangling = |kind, id| SnapshotError::DanglingId { kind, id };
+    for row in rows {
+        if row.ssh_version_id != NONE_ID && ssh_versions.try_get(row.ssh_version_id).is_none() {
+            return Err(dangling("ssh_version", row.ssh_version_id));
+        }
+        for (kind, list_id) in [
+            ("login list", row.login_list_id),
+            ("command list", row.cmd_list_id),
+            ("uri list", row.uri_list_id),
+            ("hash list", row.hash_list_id),
+            ("download list", row.dl_list_id),
+        ] {
+            if lists.try_get(list_id).is_none() {
+                return Err(dangling("list", list_id));
+            }
+            let _ = kind;
+        }
+        for &packed in lists.get(row.login_list_id) {
+            if creds.try_get(packed >> 1).is_none() {
+                return Err(dangling("cred", packed >> 1));
+            }
+        }
+        for &packed in lists.get(row.cmd_list_id) {
+            if commands.try_get(packed >> 1).is_none() {
+                return Err(dangling("command", packed >> 1));
+            }
+        }
+        for &id in lists.get(row.uri_list_id) {
+            if uris.try_get(id).is_none() {
+                return Err(dangling("uri", id));
+            }
+        }
+        for &id in lists
+            .get(row.hash_list_id)
+            .iter()
+            .chain(lists.get(row.dl_list_id))
+        {
+            if digests.try_get(id).is_none() {
+                return Err(dangling("digest", id));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Framed reads from the underlying stream. EOF here — unlike inside a
+// checksummed payload — means the file itself was cut short: `Truncated`.
+
+fn read_exact<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), SnapshotError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated { section }
+        } else {
+            SnapshotError::Io(e)
+        }
+    })
+}
+
+fn read_array<R: Read, const N: usize>(
+    r: &mut R,
+    section: &'static str,
+) -> Result<[u8; N], SnapshotError> {
+    let mut buf = [0u8; N];
+    read_exact(r, &mut buf, section)?;
+    Ok(buf)
+}
+
+fn read_section<R: Read>(
+    r: &mut R,
+    expected_id: u32,
+    name: &'static str,
+) -> Result<Vec<u8>, SnapshotError> {
+    let found = u32::from_le_bytes(read_array(r, name)?);
+    if found != expected_id {
+        return Err(SnapshotError::UnexpectedSection {
+            expected: expected_id,
+            found,
+        });
+    }
+    let len = u64::from_le_bytes(read_array(r, name)?);
+    let checksum: [u8; 32] = read_array(r, name)?;
+    // Read through `take` in bounded chunks rather than pre-allocating
+    // `len` bytes: a corrupted length field must yield `Truncated`, not a
+    // giant allocation.
+    let mut payload = Vec::with_capacity((len as usize).min(1 << 24));
+    let got = r.take(len).read_to_end(&mut payload)?;
+    if (got as u64) < len {
+        return Err(SnapshotError::Truncated { section: name });
+    }
+    if Sha256::digest(&payload).0 != checksum {
+        return Err(SnapshotError::ChecksumMismatch { section: name });
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hf_honeypot::{EndReason, LoginAttempt, SessionRecord};
+    use hf_proto::creds::Credentials;
+    use hf_proto::Protocol;
+    use hf_shell::CommandRecord;
+
+    fn sample_record(hp: u16, day: u32, n: u64) -> SessionRecord {
+        SessionRecord {
+            honeypot: hp,
+            protocol: if n.is_multiple_of(2) {
+                Protocol::Ssh
+            } else {
+                Protocol::Telnet
+            },
+            client_ip: Ip4::new(16, (n >> 8) as u8, n as u8, 1),
+            client_port: 40000 + (n as u16 % 1000),
+            start: SimInstant::from_day_and_secs(day, (n % 86_400) as u32),
+            duration_secs: 10 + (n as u32 % 90),
+            ended_by: EndReason::ClientClose,
+            ssh_client_version: n
+                .is_multiple_of(2)
+                .then(|| format!("SSH-2.0-libssh{}", n % 3)),
+            logins: vec![LoginAttempt {
+                creds: Credentials::new("root", if n.is_multiple_of(3) { "1234" } else { "admin" }),
+                accepted: n.is_multiple_of(3),
+            }],
+            commands: vec![CommandRecord {
+                input: format!("echo {}", n % 5),
+                known: true,
+            }],
+            uris: if n.is_multiple_of(4) {
+                vec![format!("http://evil{}.example/x", n % 7)]
+            } else {
+                vec![]
+            },
+            file_hashes: vec![Sha256::digest(&(n % 11).to_le_bytes())],
+            download_hashes: if n.is_multiple_of(5) {
+                vec![Sha256::digest(&(n % 13).to_le_bytes())]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    fn sample_snapshot(n_sessions: u64) -> Snapshot {
+        let mut store = SessionStore::new();
+        let mut tags = TagDb::new();
+        for n in 0..n_sessions {
+            let rec = sample_record((n % 221) as u16, (n % 30) as u32, n);
+            for h in rec.file_hashes.iter().chain(rec.download_hashes.iter()) {
+                tags.record(*h, if n % 2 == 0 { "mirai" } else { "unknown" }, "H1");
+            }
+            store.ingest(&rec, None);
+        }
+        Snapshot {
+            meta: SnapshotMeta {
+                seed: 0x7e57,
+                scale_volume: 0.0005,
+                scale_hashes: 0.02,
+                days: 30,
+                n_clients: 42,
+            },
+            plan: FarmPlan::paper(),
+            sessions: store,
+            tags,
+        }
+    }
+
+    fn roundtrip(snap: &Snapshot) -> Snapshot {
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).expect("write");
+        Snapshot::read_from(&mut bytes.as_slice()).expect("read back")
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let snap = sample_snapshot(200);
+        let back = roundtrip(&snap);
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.plan, snap.plan);
+        assert_eq!(back.sessions.rows(), snap.sessions.rows());
+        let strings = |p: &StringPool| p.iter().map(|(_, s)| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(strings(&back.sessions.creds), strings(&snap.sessions.creds));
+        assert_eq!(
+            strings(&back.sessions.commands),
+            strings(&snap.sessions.commands)
+        );
+        assert_eq!(strings(&back.sessions.uris), strings(&snap.sessions.uris));
+        assert_eq!(
+            strings(&back.sessions.ssh_versions),
+            strings(&snap.sessions.ssh_versions)
+        );
+        assert_eq!(
+            back.sessions.digests.iter().collect::<Vec<_>>(),
+            snap.sessions.digests.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(back.sessions.lists.len(), snap.sessions.lists.len());
+        for (id, list) in snap.sessions.lists.iter() {
+            assert_eq!(back.sessions.lists.get(id), list);
+        }
+        assert_eq!(back.tags.len(), snap.tags.len());
+        for (h, e) in snap.tags.iter() {
+            assert_eq!(back.tags.tag(h), Some(e.tag.as_str()));
+            assert_eq!(back.tags.campaign(h), Some(e.campaign.as_str()));
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        // Two writes of the same data — and a write of a reloaded copy —
+        // are byte-identical (tags are sorted, pools are insertion-ordered).
+        let snap = sample_snapshot(80);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        snap.write_to(&mut a).unwrap();
+        snap.write_to(&mut b).unwrap();
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        roundtrip(&snap).write_to(&mut c).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let snap = sample_snapshot(0);
+        let back = roundtrip(&snap);
+        assert!(back.sessions.is_empty());
+        assert!(back.tags.is_empty());
+        assert_eq!(back.plan.len(), 221);
+    }
+
+    #[test]
+    fn rebuilt_artifacts_match_collector_replay() {
+        use crate::collector::Collector;
+        use hf_geo::{World, WorldConfig};
+
+        let world = World::build(1, &WorldConfig::tiny());
+        let mut col = Collector::new(&world, FarmPlan::paper());
+        let mut store = SessionStore::new();
+        for n in 0..50 {
+            let rec = sample_record(0, (n % 5) as u32, n);
+            col.ingest(&rec);
+            store.ingest(&rec, None);
+        }
+        let ds = col.finish();
+        let snap = Snapshot {
+            meta: sample_snapshot(0).meta,
+            plan: FarmPlan::paper(),
+            sessions: store,
+            tags: TagDb::new(),
+        };
+        let rebuilt = snap.rebuild_artifacts();
+        assert_eq!(rebuilt.len(), ds.artifacts.len());
+        for (h, meta) in ds.artifacts.iter() {
+            let r = rebuilt.get(h).expect("hash present");
+            assert_eq!(r.first_seen, meta.first_seen);
+            assert_eq!(r.last_seen, meta.last_seen);
+            assert_eq!(r.occurrences, meta.occurrences);
+        }
+    }
+
+    #[test]
+    fn write_rejects_nothing_at_normal_sizes() {
+        let snap = sample_snapshot(10);
+        let mut out = Vec::new();
+        assert!(snap.write_to(&mut out).is_ok());
+        assert_eq!(&out[..8], &MAGIC);
+    }
+}

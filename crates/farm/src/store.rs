@@ -14,7 +14,7 @@ use hf_simclock::SimInstant;
 
 use crate::intern::{DigestPool, ListPool, StringPool, NONE_ID};
 
-/// Compact per-session row. Fixed size (~56 bytes).
+/// Compact per-session row. Fixed size: exactly 48 bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Row {
     /// Session start, seconds since the sim epoch (fits u32 for 486 days).
@@ -48,6 +48,11 @@ pub struct Row {
     /// Interned list of download-hash digest ids.
     pub dl_list_id: u32,
 }
+
+// The memory math in this module's docs, the hfstore on-disk encoding
+// (`snapshot.rs`), and the hf-bench columnar ablation all assume this exact
+// size; fail the build if the struct drifts.
+const _: () = assert!(std::mem::size_of::<Row>() == 48);
 
 /// The store: rows + pools.
 #[derive(Debug, Default, Clone)]
@@ -86,6 +91,28 @@ impl SessionStore {
         let mut s = Self::new();
         s.rows.reserve(n);
         s
+    }
+
+    /// Reassemble a store from already-validated parts (the hfstore
+    /// snapshot loader; see `crate::snapshot`).
+    pub(crate) fn from_parts(
+        rows: Vec<Row>,
+        creds: StringPool,
+        commands: StringPool,
+        uris: StringPool,
+        ssh_versions: StringPool,
+        digests: DigestPool,
+        lists: ListPool,
+    ) -> Self {
+        SessionStore {
+            rows,
+            creds,
+            commands,
+            uris,
+            ssh_versions,
+            digests,
+            lists,
+        }
     }
 
     /// Reserve room for `n` additional rows.
@@ -459,11 +486,8 @@ mod tests {
 
     #[test]
     fn row_size_is_compact() {
-        // The memory story of the columnar design: fixed 56-byte rows.
-        assert!(
-            std::mem::size_of::<Row>() <= 56,
-            "{}",
-            std::mem::size_of::<Row>()
-        );
+        // The memory story of the columnar design: fixed 48-byte rows
+        // (also enforced at compile time by the `const _` assert above).
+        assert_eq!(std::mem::size_of::<Row>(), 48);
     }
 }

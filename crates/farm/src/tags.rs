@@ -83,6 +83,15 @@ impl TagDb {
     pub fn iter(&self) -> impl Iterator<Item = (&Digest, &TagEntry)> {
         self.map.iter()
     }
+
+    /// Entries sorted by digest — the canonical order the hfstore snapshot
+    /// writer uses, so that identical databases serialize byte-identically
+    /// regardless of `HashMap` iteration order.
+    pub fn entries_sorted(&self) -> Vec<(&Digest, &TagEntry)> {
+        let mut v: Vec<(&Digest, &TagEntry)> = self.map.iter().collect();
+        v.sort_by_key(|(d, _)| *d);
+        v
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use hf_agents::{Ecosystem, EcosystemConfig, Scale};
-use hf_farm::{Collector, Dataset, TagDb};
+use hf_farm::{Collector, Dataset, Snapshot, SnapshotMeta, TagDb};
 use hf_simclock::StudyWindow;
 
 use crate::exec::{build_configs, execute_plan, execute_plan_cached, ExecCtx, ScriptCache};
@@ -63,6 +63,40 @@ pub struct SimOutput {
     pub tags: TagDb,
     /// Distinct client IPs allocated by the ecosystem.
     pub n_clients: usize,
+}
+
+impl SimOutput {
+    /// Package the run as an hfstore [`Snapshot`] (see
+    /// [`hf_farm::snapshot`]), ready for [`Snapshot::write_file`]. `config`
+    /// must be the configuration the run was produced with; it becomes the
+    /// snapshot's metadata so `hfarm report` can label its output.
+    pub fn to_snapshot(&self, config: &SimConfig) -> Snapshot {
+        Snapshot {
+            meta: SnapshotMeta {
+                seed: config.seed,
+                scale_volume: config.scale.volume,
+                scale_hashes: config.scale.hashes,
+                days: config.window.num_days(),
+                n_clients: self.n_clients as u64,
+            },
+            plan: self.dataset.plan.clone(),
+            sessions: self.dataset.sessions.clone(),
+            tags: self.tags.clone(),
+        }
+    }
+
+    /// Reassemble a run from a loaded snapshot without re-simulating. The
+    /// artifact store is replayed deterministically from the stored rows,
+    /// so the result feeds the Section 6/7 report pipeline exactly like a
+    /// fresh [`Simulation::run`] of the same seed.
+    pub fn from_snapshot(snapshot: Snapshot) -> SimOutput {
+        let (dataset, tags, meta) = snapshot.into_dataset();
+        SimOutput {
+            dataset,
+            tags,
+            n_clients: meta.n_clients as usize,
+        }
+    }
 }
 
 /// The simulator.
@@ -272,6 +306,35 @@ mod tests {
             .filter(|(_, d)| out.tags.tag(d).is_some())
             .count();
         assert_eq!(tagged, out.dataset.sessions.digests.len());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reproduces_the_run() {
+        let cfg = SimConfig::test(6);
+        let out = Simulation::run(cfg.clone());
+        let mut bytes = Vec::new();
+        out.to_snapshot(&cfg).write_to(&mut bytes).expect("write");
+        let loaded =
+            SimOutput::from_snapshot(Snapshot::read_from(&mut bytes.as_slice()).expect("read"));
+        // Sessions: identical rows in identical order.
+        assert_eq!(loaded.dataset.sessions.rows(), out.dataset.sessions.rows());
+        assert_eq!(loaded.n_clients, out.n_clients);
+        // Tags: same associations.
+        assert_eq!(loaded.tags.len(), out.tags.len());
+        for (h, e) in out.tags.iter() {
+            assert_eq!(loaded.tags.tag(h), Some(e.tag.as_str()));
+            assert_eq!(loaded.tags.campaign(h), Some(e.campaign.as_str()));
+        }
+        // Artifacts: the deterministic replay matches the live collector.
+        assert_eq!(loaded.dataset.artifacts.len(), out.dataset.artifacts.len());
+        for (h, meta) in out.dataset.artifacts.iter() {
+            let r = loaded.dataset.artifacts.get(h).expect("artifact");
+            assert_eq!(r.first_seen, meta.first_seen);
+            assert_eq!(r.last_seen, meta.last_seen);
+            assert_eq!(r.occurrences, meta.occurrences);
+        }
+        // Deployment metadata survives.
+        assert_eq!(loaded.dataset.plan, out.dataset.plan);
     }
 
     #[test]

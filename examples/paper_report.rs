@@ -5,6 +5,9 @@
 //! cargo run --release --example paper_report
 //! # smaller/faster:
 //! cargo run --release --example paper_report -- --scale 0.002 --days 180
+//! # persist the run, then reanalyze without re-simulating:
+//! cargo run --release --example paper_report -- --save-snapshot out/farm.hfstore
+//! cargo run --release --example paper_report -- --from-snapshot out/farm.hfstore
 //! ```
 
 use std::path::PathBuf;
@@ -18,6 +21,8 @@ struct Args {
     out: PathBuf,
     fast: bool,
     threads: usize,
+    save_snapshot: Option<PathBuf>,
+    from_snapshot: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +33,8 @@ fn parse_args() -> Args {
         out: PathBuf::from("out/report"),
         fast: false,
         threads: 1,
+        save_snapshot: None,
+        from_snapshot: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -39,10 +46,13 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(val()),
             "--fast" => args.fast = true,
             "--threads" => args.threads = val().parse().expect("--threads usize"),
+            "--save-snapshot" => args.save_snapshot = Some(PathBuf::from(val())),
+            "--from-snapshot" => args.from_snapshot = Some(PathBuf::from(val())),
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast] [--threads N]"
+                    "usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast] \
+                     [--threads N] [--save-snapshot FILE] [--from-snapshot FILE]"
                 );
                 std::process::exit(2);
             }
@@ -65,33 +75,62 @@ fn main() {
         use_script_cache: args.fast,
         threads: args.threads,
     };
-    eprintln!(
-        "simulating {} days at scale {} (seed {}, {} thread{}) …",
-        window.num_days(),
-        args.scale,
-        args.seed,
-        args.threads,
-        if args.threads == 1 { "" } else { "s" }
-    );
     let t0 = std::time::Instant::now();
-    let out = Simulation::run_with_progress(config, |s| {
-        if s.day % 30 == 0 || s.day == s.days_total {
-            eprintln!(
-                "  day {}/{} ({:.0}s elapsed, {:.0} sessions/s today)",
-                s.day,
-                s.days_total,
-                t0.elapsed().as_secs_f64(),
-                s.sessions_per_sec()
-            );
+    let out = if let Some(path) = &args.from_snapshot {
+        eprintln!("loading snapshot {} …", path.display());
+        let snap = Snapshot::read_file(path).unwrap_or_else(|e| {
+            eprintln!("error loading snapshot: {e}");
+            std::process::exit(1);
+        });
+        let out = SimOutput::from_snapshot(snap);
+        eprintln!(
+            "snapshot loaded in {:.1}s: {} sessions / {} clients / {} hashes",
+            t0.elapsed().as_secs_f64(),
+            out.dataset.len(),
+            out.n_clients,
+            out.tags.len()
+        );
+        out
+    } else {
+        eprintln!(
+            "simulating {} days at scale {} (seed {}, {} thread{}) …",
+            window.num_days(),
+            args.scale,
+            args.seed,
+            args.threads,
+            if args.threads == 1 { "" } else { "s" }
+        );
+        let out = Simulation::run_with_progress(config.clone(), |s| {
+            if s.day % 30 == 0 || s.day == s.days_total {
+                eprintln!(
+                    "  day {}/{} ({:.0}s elapsed, {:.0} sessions/s today)",
+                    s.day,
+                    s.days_total,
+                    t0.elapsed().as_secs_f64(),
+                    s.sessions_per_sec()
+                );
+            }
+        });
+        eprintln!(
+            "simulation done in {:.1}s: {} sessions / {} clients / {} hashes",
+            t0.elapsed().as_secs_f64(),
+            out.dataset.len(),
+            out.n_clients,
+            out.tags.len()
+        );
+        out
+    };
+
+    if let Some(path) = &args.save_snapshot {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("snapshot dir");
         }
-    });
-    eprintln!(
-        "simulation done in {:.1}s: {} sessions / {} clients / {} hashes",
-        t0.elapsed().as_secs_f64(),
-        out.dataset.len(),
-        out.n_clients,
-        out.tags.len()
-    );
+        if let Err(e) = out.to_snapshot(&config).write_file(path) {
+            eprintln!("error writing snapshot: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("snapshot written to {}", path.display());
+    }
 
     let t1 = std::time::Instant::now();
     let agg = Aggregates::compute(&out.dataset, &out.tags);

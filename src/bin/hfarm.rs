@@ -1,8 +1,12 @@
 //! `hfarm` — command-line front door to the honeyfarm reproduction suite.
 //!
 //! ```text
-//! hfarm simulate [--scale F] [--days N] [--seed S] [--out DIR]
-//!     Simulate the study window and write every table/figure + claims.
+//! hfarm simulate [--scale F] [--days N] [--seed S] [--out DIR] [--snapshot FILE]
+//!     Simulate the study window, write every table/figure + claims, and
+//!     persist the collected run as an hfstore snapshot.
+//! hfarm report   [--snapshot FILE] [--out DIR]
+//!     Load a snapshot and run the full report pipeline without
+//!     re-simulating; output is byte-identical to the producing simulate.
 //! hfarm claims   [--scale F] [--days N] [--seed S]
 //!     Print the headline findings only.
 //! hfarm birth    [--scale F] [--days N] [--seed S]
@@ -12,7 +16,7 @@
 //!     until Ctrl-C.
 //! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use honeyfarm::core::birth::birth_report;
 use honeyfarm::prelude::*;
@@ -22,6 +26,7 @@ struct Common {
     days: u32,
     seed: u64,
     out: PathBuf,
+    snapshot: PathBuf,
     nodes: u16,
     fast: bool,
     threads: usize,
@@ -33,6 +38,7 @@ fn parse(args: &[String]) -> Common {
         days: 486,
         seed: 0x0e0e_fa20,
         out: PathBuf::from("out/report"),
+        snapshot: PathBuf::from("out/farm.hfstore"),
         nodes: 3,
         fast: false,
         threads: 1,
@@ -48,6 +54,7 @@ fn parse(args: &[String]) -> Common {
             "--days" => c.days = val().parse().unwrap_or_else(|_| usage("--days u32")),
             "--seed" => c.seed = val().parse().unwrap_or_else(|_| usage("--seed u64")),
             "--out" => c.out = PathBuf::from(val()),
+            "--snapshot" => c.snapshot = PathBuf::from(val()),
             "--nodes" => c.nodes = val().parse().unwrap_or_else(|_| usage("--nodes u16")),
             "--fast" => c.fast = true,
             "--threads" => c.threads = val().parse().unwrap_or_else(|_| usage("--threads usize")),
@@ -60,32 +67,38 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|claims|birth|serve> [--scale F] [--days N] [--seed S] [--out DIR] [--nodes N] [--fast] [--threads N]"
+        "usage: hfarm <simulate|report|claims|birth|serve> [--scale F] [--days N] [--seed S] \
+         [--out DIR] [--snapshot FILE] [--nodes N] [--fast] [--threads N]"
     );
     std::process::exit(2)
 }
 
-fn simulate(c: &Common) -> (SimOutput, Aggregates) {
+fn sim_config(c: &Common) -> SimConfig {
     let window = if c.days >= 486 {
         StudyWindow::paper()
     } else {
         StudyWindow::first_days(c.days)
     };
-    eprintln!(
-        "simulating {} days at scale {} (seed {}, {} thread{}) …",
-        window.num_days(),
-        c.scale,
-        c.seed,
-        c.threads,
-        if c.threads == 1 { "" } else { "s" }
-    );
-    let out = Simulation::run(SimConfig {
+    SimConfig {
         seed: c.seed,
         scale: Scale::of(c.scale),
         window,
         use_script_cache: c.fast,
         threads: c.threads,
-    });
+    }
+}
+
+fn simulate(c: &Common) -> (SimOutput, Aggregates) {
+    let config = sim_config(c);
+    eprintln!(
+        "simulating {} days at scale {} (seed {}, {} thread{}) …",
+        config.window.num_days(),
+        c.scale,
+        c.seed,
+        c.threads,
+        if c.threads == 1 { "" } else { "s" }
+    );
+    let out = Simulation::run(config);
     eprintln!(
         "{} sessions / {} clients / {} hashes",
         out.dataset.len(),
@@ -96,6 +109,18 @@ fn simulate(c: &Common) -> (SimOutput, Aggregates) {
     (out, agg)
 }
 
+/// Write the report dir + claims for a collected run — shared by
+/// `simulate` (fresh run) and `report` (snapshot reload), so both paths
+/// produce byte-identical output from identical data.
+fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Path) {
+    let report = Report::build_with_tags(dataset, agg, tags);
+    report.write_dir(out_dir).expect("write report");
+    let claims = Claims::compute(agg);
+    std::fs::write(out_dir.join("claims.json"), claims.to_json()).expect("claims");
+    println!("{}", report.summary());
+    println!("report written to {}", out_dir.display());
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -104,13 +129,37 @@ fn main() {
     let c = parse(rest);
     match cmd.as_str() {
         "simulate" => {
+            let config = sim_config(&c);
             let (out, agg) = simulate(&c);
-            let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
-            report.write_dir(&c.out).expect("write report");
-            let claims = Claims::compute(&agg);
-            std::fs::write(c.out.join("claims.json"), claims.to_json()).expect("claims");
-            println!("{}", report.summary());
-            println!("report written to {}", c.out.display());
+            if let Some(dir) = c.snapshot.parent() {
+                std::fs::create_dir_all(dir).expect("snapshot dir");
+            }
+            if let Err(e) = out.to_snapshot(&config).write_file(&c.snapshot) {
+                eprintln!("error writing snapshot: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("snapshot written to {}", c.snapshot.display());
+            write_report(&out.dataset, &out.tags, &agg, &c.out);
+        }
+        "report" => {
+            eprintln!("loading snapshot {} …", c.snapshot.display());
+            let snap = Snapshot::read_file(&c.snapshot).unwrap_or_else(|e| {
+                eprintln!("error loading snapshot: {e}");
+                std::process::exit(1);
+            });
+            let meta = snap.meta;
+            let out = SimOutput::from_snapshot(snap);
+            eprintln!(
+                "{} sessions / {} clients / {} hashes (seed {}, scale {}, {} days)",
+                out.dataset.len(),
+                out.n_clients,
+                out.tags.len(),
+                meta.seed,
+                meta.scale_volume,
+                meta.days
+            );
+            let agg = Aggregates::compute(&out.dataset, &out.tags);
+            write_report(&out.dataset, &out.tags, &agg, &c.out);
         }
         "claims" => {
             let (_, agg) = simulate(&c);

@@ -55,7 +55,7 @@ pub use hf_simclock as simclock;
 pub mod prelude {
     pub use hf_agents::{Ecosystem, EcosystemConfig, Scale};
     pub use hf_core::{Aggregates, Claims, Report};
-    pub use hf_farm::{Collector, Dataset, FarmPlan, TagDb};
+    pub use hf_farm::{Collector, Dataset, FarmPlan, Snapshot, SnapshotError, TagDb};
     pub use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
     pub use hf_sim::{DayStats, SimConfig, SimOutput, Simulation};
     pub use hf_simclock::StudyWindow;

