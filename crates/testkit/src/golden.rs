@@ -1,0 +1,238 @@
+//! Golden-file checking with `UPDATE_GOLDENS=1` regeneration.
+//!
+//! A golden test renders some deterministic artifact (a scenario event log,
+//! a report table) and compares it line-by-line against a checked-in
+//! expectation. On mismatch the failure message shows a readable unified
+//! diff excerpt instead of two multi-kilobyte strings. Setting the
+//! `UPDATE_GOLDENS` environment variable (to anything but `0` or the empty
+//! string) rewrites the golden instead of failing, so refreshing
+//! expectations after an intended behavior change is one command:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test scenario_goldens
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+/// Environment variable that switches checks into regeneration mode.
+pub const UPDATE_ENV: &str = "UPDATE_GOLDENS";
+
+/// Outcome of a golden comparison.
+#[derive(Debug)]
+pub enum GoldenOutcome {
+    /// Actual matched the checked-in golden.
+    Match,
+    /// Regeneration mode: the golden file was (re)written.
+    Updated,
+}
+
+/// Failure of a golden comparison.
+#[derive(Debug)]
+pub enum GoldenError {
+    /// Golden file missing (and not in regeneration mode).
+    Missing {
+        /// Path of the absent golden.
+        path: String,
+    },
+    /// Content mismatch, with a rendered line diff.
+    Mismatch {
+        /// Path of the stale golden.
+        path: String,
+        /// Readable line-level diff excerpt.
+        diff: String,
+    },
+    /// Filesystem trouble reading or writing the golden.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Missing { path } => write!(
+                f,
+                "golden file {path} is missing — run with {UPDATE_ENV}=1 to create it"
+            ),
+            GoldenError::Mismatch { path, diff } => write!(
+                f,
+                "golden file {path} is stale — rerun with {UPDATE_ENV}=1 if the change is \
+                 intended\n{diff}"
+            ),
+            GoldenError::Io(e) => write!(f, "golden io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+impl From<std::io::Error> for GoldenError {
+    fn from(e: std::io::Error) -> Self {
+        GoldenError::Io(e)
+    }
+}
+
+/// Is regeneration mode active?
+pub fn update_mode() -> bool {
+    match std::env::var(UPDATE_ENV) {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Render a readable line diff between expected and actual, capped to the
+/// first few divergent hunks.
+fn render_diff(expected: &str, actual: &str) -> String {
+    const MAX_LINES: usize = 20;
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0usize;
+    let mut suppressed = 0usize;
+    for i in 0..exp.len().max(act.len()) {
+        let (e, a) = (exp.get(i), act.get(i));
+        if e == a {
+            continue;
+        }
+        if shown >= MAX_LINES {
+            suppressed += 1;
+            continue;
+        }
+        shown += 1;
+        match (e, a) {
+            (Some(e), Some(a)) => {
+                out.push_str(&format!("  line {}:\n    -{e}\n    +{a}\n", i + 1));
+            }
+            (Some(e), None) => out.push_str(&format!("  line {}: -{e}\n", i + 1)),
+            (None, Some(a)) => out.push_str(&format!("  line {}: +{a}\n", i + 1)),
+            (None, None) => unreachable!(),
+        }
+    }
+    if suppressed > 0 {
+        out.push_str(&format!("  … and {suppressed} more differing line(s)\n"));
+    }
+    format!(
+        "--- expected ({} lines) / +++ actual ({} lines)\n{}",
+        exp.len(),
+        act.len(),
+        out
+    )
+}
+
+/// Compare `actual` against the golden at `path`.
+///
+/// In regeneration mode the golden is rewritten (creating parent
+/// directories as needed) and the check passes; otherwise a missing or
+/// differing golden is a typed error carrying a readable diff.
+pub fn check_golden(path: &Path, actual: &str) -> Result<GoldenOutcome, GoldenError> {
+    if update_mode() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        // Skip the write when content is already identical, so regeneration
+        // is idempotent at the filesystem level too (stable mtimes aside,
+        // running it twice produces no diff).
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if existing == actual {
+                return Ok(GoldenOutcome::Match);
+            }
+        }
+        std::fs::write(path, actual)?;
+        return Ok(GoldenOutcome::Updated);
+    }
+    let expected = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(GoldenError::Missing {
+                path: path.display().to_string(),
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    if expected == actual {
+        Ok(GoldenOutcome::Match)
+    } else {
+        Err(GoldenError::Mismatch {
+            path: path.display().to_string(),
+            diff: render_diff(&expected, actual),
+        })
+    }
+}
+
+/// Assert-style wrapper: panic with the rendered error on any failure.
+#[track_caller]
+pub fn assert_golden(path: &Path, actual: &str) {
+    if let Err(e) = check_golden(path, actual) {
+        panic!("{e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // NOTE: these tests never set UPDATE_GOLDENS themselves (env mutation
+    // races across threads); they exercise the comparison paths directly
+    // and only use temp files they own.
+
+    fn tmp(name: &str, content: Option<&str>) -> std::path::PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("hf-testkit-golden-{name}-{}", std::process::id()));
+        match content {
+            Some(c) => std::fs::write(&p, c).unwrap(),
+            None => {
+                let _ = std::fs::remove_file(&p);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn matching_golden_passes() {
+        let p = tmp("match", Some("a\nb\n"));
+        assert!(matches!(
+            check_golden(&p, "a\nb\n"),
+            Ok(GoldenOutcome::Match)
+        ));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn missing_golden_is_typed() {
+        let p = tmp("missing", None);
+        if update_mode() {
+            return; // regeneration mode would create it; nothing to assert
+        }
+        match check_golden(&p, "x\n") {
+            Err(GoldenError::Missing { path }) => assert!(path.contains("missing")),
+            other => panic!("expected Missing, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_golden_renders_line_diff() {
+        let p = tmp("stale", Some("a\nb\nc\n"));
+        if update_mode() {
+            std::fs::remove_file(&p).unwrap();
+            return;
+        }
+        match check_golden(&p, "a\nX\nc\nd\n") {
+            Err(GoldenError::Mismatch { diff, .. }) => {
+                assert!(diff.contains("line 2"), "{diff}");
+                assert!(diff.contains("-b"), "{diff}");
+                assert!(diff.contains("+X"), "{diff}");
+                assert!(diff.contains("line 4: +d"), "{diff}");
+            }
+            other => panic!("expected Mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn diff_caps_output() {
+        let exp: String = (0..100).map(|i| format!("a{i}\n")).collect();
+        let act: String = (0..100).map(|i| format!("b{i}\n")).collect();
+        let d = render_diff(&exp, &act);
+        assert!(d.contains("more differing line"), "{d}");
+        assert!(d.lines().count() < 90, "diff must stay readable");
+    }
+}

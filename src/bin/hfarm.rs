@@ -14,6 +14,11 @@
 //! hfarm serve    [--nodes N]
 //!     Run live TCP honeypots on loopback and stream Cowrie JSON events
 //!     until Ctrl-C.
+//! hfarm verify   [--claims] [--md] [--scenarios DIR] [--scale F] [--days N]
+//!     Run the correctness oracles end-to-end: thread-count differential
+//!     (1 vs 2 vs 8), snapshot round-trip equivalence, optional scenario
+//!     golden checks, and (with --claims) the full declarative
+//!     paper-claims table. `--md` prints the claims table as markdown.
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -30,6 +35,9 @@ struct Common {
     nodes: u16,
     fast: bool,
     threads: usize,
+    claims: bool,
+    md: bool,
+    scenarios: Option<PathBuf>,
 }
 
 fn parse(args: &[String]) -> Common {
@@ -42,6 +50,9 @@ fn parse(args: &[String]) -> Common {
         nodes: 3,
         fast: false,
         threads: 1,
+        claims: false,
+        md: false,
+        scenarios: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -58,6 +69,9 @@ fn parse(args: &[String]) -> Common {
             "--nodes" => c.nodes = val().parse().unwrap_or_else(|_| usage("--nodes u16")),
             "--fast" => c.fast = true,
             "--threads" => c.threads = val().parse().unwrap_or_else(|_| usage("--threads usize")),
+            "--claims" => c.claims = true,
+            "--md" => c.md = true,
+            "--scenarios" => c.scenarios = Some(PathBuf::from(val())),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -67,8 +81,9 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|report|claims|birth|serve> [--scale F] [--days N] [--seed S] \
-         [--out DIR] [--snapshot FILE] [--nodes N] [--fast] [--threads N]"
+        "usage: hfarm <simulate|report|claims|birth|serve|verify> [--scale F] [--days N] \
+         [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] [--threads N] \
+         [--claims] [--md] [--scenarios DIR]"
     );
     std::process::exit(2)
 }
@@ -170,8 +185,147 @@ fn main() {
             println!("{}", birth_report(&agg));
         }
         "serve" => serve(c.nodes),
+        "verify" => verify(&c),
         other => usage(&format!("unknown subcommand {other}")),
     }
+}
+
+/// Run the correctness oracles end-to-end. Quick mode (default) proves the
+/// engine's core invariants on a small window; `--claims` evaluates the
+/// full declarative paper-claims table on the canonical fixture.
+fn verify(c: &Common) -> ! {
+    use honeyfarm::testkit::{claims as claims_oracle, diff_sim_outputs, Scenario};
+
+    let mut failures = 0usize;
+    let mut check = |name: &str, report: Option<String>| match report {
+        None => println!("ok   {name}"),
+        Some(detail) => {
+            failures += 1;
+            println!("FAIL {name}\n{detail}");
+        }
+    };
+
+    // 1. Thread-count differential: threads ∈ {1, 2, 8} must agree
+    //    bit-for-bit on a small window.
+    let days = c.days.min(30);
+    let base = SimConfig {
+        seed: c.seed,
+        scale: Scale::of(c.scale),
+        window: StudyWindow::first_days(days),
+        use_script_cache: c.fast,
+        threads: 1,
+    };
+    eprintln!(
+        "verify: differential run over {days} days at scale {} …",
+        c.scale
+    );
+    let serial = Simulation::run(base.clone());
+    for threads in [2usize, 8] {
+        let parallel = Simulation::run(SimConfig {
+            threads,
+            ..base.clone()
+        });
+        let report = diff_sim_outputs(
+            "threads=1",
+            &serial,
+            &format!("threads={threads}"),
+            &parallel,
+        );
+        check(
+            &format!("thread differential (1 vs {threads})"),
+            (!report.is_identical()).then(|| report.render()),
+        );
+    }
+
+    // 2. Snapshot round-trip: write → load must reproduce the output, and
+    //    writing twice must be byte-identical.
+    let mut bytes = Vec::new();
+    match serial.to_snapshot(&base).write_to(&mut bytes) {
+        Err(e) => check("snapshot write", Some(format!("  {e}"))),
+        Ok(()) => {
+            let mut again = Vec::new();
+            serial
+                .to_snapshot(&base)
+                .write_to(&mut again)
+                .expect("second snapshot write");
+            check(
+                "snapshot double-write determinism",
+                (bytes != again).then(|| "  two writes of the same run differ".to_string()),
+            );
+            match Snapshot::read_from(&mut &bytes[..]) {
+                Err(e) => check("snapshot load", Some(format!("  {e}"))),
+                Ok(snap) => {
+                    let reloaded = SimOutput::from_snapshot(snap);
+                    let report =
+                        diff_sim_outputs("simulated", &serial, "snapshot-reloaded", &reloaded);
+                    check(
+                        "snapshot round-trip equivalence",
+                        (!report.is_identical()).then(|| report.render()),
+                    );
+                }
+            }
+        }
+    }
+
+    // 3. Scenario goldens, if a directory was given.
+    if let Some(dir) = &c.scenarios {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| usage(&format!("--scenarios {}: {e}", dir.display())))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "hfs"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let name = path
+                .file_stem()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            match Scenario::load(&path) {
+                Err(e) => check(&format!("scenario {name}"), Some(format!("  {e}"))),
+                Ok(sc) => {
+                    let golden = path.with_extension("golden");
+                    let outcome = honeyfarm::testkit::check_golden(&golden, &sc.event_log());
+                    check(
+                        &format!("scenario {name}"),
+                        outcome.err().map(|e| format!("  {e}")),
+                    );
+                }
+            }
+        }
+    }
+
+    // 4. The full paper-claims table, on demand (several minutes: runs the
+    //    canonical fixture — full 486-day window at scale 0.002).
+    if c.claims {
+        eprintln!("verify: paper-claims fixture (486 days at scale 0.002) …");
+        let out = Simulation::run(SimConfig {
+            seed: 0x0e0e_fa20,
+            scale: Scale::of(0.002),
+            window: StudyWindow::paper(),
+            use_script_cache: false,
+            threads: c.threads,
+        });
+        let ctx = claims_oracle::ClaimCtx::new(&out);
+        let results = claims_oracle::evaluate(&ctx);
+        if c.md {
+            println!("{}", claims_oracle::render_markdown(&results));
+        } else {
+            print!("{}", claims_oracle::render_text(&results));
+        }
+        let failed = results.iter().filter(|r| !r.pass).count();
+        check(
+            "paper claims",
+            (failed > 0).then(|| format!("  {failed} claim(s) out of tolerance")),
+        );
+    }
+
+    if failures == 0 {
+        println!("verify: all checks passed");
+        std::process::exit(0)
+    }
+    println!("verify: {failures} check(s) failed");
+    std::process::exit(1)
 }
 
 fn serve(nodes: u16) {

@@ -20,6 +20,7 @@
 //! | [`agents`] | `hf-agents` | the attacker ecosystem |
 //! | [`sim`] | `hf-sim` | the 15-month simulator |
 //! | [`core`] | `hf-core` | classification, metrics, tables & figures |
+//! | [`testkit`] | `hf-testkit` | scenario replay, differential oracles, fuzzing |
 //!
 //! The live Tokio TCP front-end (`hf-wire`, previously re-exported as
 //! `wire`) is parked outside the workspace while builds run offline; see
@@ -50,6 +51,7 @@ pub use hf_proto as proto;
 pub use hf_shell as shell;
 pub use hf_sim as sim;
 pub use hf_simclock as simclock;
+pub use hf_testkit as testkit;
 
 /// The most common imports in one place.
 pub mod prelude {

