@@ -1,0 +1,76 @@
+//! Thread-scaling of the parallel analysis engine.
+//!
+//! Simulates one fixed 20-day window (same workload as `thread_scaling`),
+//! then measures the sharded `Aggregates` fold and the full
+//! `Report::build` at 1/2/4/8 worker threads. Output of both is
+//! bit-identical across thread counts (`hf_core::aggregates` module docs),
+//! so the numbers compare like for like. Unless run with `--test`, writes
+//! the recorded means to `BENCH_analysis.json` at the repo root.
+//!
+//! ```sh
+//! cargo bench -p hf-bench --bench analysis_scaling           # measure
+//! cargo bench -p hf-bench --bench analysis_scaling -- --test # smoke
+//! ```
+
+use criterion::{black_box, Criterion};
+use hf_core::aggregates::Aggregates;
+use hf_core::report::Report;
+use hf_sim::{SimConfig, Simulation};
+use hf_simclock::StudyWindow;
+
+const SEED: u64 = 0x5ca1e;
+const SCALE: f64 = 0.001;
+const DAYS: u32 = 20;
+
+fn bench_analysis_scaling(c: &mut Criterion) {
+    let out = Simulation::run(SimConfig {
+        seed: SEED,
+        scale: hf_agents::Scale::of(SCALE),
+        window: StudyWindow::first_days(DAYS),
+        use_script_cache: false,
+        threads: 1,
+    });
+    eprintln!(
+        "[hf-bench] analysis fixture: {} sessions over {DAYS} days",
+        out.dataset.len()
+    );
+    let agg = Aggregates::compute(&out.dataset);
+
+    let mut g = c.benchmark_group("analysis_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("aggregates_20d_t{threads}"), |b| {
+            b.iter(|| black_box(Aggregates::compute_threaded(&out.dataset, threads)))
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("report_build_20d_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(Report::build_with_tags_threaded(
+                    &out.dataset,
+                    &agg,
+                    &out.tags,
+                    threads,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_analysis_scaling(&mut c);
+    if !c.is_test_mode() {
+        hf_bench::write_bench_json(
+            "BENCH_analysis.json",
+            "analysis_scaling",
+            &[
+                ("seed", format!("{SEED}")),
+                ("scale", format!("{SCALE}")),
+                ("days", format!("{DAYS}")),
+            ],
+            c.measurements(),
+        );
+    }
+}

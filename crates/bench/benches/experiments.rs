@@ -169,11 +169,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("aggregates_full_pass", |b| {
-        b.iter(|| {
-            black_box(hf_core::aggregates::Aggregates::compute(
-                &f.dataset, &f.tags,
-            ))
-        })
+        b.iter(|| black_box(hf_core::aggregates::Aggregates::compute(&f.dataset)))
     });
     g.bench_function("claims", |b| b.iter(|| black_box(Claims::compute(&f.agg))));
     g.finish();

@@ -7,19 +7,26 @@
 //! bit-identical across thread counts (see `hf_sim::parallel`), so the
 //! numbers compare like for like.
 //!
+//! Unless run with `--test`, writes the recorded means to
+//! `BENCH_thread_scaling.json` at the repo root.
+//!
 //! ```sh
 //! cargo bench -p hf-bench --bench thread_scaling
 //! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, Criterion};
 use hf_sim::{SimConfig, Simulation};
 use hf_simclock::StudyWindow;
 
+const SEED: u64 = 0x5ca1e;
+const SCALE: f64 = 0.001;
+const DAYS: u32 = 20;
+
 fn cfg(threads: usize, fast: bool) -> SimConfig {
     SimConfig {
-        seed: 0x5ca1e,
-        scale: hf_agents::Scale::of(0.001),
-        window: StudyWindow::first_days(20),
+        seed: SEED,
+        scale: hf_agents::Scale::of(SCALE),
+        window: StudyWindow::first_days(DAYS),
         use_script_cache: fast,
         threads,
     }
@@ -41,5 +48,19 @@ fn bench_thread_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_thread_scaling(&mut c);
+    if !c.is_test_mode() {
+        hf_bench::write_bench_json(
+            "BENCH_thread_scaling.json",
+            "thread_scaling",
+            &[
+                ("seed", format!("{SEED}")),
+                ("scale", format!("{SCALE}")),
+                ("days", format!("{DAYS}")),
+            ],
+            c.measurements(),
+        );
+    }
+}

@@ -5,12 +5,56 @@
 //! scale is tunable via `HF_BENCH_SCALE` (default 0.002 = 1:500 of the
 //! paper's volume over the full 486-day window) and `HF_BENCH_DAYS`.
 
+use std::path::PathBuf;
 use std::sync::OnceLock;
 
 use hf_core::aggregates::Aggregates;
 use hf_farm::{Dataset, TagDb};
 use hf_sim::{SimConfig, Simulation};
 use hf_simclock::StudyWindow;
+
+/// Repo root (two levels above this crate's manifest) — where the
+/// `BENCH_*.json` trajectory files live.
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+/// Write a machine-readable bench trajectory file at the repo root.
+///
+/// Schema (documented in EXPERIMENTS.md): `bench` is the bench target
+/// name, `config` the fixed workload parameters as key → JSON-literal
+/// pairs, `results` one entry per measurement with the mean nanoseconds
+/// per iteration and the iteration count.
+pub fn write_bench_json(
+    file_name: &str,
+    bench: &str,
+    config: &[(&str, String)],
+    results: &[criterion::Measurement],
+) {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    s.push_str("  \"config\": {");
+    for (i, (k, v)) in config.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{k}\": {v}"));
+    }
+    s.push_str("},\n  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"iters\": {}}}{}\n",
+            m.name,
+            m.mean_ns,
+            m.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    let path = repo_root().join(file_name);
+    std::fs::write(&path, s).expect("write bench json");
+    eprintln!("[hf-bench] wrote {}", path.display());
+}
 
 /// The shared fixture.
 pub struct Fixture {
@@ -72,7 +116,7 @@ pub fn fixture() -> &'static Fixture {
             out.tags.len(),
             t0.elapsed().as_secs_f64()
         );
-        let agg = Aggregates::compute(&out.dataset, &out.tags);
+        let agg = Aggregates::compute(&out.dataset);
         Fixture {
             dataset: out.dataset,
             tags: out.tags,

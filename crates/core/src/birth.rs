@@ -130,7 +130,6 @@ impl std::fmt::Display for BirthReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hf_farm::TagDb;
     use hf_sim::{SimConfig, Simulation};
     use hf_simclock::StudyWindow;
 
@@ -143,7 +142,7 @@ mod tests {
             use_script_cache: false,
             threads: 1,
         });
-        let agg = Aggregates::compute(&out.dataset, &TagDb::new());
+        let agg = Aggregates::compute(&out.dataset);
         let rep = birth_report(&agg);
         assert_eq!(rep.weeks.len(), 20);
         // Intrusion present from week 0 (the paper's "from day one").
@@ -168,7 +167,7 @@ mod tests {
             use_script_cache: false,
             threads: 1,
         });
-        let agg = Aggregates::compute(&out.dataset, &TagDb::new());
+        let agg = Aggregates::compute(&out.dataset);
         let rep = birth_report(&agg);
         assert!(
             rep.final_month_vs_peak > 0.4,

@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn claims_compute_on_small_run() {
         let out = Simulation::run(SimConfig::test(10));
-        let agg = Aggregates::compute(&out.dataset, &out.tags);
+        let agg = Aggregates::compute(&out.dataset);
         let c = Claims::compute(&agg);
         assert_eq!(c.total_sessions, out.dataset.len() as u64);
         assert!(c.ssh_share > 0.4 && c.ssh_share < 0.95, "{}", c.ssh_share);

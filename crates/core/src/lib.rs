@@ -25,7 +25,7 @@
 //! use hf_core::{aggregates::Aggregates, report::Report};
 //!
 //! let out = Simulation::run(SimConfig::default());
-//! let agg = Aggregates::compute(&out.dataset, &out.tags);
+//! let agg = Aggregates::compute(&out.dataset);
 //! let report = Report::build(&out.dataset, &agg);
 //! println!("{}", report.table1);
 //! ```

@@ -9,7 +9,7 @@ pub mod figures;
 pub mod render;
 pub mod tables;
 
-use std::io::Write as _;
+use std::io::{BufWriter, Write as _};
 use std::path::Path;
 
 use hf_farm::{Dataset, TagDb};
@@ -78,36 +78,104 @@ pub struct Report {
 }
 
 impl Report {
-    /// Build every table and figure from the aggregates.
+    /// Build every table and figure from the aggregates, serially.
+    ///
+    /// Fused scans: the top-5% honeypot selection is computed once and
+    /// shared by Figs. 3/4/8/9, and Figs. 12/13 come from one pass over
+    /// the client map ([`figures::client_ecdfs`]).
     pub fn build_with_tags(dataset: &Dataset, agg: &Aggregates, tags: &TagDb) -> Report {
+        Self::build_with_tags_threaded(dataset, agg, tags, 1)
+    }
+
+    /// Build the report, running independent builder groups concurrently.
+    ///
+    /// Every builder consumes the shared immutable [`Aggregates`], so the
+    /// groups are data-independent; results are assembled into the struct
+    /// in a fixed order, making the output identical for any `threads`.
+    /// `threads <= 1` runs everything on the calling thread.
+    pub fn build_with_tags_threaded(
+        dataset: &Dataset,
+        agg: &Aggregates,
+        tags: &TagDb,
+        threads: usize,
+    ) -> Report {
+        // The three expensive groups (matrix quantiles, hash-table sorts,
+        // client-map passes) and the cheap remainder.
+        let bands = || {
+            let sel = figures::top5pct_honeypots(agg);
+            (
+                figures::fig_bands_with(agg, Some(&sel)),
+                figures::fig_bands_with(agg, None),
+                figures::fig_cat_bands_with(agg, None),
+                figures::fig_cat_bands_with(agg, Some(&sel)),
+            )
+        };
+        let hashes = || {
+            (
+                tables::hash_table(dataset, agg, tags, HashSortKey::Sessions, 20),
+                tables::hash_table(dataset, agg, tags, HashSortKey::Clients, 20),
+                tables::hash_table(dataset, agg, tags, HashSortKey::Days, 20),
+                figures::fig18(agg),
+                figures::fig20(agg),
+                figures::fig22(dataset, agg, tags),
+            )
+        };
+        let clients = || {
+            (
+                figures::client_ecdfs(agg),
+                figures::fig10(agg),
+                figures::fig14(agg),
+                figures::fig21(agg),
+            )
+        };
+
+        let (
+            (fig3, fig4, fig8, fig9),
+            (table4, table5, table6, fig18, fig20, fig22),
+            ((fig12, fig13), fig10, fig14, fig21),
+        ) = if threads <= 1 {
+            (bands(), hashes(), clients())
+        } else {
+            std::thread::scope(|scope| {
+                let hb = scope.spawn(bands);
+                let hh = scope.spawn(hashes);
+                let hc = scope.spawn(clients);
+                (
+                    hb.join().expect("bands builder panicked"),
+                    hh.join().expect("hash builder panicked"),
+                    hc.join().expect("client builder panicked"),
+                )
+            })
+        };
+
         Report {
             table1: tables::table1(agg),
             table2: tables::table2(dataset, agg),
             table3: tables::table3(dataset, agg),
-            table4: tables::hash_table(dataset, agg, tags, HashSortKey::Sessions, 20),
-            table5: tables::hash_table(dataset, agg, tags, HashSortKey::Clients, 20),
-            table6: tables::hash_table(dataset, agg, tags, HashSortKey::Days, 20),
+            table4,
+            table5,
+            table6,
             fig1: figures::fig1(dataset),
             fig2: figures::fig2(agg),
-            fig3: figures::fig_bands(agg, true),
-            fig4: figures::fig_bands(agg, false),
+            fig3,
+            fig4,
             fig5: figures::fig5(agg),
             fig6: figures::fig6(agg),
             fig7: figures::fig7(agg),
-            fig8: figures::fig_cat_bands(agg, false),
-            fig9: figures::fig_cat_bands(agg, true),
-            fig10: figures::fig10(agg),
+            fig8,
+            fig9,
+            fig10,
             fig11: figures::fig11(agg),
-            fig12: figures::fig12(agg),
-            fig13: figures::fig13(agg),
-            fig14: figures::fig14(agg),
+            fig12,
+            fig13,
+            fig14,
             fig15: figures::fig15(agg),
             fig16: figures::fig16(agg),
             fig17: figures::fig17(agg),
-            fig18: figures::fig18(agg),
-            fig20: figures::fig20(agg),
-            fig21: figures::fig21(agg),
-            fig22: figures::fig22(dataset, agg, tags),
+            fig18,
+            fig20,
+            fig21,
+            fig22,
         }
     }
 
@@ -116,41 +184,60 @@ impl Report {
         Self::build_with_tags(dataset, agg, &TagDb::new())
     }
 
+    /// Convenience wrapper: concurrent build with an empty tag database.
+    pub fn build_threaded(dataset: &Dataset, agg: &Aggregates, threads: usize) -> Report {
+        Self::build_with_tags_threaded(dataset, agg, &TagDb::new(), threads)
+    }
+
     /// Write every table/figure as TSV plus `summary.md` into a directory.
+    ///
+    /// Artifacts stream through a `BufWriter` via their `write_tsv`
+    /// methods — no intermediate per-file `String`.
     pub fn write_dir(&self, dir: &Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let write = |name: &str, content: String| -> std::io::Result<()> {
-            let mut f = std::fs::File::create(dir.join(name))?;
-            f.write_all(content.as_bytes())
+        let write = |name: &str,
+                     f: &dyn Fn(&mut BufWriter<std::fs::File>) -> std::io::Result<()>|
+         -> std::io::Result<()> {
+            let mut w = BufWriter::new(std::fs::File::create(dir.join(name))?);
+            f(&mut w)?;
+            w.flush()
         };
-        write("table1.tsv", self.table1.to_tsv())?;
-        write("table2.tsv", self.table2.to_tsv())?;
-        write("table3.tsv", self.table3.to_tsv())?;
-        write("table4.tsv", self.table4.to_tsv())?;
-        write("table5.tsv", self.table5.to_tsv())?;
-        write("table6.tsv", self.table6.to_tsv())?;
-        write("fig01_deployment.tsv", self.fig1.to_tsv())?;
-        write("fig02_sessions_per_honeypot.tsv", self.fig2.to_tsv())?;
-        write("fig03_bands_top5.tsv", self.fig3.to_tsv())?;
-        write("fig04_bands_all.tsv", self.fig4.to_tsv())?;
-        write("fig05_flow.tsv", self.fig5.to_tsv())?;
-        write("fig06_category_timeseries.tsv", self.fig6.to_tsv())?;
-        write("fig07_duration_ecdf.tsv", self.fig7.to_tsv())?;
-        write("fig08_category_bands_all.tsv", self.fig8.to_tsv())?;
-        write("fig09_category_bands_top5.tsv", self.fig9.to_tsv())?;
-        write("fig10_23_client_countries.tsv", self.fig10.to_tsv())?;
-        write("fig11_daily_ips.tsv", self.fig11.to_tsv())?;
-        write("fig12_spread_ecdf.tsv", self.fig12.to_tsv())?;
-        write("fig13_days_ecdf.tsv", self.fig13.to_tsv())?;
-        write("fig14_clients_per_honeypot.tsv", self.fig14.to_tsv())?;
-        write("fig15_multirole.tsv", self.fig15.to_tsv())?;
-        write("fig16_24_regional.tsv", self.fig16.to_tsv())?;
-        write("fig17_freshness.tsv", self.fig17.to_tsv())?;
-        write("fig18_19_hashes_per_honeypot.tsv", self.fig18.to_tsv())?;
-        write("fig20_clients_per_hash.tsv", self.fig20.to_tsv())?;
-        write("fig21_hashes_per_client.tsv", self.fig21.to_tsv())?;
-        write("fig22_campaign_length.tsv", self.fig22.to_tsv())?;
-        write("summary.md", self.summary())?;
+        write("table1.tsv", &|w| self.table1.write_tsv(w))?;
+        write("table2.tsv", &|w| self.table2.write_tsv(w))?;
+        write("table3.tsv", &|w| self.table3.write_tsv(w))?;
+        write("table4.tsv", &|w| self.table4.write_tsv(w))?;
+        write("table5.tsv", &|w| self.table5.write_tsv(w))?;
+        write("table6.tsv", &|w| self.table6.write_tsv(w))?;
+        write("fig01_deployment.tsv", &|w| self.fig1.write_tsv(w))?;
+        write("fig02_sessions_per_honeypot.tsv", &|w| {
+            self.fig2.write_tsv(w)
+        })?;
+        write("fig03_bands_top5.tsv", &|w| self.fig3.write_tsv(w))?;
+        write("fig04_bands_all.tsv", &|w| self.fig4.write_tsv(w))?;
+        write("fig05_flow.tsv", &|w| self.fig5.write_tsv(w))?;
+        write("fig06_category_timeseries.tsv", &|w| self.fig6.write_tsv(w))?;
+        write("fig07_duration_ecdf.tsv", &|w| self.fig7.write_tsv(w))?;
+        write("fig08_category_bands_all.tsv", &|w| self.fig8.write_tsv(w))?;
+        write("fig09_category_bands_top5.tsv", &|w| self.fig9.write_tsv(w))?;
+        write("fig10_23_client_countries.tsv", &|w| {
+            self.fig10.write_tsv(w)
+        })?;
+        write("fig11_daily_ips.tsv", &|w| self.fig11.write_tsv(w))?;
+        write("fig12_spread_ecdf.tsv", &|w| self.fig12.write_tsv(w))?;
+        write("fig13_days_ecdf.tsv", &|w| self.fig13.write_tsv(w))?;
+        write("fig14_clients_per_honeypot.tsv", &|w| {
+            self.fig14.write_tsv(w)
+        })?;
+        write("fig15_multirole.tsv", &|w| self.fig15.write_tsv(w))?;
+        write("fig16_24_regional.tsv", &|w| self.fig16.write_tsv(w))?;
+        write("fig17_freshness.tsv", &|w| self.fig17.write_tsv(w))?;
+        write("fig18_19_hashes_per_honeypot.tsv", &|w| {
+            self.fig18.write_tsv(w)
+        })?;
+        write("fig20_clients_per_hash.tsv", &|w| self.fig20.write_tsv(w))?;
+        write("fig21_hashes_per_client.tsv", &|w| self.fig21.write_tsv(w))?;
+        write("fig22_campaign_length.tsv", &|w| self.fig22.write_tsv(w))?;
+        write("summary.md", &|w| w.write_all(self.summary().as_bytes()))?;
         Ok(())
     }
 

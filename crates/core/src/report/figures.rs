@@ -1,4 +1,13 @@
 //! Figures 1–24.
+//!
+//! Every figure consumes the one shared [`Aggregates`] pass; none re-scans
+//! session rows. Builders that used to duplicate work expose fused variants
+//! ([`fig_bands_with`] / [`fig_cat_bands_with`] share one top-5% selection,
+//! [`client_ecdfs`] builds Figs. 12 and 13 in a single pass over clients)
+//! which `Report::build` uses. TSV rendering goes through `write_tsv`
+//! writers; `to_tsv` is the in-memory convenience wrapper.
+
+use std::io;
 
 use hf_farm::{Dataset, TagDb};
 use hf_geo::country;
@@ -9,7 +18,7 @@ use crate::metrics::bands::BandSeries;
 use crate::metrics::ecdf::Ecdf;
 use crate::metrics::freshness::FreshnessPoint;
 use crate::metrics::ranks::{self, rank_series};
-use crate::report::render::{pct, tsv};
+use crate::report::render::{pct, to_string, write_header};
 
 /// Top-5% honeypots by total sessions (the selection of Figs. 3 and 9).
 pub fn top5pct_honeypots(agg: &Aggregates) -> Vec<u16> {
@@ -42,14 +51,18 @@ pub fn fig1(dataset: &Dataset) -> Fig1 {
 }
 
 impl Fig1 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["country", "honeypots"])?;
+        for (c, n) in &self.rows {
+            writeln!(w, "{c}\t{n}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["country", "honeypots"],
-            self.rows
-                .iter()
-                .map(|(c, n)| vec![c.clone(), n.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -77,14 +90,18 @@ pub fn fig2(agg: &Aggregates) -> Fig2 {
 }
 
 impl Fig2 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["rank", "sessions"])?;
+        for (r, s) in &self.series {
+            writeln!(w, "{r}\t{s}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["rank", "sessions"],
-            self.series
-                .iter()
-                .map(|(r, s)| vec![r.to_string(), s.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -115,33 +132,35 @@ pub struct FigBands {
 /// Build Fig. 3 (`top5 = true`) or Fig. 4 (`top5 = false`).
 pub fn fig_bands(agg: &Aggregates, top5: bool) -> FigBands {
     let sel = top5.then(|| top5pct_honeypots(agg));
+    fig_bands_with(agg, sel.as_deref())
+}
+
+/// Build a band figure from a pre-computed honeypot selection (`None` =
+/// all honeypots), letting callers share one [`top5pct_honeypots`] sort.
+pub fn fig_bands_with(agg: &Aggregates, sel: Option<&[u16]>) -> FigBands {
     FigBands {
-        top5_only: top5,
-        bands: BandSeries::from_matrix(
-            &agg.day_hp_sessions,
-            agg.n_days,
-            agg.n_honeypots,
-            sel.as_deref(),
-        ),
+        top5_only: sel.is_some(),
+        bands: BandSeries::from_matrix(&agg.day_hp_sessions, agg.n_days, agg.n_honeypots, sel),
     }
 }
 
 impl FigBands {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["day", "p5", "q25", "median", "q75", "p95"])?;
+        for p in &self.bands.points {
+            writeln!(
+                w,
+                "{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                p.day, p.p5, p.q25, p.median, p.q75, p.p95
+            )?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["day", "p5", "q25", "median", "q75", "p95"],
-            self.bands.points.iter().map(|p| {
-                vec![
-                    p.day.to_string(),
-                    format!("{:.1}", p.p5),
-                    format!("{:.1}", p.q25),
-                    format!("{:.1}", p.median),
-                    format!("{:.1}", p.q75),
-                    format!("{:.1}", p.p95),
-                ]
-            }),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -175,20 +194,24 @@ pub fn fig5(agg: &Aggregates) -> Fig5 {
 }
 
 impl Fig5 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["edge", "sessions"])?;
+        for (e, n) in [
+            ("total", self.total),
+            ("with_creds", self.with_creds),
+            ("login_ok", self.login_ok),
+            ("with_cmds", self.with_cmds),
+            ("with_uri", self.with_uri),
+        ] {
+            writeln!(w, "{e}\t{n}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["edge", "sessions"],
-            [
-                ("total", self.total),
-                ("with_creds", self.with_creds),
-                ("login_ok", self.login_ok),
-                ("with_cmds", self.with_cmds),
-                ("with_uri", self.with_uri),
-            ]
-            .iter()
-            .map(|(e, n)| vec![e.to_string(), n.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -219,19 +242,27 @@ pub fn fig6(agg: &Aggregates) -> Fig6 {
 }
 
 impl Fig6 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "total",
             ],
-            self.fractions.iter().enumerate().map(|(d, fr)| {
-                let mut row: Vec<String> = vec![d.to_string()];
-                row.extend(fr.iter().map(|x| format!("{x:.4}")));
-                row.push(self.totals[d].to_string());
-                row
-            }),
-        )
+        )?;
+        for (d, fr) in self.fractions.iter().enumerate() {
+            write!(w, "{d}")?;
+            for x in fr {
+                write!(w, "\t{x:.4}")?;
+            }
+            writeln!(w, "\t{}", self.totals[d])?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -261,19 +292,20 @@ pub fn fig7(agg: &Aggregates) -> Fig7 {
 }
 
 impl Fig7 {
-    /// TSV rendering (downsampled points).
-    pub fn to_tsv(&self) -> String {
-        let mut rows = Vec::new();
+    /// Streamed TSV rendering (downsampled points).
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["category", "duration_s", "F"])?;
         for (c, e) in &self.ecdfs {
             for (v, fr) in e.points(100) {
-                rows.push(vec![
-                    c.label().to_string(),
-                    v.to_string(),
-                    format!("{fr:.4}"),
-                ]);
+                writeln!(w, "{}\t{v}\t{fr:.4}", c.label())?;
             }
         }
-        tsv(&["category", "duration_s", "F"], rows)
+        Ok(())
+    }
+
+    /// TSV rendering (downsampled points).
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -291,8 +323,14 @@ pub struct FigCatBands {
 /// Build Fig. 8 (`top5 = false`) or Fig. 9 (`top5 = true`).
 pub fn fig_cat_bands(agg: &Aggregates, top5: bool) -> FigCatBands {
     let sel = top5.then(|| top5pct_honeypots(agg));
+    fig_cat_bands_with(agg, sel.as_deref())
+}
+
+/// Build per-category bands from a pre-computed honeypot selection
+/// (`None` = all honeypots).
+pub fn fig_cat_bands_with(agg: &Aggregates, sel: Option<&[u16]>) -> FigCatBands {
     FigCatBands {
-        top5_only: top5,
+        top5_only: sel.is_some(),
         bands: Category::ALL
             .iter()
             .map(|&c| {
@@ -302,7 +340,7 @@ pub fn fig_cat_bands(agg: &Aggregates, top5: bool) -> FigCatBands {
                         &agg.day_hp_by_cat[c.index()],
                         agg.n_days,
                         agg.n_honeypots,
-                        sel.as_deref(),
+                        sel,
                     ),
                 )
             })
@@ -311,26 +349,30 @@ pub fn fig_cat_bands(agg: &Aggregates, top5: bool) -> FigCatBands {
 }
 
 impl FigCatBands {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        let mut rows = Vec::new();
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["category", "day", "p5", "q25", "median", "q75", "p95"])?;
         for (c, series) in &self.bands {
             for p in &series.points {
-                rows.push(vec![
-                    c.label().to_string(),
-                    p.day.to_string(),
-                    format!("{:.1}", p.p5),
-                    format!("{:.1}", p.q25),
-                    format!("{:.1}", p.median),
-                    format!("{:.1}", p.q75),
-                    format!("{:.1}", p.p95),
-                ]);
+                writeln!(
+                    w,
+                    "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}",
+                    c.label(),
+                    p.day,
+                    p.p5,
+                    p.q25,
+                    p.median,
+                    p.q75,
+                    p.p95
+                )?;
             }
         }
-        tsv(
-            &["category", "day", "p5", "q25", "median", "q75", "p95"],
-            rows,
-        )
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -390,18 +432,23 @@ pub fn fig10(agg: &Aggregates) -> Fig10 {
 }
 
 impl Fig10 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        let mut rows = Vec::new();
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["category", "country", "clients"])?;
         for (c, n) in &self.overall {
-            rows.push(vec!["ALL".to_string(), c.clone(), n.to_string()]);
+            writeln!(w, "ALL\t{c}\t{n}")?;
         }
         for (cat, list) in &self.per_category {
             for (c, n) in list {
-                rows.push(vec![cat.label().to_string(), c.clone(), n.to_string()]);
+                writeln!(w, "{}\t{c}\t{n}", cat.label())?;
             }
         }
-        tsv(&["category", "country", "clients"], rows)
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -422,18 +469,27 @@ pub fn fig11(agg: &Aggregates) -> Fig11 {
 }
 
 impl Fig11 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "day", "no_cred", "fail_log", "no_cmd", "cmd", "cmd_uri", "all",
             ],
-            self.daily.iter().enumerate().map(|(d, row)| {
-                let mut r = vec![d.to_string()];
-                r.extend(row.iter().map(|x| x.to_string()));
-                r
-            }),
-        )
+        )?;
+        for (d, row) in self.daily.iter().enumerate() {
+            write!(w, "{d}")?;
+            for x in row {
+                write!(w, "\t{x}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -451,72 +507,78 @@ pub struct FigClientEcdf {
     pub per_category: Vec<(Category, Ecdf)>,
 }
 
+/// Build Figs. 12 and 13 together in ONE pass over the client map (the
+/// per-client filtering dominates both builders; `Report::build` uses this
+/// fused form). `Ecdf::from_samples` sorts, so sample order is irrelevant.
+pub fn client_ecdfs(agg: &Aggregates) -> (FigClientEcdf, FigClientEcdf) {
+    let n = agg.clients.len();
+    let mut hp_overall = Vec::with_capacity(n);
+    let mut day_overall = Vec::with_capacity(n);
+    let mut hp_cat: [Vec<u64>; 5] = Default::default();
+    let mut day_cat: [Vec<u64>; 5] = Default::default();
+    for c in agg.clients.values() {
+        hp_overall.push(bit_count(&c.honeypots) as u64);
+        day_overall.push(c.days as u64);
+        for ci in 0..5 {
+            if c.cats & (1 << ci) != 0 {
+                hp_cat[ci].push(bit_count(&c.honeypots_by_cat[ci]) as u64);
+                day_cat[ci].push(c.days_by_cat[ci] as u64);
+            }
+        }
+    }
+    let per_cat = |mut samples: [Vec<u64>; 5]| -> Vec<(Category, Ecdf)> {
+        Category::ALL
+            .iter()
+            .map(|&cat| {
+                (
+                    cat,
+                    Ecdf::from_samples(std::mem::take(&mut samples[cat.index()])),
+                )
+            })
+            .collect()
+    };
+    (
+        FigClientEcdf {
+            metric: "honeypots",
+            overall: Ecdf::from_samples(hp_overall),
+            per_category: per_cat(hp_cat),
+        },
+        FigClientEcdf {
+            metric: "days",
+            overall: Ecdf::from_samples(day_overall),
+            per_category: per_cat(day_cat),
+        },
+    )
+}
+
 /// Build Fig. 12 (honeypots contacted per client).
 pub fn fig12(agg: &Aggregates) -> FigClientEcdf {
-    let overall = Ecdf::from_samples(
-        agg.clients
-            .values()
-            .map(|c| bit_count(&c.honeypots) as u64)
-            .collect(),
-    );
-    let per_category = Category::ALL
-        .iter()
-        .map(|&cat| {
-            let samples: Vec<u64> = agg
-                .clients
-                .values()
-                .filter(|c| c.cats & (1 << cat.index()) != 0)
-                .map(|c| bit_count(&c.honeypots_by_cat[cat.index()]) as u64)
-                .collect();
-            (cat, Ecdf::from_samples(samples))
-        })
-        .collect();
-    FigClientEcdf {
-        metric: "honeypots",
-        overall,
-        per_category,
-    }
+    client_ecdfs(agg).0
 }
 
 /// Build Fig. 13 (active days per client).
 pub fn fig13(agg: &Aggregates) -> FigClientEcdf {
-    let overall = Ecdf::from_samples(agg.clients.values().map(|c| c.days as u64).collect());
-    let per_category = Category::ALL
-        .iter()
-        .map(|&cat| {
-            let samples: Vec<u64> = agg
-                .clients
-                .values()
-                .filter(|c| c.cats & (1 << cat.index()) != 0)
-                .map(|c| c.days_by_cat[cat.index()] as u64)
-                .collect();
-            (cat, Ecdf::from_samples(samples))
-        })
-        .collect();
-    FigClientEcdf {
-        metric: "days",
-        overall,
-        per_category,
-    }
+    client_ecdfs(agg).1
 }
 
 impl FigClientEcdf {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        let mut rows = Vec::new();
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["category", self.metric, "F"])?;
         for (v, fr) in self.overall.points(200) {
-            rows.push(vec!["ALL".to_string(), v.to_string(), format!("{fr:.4}")]);
+            writeln!(w, "ALL\t{v}\t{fr:.4}")?;
         }
         for (c, e) in &self.per_category {
             for (v, fr) in e.points(200) {
-                rows.push(vec![
-                    c.label().to_string(),
-                    v.to_string(),
-                    format!("{fr:.4}"),
-                ]);
+                writeln!(w, "{}\t{v}\t{fr:.4}", c.label())?;
             }
         }
-        tsv(&["category", self.metric, "F"], rows)
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -570,26 +632,35 @@ pub fn fig14(agg: &Aggregates) -> Fig14 {
 }
 
 impl Fig14 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "rank", "honeypot", "clients", "sessions", "no_cred", "fail_log", "no_cmd", "cmd",
                 "cmd_uri",
             ],
-            (0..self.order.len()).map(|i| {
-                let mut row = vec![
-                    (i + 1).to_string(),
-                    self.order[i].to_string(),
-                    self.clients[i].to_string(),
-                    self.sessions[i].to_string(),
-                ];
-                for (_, v) in &self.per_category {
-                    row.push(v[i].to_string());
-                }
-                row
-            }),
-        )
+        )?;
+        for i in 0..self.order.len() {
+            write!(
+                w,
+                "{}\t{}\t{}\t{}",
+                i + 1,
+                self.order[i],
+                self.clients[i],
+                self.sessions[i]
+            )?;
+            for (_, v) in &self.per_category {
+                write!(w, "\t{}", v[i])?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -625,9 +696,10 @@ pub fn fig15(agg: &Aggregates) -> Fig15 {
 }
 
 impl Fig15 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "day",
                 "scan",
@@ -638,12 +710,20 @@ impl Fig15 {
                 "faillog+cmd",
                 "all3",
             ],
-            self.daily.iter().enumerate().map(|(d, row)| {
-                let mut r = vec![d.to_string()];
-                r.extend(row[1..8].iter().map(|n| n.to_string()));
-                r
-            }),
-        )
+        )?;
+        for (d, row) in self.daily.iter().enumerate() {
+            write!(w, "{d}")?;
+            for n in &row[1..8] {
+                write!(w, "\t{n}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 
     /// Total clients ever counted in more than one role (for claims).
@@ -711,28 +791,11 @@ impl Fig16 {
         }
     }
 
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
         let slots = ["ALL", "NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD+URI"];
-        let mut rows = Vec::new();
-        for (d, day) in self.daily.iter().enumerate() {
-            for (s, combos) in day.iter().enumerate() {
-                let total: u32 = combos[1..].iter().sum();
-                if total == 0 {
-                    continue;
-                }
-                rows.push(vec![
-                    d.to_string(),
-                    slots[s].to_string(),
-                    combos[1].to_string(), // in-country only
-                    combos[2].to_string(), // in-continent only
-                    combos[4].to_string(), // out only
-                    (combos[3] + combos[5] + combos[6] + combos[7]).to_string(), // mixed
-                    total.to_string(),
-                ]);
-            }
-        }
-        tsv(
+        write_header(
+            w,
             &[
                 "day",
                 "slot",
@@ -742,8 +805,30 @@ impl Fig16 {
                 "mixed",
                 "clients",
             ],
-            rows,
-        )
+        )?;
+        for (d, day) in self.daily.iter().enumerate() {
+            for (s, combos) in day.iter().enumerate() {
+                let total: u32 = combos[1..].iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                writeln!(
+                    w,
+                    "{d}\t{}\t{}\t{}\t{}\t{}\t{total}",
+                    slots[s],
+                    combos[1],                                     // in-country only
+                    combos[2],                                     // in-continent only
+                    combos[4],                                     // out only
+                    combos[3] + combos[5] + combos[6] + combos[7], // mixed
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -764,20 +849,22 @@ pub fn fig17(agg: &Aggregates) -> Fig17 {
 }
 
 impl Fig17 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["day", "unique", "fresh_ever", "fresh_30d", "fresh_7d"])?;
+        for p in &self.points {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}",
+                p.day, p.unique, p.fresh_ever, p.fresh_30d, p.fresh_7d
+            )?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["day", "unique", "fresh_ever", "fresh_30d", "fresh_7d"],
-            self.points.iter().map(|p| {
-                vec![
-                    p.day.to_string(),
-                    p.unique.to_string(),
-                    p.fresh_ever.to_string(),
-                    p.fresh_30d.to_string(),
-                    p.fresh_7d.to_string(),
-                ]
-            }),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -840,9 +927,10 @@ pub fn fig18(agg: &Aggregates) -> Fig18 {
 }
 
 impl Fig18 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "rank",
                 "honeypot",
@@ -851,17 +939,25 @@ impl Fig18 {
                 "clients",
                 "sessions",
             ],
-            (0..self.order.len()).map(|i| {
-                vec![
-                    (i + 1).to_string(),
-                    self.order[i].to_string(),
-                    self.hashes[i].to_string(),
-                    self.first_seen[i].to_string(),
-                    self.clients[i].to_string(),
-                    self.sessions[i].to_string(),
-                ]
-            }),
-        )
+        )?;
+        for i in 0..self.order.len() {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{}",
+                i + 1,
+                self.order[i],
+                self.hashes[i],
+                self.first_seen[i],
+                self.clients[i],
+                self.sessions[i]
+            )?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -903,14 +999,18 @@ pub fn fig21(agg: &Aggregates) -> FigRank {
 }
 
 impl FigRank {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["rank", self.metric])?;
+        for (r, v) in &self.series {
+            writeln!(w, "{r}\t{v}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["rank", self.metric],
-            self.series
-                .iter()
-                .map(|(r, v)| vec![r.to_string(), v.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -948,18 +1048,23 @@ pub fn fig22(dataset: &Dataset, agg: &Aggregates, tags: &TagDb) -> Fig22 {
 }
 
 impl Fig22 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        let mut rows = Vec::new();
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["tag", "days", "F"])?;
         for (v, fr) in self.all.points(100) {
-            rows.push(vec!["ALL".to_string(), v.to_string(), format!("{fr:.4}")]);
+            writeln!(w, "ALL\t{v}\t{fr:.4}")?;
         }
         for (t, e) in &self.per_tag {
             for (v, fr) in e.points(100) {
-                rows.push(vec![t.clone(), v.to_string(), format!("{fr:.4}")]);
+                writeln!(w, "{t}\t{v}\t{fr:.4}")?;
             }
         }
-        tsv(&["tag", "days", "F"], rows)
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -981,7 +1086,7 @@ mod tests {
     fn fx() -> &'static Fx {
         FX.get_or_init(|| {
             let out = Simulation::run(SimConfig::test(14));
-            let agg = Aggregates::compute(&out.dataset, &out.tags);
+            let agg = Aggregates::compute(&out.dataset);
             Fx {
                 ds: out.dataset,
                 tags: out.tags,
@@ -1050,6 +1155,32 @@ mod tests {
         for (_, e) in &fig.per_category {
             assert!(e.total() <= fig.overall.total());
         }
+    }
+
+    #[test]
+    fn fused_client_ecdfs_match_individual_builders() {
+        let f = fx();
+        let (f12, f13) = client_ecdfs(&f.agg);
+        assert_eq!(f12.metric, "honeypots");
+        assert_eq!(f13.metric, "days");
+        assert_eq!(f12.overall.total(), f.agg.n_clients() as u64);
+        assert_eq!(f13.overall.total(), f.agg.n_clients() as u64);
+        assert_eq!(f12.to_tsv(), fig12(&f.agg).to_tsv());
+        assert_eq!(f13.to_tsv(), fig13(&f.agg).to_tsv());
+    }
+
+    #[test]
+    fn shared_selection_matches_internal_selection() {
+        let f = fx();
+        let sel = top5pct_honeypots(&f.agg);
+        assert_eq!(
+            fig_bands_with(&f.agg, Some(&sel)).to_tsv(),
+            fig_bands(&f.agg, true).to_tsv()
+        );
+        assert_eq!(
+            fig_cat_bands_with(&f.agg, None).to_tsv(),
+            fig_cat_bands(&f.agg, false).to_tsv()
+        );
     }
 
     #[test]

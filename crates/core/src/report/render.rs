@@ -1,4 +1,11 @@
 //! Small rendering helpers shared by table/figure types.
+//!
+//! Artifacts implement `write_tsv(&mut impl io::Write)` writing cells
+//! directly with `write!` — no per-cell `String` allocation — and get their
+//! `to_tsv() -> String` via [`to_string`]. `Report::write_dir` streams the
+//! same writers through a `BufWriter` straight to disk.
+
+use std::io::{self, Write};
 
 /// Render rows of string cells as TSV with a header.
 pub fn tsv(header: &[&str], rows: impl IntoIterator<Item = Vec<String>>) -> String {
@@ -10,6 +17,25 @@ pub fn tsv(header: &[&str], rows: impl IntoIterator<Item = Vec<String>>) -> Stri
         out.push('\n');
     }
     out
+}
+
+/// Write a TSV header row.
+pub fn write_header<W: Write>(w: &mut W, header: &[&str]) -> io::Result<()> {
+    for (i, h) in header.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b"\t")?;
+        }
+        w.write_all(h.as_bytes())?;
+    }
+    w.write_all(b"\n")
+}
+
+/// Run a `write_tsv`-style closure against an in-memory buffer and return
+/// the result as a `String` (the `to_tsv` convenience path).
+pub fn to_string(f: impl FnOnce(&mut Vec<u8>) -> io::Result<()>) -> String {
+    let mut buf = Vec::new();
+    f(&mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("TSV output is UTF-8")
 }
 
 /// Format a fraction as a percentage with two decimals.
@@ -25,6 +51,18 @@ mod tests {
     fn tsv_shape() {
         let s = tsv(&["a", "b"], vec![vec!["1".into(), "2".into()]]);
         assert_eq!(s, "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    fn writer_matches_string_path() {
+        let via_writer = to_string(|w| {
+            write_header(w, &["a", "b"])?;
+            writeln!(w, "1\t2")
+        });
+        assert_eq!(
+            via_writer,
+            tsv(&["a", "b"], vec![vec!["1".into(), "2".into()]])
+        );
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Tables 1–6.
 
+use std::io;
+
 use hf_farm::{Dataset, TagDb};
 
 use crate::aggregates::{bit_count, Aggregates};
 use crate::classify::Category;
-use crate::report::render::{pct, tsv};
+use crate::report::render::{pct, to_string, write_header};
 
 // ---------------------------------------------------------------------------
 // Table 1 — session categories × protocol
@@ -79,9 +81,10 @@ pub fn table1(agg: &Aggregates) -> Table1 {
 }
 
 impl Table1 {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "category",
                 "sessions",
@@ -89,16 +92,24 @@ impl Table1 {
                 "ssh_within",
                 "telnet_within",
             ],
-            self.rows.iter().map(|r| {
-                vec![
-                    r.category.label().to_string(),
-                    r.sessions.to_string(),
-                    pct(r.share),
-                    pct(r.ssh_within),
-                    pct(r.telnet_within),
-                ]
-            }),
-        )
+        )?;
+        for r in &self.rows {
+            writeln!(
+                w,
+                "{}\t{}\t{:.2}%\t{:.2}%\t{:.2}%",
+                r.category.label(),
+                r.sessions,
+                r.share * 100.0,
+                r.ssh_within * 100.0,
+                r.telnet_within * 100.0
+            )?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -167,14 +178,18 @@ pub fn table2(dataset: &Dataset, agg: &Aggregates) -> Table2 {
 }
 
 impl Table2 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["password", "count"])?;
+        for (p, c) in &self.rows {
+            writeln!(w, "{p}\t{c}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["password", "count"],
-            self.rows
-                .iter()
-                .map(|(p, c)| vec![p.clone(), c.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -211,14 +226,18 @@ pub fn table3(dataset: &Dataset, agg: &Aggregates) -> Table3 {
 }
 
 impl Table3 {
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(w, &["command", "count"])?;
+        for (cmd, c) in &self.rows {
+            writeln!(w, "{cmd}\t{c}")?;
+        }
+        Ok(())
+    }
+
     /// TSV rendering.
     pub fn to_tsv(&self) -> String {
-        tsv(
-            &["command", "count"],
-            self.rows
-                .iter()
-                .map(|(cmd, c)| vec![cmd.clone(), c.to_string()]),
-        )
+        to_string(|w| self.write_tsv(w))
     }
 }
 
@@ -314,9 +333,10 @@ pub fn hash_table(
 }
 
 impl HashTable {
-    /// TSV rendering.
-    pub fn to_tsv(&self) -> String {
-        tsv(
+    /// Streamed TSV rendering.
+    pub fn write_tsv<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        write_header(
+            w,
             &[
                 "hash",
                 "campaign",
@@ -326,18 +346,20 @@ impl HashTable {
                 "tag",
                 "honeypots",
             ],
-            self.rows.iter().map(|r| {
-                vec![
-                    r.hash.clone(),
-                    r.campaign.clone(),
-                    r.sessions.to_string(),
-                    r.clients.to_string(),
-                    r.days.to_string(),
-                    r.tag.clone(),
-                    r.honeypots.to_string(),
-                ]
-            }),
-        )
+        )?;
+        for r in &self.rows {
+            writeln!(
+                w,
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                r.hash, r.campaign, r.sessions, r.clients, r.days, r.tag, r.honeypots
+            )?;
+        }
+        Ok(())
+    }
+
+    /// TSV rendering.
+    pub fn to_tsv(&self) -> String {
+        to_string(|w| self.write_tsv(w))
     }
 }
 

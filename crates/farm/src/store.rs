@@ -70,6 +70,17 @@ pub struct SessionStore {
     pub digests: DigestPool,
     /// All id-lists.
     pub lists: ListPool,
+    /// Buffers reused across [`SessionStore::ingest`] calls; not part of the
+    /// logical store state.
+    scratch: IngestScratch,
+}
+
+/// Reusable ingest buffers. Cloning a store clones whatever is in here, but
+/// the contents are cleared before every use, so the copies are inert.
+#[derive(Debug, Default, Clone)]
+struct IngestScratch {
+    ids: Vec<u32>,
+    key: String,
 }
 
 impl SessionStore {
@@ -83,6 +94,7 @@ impl SessionStore {
             ssh_versions: StringPool::new(),
             digests: DigestPool::new(),
             lists: ListPool::new(),
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -112,6 +124,7 @@ impl SessionStore {
             ssh_versions,
             digests,
             lists,
+            scratch: IngestScratch::default(),
         }
     }
 
@@ -123,30 +136,50 @@ impl SessionStore {
     /// Ingest a finished session record. `geo` is the collector-side
     /// geolocation of the client (country, AS), if resolvable.
     pub fn ingest(&mut self, rec: &SessionRecord, geo: Option<(CountryId, Asn)>) {
-        let login_ids: Vec<u32> = rec
-            .logins
-            .iter()
-            .map(|l| {
-                let key = format!("{}\0{}", l.creds.username, l.creds.password);
-                (self.creds.intern(&key) << 1) | l.accepted as u32
-            })
-            .collect();
-        let cmd_ids: Vec<u32> = rec
-            .commands
-            .iter()
-            .map(|c| (self.commands.intern(&c.input) << 1) | c.known as u32)
-            .collect();
-        let uri_ids: Vec<u32> = rec.uris.iter().map(|u| self.uris.intern(u)).collect();
-        let hash_ids: Vec<u32> = rec
-            .file_hashes
-            .iter()
-            .map(|h| self.digests.intern(*h))
-            .collect();
-        let dl_ids: Vec<u32> = rec
-            .download_hashes
-            .iter()
-            .map(|h| self.digests.intern(*h))
-            .collect();
+        // One id buffer and one key buffer are reused across calls and across
+        // the five attribute lists: the per-record `Vec`/`String` churn used
+        // to dominate the serial ingest half of the parallel day loop.
+        let mut scratch = std::mem::take(&mut self.scratch);
+
+        scratch.ids.clear();
+        for l in &rec.logins {
+            scratch.key.clear();
+            scratch.key.push_str(&l.creds.username);
+            scratch.key.push('\0');
+            scratch.key.push_str(&l.creds.password);
+            scratch
+                .ids
+                .push((self.creds.intern(&scratch.key) << 1) | l.accepted as u32);
+        }
+        let login_list_id = self.lists.intern(&scratch.ids);
+
+        scratch.ids.clear();
+        for c in &rec.commands {
+            scratch
+                .ids
+                .push((self.commands.intern(&c.input) << 1) | c.known as u32);
+        }
+        let cmd_list_id = self.lists.intern(&scratch.ids);
+
+        scratch.ids.clear();
+        for u in &rec.uris {
+            scratch.ids.push(self.uris.intern(u));
+        }
+        let uri_list_id = self.lists.intern(&scratch.ids);
+
+        scratch.ids.clear();
+        for h in &rec.file_hashes {
+            scratch.ids.push(self.digests.intern(*h));
+        }
+        let hash_list_id = self.lists.intern(&scratch.ids);
+
+        scratch.ids.clear();
+        for h in &rec.download_hashes {
+            scratch.ids.push(self.digests.intern(*h));
+        }
+        let dl_list_id = self.lists.intern(&scratch.ids);
+
+        self.scratch = scratch;
 
         let row = Row {
             start_secs: rec.start.0 as u32,
@@ -170,11 +203,11 @@ impl SessionStore {
                 .as_deref()
                 .map(|v| self.ssh_versions.intern(v))
                 .unwrap_or(NONE_ID),
-            login_list_id: self.lists.intern(&login_ids),
-            cmd_list_id: self.lists.intern(&cmd_ids),
-            uri_list_id: self.lists.intern(&uri_ids),
-            hash_list_id: self.lists.intern(&hash_ids),
-            dl_list_id: self.lists.intern(&dl_ids),
+            login_list_id,
+            cmd_list_id,
+            uri_list_id,
+            hash_list_id,
+            dl_list_id,
         };
         self.rows.push(row);
     }
@@ -207,6 +240,65 @@ impl SessionStore {
         self.rows
             .iter()
             .map(move |row| SessionView { store: self, row })
+    }
+
+    /// Raw rows of a contiguous range (the unit of work of sharded scans).
+    pub fn rows_range(&self, range: std::ops::Range<usize>) -> &[Row] {
+        &self.rows[range]
+    }
+
+    /// Iterate typed views over a contiguous row range.
+    pub fn iter_range(
+        &self,
+        range: std::ops::Range<usize>,
+    ) -> impl Iterator<Item = SessionView<'_>> {
+        self.rows[range]
+            .iter()
+            .map(move |row| SessionView { store: self, row })
+    }
+
+    /// Are the rows ordered by day (non-decreasing)? Collector-produced
+    /// stores always are — the runner ingests day by day — but hand-built
+    /// stores may not be, and day-grouped streaming analyses must check.
+    pub fn is_day_ordered(&self) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[0].start_secs / 86_400 <= w[1].start_secs / 86_400)
+    }
+
+    /// Split the rows into at most `shards` contiguous ranges whose
+    /// boundaries fall on day boundaries: each range ends after the last row
+    /// of some day, so no day's rows span two ranges. Requires day-ordered
+    /// rows (see [`SessionStore::is_day_ordered`]). The ranges cover
+    /// `0..len` in order; fewer than `shards` ranges come back when the
+    /// store is small or single days are large.
+    ///
+    /// Day alignment is what makes sharded day-grouped analyses exact: any
+    /// per-day statistic (daily unique clients, per-day freshness, distinct
+    /// active days per entity) is computed entirely within one shard, so an
+    /// ordered merge of per-shard partial states reproduces the serial scan
+    /// bit for bit — for *any* shard count.
+    pub fn day_aligned_ranges(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let len = self.rows.len();
+        if len == 0 {
+            return Vec::new();
+        }
+        let target = len.div_ceil(shards.max(1));
+        let mut ranges = Vec::with_capacity(shards.max(1));
+        let mut start = 0usize;
+        while start < len {
+            let mut end = (start + target).min(len);
+            if end < len {
+                // Snap forward past the tail of the day the target split in.
+                let day = self.rows[end - 1].start_secs / 86_400;
+                while end < len && self.rows[end].start_secs / 86_400 == day {
+                    end += 1;
+                }
+            }
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
     }
 }
 
@@ -482,6 +574,65 @@ mod tests {
         }
         let days: Vec<u32> = s.iter().map(|v| v.day()).collect();
         assert_eq!(days, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn range_accessors_match_full_iteration() {
+        let mut s = SessionStore::new();
+        for d in 0..10 {
+            s.ingest(&record((d % 3) as u16, d, Protocol::Ssh), None);
+        }
+        assert_eq!(s.rows_range(2..5), &s.rows()[2..5]);
+        let days: Vec<u32> = s.iter_range(3..7).map(|v| v.day()).collect();
+        assert_eq!(days, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn day_ordered_detection() {
+        let mut s = SessionStore::new();
+        s.ingest(&record(0, 3, Protocol::Ssh), None);
+        s.ingest(&record(0, 5, Protocol::Ssh), None);
+        assert!(s.is_day_ordered());
+        s.ingest(&record(0, 1, Protocol::Ssh), None);
+        assert!(!s.is_day_ordered());
+        assert!(SessionStore::new().is_day_ordered());
+    }
+
+    #[test]
+    fn day_aligned_ranges_cover_and_never_split_a_day() {
+        let mut s = SessionStore::new();
+        // 5 days with uneven per-day counts: 1, 4, 2, 7, 3 rows.
+        for (day, n) in [(0u32, 1usize), (1, 4), (2, 2), (3, 7), (4, 3)] {
+            for _ in 0..n {
+                s.ingest(&record(0, day, Protocol::Ssh), None);
+            }
+        }
+        for shards in 1..=8 {
+            let ranges = s.day_aligned_ranges(shards);
+            assert!(ranges.len() <= shards.max(1));
+            // Contiguous cover of 0..len.
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, s.len());
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            // No day spans two ranges.
+            for w in ranges.windows(2) {
+                let last = s.view(w[0].end - 1).day();
+                let first = s.view(w[1].start).day();
+                assert!(last < first, "shards {shards}: day {last} split");
+            }
+        }
+        assert!(SessionStore::new().day_aligned_ranges(4).is_empty());
+    }
+
+    #[test]
+    fn one_giant_day_collapses_to_one_range() {
+        let mut s = SessionStore::new();
+        for _ in 0..100 {
+            s.ingest(&record(0, 7, Protocol::Ssh), None);
+        }
+        assert_eq!(s.day_aligned_ranges(8), vec![0..100]);
     }
 
     #[test]

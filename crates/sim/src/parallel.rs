@@ -64,52 +64,94 @@ impl DayStats {
     }
 }
 
+/// Minimum plans per worker shard (full shell emulation). Below this,
+/// thread spawn/join overhead outweighs the work — on short days, 8
+/// workers on a few hundred plans ran *slower* than 4 (the old 8-thread
+/// regression). The effective shard count is capped so each shard gets at
+/// least this many plans; the cap never changes output, only how the
+/// (order-preserving) split is cut.
+pub const MIN_SHARD_PLANS: usize = 192;
+
+/// Minimum plans per worker shard on the script-cache fast path, where
+/// per-session work is much lighter and the same spawn/merge overhead
+/// needs more plans to amortize.
+pub const MIN_SHARD_PLANS_CACHED: usize = 384;
+
+fn execute_chunk(
+    ctx: &ExecCtx<'_>,
+    chunk: &[SessionPlan],
+    cache: Option<&ScriptCache>,
+) -> (Vec<SessionRecord>, TagDb) {
+    let mut records = Vec::with_capacity(chunk.len());
+    let mut tags = TagDb::new();
+    for plan in chunk {
+        let rec = match cache {
+            Some(c) => execute_plan_prepared(ctx, plan, &mut tags, c),
+            None => execute_plan(ctx, plan, &mut tags),
+        };
+        records.push(rec);
+    }
+    (records, tags)
+}
+
+/// Execute one day's plans across up to `threads` workers, returning each
+/// shard's records (in plan order) and private tag shard, in shard order.
+///
+/// Callers consume shards in order (ingest shard 0's records, then shard
+/// 1's, …; fold tags with [`TagDb::merge`]) which reproduces the serial
+/// execution exactly while skipping the whole-day record concatenation the
+/// old single-vector API paid. `cache` selects the script fast-path: `Some`
+/// must be a cache already filled for these plans by
+/// [`ScriptCache::precompute_day`].
+pub fn execute_day_shards(
+    ctx: &ExecCtx<'_>,
+    plans: &[SessionPlan],
+    threads: usize,
+    cache: Option<&ScriptCache>,
+) -> Vec<(Vec<SessionRecord>, TagDb)> {
+    let threads = threads.max(1);
+    let min_plans = if cache.is_some() {
+        MIN_SHARD_PLANS_CACHED
+    } else {
+        MIN_SHARD_PLANS
+    };
+    let max_useful = plans.len().div_ceil(min_plans).max(1);
+    let shards_n = threads.min(max_useful);
+    if shards_n == 1 {
+        // One shard: run inline, no spawn/join round-trip.
+        return vec![execute_chunk(ctx, plans, cache)];
+    }
+    let chunk_len = plans.len().div_ceil(shards_n).max(1);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || execute_chunk(ctx, chunk, cache)))
+            .collect();
+        // Joining in spawn order *is* the ordered merge: chunk i's results
+        // land before chunk i+1's regardless of which finished first.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("simulation worker panicked"))
+            .collect()
+    })
+}
+
 /// Execute one day's plans across `threads` workers, returning the finished
 /// records in plan order plus the day's merged tag shard.
 ///
-/// `cache` selects the script fast-path: `Some` must be a cache already
-/// filled for these plans by [`ScriptCache::precompute_day`]; `None` runs
-/// the full shell emulation per session. Output is byte-identical for any
-/// `threads >= 1` — see the module docs for why.
+/// Convenience wrapper over [`execute_day_shards`] that concatenates the
+/// shards. Output is byte-identical for any `threads >= 1` — see the
+/// module docs for why.
 pub fn execute_day_sharded(
     ctx: &ExecCtx<'_>,
     plans: &[SessionPlan],
     threads: usize,
     cache: Option<&ScriptCache>,
 ) -> (Vec<SessionRecord>, TagDb) {
-    let threads = threads.max(1);
-    let chunk_len = plans.len().div_ceil(threads).max(1);
-
-    let mut shards: Vec<(Vec<SessionRecord>, TagDb)> = Vec::new();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = plans
-            .chunks(chunk_len)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut records = Vec::with_capacity(chunk.len());
-                    let mut tags = TagDb::new();
-                    for plan in chunk {
-                        let rec = match cache {
-                            Some(c) => execute_plan_prepared(ctx, plan, &mut tags, c),
-                            None => execute_plan(ctx, plan, &mut tags),
-                        };
-                        records.push(rec);
-                    }
-                    (records, tags)
-                })
-            })
-            .collect();
-        // Joining in spawn order *is* the ordered merge: chunk i's results
-        // land before chunk i+1's regardless of which finished first.
-        shards = handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
-            .collect();
-    });
-
     let mut records = Vec::with_capacity(plans.len());
     let mut tags = TagDb::new();
-    for (shard_records, shard_tags) in shards {
+    for (shard_records, shard_tags) in execute_day_shards(ctx, plans, threads, cache) {
         records.extend(shard_records);
         tags.merge(shard_tags);
     }
@@ -193,6 +235,28 @@ mod tests {
         let few = &plans[..3.min(plans.len())];
         let (records, _) = execute_day_sharded(&ctx, few, 64, None);
         assert_eq!(records.len(), few.len());
+    }
+
+    #[test]
+    fn shard_cap_preserves_order_and_content() {
+        let (eco, plans) = day_plans();
+        let configs = build_configs(&eco.plan);
+        let ctx = ExecCtx {
+            plan: &eco.plan,
+            configs: &configs,
+            catalog: &eco.catalog,
+            creds: &eco.creds,
+            pool: eco.pool_ref(),
+        };
+        let reference = execute_day_sharded(&ctx, &plans, 1, None);
+        for threads in [2, 8, 64] {
+            let shards = execute_day_shards(&ctx, &plans, threads, None);
+            // The cap bounds worker count by available work.
+            assert!(shards.len() <= plans.len().div_ceil(MIN_SHARD_PLANS).max(1));
+            assert!(shards.len() <= threads);
+            let flat: Vec<SessionRecord> = shards.into_iter().flat_map(|(r, _)| r).collect();
+            assert_eq!(flat, reference.0, "threads={threads}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use hf_farm::{Collector, Dataset, Snapshot, SnapshotMeta, TagDb};
 use hf_simclock::StudyWindow;
 
 use crate::exec::{build_configs, execute_plan, execute_plan_cached, ExecCtx, ScriptCache};
-use crate::parallel::{execute_day_sharded, DayStats};
+use crate::parallel::{execute_day_shards, DayStats};
 
 /// Simulation configuration (mirrors [`EcosystemConfig`]).
 #[derive(Debug, Clone)]
@@ -155,9 +155,13 @@ impl Simulation {
                 } else {
                     None
                 };
-                let (records, day_tags) = execute_day_sharded(&ctx, &plans, threads, cache_ref);
-                collector.ingest_batch(&records);
-                tags.merge(day_tags);
+                // Ingest shard-by-shard in shard order — same row/tag order
+                // as the serial path without concatenating the whole day's
+                // records into one intermediate vector first.
+                for (records, day_tags) in execute_day_shards(&ctx, &plans, threads, cache_ref) {
+                    collector.ingest_batch(&records);
+                    tags.merge(day_tags);
+                }
             }
             total_sessions += plans.len();
             progress(&DayStats {

@@ -38,7 +38,7 @@ impl<'a> ClaimCtx<'a> {
     /// Compute aggregates, claims, and the figures/tables the claim table
     /// reads from.
     pub fn new(out: &'a SimOutput) -> ClaimCtx<'a> {
-        let agg = Aggregates::compute(&out.dataset, &out.tags);
+        let agg = Aggregates::compute(&out.dataset);
         let claims = Claims::compute(&agg);
         ClaimCtx {
             fig2: figures::fig2(&agg),

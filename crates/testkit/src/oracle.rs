@@ -292,6 +292,268 @@ pub fn assert_outputs_identical(left: &str, a: &SimOutput, right: &str, b: &SimO
     diff_sim_outputs(left, a, right, b).assert_identical();
 }
 
+/// Diff two [`Aggregates`] across every public field — the oracle behind
+/// the "parallel fold is field-identical to the serial fold" guarantee of
+/// `Aggregates::compute_threaded`.
+///
+/// Scalars and per-day/per-honeypot vectors are compared elementwise with
+/// the first diverging index named; per-client and per-hash states are
+/// compared entry by entry including the fold-internal `last_day` markers.
+pub fn diff_aggregates(
+    left: &str,
+    a: &hf_core::aggregates::Aggregates,
+    right: &str,
+    b: &hf_core::aggregates::Aggregates,
+) -> DiffReport {
+    let mut report = DiffReport::new(left, right);
+    let mut budget = MAX_DETAIL;
+
+    macro_rules! scalar {
+        ($field:expr, $name:expr) => {
+            let (va, vb) = $field;
+            if va != vb {
+                if budget > 0 {
+                    budget -= 1;
+                    report.push($name.to_string(), format!("{va:?} != {vb:?}"));
+                } else {
+                    report.suppressed += 1;
+                }
+            }
+        };
+    }
+    macro_rules! seq {
+        ($fa:expr, $fb:expr, $name:expr) => {
+            if $fa.len() != $fb.len() {
+                report.push(
+                    format!("{}.len", $name),
+                    format!("{} != {}", $fa.len(), $fb.len()),
+                );
+            } else if let Some(i) = $fa.iter().zip($fb.iter()).position(|(x, y)| x != y) {
+                if budget > 0 {
+                    budget -= 1;
+                    report.push(
+                        format!("{}[{i}]", $name),
+                        format!("{:?} != {:?}", $fa[i], $fb[i]),
+                    );
+                } else {
+                    report.suppressed += 1;
+                }
+            }
+        };
+    }
+
+    scalar!((a.n_days, b.n_days), "n_days");
+    scalar!((a.n_honeypots, b.n_honeypots), "n_honeypots");
+    scalar!((a.total_sessions, b.total_sessions), "total_sessions");
+    scalar!((a.file_sessions, b.file_sessions), "file_sessions");
+    seq!(a.day_hp_sessions, b.day_hp_sessions, "day_hp_sessions");
+    seq!(a.day_total, b.day_total, "day_total");
+    seq!(a.day_unique_ips, b.day_unique_ips, "day_unique_ips");
+    seq!(
+        a.day_combo_clients,
+        b.day_combo_clients,
+        "day_combo_clients"
+    );
+    seq!(
+        a.day_region_combos,
+        b.day_region_combos,
+        "day_region_combos"
+    );
+    scalar!((a.cat_totals, b.cat_totals), "cat_totals");
+    scalar!((a.cat_ssh, b.cat_ssh), "cat_ssh");
+    scalar!((a.cat_end_reasons, b.cat_end_reasons), "cat_end_reasons");
+    seq!(a.hp_sessions, b.hp_sessions, "hp_sessions");
+    seq!(a.hp_clients, b.hp_clients, "hp_clients");
+    seq!(a.hp_hashes, b.hp_hashes, "hp_hashes");
+    seq!(a.hp_first_hashes, b.hp_first_hashes, "hp_first_hashes");
+    seq!(a.freshness, b.freshness, "freshness");
+    for ci in 0..5 {
+        seq!(
+            a.day_hp_by_cat[ci],
+            b.day_hp_by_cat[ci],
+            format!("day_hp_by_cat[{ci}]")
+        );
+        seq!(
+            a.day_by_cat[ci],
+            b.day_by_cat[ci],
+            format!("day_by_cat[{ci}]")
+        );
+        seq!(a.dur_hist[ci], b.dur_hist[ci], format!("dur_hist[{ci}]"));
+    }
+    for (hp, (x, y)) in a
+        .hp_clients_by_cat
+        .iter()
+        .zip(b.hp_clients_by_cat.iter())
+        .enumerate()
+    {
+        if x != y {
+            if budget > 0 {
+                budget -= 1;
+                report.push(
+                    format!("hp_clients_by_cat[{hp}]"),
+                    "sets differ".to_string(),
+                );
+            } else {
+                report.suppressed += 1;
+            }
+        }
+    }
+
+    // Per-client state, including the fold-internal last-day markers.
+    if a.clients.len() != b.clients.len() {
+        report.push(
+            "clients.len",
+            format!("{} != {}", a.clients.len(), b.clients.len()),
+        );
+    }
+    for (ip, ca) in a.clients.iter() {
+        let Some(cb) = b.clients.get(ip) else {
+            if budget > 0 {
+                budget -= 1;
+                report.push(format!("clients[{ip}]"), format!("missing in {right}"));
+            } else {
+                report.suppressed += 1;
+            }
+            continue;
+        };
+        for (name, ok) in [
+            ("honeypots", ca.honeypots == cb.honeypots),
+            (
+                "honeypots_by_cat",
+                ca.honeypots_by_cat == cb.honeypots_by_cat,
+            ),
+            ("days", ca.days == cb.days),
+            ("days_by_cat", ca.days_by_cat == cb.days_by_cat),
+            ("last_day", ca.last_day == cb.last_day),
+            ("last_day_by_cat", ca.last_day_by_cat == cb.last_day_by_cat),
+            ("cats", ca.cats == cb.cats),
+            ("sessions", ca.sessions == cb.sessions),
+            ("hashes", ca.hashes == cb.hashes),
+            ("country", ca.country == cb.country),
+        ] {
+            if !ok {
+                if budget > 0 {
+                    budget -= 1;
+                    report.push(format!("clients[{ip}].{name}"), "differs".to_string());
+                } else {
+                    report.suppressed += 1;
+                }
+            }
+        }
+    }
+
+    // Per-hash state.
+    let live = |v: &[hf_core::aggregates::HashAgg]| v.iter().filter(|h| h.sessions > 0).count();
+    if live(&a.hashes) != live(&b.hashes) {
+        report.push(
+            "hashes.len",
+            format!("{} != {}", live(&a.hashes), live(&b.hashes)),
+        );
+    }
+    for (hid, ha) in a.hashes.iter().enumerate() {
+        let hb = match b.hashes.get(hid) {
+            Some(h) => h,
+            None if ha.sessions == 0 => continue,
+            None => {
+                report.push(format!("hashes[{hid}]"), format!("missing in {right}"));
+                continue;
+            }
+        };
+        for (name, ok) in [
+            ("sessions", ha.sessions == hb.sessions),
+            ("clients", ha.clients == hb.clients),
+            ("days", ha.days == hb.days),
+            ("last_day", ha.last_day == hb.last_day),
+            ("first_day", ha.first_day == hb.first_day),
+            ("first_honeypot", ha.first_honeypot == hb.first_honeypot),
+            ("honeypots", ha.honeypots == hb.honeypots),
+        ] {
+            if !ok {
+                if budget > 0 {
+                    budget -= 1;
+                    report.push(format!("hashes[{hid}].{name}"), "differs".to_string());
+                } else {
+                    report.suppressed += 1;
+                }
+            }
+        }
+    }
+
+    scalar!((&a.password_counts, &b.password_counts), "password_counts");
+    scalar!((&a.command_counts, &b.command_counts), "command_counts");
+    scalar!(
+        (&a.ssh_version_counts, &b.ssh_version_counts),
+        "ssh_version_counts"
+    );
+    let _ = budget;
+    report
+}
+
+/// Diff two built [`Report`]s artifact by artifact, comparing each one's
+/// rendered TSV byte-for-byte and naming the first diverging line.
+pub fn diff_reports(
+    left: &str,
+    a: &hf_core::report::Report,
+    right: &str,
+    b: &hf_core::report::Report,
+) -> DiffReport {
+    let mut report = DiffReport::new(left, right);
+    let mut budget = MAX_DETAIL;
+    let pairs: [(&str, String, String); 27] = [
+        ("table1", a.table1.to_tsv(), b.table1.to_tsv()),
+        ("table2", a.table2.to_tsv(), b.table2.to_tsv()),
+        ("table3", a.table3.to_tsv(), b.table3.to_tsv()),
+        ("table4", a.table4.to_tsv(), b.table4.to_tsv()),
+        ("table5", a.table5.to_tsv(), b.table5.to_tsv()),
+        ("table6", a.table6.to_tsv(), b.table6.to_tsv()),
+        ("fig1", a.fig1.to_tsv(), b.fig1.to_tsv()),
+        ("fig2", a.fig2.to_tsv(), b.fig2.to_tsv()),
+        ("fig3", a.fig3.to_tsv(), b.fig3.to_tsv()),
+        ("fig4", a.fig4.to_tsv(), b.fig4.to_tsv()),
+        ("fig5", a.fig5.to_tsv(), b.fig5.to_tsv()),
+        ("fig6", a.fig6.to_tsv(), b.fig6.to_tsv()),
+        ("fig7", a.fig7.to_tsv(), b.fig7.to_tsv()),
+        ("fig8", a.fig8.to_tsv(), b.fig8.to_tsv()),
+        ("fig9", a.fig9.to_tsv(), b.fig9.to_tsv()),
+        ("fig10", a.fig10.to_tsv(), b.fig10.to_tsv()),
+        ("fig11", a.fig11.to_tsv(), b.fig11.to_tsv()),
+        ("fig12", a.fig12.to_tsv(), b.fig12.to_tsv()),
+        ("fig13", a.fig13.to_tsv(), b.fig13.to_tsv()),
+        ("fig14", a.fig14.to_tsv(), b.fig14.to_tsv()),
+        ("fig15", a.fig15.to_tsv(), b.fig15.to_tsv()),
+        ("fig16", a.fig16.to_tsv(), b.fig16.to_tsv()),
+        ("fig17", a.fig17.to_tsv(), b.fig17.to_tsv()),
+        ("fig18", a.fig18.to_tsv(), b.fig18.to_tsv()),
+        ("fig20", a.fig20.to_tsv(), b.fig20.to_tsv()),
+        ("fig21", a.fig21.to_tsv(), b.fig21.to_tsv()),
+        ("fig22", a.fig22.to_tsv(), b.fig22.to_tsv()),
+    ];
+    for (name, ta, tb) in pairs {
+        if ta == tb {
+            continue;
+        }
+        if budget == 0 {
+            report.suppressed += 1;
+            continue;
+        }
+        budget -= 1;
+        let line = ta
+            .lines()
+            .zip(tb.lines())
+            .position(|(x, y)| x != y)
+            .map(|i| format!("first diverging line {}", i + 1))
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: {} != {}",
+                    ta.lines().count(),
+                    tb.lines().count()
+                )
+            });
+        report.push(format!("report.{name}.tsv"), line);
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@ fn main() {
     };
     eprintln!("simulating 240 days …");
     let out = Simulation::run(config);
-    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    let agg = Aggregates::compute(&out.dataset);
 
     println!("=== Table 4: top 10 hashes by sessions ===");
     println!(

@@ -133,9 +133,9 @@ fn main() {
     }
 
     let t1 = std::time::Instant::now();
-    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    let agg = Aggregates::compute_threaded(&out.dataset, args.threads);
     eprintln!("aggregation pass: {:.1}s", t1.elapsed().as_secs_f64());
-    let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
+    let report = Report::build_with_tags_threaded(&out.dataset, &agg, &out.tags, args.threads);
     let claims = Claims::compute(&agg);
 
     report.write_dir(&args.out).expect("write report dir");

@@ -40,7 +40,7 @@ fn main() {
         out.tags.len()
     );
 
-    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    let agg = Aggregates::compute(&out.dataset);
     let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
 
     println!("=== Table 1: session categories ===");

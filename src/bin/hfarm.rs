@@ -120,15 +120,16 @@ fn simulate(c: &Common) -> (SimOutput, Aggregates) {
         out.n_clients,
         out.tags.len()
     );
-    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    let agg = Aggregates::compute_threaded(&out.dataset, c.threads);
     (out, agg)
 }
 
 /// Write the report dir + claims for a collected run — shared by
 /// `simulate` (fresh run) and `report` (snapshot reload), so both paths
-/// produce byte-identical output from identical data.
-fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Path) {
-    let report = Report::build_with_tags(dataset, agg, tags);
+/// produce byte-identical output from identical data. Builder groups run
+/// across `threads` workers (output is thread-count invariant).
+fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Path, threads: usize) {
+    let report = Report::build_with_tags_threaded(dataset, agg, tags, threads);
     report.write_dir(out_dir).expect("write report");
     let claims = Claims::compute(agg);
     std::fs::write(out_dir.join("claims.json"), claims.to_json()).expect("claims");
@@ -154,7 +155,7 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("snapshot written to {}", c.snapshot.display());
-            write_report(&out.dataset, &out.tags, &agg, &c.out);
+            write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
         }
         "report" => {
             eprintln!("loading snapshot {} …", c.snapshot.display());
@@ -173,8 +174,8 @@ fn main() {
                 meta.scale_volume,
                 meta.days
             );
-            let agg = Aggregates::compute(&out.dataset, &out.tags);
-            write_report(&out.dataset, &out.tags, &agg, &c.out);
+            let agg = Aggregates::compute_threaded(&out.dataset, c.threads);
+            write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
         }
         "claims" => {
             let (_, agg) = simulate(&c);

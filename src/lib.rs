@@ -34,7 +34,7 @@
 //! // Simulate a (scaled-down) fifteen months of honeyfarm traffic …
 //! let out = Simulation::run(SimConfig::default());
 //! // … run the paper's measurement pipeline over it …
-//! let agg = Aggregates::compute(&out.dataset, &out.tags);
+//! let agg = Aggregates::compute(&out.dataset);
 //! // … and reproduce the paper's tables.
 //! let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
 //! println!("{}", report.table1);

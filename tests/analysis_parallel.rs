@@ -1,0 +1,155 @@
+//! Parallel analysis engine conformance: the sharded `Aggregates` fold and
+//! the fused/threaded `Report::build` must be indistinguishable from their
+//! serial, unfused predecessors.
+//!
+//! Three surfaces are pinned:
+//!
+//! 1. `Aggregates::compute_threaded` at 2 and 8 workers is field-identical
+//!    to the serial fold, proven by the testkit's `diff_aggregates` oracle
+//!    (which names the diverging field instead of a bare assert).
+//! 2. The fused report builders (shared top-5% selection, one-pass client
+//!    ECDFs, concurrent builder groups) render byte-identical TSVs to the
+//!    per-figure paths, proven by `diff_reports` plus direct comparison
+//!    against the individually-built artifacts.
+//! 3. The rendered report matches a checked-in golden byte-for-byte, so
+//!    the `BufWriter`-based `write_dir`/`write_tsv` refactor cannot drift
+//!    from the historical `String`-building output. Regenerate after an
+//!    intended change with `UPDATE_GOLDENS=1 cargo test --test
+//!    analysis_parallel`.
+
+use std::path::PathBuf;
+
+use honeyfarm::core::report::figures;
+use honeyfarm::prelude::*;
+use honeyfarm::testkit::{assert_golden, diff_aggregates, diff_reports};
+
+fn run_small() -> SimOutput {
+    Simulation::run(SimConfig {
+        seed: 0xa11a,
+        scale: Scale::of(0.001),
+        window: StudyWindow::first_days(30),
+        use_script_cache: false,
+        threads: 1,
+    })
+}
+
+/// The sharded fold is field-identical to the serial one at every thread
+/// count, including more workers than the day-aligned split can use.
+#[test]
+fn parallel_aggregates_identical_to_serial() {
+    let out = run_small();
+    let serial = Aggregates::compute(&out.dataset);
+    assert!(serial.total_sessions > 0, "fixture must not be empty");
+    for threads in [2usize, 8] {
+        let parallel = Aggregates::compute_threaded(&out.dataset, threads);
+        diff_aggregates(
+            "threads=1",
+            &serial,
+            &format!("threads={threads}"),
+            &parallel,
+        )
+        .assert_identical();
+    }
+}
+
+/// The threaded report build renders every artifact byte-identically to the
+/// serial build, and the fused builders match the individual per-figure
+/// paths they replaced.
+#[test]
+fn fused_report_matches_prefusion_reference() {
+    let out = run_small();
+    let agg = Aggregates::compute(&out.dataset);
+    let serial = Report::build_with_tags(&out.dataset, &agg, &out.tags);
+    for threads in [2usize, 8] {
+        let threaded = Report::build_with_tags_threaded(&out.dataset, &agg, &out.tags, threads);
+        diff_reports(
+            "threads=1",
+            &serial,
+            &format!("threads={threads}"),
+            &threaded,
+        )
+        .assert_identical();
+    }
+
+    // Pre-fusion reference: each figure built on its own, with its own
+    // top-5% selection / clients pass, must equal the fused output.
+    assert_eq!(
+        serial.fig3.to_tsv(),
+        figures::fig_bands(&agg, true).to_tsv(),
+        "fig3 (top-5% bands) drifted from the standalone builder"
+    );
+    assert_eq!(
+        serial.fig4.to_tsv(),
+        figures::fig_bands(&agg, false).to_tsv(),
+        "fig4 (all-honeypot bands) drifted from the standalone builder"
+    );
+    assert_eq!(
+        serial.fig8.to_tsv(),
+        figures::fig_cat_bands(&agg, false).to_tsv(),
+        "fig8 drifted from the standalone builder"
+    );
+    assert_eq!(
+        serial.fig9.to_tsv(),
+        figures::fig_cat_bands(&agg, true).to_tsv(),
+        "fig9 drifted from the standalone builder"
+    );
+    assert_eq!(
+        serial.fig12.to_tsv(),
+        figures::fig12(&agg).to_tsv(),
+        "fig12 drifted from the one-pass client ECDF builder"
+    );
+    assert_eq!(
+        serial.fig13.to_tsv(),
+        figures::fig13(&agg).to_tsv(),
+        "fig13 drifted from the one-pass client ECDF builder"
+    );
+}
+
+/// `write_dir` (the buffered-writer path) produces byte-identical files to
+/// the in-memory `to_tsv` strings, and those strings match the checked-in
+/// golden.
+#[test]
+fn report_tsv_bytes_are_golden() {
+    let out = run_small();
+    let agg = Aggregates::compute(&out.dataset);
+    let report = Report::build_with_tags(&out.dataset, &agg, &out.tags);
+
+    let dir = std::env::temp_dir().join(format!("hf_analysis_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    report.write_dir(&dir).expect("write_dir succeeds");
+
+    // Writer path == string path, byte for byte, for a representative
+    // artifact from each format family (counts, {:.1}, {:.4}, {:.2}%).
+    for (file, tsv) in [
+        ("table1.tsv", report.table1.to_tsv()),
+        ("table4.tsv", report.table4.to_tsv()),
+        ("fig03_bands_top5.tsv", report.fig3.to_tsv()),
+        ("fig06_category_timeseries.tsv", report.fig6.to_tsv()),
+        ("fig12_spread_ecdf.tsv", report.fig12.to_tsv()),
+    ] {
+        let on_disk = std::fs::read(dir.join(file)).unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(on_disk, tsv.into_bytes(), "{file}: writer path diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    // And the rendered bytes themselves are pinned against a golden.
+    let mut bundle = String::new();
+    for (name, tsv) in [
+        ("table1", report.table1.to_tsv()),
+        ("table2", report.table2.to_tsv()),
+        ("table4", report.table4.to_tsv()),
+        ("fig3", report.fig3.to_tsv()),
+        ("fig6", report.fig6.to_tsv()),
+        ("fig12", report.fig12.to_tsv()),
+        ("fig15", report.fig15.to_tsv()),
+        ("fig22", report.fig22.to_tsv()),
+    ] {
+        bundle.push_str("=== ");
+        bundle.push_str(name);
+        bundle.push_str(" ===\n");
+        bundle.push_str(&tsv);
+    }
+    let golden =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/analysis_report.golden");
+    assert_golden(&golden, &bundle);
+}

@@ -12,7 +12,7 @@ fn run_small() -> (SimOutput, Aggregates) {
         use_script_cache: false,
         threads: 1,
     });
-    let agg = Aggregates::compute(&out.dataset, &out.tags);
+    let agg = Aggregates::compute(&out.dataset);
     (out, agg)
 }
 

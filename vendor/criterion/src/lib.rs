@@ -12,27 +12,59 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Benchmark context; also carries the CLI filter.
+/// One finished benchmark's recorded numbers, for machine-readable output.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Iterations in the measured loop.
+    pub iters: u64,
+}
+
+/// Benchmark context; also carries the CLI filter and test mode.
 pub struct Criterion {
     filter: Option<String>,
+    test_mode: bool,
+    results: Vec<Measurement>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // Skip harness flags cargo passes (--bench, --quiet, ...); the
-        // first bare argument is a name filter.
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Criterion { filter }
+        // first bare argument is a name filter. `--test` (as with real
+        // criterion) runs each benchmark once as a smoke test instead of
+        // measuring.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        let test_mode = args.iter().any(|a| a == "--test");
+        Criterion {
+            filter,
+            test_mode,
+            results: Vec::new(),
+        }
     }
 }
 
 impl Criterion {
+    /// Whether `--test` was passed (single-iteration smoke mode).
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Measurements recorded so far, in execution order. Empty in test
+    /// mode — smoke runs are not benchmarks.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.results
+    }
+
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let name = name.into();
-        run_one(&name, self.filter.as_deref(), None, f);
+        run_one_on(self, &name, None, f);
         self
     }
 
@@ -79,7 +111,8 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_one(&full, self.criterion.filter.as_deref(), self.throughput, f);
+        let throughput = self.throughput;
+        run_one_on(self.criterion, &full, throughput, f);
         self
     }
 
@@ -102,14 +135,25 @@ impl Bencher {
     }
 }
 
-fn run_one<F>(name: &str, filter: Option<&str>, throughput: Option<Throughput>, mut f: F)
+fn run_one_on<F>(c: &mut Criterion, name: &str, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
-    if let Some(pat) = filter {
-        if !name.contains(pat) {
+    if let Some(pat) = c.filter.as_deref() {
+        if pat != "--test" && !name.contains(pat) {
             return;
         }
+    }
+    if c.test_mode {
+        // Smoke mode: one iteration, no measurement — proves the bench
+        // still compiles and its body runs without panicking.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test bench {name:<44} ... ok");
+        return;
     }
     // Warmup pass sizes the measurement loop: target ~1 s total, capped so
     // multi-second simulations still finish promptly.
@@ -144,6 +188,11 @@ where
         fmt_duration(mean),
         bench.iters
     );
+    c.results.push(Measurement {
+        name: name.to_string(),
+        mean_ns: mean.as_nanos(),
+        iters: bench.iters,
+    });
 }
 
 fn fmt_duration(d: Duration) -> String {
