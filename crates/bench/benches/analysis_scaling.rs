@@ -4,8 +4,9 @@
 //! then measures the sharded `Aggregates` fold and the full
 //! `Report::build` at 1/2/4/8 worker threads. Output of both is
 //! bit-identical across thread counts (`hf_core::aggregates` module docs),
-//! so the numbers compare like for like. Unless run with `--test`, writes
-//! the recorded means to `BENCH_analysis.json` at the repo root.
+//! so the numbers compare like for like. Writes the recorded means to
+//! `BENCH_analysis.json` at the repo root; under `--test` a placeholder
+//! goes to a scratch path instead and is parse-back validated.
 //!
 //! ```sh
 //! cargo bench -p hf-bench --bench analysis_scaling           # measure
@@ -61,16 +62,17 @@ fn bench_analysis_scaling(c: &mut Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_analysis_scaling(&mut c);
-    if !c.is_test_mode() {
-        hf_bench::write_bench_json(
-            "BENCH_analysis.json",
-            "analysis_scaling",
-            &[
-                ("seed", format!("{SEED}")),
-                ("scale", format!("{SCALE}")),
-                ("days", format!("{DAYS}")),
-            ],
-            c.measurements(),
-        );
-    }
+    // Always emit: in `--test` smoke mode this writes a placeholder to a
+    // scratch path and parse-back validates it, so writer regressions
+    // fail the smoke run rather than the next real benchmark.
+    hf_bench::emit_bench_json(
+        &c,
+        "BENCH_analysis.json",
+        "analysis_scaling",
+        &[
+            ("seed", format!("{SEED}")),
+            ("scale", format!("{SCALE}")),
+            ("days", format!("{DAYS}")),
+        ],
+    );
 }

@@ -7,8 +7,9 @@
 //! bit-identical across thread counts (see `hf_sim::parallel`), so the
 //! numbers compare like for like.
 //!
-//! Unless run with `--test`, writes the recorded means to
-//! `BENCH_thread_scaling.json` at the repo root.
+//! Writes the recorded means to `BENCH_thread_scaling.json` at the repo
+//! root; under `--test` a placeholder goes to a scratch path instead and
+//! is parse-back validated.
 //!
 //! ```sh
 //! cargo bench -p hf-bench --bench thread_scaling
@@ -51,16 +52,17 @@ fn bench_thread_scaling(c: &mut Criterion) {
 fn main() {
     let mut c = Criterion::default();
     bench_thread_scaling(&mut c);
-    if !c.is_test_mode() {
-        hf_bench::write_bench_json(
-            "BENCH_thread_scaling.json",
-            "thread_scaling",
-            &[
-                ("seed", format!("{SEED}")),
-                ("scale", format!("{SCALE}")),
-                ("days", format!("{DAYS}")),
-            ],
-            c.measurements(),
-        );
-    }
+    // Always emit: in `--test` smoke mode this writes a placeholder to a
+    // scratch path and parse-back validates it, so writer regressions
+    // fail the smoke run rather than the next real benchmark.
+    hf_bench::emit_bench_json(
+        &c,
+        "BENCH_thread_scaling.json",
+        "thread_scaling",
+        &[
+            ("seed", format!("{SEED}")),
+            ("scale", format!("{SCALE}")),
+            ("days", format!("{DAYS}")),
+        ],
+    );
 }

@@ -280,6 +280,7 @@ impl Aggregates {
     /// shards with an ordered merge. Bit-identical output for every thread
     /// count — see the module docs for the argument.
     pub fn compute_threaded(dataset: &Dataset, threads: usize) -> Self {
+        let _span = hf_obs::span!("analysis.aggregates");
         let store = &dataset.sessions;
         let n_honeypots = dataset.plan.len();
         let n_days = store
@@ -293,6 +294,9 @@ impl Aggregates {
         // output always is; hand-built stores fall back to one serial fold
         // over a sorted order index.
         if !store.is_day_ordered() {
+            hf_obs::counter!("analysis.shards_folded", 1);
+            hf_obs::counter!("analysis.rows_folded", store.len() as u64);
+            let _fold_span = hf_obs::span!("analysis.shard_fold");
             let mut order: Vec<u32> = (0..store.len() as u32).collect();
             order.sort_by_key(|&i| store.rows()[i as usize].start_secs);
             let mut fold = ShardFold::new(n_days, n_honeypots);
@@ -307,6 +311,9 @@ impl Aggregates {
             ranges
                 .into_iter()
                 .map(|r| {
+                    hf_obs::counter!("analysis.shards_folded", 1);
+                    hf_obs::counter!("analysis.rows_folded", r.len() as u64);
+                    let _span = hf_obs::span!("analysis.shard_fold");
                     let mut fold = ShardFold::new(n_days, n_honeypots);
                     for v in store.iter_range(r) {
                         fold.ingest(dataset, &v);
@@ -320,11 +327,21 @@ impl Aggregates {
                     .into_iter()
                     .map(|r| {
                         scope.spawn(move || {
-                            let mut fold = ShardFold::new(n_days, n_honeypots);
-                            for v in store.iter_range(r) {
-                                fold.ingest(dataset, &v);
-                            }
-                            fold.finish()
+                            // Fold, then flush this worker's metrics buffer
+                            // before the thread exits (span drops first so
+                            // its sample is included).
+                            hf_obs::counter!("analysis.shards_folded", 1);
+                            hf_obs::counter!("analysis.rows_folded", r.len() as u64);
+                            let out = {
+                                let _span = hf_obs::span!("analysis.shard_fold");
+                                let mut fold = ShardFold::new(n_days, n_honeypots);
+                                for v in store.iter_range(r) {
+                                    fold.ingest(dataset, &v);
+                                }
+                                fold.finish()
+                            };
+                            hf_obs::flush();
+                            out
                         })
                     })
                     .collect();

@@ -99,34 +99,53 @@ impl Report {
         tags: &TagDb,
         threads: usize,
     ) -> Report {
+        let _span = hf_obs::span!("report.build");
         // The three expensive groups (matrix quantiles, hash-table sorts,
-        // client-map passes) and the cheap remainder.
+        // client-map passes) and the cheap remainder. Each group times
+        // itself and, when run on a scoped worker, flushes its metrics
+        // buffer before the thread exits; an extra flush on the calling
+        // thread (threads <= 1) is harmless.
         let bands = || {
-            let sel = figures::top5pct_honeypots(agg);
-            (
-                figures::fig_bands_with(agg, Some(&sel)),
-                figures::fig_bands_with(agg, None),
-                figures::fig_cat_bands_with(agg, None),
-                figures::fig_cat_bands_with(agg, Some(&sel)),
-            )
+            let out = {
+                let _g = hf_obs::span!("report.bands");
+                let sel = figures::top5pct_honeypots(agg);
+                (
+                    figures::fig_bands_with(agg, Some(&sel)),
+                    figures::fig_bands_with(agg, None),
+                    figures::fig_cat_bands_with(agg, None),
+                    figures::fig_cat_bands_with(agg, Some(&sel)),
+                )
+            };
+            hf_obs::flush();
+            out
         };
         let hashes = || {
-            (
-                tables::hash_table(dataset, agg, tags, HashSortKey::Sessions, 20),
-                tables::hash_table(dataset, agg, tags, HashSortKey::Clients, 20),
-                tables::hash_table(dataset, agg, tags, HashSortKey::Days, 20),
-                figures::fig18(agg),
-                figures::fig20(agg),
-                figures::fig22(dataset, agg, tags),
-            )
+            let out = {
+                let _g = hf_obs::span!("report.hashes");
+                (
+                    tables::hash_table(dataset, agg, tags, HashSortKey::Sessions, 20),
+                    tables::hash_table(dataset, agg, tags, HashSortKey::Clients, 20),
+                    tables::hash_table(dataset, agg, tags, HashSortKey::Days, 20),
+                    figures::fig18(agg),
+                    figures::fig20(agg),
+                    figures::fig22(dataset, agg, tags),
+                )
+            };
+            hf_obs::flush();
+            out
         };
         let clients = || {
-            (
-                figures::client_ecdfs(agg),
-                figures::fig10(agg),
-                figures::fig14(agg),
-                figures::fig21(agg),
-            )
+            let out = {
+                let _g = hf_obs::span!("report.clients");
+                (
+                    figures::client_ecdfs(agg),
+                    figures::fig10(agg),
+                    figures::fig14(agg),
+                    figures::fig21(agg),
+                )
+            };
+            hf_obs::flush();
+            out
         };
 
         let (
@@ -194,13 +213,16 @@ impl Report {
     /// Artifacts stream through a `BufWriter` via their `write_tsv`
     /// methods — no intermediate per-file `String`.
     pub fn write_dir(&self, dir: &Path) -> std::io::Result<()> {
+        let _span = hf_obs::span!("report.render");
         std::fs::create_dir_all(dir)?;
         let write = |name: &str,
                      f: &dyn Fn(&mut BufWriter<std::fs::File>) -> std::io::Result<()>|
          -> std::io::Result<()> {
             let mut w = BufWriter::new(std::fs::File::create(dir.join(name))?);
             f(&mut w)?;
-            w.flush()
+            w.flush()?;
+            hf_obs::counter!("report.artifacts_written", 1);
+            Ok(())
         };
         write("table1.tsv", &|w| self.table1.write_tsv(w))?;
         write("table2.tsv", &|w| self.table2.write_tsv(w))?;

@@ -68,10 +68,14 @@ impl Collector {
             .world
             .locate(rec.client_ip)
             .map(|info| (info.country, info.asn));
+        let mut observations = 0u64;
         for h in rec.file_hashes.iter().chain(rec.download_hashes.iter()) {
             self.artifacts.observe_hash(*h, 0, rec.start);
+            observations += 1;
         }
         self.store.ingest(rec, geo);
+        hf_obs::counter!("farm.sessions_ingested", 1);
+        hf_obs::counter!("farm.artifact_observations", observations);
     }
 
     /// Ingest a batch of finished sessions in slice order.
@@ -81,6 +85,8 @@ impl Collector {
     /// them in plan order before calling this (see `hf-sim`'s parallel
     /// day execution).
     pub fn ingest_batch(&mut self, recs: &[SessionRecord]) {
+        let _span = hf_obs::span!("farm.ingest_batch");
+        hf_obs::observe!("farm.batch_sessions", recs.len());
         self.store.reserve(recs.len());
         for rec in recs {
             self.ingest(rec);

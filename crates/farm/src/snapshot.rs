@@ -228,12 +228,18 @@ impl Snapshot {
             }
         }
 
+        let _span = hf_obs::span!("snapshot.write");
+        hf_obs::counter!("snapshot.rows_written", s.len() as u64);
+
         w.write_all(&MAGIC)?;
         w.write_all(&FORMAT_VERSION.to_le_bytes())?;
         w.write_all(&(SECTIONS.len() as u32).to_le_bytes())?;
+        // File preamble: magic + u32 version + u32 section count.
+        hf_obs::counter!("snapshot.bytes_written", (MAGIC.len() + 4 + 4) as u64);
 
         let mut buf = Vec::new();
         for (id, name) in SECTIONS {
+            let _sec = hf_obs::span_owned_with(|| format!("snapshot.write.{name}"));
             buf.clear();
             match name {
                 "meta" => self.encode_meta(&mut buf),
@@ -248,6 +254,9 @@ impl Snapshot {
                 "tags" => encode_tags(&self.tags, &mut buf),
                 _ => unreachable!("section table is exhaustive"),
             }
+            hf_obs::observe!("snapshot.section_bytes", buf.len());
+            // Section header: u32 id + u64 length + 32-byte checksum.
+            hf_obs::counter!("snapshot.bytes_written", (buf.len() + 4 + 8 + 32) as u64);
             w.write_all(&id.to_le_bytes())?;
             w.write_all(&(buf.len() as u64).to_le_bytes())?;
             w.write_all(&Sha256::digest(&buf).0)?;
@@ -266,6 +275,7 @@ impl Snapshot {
     /// Read a snapshot from `r`, validating magic, version, per-section
     /// checksums, and every interned id a row references.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Snapshot, SnapshotError> {
+        let _span = hf_obs::span!("snapshot.load");
         let mut magic = [0u8; 8];
         read_exact(r, &mut magic, "header")?;
         if magic != MAGIC {
@@ -297,6 +307,7 @@ impl Snapshot {
             decode: impl FnOnce(&mut Cursor<'_>) -> Result<T, SnapshotError>,
         ) -> Result<T, SnapshotError> {
             let (id, name) = SECTIONS[idx];
+            let _sec = hf_obs::span_owned_with(|| format!("snapshot.load.{name}"));
             let payload = read_section(r, id, name)?;
             let mut cur = Cursor::new(&payload, name);
             let out = decode(&mut cur)?;
@@ -329,6 +340,7 @@ impl Snapshot {
                 detail: format!("meta declares {} rows, found {}", meta.n_rows, rows.len()),
             });
         }
+        hf_obs::counter!("snapshot.rows_loaded", rows.len() as u64);
 
         Ok(Snapshot {
             meta: meta.public,

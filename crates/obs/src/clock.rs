@@ -1,0 +1,70 @@
+//! Time sources for span measurement, including the test-mode zero clock.
+//!
+//! Golden tests pin the *structure* of a manifest (which counters exist,
+//! which spans fired, how often) but wall/CPU durations are inherently
+//! non-deterministic. The zero clock makes every duration read as 0 ns so
+//! a manifest produced under it is byte-stable and can be golden-pinned.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static ZERO_CLOCK: AtomicBool = AtomicBool::new(false);
+
+/// Switch the zero clock on or off (test use; off by default).
+pub fn set_zero_clock(on: bool) {
+    ZERO_CLOCK.store(on, Ordering::Relaxed);
+}
+
+/// Is the zero clock active?
+pub fn zero_clock() -> bool {
+    ZERO_CLOCK.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds of wall clock elapsed since `start` (0 under the zero
+/// clock). Saturates at `u64::MAX` (~584 years).
+pub fn wall_ns_since(start: Instant) -> u64 {
+    if zero_clock() {
+        return 0;
+    }
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Cumulative CPU time of the calling thread in nanoseconds.
+///
+/// Linux exposes this as the first field of `/proc/thread-self/schedstat`
+/// (time spent on-CPU, in ns). Elsewhere — or when the file is missing,
+/// e.g. under seccomp — this returns 0 and span `cpu_ns` stays 0; the
+/// manifest schema documents the field as best-effort. Always 0 under the
+/// zero clock.
+pub fn thread_cpu_ns() -> u64 {
+    if zero_clock() {
+        return 0;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(s) = std::fs::read_to_string("/proc/thread-self/schedstat") {
+            if let Some(first) = s.split_whitespace().next() {
+                if let Ok(ns) = first.parse::<u64>() {
+                    return ns;
+                }
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock_zeroes_wall_time() {
+        set_zero_clock(true);
+        let t = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert_eq!(wall_ns_since(t), 0);
+        assert_eq!(thread_cpu_ns(), 0);
+        set_zero_clock(false);
+        assert!(wall_ns_since(t) > 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! # hf-obs — zero-dependency observability for the honeyfarm pipeline
+//!
+//! Counters, gauges, log2 histograms, and span timing for every crate in
+//! the offline workspace, plus the versioned end-of-run manifest
+//! (`metrics.json` + `spans.tsv`). Three design rules, in priority order:
+//!
+//! 1. **Recording never perturbs the pipeline.** Instrumentation only
+//!    observes: no RNG, no ordering influence, no feedback into any
+//!    simulated or analyzed value. `tests/obs_invariance.rs` proves that a
+//!    metrics-on run produces bit-identical simulation output, snapshots,
+//!    and reports to a metrics-off run at 1, 2, and 8 threads.
+//! 2. **Every aggregate is an associative, commutative merge** (the same
+//!    discipline as `Aggregates::merge`): thread-local buffers flush into
+//!    a sharded registry in any order with identical results, so counters
+//!    derived from deterministic work are thread-count invariant.
+//! 3. **Off means off.** Disabled at runtime (the default), every
+//!    recording call is one relaxed atomic load; compiled with the `noop`
+//!    feature, calls route through [`NoopRecorder`] and vanish entirely.
+//!
+//! ## Recording
+//!
+//! ```
+//! hf_obs::enable();
+//! hf_obs::counter!("demo.events", 3);
+//! hf_obs::gauge!("demo.threads", 8);
+//! hf_obs::observe!("demo.batch_size", 1024);
+//! {
+//!     let _g = hf_obs::span!("demo.phase");
+//!     // … timed work …
+//! }
+//! hf_obs::flush(); // per thread, before the thread ends
+//! let manifest = hf_obs::manifest("demo");
+//! assert_eq!(manifest.counters["demo.events"], 3);
+//! # hf_obs::disable();
+//! # hf_obs::reset();
+//! ```
+//!
+//! Worker threads buffer locally and must [`flush`] before they exit
+//! (the instrumented fan-out sites in `hf-sim` and `hf-core` do); the
+//! thread calling [`snapshot`]/[`manifest`] flushes itself automatically.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod manifest;
+pub mod metrics;
+pub mod span;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub use clock::{set_zero_clock, zero_clock};
+pub use manifest::{
+    ManifestError, RunManifest, METRICS_FILE, SCHEMA_NAME, SCHEMA_VERSION, SPANS_FILE,
+};
+pub use metrics::{
+    Histogram, LocalBuf, MetricsRegistry, MetricsSnapshot, Name, SpanStats, N_BUCKETS,
+};
+pub use span::SpanGuard;
+
+// ------------------------------------------------------------- recorders --
+
+/// A recording backend. Two implementations exist: [`ThreadLocalRecorder`]
+/// (the real one) and [`NoopRecorder`] (selected by the `noop` cargo
+/// feature, compiling every call to nothing). Dispatch is static — the
+/// active recorder is a `const`, so the disabled path has no vtable and
+/// the noop path optimizes out.
+pub trait Recorder {
+    /// Add `n` to the named counter.
+    fn counter_add(&self, name: Name, n: u64);
+    /// Raise the named high-water-mark gauge to at least `v`.
+    fn gauge_set(&self, name: Name, v: i64);
+    /// Record one histogram sample.
+    fn observe(&self, name: Name, v: u64);
+    /// Open a span guard.
+    fn span(&self, name: Name) -> SpanGuard;
+    /// Drain the calling thread's buffer into the global registry.
+    fn flush(&self);
+}
+
+/// The compiled-out backend: every method is an empty inline function.
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn counter_add(&self, _name: Name, _n: u64) {}
+    #[inline(always)]
+    fn gauge_set(&self, _name: Name, _v: i64) {}
+    #[inline(always)]
+    fn observe(&self, _name: Name, _v: u64) {}
+    #[inline(always)]
+    fn span(&self, _name: Name) -> SpanGuard {
+        SpanGuard::inert()
+    }
+    #[inline(always)]
+    fn flush(&self) {}
+}
+
+/// The real backend: thread-local buffering, explicit flush into the
+/// sharded global [`MetricsRegistry`].
+pub struct ThreadLocalRecorder;
+
+impl Recorder for ThreadLocalRecorder {
+    fn counter_add(&self, name: Name, n: u64) {
+        if enabled() {
+            LOCAL.with(|l| l.borrow_mut().counter_add(name, n));
+        }
+    }
+
+    fn gauge_set(&self, name: Name, v: i64) {
+        if enabled() {
+            LOCAL.with(|l| l.borrow_mut().gauge_set(name, v));
+        }
+    }
+
+    fn observe(&self, name: Name, v: u64) {
+        if enabled() {
+            LOCAL.with(|l| l.borrow_mut().observe(name, v));
+        }
+    }
+
+    fn span(&self, name: Name) -> SpanGuard {
+        if enabled() {
+            SpanGuard::begin(name)
+        } else {
+            SpanGuard::inert()
+        }
+    }
+
+    fn flush(&self) {
+        let buf = LOCAL.with(|l| std::mem::take(&mut *l.borrow_mut()));
+        if !buf.is_empty() {
+            registry().absorb(buf);
+        }
+    }
+}
+
+#[cfg(not(feature = "noop"))]
+const RECORDER: ThreadLocalRecorder = ThreadLocalRecorder;
+#[cfg(feature = "noop")]
+const RECORDER: NoopRecorder = NoopRecorder;
+
+// ---------------------------------------------------------- global state --
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf::default());
+    static SPAN_STACK: RefCell<Vec<Name>> = const { RefCell::new(Vec::new()) };
+}
+
+fn registry() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(MetricsRegistry::new)
+}
+
+/// Turn recording on (process-wide).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn recording off. Already-buffered values stay until [`flush`]ed or
+/// [`reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Is recording on? (With the `noop` feature: always false.)
+pub fn enabled() -> bool {
+    if cfg!(feature = "noop") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// --------------------------------------------------------- recording API --
+
+/// Add `n` to the named counter (thread-local until [`flush`]).
+pub fn counter_add(name: &'static str, n: u64) {
+    RECORDER.counter_add(Name::Borrowed(name), n);
+}
+
+/// Raise the named high-water-mark gauge to at least `v`.
+pub fn gauge_set(name: &'static str, v: i64) {
+    RECORDER.gauge_set(Name::Borrowed(name), v);
+}
+
+/// Record one sample into the named log2 histogram.
+pub fn observe(name: &'static str, v: u64) {
+    RECORDER.observe(Name::Borrowed(name), v);
+}
+
+/// Open a span over a static name; timing is recorded when the returned
+/// guard drops.
+pub fn span(name: &'static str) -> SpanGuard {
+    RECORDER.span(Name::Borrowed(name))
+}
+
+/// Open a span over a dynamically composed name. The closure only runs
+/// when recording is enabled, so the disabled path allocates nothing.
+pub fn span_owned_with(name: impl FnOnce() -> String) -> SpanGuard {
+    if enabled() {
+        RECORDER.span(Name::Owned(name()))
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Drain the calling thread's buffer into the global registry. Worker
+/// threads call this before exiting; cheap when nothing is buffered.
+pub fn flush() {
+    RECORDER.flush();
+}
+
+/// Current span nesting depth on the calling thread.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+pub(crate) fn stack_push(name: Name) {
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+}
+
+pub(crate) fn stack_pop(name: &Name) {
+    SPAN_STACK.with(|s| {
+        let popped = s.borrow_mut().pop();
+        debug_assert_eq!(
+            popped.as_ref(),
+            Some(name),
+            "span guards dropped out of nesting order"
+        );
+    });
+}
+
+pub(crate) fn record_span(name: Name, wall_ns: u64, cpu_ns: u64) {
+    LOCAL.with(|l| l.borrow_mut().span_record(name, wall_ns, cpu_ns));
+}
+
+// ------------------------------------------------------------ harvesting --
+
+/// Flush the calling thread, then fold every registry shard into one
+/// sorted snapshot.
+pub fn snapshot() -> MetricsSnapshot {
+    flush();
+    registry().snapshot()
+}
+
+/// Flush the calling thread and package everything recorded so far as a
+/// [`RunManifest`] attributed to `tool`.
+pub fn manifest(tool: &str) -> RunManifest {
+    RunManifest::from_snapshot(tool, snapshot())
+}
+
+/// Clear the global registry and the calling thread's buffer (test use;
+/// buffers of other live threads are untouched).
+pub fn reset() {
+    LOCAL.with(|l| *l.borrow_mut() = LocalBuf::default());
+    registry().reset();
+}
+
+// ---------------------------------------------------------------- macros --
+
+/// `counter!("name", n)` — add `n` to a counter.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $n:expr) => {
+        $crate::counter_add($name, $n as u64)
+    };
+}
+
+/// `gauge!("name", v)` — raise a high-water-mark gauge to at least `v`.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $v:expr) => {
+        $crate::gauge_set($name, $v as i64)
+    };
+}
+
+/// `observe!("name", v)` — record a histogram sample.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $v:expr) => {
+        $crate::observe($name, $v as u64)
+    };
+}
+
+/// `span!("phase")` — open a span guard; bind it (`let _g = …`) so it
+/// measures until scope exit.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global; unit tests touching it serialize.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        disable();
+        counter!("unit.never", 5);
+        assert!(snapshot().is_empty());
+    }
+
+    #[test]
+    fn end_to_end_record_flush_manifest() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        counter!("unit.events", 2);
+        counter!("unit.events", 3);
+        gauge!("unit.peak", 7);
+        observe!("unit.sizes", 100);
+        {
+            let _s = span!("unit.phase");
+            assert_eq!(span_depth(), 1);
+        }
+        assert_eq!(span_depth(), 0);
+        let m = manifest("unit");
+        assert_eq!(m.counters["unit.events"], 5);
+        assert_eq!(m.gauges["unit.peak"], 7);
+        assert_eq!(m.histograms["unit.sizes"].count, 1);
+        assert_eq!(m.spans["unit.phase"].count, 1);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn cross_thread_flushes_fold() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter!("unit.worker_events", 10);
+                    flush();
+                });
+            }
+        });
+        let m = manifest("unit");
+        assert_eq!(m.counters["unit.worker_events"], 40);
+        disable();
+        reset();
+    }
+}

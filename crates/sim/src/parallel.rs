@@ -119,6 +119,8 @@ pub fn execute_day_shards(
     let shards_n = threads.min(max_useful);
     if shards_n == 1 {
         // One shard: run inline, no spawn/join round-trip.
+        hf_obs::counter!("sim.shards_executed", 1);
+        let _span = hf_obs::span!("sim.shard_execute");
         return vec![execute_chunk(ctx, plans, cache)];
     }
     let chunk_len = plans.len().div_ceil(shards_n).max(1);
@@ -126,7 +128,20 @@ pub fn execute_day_shards(
     std::thread::scope(|scope| {
         let handles: Vec<_> = plans
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(move || execute_chunk(ctx, chunk, cache)))
+            .map(|chunk| {
+                scope.spawn(move || {
+                    // Workers record into thread-local buffers and flush
+                    // before exiting (the span must drop first so its
+                    // sample is in the buffer the flush drains).
+                    hf_obs::counter!("sim.shards_executed", 1);
+                    let out = {
+                        let _span = hf_obs::span!("sim.shard_execute");
+                        execute_chunk(ctx, chunk, cache)
+                    };
+                    hf_obs::flush();
+                    out
+                })
+            })
             .collect();
         // Joining in spawn order *is* the ordered merge: chunk i's results
         // land before chunk i+1's regardless of which finished first.

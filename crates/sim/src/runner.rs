@@ -123,10 +123,16 @@ impl Simulation {
         let mut cache = ScriptCache::new();
         let days = config.window.num_days();
         let threads = config.threads.max(1);
+        hf_obs::gauge!("sim.threads", threads);
+        hf_obs::gauge!("sim.days", days);
         let mut total_sessions = 0usize;
         for day in 0..days {
+            let _day_span = hf_obs::span!("sim.day");
             let day_start = Instant::now();
             let plans = eco.plan_day(day);
+            hf_obs::counter!("sim.days_executed", 1);
+            hf_obs::counter!("sim.sessions_executed", plans.len() as u64);
+            hf_obs::observe!("sim.day_sessions", plans.len());
             let ctx = ExecCtx {
                 plan: &eco.plan,
                 configs: &configs,

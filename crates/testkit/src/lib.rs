@@ -33,8 +33,8 @@ pub mod strategies;
 pub use claims::{claim_specs, evaluate, ClaimCtx, ClaimResult, ClaimSpec, Expectation};
 pub use golden::{assert_golden, check_golden, GoldenError, GoldenOutcome};
 pub use oracle::{
-    assert_outputs_identical, diff_aggregates, diff_datasets, diff_reports, diff_sim_outputs,
-    diff_tagdbs, DiffReport, Mismatch,
+    assert_outputs_identical, diff_aggregates, diff_datasets, diff_manifests, diff_reports,
+    diff_sim_outputs, diff_tagdbs, DiffReport, Mismatch,
 };
 pub use scenario::{Scenario, ScenarioError};
 pub use strategies::{

@@ -17,6 +17,7 @@ use std::fmt;
 
 use hf_farm::store::Row;
 use hf_farm::{Dataset, TagDb};
+use hf_obs::{Histogram, RunManifest};
 use hf_sim::SimOutput;
 
 /// Cap on per-section mismatch detail; beyond this only a count is kept.
@@ -554,6 +555,124 @@ pub fn diff_reports(
     report
 }
 
+/// Diff two [`RunManifest`]s field by field.
+///
+/// Counters, gauges, histograms, and spans are compared as name-keyed maps
+/// (a name present on only one side is a mismatch); histograms additionally
+/// report the first diverging bucket. Used by the obs invariance suite to
+/// prove deterministic counters are thread-count invariant, after both
+/// sides are restricted with [`hf_obs::RunManifest::filtered`].
+pub fn diff_manifests(left: &str, a: &RunManifest, right: &str, b: &RunManifest) -> DiffReport {
+    let mut report = DiffReport::new(left, right);
+    if a.schema_version != b.schema_version {
+        report.push(
+            "schema_version",
+            format!("{} != {}", a.schema_version, b.schema_version),
+        );
+    }
+    if a.tool != b.tool {
+        report.push("tool", format!("{:?} != {:?}", a.tool, b.tool));
+    }
+    let mut budget = MAX_DETAIL;
+    diff_metric_map(
+        &mut report,
+        "counters",
+        &a.counters,
+        &b.counters,
+        &mut budget,
+        |x, y| (x != y).then(|| format!("{x} != {y}")),
+    );
+    diff_metric_map(
+        &mut report,
+        "gauges",
+        &a.gauges,
+        &b.gauges,
+        &mut budget,
+        |x, y| (x != y).then(|| format!("{x} != {y}")),
+    );
+    diff_metric_map(
+        &mut report,
+        "histograms",
+        &a.histograms,
+        &b.histograms,
+        &mut budget,
+        |x, y| {
+            if x == y {
+                return None;
+            }
+            if (x.count, x.sum, x.min, x.max) != (y.count, y.sum, y.min, y.max) {
+                return Some(format!(
+                    "count/sum/min/max {}/{}/{}/{} != {}/{}/{}/{}",
+                    x.count, x.sum, x.min, x.max, y.count, y.sum, y.min, y.max
+                ));
+            }
+            let i = (0..hf_obs::N_BUCKETS)
+                .find(|&i| x.buckets[i] != y.buckets[i])
+                .expect("unequal histograms with equal aggregates must differ in a bucket");
+            Some(format!(
+                "bucket[{i}] (lo {}): {} != {}",
+                Histogram::bucket_lo(i),
+                x.buckets[i],
+                y.buckets[i]
+            ))
+        },
+    );
+    diff_metric_map(
+        &mut report,
+        "spans",
+        &a.spans,
+        &b.spans,
+        &mut budget,
+        |x, y| {
+            (x != y).then(|| {
+                format!(
+                    "count/wall/cpu/max {}/{}/{}/{} != {}/{}/{}/{}",
+                    x.count,
+                    x.wall_ns,
+                    x.cpu_ns,
+                    x.max_wall_ns,
+                    y.count,
+                    y.wall_ns,
+                    y.cpu_ns,
+                    y.max_wall_ns
+                )
+            })
+        },
+    );
+    report
+}
+
+/// Walk the key union of two name-keyed metric maps, pushing one mismatch
+/// per diverging or one-sided entry (subject to the shared detail budget).
+fn diff_metric_map<T>(
+    report: &mut DiffReport,
+    section: &str,
+    a: &std::collections::BTreeMap<String, T>,
+    b: &std::collections::BTreeMap<String, T>,
+    budget: &mut usize,
+    diff_value: impl Fn(&T, &T) -> Option<String>,
+) {
+    let names: std::collections::BTreeSet<&str> =
+        a.keys().chain(b.keys()).map(String::as_str).collect();
+    for name in names {
+        let detail = match (a.get(name), b.get(name)) {
+            (Some(x), Some(y)) => match diff_value(x, y) {
+                Some(d) => d,
+                None => continue,
+            },
+            (Some(_), None) => format!("present in {} only", report.left),
+            (None, Some(_)) => format!("present in {} only", report.right),
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        if *budget == 0 {
+            report.suppressed += 1;
+            continue;
+        }
+        *budget -= 1;
+        report.push(format!("{section}[{name}]"), detail);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -764,5 +883,42 @@ mod tests {
             }
             diff_tagdbs("serial", &serial, &format!("chunks={split}"), &merged).assert_identical();
         }
+    }
+
+    /// The manifest oracle names the exact counter, histogram bucket, or
+    /// one-sided metric that diverged.
+    #[test]
+    fn manifest_diff_names_diverging_fields() {
+        let base = RunManifest {
+            schema_version: hf_obs::SCHEMA_VERSION,
+            tool: "test".to_string(),
+            counters: Default::default(),
+            gauges: Default::default(),
+            histograms: Default::default(),
+            spans: Default::default(),
+        };
+        let mut a = base.clone();
+        let mut b = base.clone();
+        diff_manifests("a", &a, "b", &b).assert_identical();
+
+        a.counters.insert("sim.days_executed".into(), 10);
+        b.counters.insert("sim.days_executed".into(), 12);
+        a.counters.insert("only.left".into(), 1);
+        let mut ha = Histogram::new();
+        ha.record(5);
+        let mut hb = Histogram::new();
+        hb.record(6); // same count/sum-class bucket fields differ
+        a.histograms.insert("h".into(), ha);
+        b.histograms.insert("h".into(), hb);
+        let d = diff_manifests("a", &a, "b", &b);
+        assert!(!d.is_identical());
+        let fields: Vec<&str> = d.mismatches.iter().map(|m| m.field.as_str()).collect();
+        assert!(
+            fields.contains(&"counters[sim.days_executed]"),
+            "{}",
+            d.render()
+        );
+        assert!(fields.contains(&"counters[only.left]"), "{}", d.render());
+        assert!(fields.contains(&"histograms[h]"), "{}", d.render());
     }
 }

@@ -8,6 +8,8 @@
 //! # persist the run, then reanalyze without re-simulating:
 //! cargo run --release --example paper_report -- --save-snapshot out/farm.hfstore
 //! cargo run --release --example paper_report -- --from-snapshot out/farm.hfstore
+//! # observe the run: emit metrics.json + spans.tsv (see DESIGN.md §10)
+//! cargo run --release --example paper_report -- --metrics out/metrics
 //! ```
 
 use std::path::PathBuf;
@@ -23,6 +25,7 @@ struct Args {
     threads: usize,
     save_snapshot: Option<PathBuf>,
     from_snapshot: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +38,7 @@ fn parse_args() -> Args {
         threads: 1,
         save_snapshot: None,
         from_snapshot: None,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -48,11 +52,13 @@ fn parse_args() -> Args {
             "--threads" => args.threads = val().parse().expect("--threads usize"),
             "--save-snapshot" => args.save_snapshot = Some(PathBuf::from(val())),
             "--from-snapshot" => args.from_snapshot = Some(PathBuf::from(val())),
+            "--metrics" => args.metrics = Some(PathBuf::from(val())),
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
                     "usage: paper_report [--scale F] [--days N] [--seed S] [--out DIR] [--fast] \
-                     [--threads N] [--save-snapshot FILE] [--from-snapshot FILE]"
+                     [--threads N] [--save-snapshot FILE] [--from-snapshot FILE] \
+                     [--metrics DIR]"
                 );
                 std::process::exit(2);
             }
@@ -63,6 +69,9 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.metrics.is_some() {
+        honeyfarm::obs::enable();
+    }
     let window = if args.days >= 486 {
         StudyWindow::paper()
     } else {
@@ -141,6 +150,13 @@ fn main() {
     report.write_dir(&args.out).expect("write report dir");
     std::fs::write(args.out.join("claims.json"), claims.to_json()).expect("write claims");
     std::fs::write(args.out.join("claims.txt"), claims.to_string()).expect("write claims");
+
+    if let Some(dir) = &args.metrics {
+        let manifest = honeyfarm::obs::manifest("paper_report");
+        manifest.write_dir(dir).expect("write metrics manifest");
+        honeyfarm::obs::RunManifest::load_dir(dir).expect("emitted manifest must parse back");
+        eprintln!("metrics manifest written to {}", dir.display());
+    }
 
     println!("{}", report.summary());
     println!("## Claims\n{claims}");

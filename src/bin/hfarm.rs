@@ -19,7 +19,16 @@
 //!     (1 vs 2 vs 8), snapshot round-trip equivalence, optional scenario
 //!     golden checks, and (with --claims) the full declarative
 //!     paper-claims table. `--md` prints the claims table as markdown.
+//! hfarm metrics DIR
+//!     Parse and summarize a metrics manifest directory previously
+//!     emitted with --metrics (schema check + spans.tsv cross-check).
 //! ```
+//!
+//! `simulate`, `report`, and `verify` additionally accept
+//! `--metrics DIR`: enable the hf-obs observability layer for the run and
+//! write `metrics.json` + `spans.tsv` into DIR at exit. Recording never
+//! changes any simulation, snapshot, or report byte (enforced by
+//! `tests/obs_invariance.rs`).
 
 use std::path::{Path, PathBuf};
 
@@ -38,6 +47,7 @@ struct Common {
     claims: bool,
     md: bool,
     scenarios: Option<PathBuf>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse(args: &[String]) -> Common {
@@ -53,6 +63,7 @@ fn parse(args: &[String]) -> Common {
         claims: false,
         md: false,
         scenarios: None,
+        metrics: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -72,6 +83,7 @@ fn parse(args: &[String]) -> Common {
             "--claims" => c.claims = true,
             "--md" => c.md = true,
             "--scenarios" => c.scenarios = Some(PathBuf::from(val())),
+            "--metrics" => c.metrics = Some(PathBuf::from(val())),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -81,9 +93,9 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|report|claims|birth|serve|verify> [--scale F] [--days N] \
-         [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] [--threads N] \
-         [--claims] [--md] [--scenarios DIR]"
+        "usage: hfarm <simulate|report|claims|birth|serve|verify|metrics> [--scale F] \
+         [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] \
+         [--threads N] [--claims] [--md] [--scenarios DIR] [--metrics DIR]"
     );
     std::process::exit(2)
 }
@@ -137,12 +149,85 @@ fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Pat
     println!("report written to {}", out_dir.display());
 }
 
+/// Flush, package, and write the run's metrics manifest, then parse it
+/// back (a malformed manifest is a bug worth failing loudly on).
+fn emit_metrics(c: &Common, tool: &str) {
+    let Some(dir) = &c.metrics else { return };
+    let manifest = honeyfarm::obs::manifest(tool);
+    if let Err(e) = manifest.write_dir(dir) {
+        eprintln!("error writing metrics manifest: {e}");
+        std::process::exit(1);
+    }
+    match honeyfarm::obs::RunManifest::load_dir(dir) {
+        Ok(m) => eprintln!(
+            "metrics manifest written to {} ({} counters, {} histograms, {} spans)",
+            dir.display(),
+            m.counters.len(),
+            m.histograms.len(),
+            m.spans.len()
+        ),
+        Err(e) => {
+            eprintln!("emitted metrics manifest failed to parse back: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `hfarm metrics DIR` — parse a manifest directory and summarize it.
+fn metrics_summary(dir: &Path) -> ! {
+    match honeyfarm::obs::RunManifest::load_dir(dir) {
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1)
+        }
+        Ok(m) => {
+            println!(
+                "manifest ok: schema {} v{}, tool {:?}",
+                honeyfarm::obs::SCHEMA_NAME,
+                m.schema_version,
+                m.tool
+            );
+            for (name, v) in &m.counters {
+                println!("counter    {name} = {v}");
+            }
+            for (name, v) in &m.gauges {
+                println!("gauge      {name} = {v}");
+            }
+            for (name, h) in &m.histograms {
+                println!(
+                    "histogram  {name}: n={} sum={} min={} max={}",
+                    h.count, h.sum, h.min, h.max
+                );
+            }
+            for (name, s) in &m.spans {
+                println!(
+                    "span       {name}: n={} wall={}ms cpu={}ms max={}ms",
+                    s.count,
+                    s.wall_ns / 1_000_000,
+                    s.cpu_ns / 1_000_000,
+                    s.max_wall_ns / 1_000_000
+                );
+            }
+            std::process::exit(0)
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         usage("missing subcommand")
     };
+    if cmd == "metrics" {
+        let [dir] = rest else {
+            usage("metrics takes exactly one argument: the manifest directory")
+        };
+        metrics_summary(Path::new(dir));
+    }
     let c = parse(rest);
+    if c.metrics.is_some() {
+        honeyfarm::obs::enable();
+    }
     match cmd.as_str() {
         "simulate" => {
             let config = sim_config(&c);
@@ -156,6 +241,7 @@ fn main() {
             }
             eprintln!("snapshot written to {}", c.snapshot.display());
             write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
+            emit_metrics(&c, "hfarm simulate");
         }
         "report" => {
             eprintln!("loading snapshot {} …", c.snapshot.display());
@@ -176,6 +262,7 @@ fn main() {
             );
             let agg = Aggregates::compute_threaded(&out.dataset, c.threads);
             write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
+            emit_metrics(&c, "hfarm report");
         }
         "claims" => {
             let (_, agg) = simulate(&c);
@@ -321,6 +408,7 @@ fn verify(c: &Common) -> ! {
         );
     }
 
+    emit_metrics(c, "hfarm verify");
     if failures == 0 {
         println!("verify: all checks passed");
         std::process::exit(0)

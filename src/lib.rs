@@ -21,6 +21,7 @@
 //! | [`sim`] | `hf-sim` | the 15-month simulator |
 //! | [`core`] | `hf-core` | classification, metrics, tables & figures |
 //! | [`testkit`] | `hf-testkit` | scenario replay, differential oracles, fuzzing |
+//! | [`obs`] | `hf-obs` | runtime metrics, span timing, run manifests |
 //!
 //! The live Tokio TCP front-end (`hf-wire`, previously re-exported as
 //! `wire`) is parked outside the workspace while builds run offline; see
@@ -47,6 +48,7 @@ pub use hf_farm as farm;
 pub use hf_geo as geo;
 pub use hf_hash as hash;
 pub use hf_honeypot as honeypot;
+pub use hf_obs as obs;
 pub use hf_proto as proto;
 pub use hf_shell as shell;
 pub use hf_sim as sim;
