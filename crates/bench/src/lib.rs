@@ -306,6 +306,25 @@ mod tests {
     }
 
     #[test]
+    fn committed_trajectories_parse_back() {
+        // The BENCH_*.json files committed at the repo root are the pinned
+        // performance record; a schema drift in the writer (or a hand edit)
+        // must fail here, not when the next benchmark run overwrites them.
+        for name in [
+            "BENCH_thread_scaling.json",
+            "BENCH_analysis.json",
+            "BENCH_session_hot_path.json",
+        ] {
+            let path = repo_root().join(name);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("{name} missing at repo root: {e}"));
+            let n = validate_bench_json(&text)
+                .unwrap_or_else(|e| panic!("{name} failed schema validation: {e}"));
+            assert!(n > 0, "{name} has no results");
+        }
+    }
+
+    #[test]
     fn spans_bridge_feeds_trajectory_format() {
         let mut manifest = hf_obs::RunManifest {
             schema_version: hf_obs::SCHEMA_VERSION,

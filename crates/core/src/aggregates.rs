@@ -345,10 +345,15 @@ impl Aggregates {
                         })
                     })
                     .collect();
-                // Joining in spawn order *is* the ordered merge.
+                // Joining in spawn order *is* the ordered merge. A shard
+                // panic is re-raised with its original payload so the
+                // failing assertion/message isn't masked by a join error.
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("analysis shard panicked"))
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
                     .collect()
             })
         };

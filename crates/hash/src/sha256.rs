@@ -111,6 +111,17 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Hash a batch of independent messages, one digest per message.
+    ///
+    /// Semantically `bodies.map(Sha256::digest)`; batching keeps the hasher
+    /// state hot and lets callers (artifact pipelines) hash a day's distinct
+    /// dropper bodies in one pass.
+    pub fn digest_many<'a>(bodies: impl IntoIterator<Item = &'a [u8]>, out: &mut Vec<Digest>) {
+        for body in bodies {
+            out.push(Sha256::digest(body));
+        }
+    }
+
     /// Absorb more message bytes.
     pub fn update(&mut self, mut data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);

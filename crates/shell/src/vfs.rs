@@ -5,24 +5,31 @@
 //! `cat /etc/passwd`, or `cat /proc/cpuinfo` produce plausible output.
 //! All honeypot sessions share the same initial image but mutate a private
 //! copy, exactly like Cowrie's per-session copy-on-login filesystem.
+//!
+//! The tree is copy-on-write: children are `Arc`-shared, so cloning a `Vfs`
+//! (one per session) only copies the root directory's child map, and the
+//! first mutation along a path copies just that path ([`Arc::make_mut`]).
+//! [`Vfs::seeded_cached`] additionally memoizes the seeded image per
+//! [`SystemProfile`] per thread, since the farm cycles through a small fixed
+//! set of profiles — building the seed image once instead of once per session.
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::profile::SystemProfile;
 
 /// Node type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NodeKind {
-    /// Directory with named children.
-    Dir(BTreeMap<String, Node>),
+    /// Directory with named children, `Arc`-shared for cheap session clones.
+    Dir(BTreeMap<String, Arc<Node>>),
     /// Regular file with content.
     File(Vec<u8>),
 }
 
 /// A filesystem node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Node {
     /// Contents.
     pub kind: NodeKind,
@@ -75,7 +82,7 @@ impl std::fmt::Display for VfsError {
 impl std::error::Error for VfsError {}
 
 /// The virtual filesystem.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Vfs {
     root: Node,
 }
@@ -83,26 +90,46 @@ pub struct Vfs {
 /// Normalize a path against a current working directory: makes it absolute and
 /// resolves `.` and `..` components lexically.
 pub fn resolve_path(cwd: &str, path: &str) -> String {
-    let joined = if path.starts_with('/') {
-        path.to_string()
-    } else {
-        format!("{}/{}", cwd.trim_end_matches('/'), path)
-    };
-    let mut out: Vec<&str> = Vec::new();
-    for comp in joined.split('/') {
+    let mut out = String::new();
+    resolve_path_into(cwd, path, &mut out);
+    out
+}
+
+/// [`resolve_path`] into a caller-provided buffer — the hot-path form; the
+/// buffer's capacity is reused so steady-state resolution never allocates.
+pub fn resolve_path_into(cwd: &str, path: &str, out: &mut String) {
+    out.clear();
+    fn push_comp(out: &mut String, comp: &str) {
         match comp {
             "" | "." => {}
             ".." => {
-                out.pop();
+                if let Some(i) = out.rfind('/') {
+                    out.truncate(i);
+                }
             }
-            c => out.push(c),
+            c => {
+                out.push('/');
+                out.push_str(c);
+            }
         }
     }
-    if out.is_empty() {
-        "/".to_string()
-    } else {
-        format!("/{}", out.join("/"))
+    if !path.starts_with('/') {
+        for comp in cwd.split('/') {
+            push_comp(out, comp);
+        }
     }
+    for comp in path.split('/') {
+        push_comp(out, comp);
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+}
+
+thread_local! {
+    /// Per-thread memo of seeded images. The farm derives profiles from a
+    /// small cyclic index, so this stays tiny; linear scan beats hashing.
+    static SEEDED: RefCell<Vec<(SystemProfile, Vfs)>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Vfs {
@@ -193,6 +220,20 @@ impl Vfs {
         fs
     }
 
+    /// [`Vfs::seeded`], memoized per profile per thread. The returned image
+    /// shares all subtrees with the cached copy; mutations copy-on-write.
+    pub fn seeded_cached(profile: &SystemProfile) -> Self {
+        SEEDED.with(|cell| {
+            let mut cache = cell.borrow_mut();
+            if let Some((_, fs)) = cache.iter().find(|(p, _)| p == profile) {
+                return fs.clone();
+            }
+            let fs = Vfs::seeded(profile);
+            cache.push((profile.clone(), fs.clone()));
+            fs
+        })
+    }
+
     fn lookup(&self, abs: &str) -> Option<&Node> {
         let mut cur = &self.root;
         for comp in abs.split('/').filter(|c| !c.is_empty()) {
@@ -204,11 +245,13 @@ impl Vfs {
         Some(cur)
     }
 
+    /// Walk to a node for mutation, copy-on-writing each shared `Arc` along
+    /// the path.
     fn lookup_mut(&mut self, abs: &str) -> Option<&mut Node> {
         let mut cur = &mut self.root;
         for comp in abs.split('/').filter(|c| !c.is_empty()) {
             match &mut cur.kind {
-                NodeKind::Dir(children) => cur = children.get_mut(comp)?,
+                NodeKind::Dir(children) => cur = Arc::make_mut(children.get_mut(comp)?),
                 NodeKind::File(_) => return None,
             }
         }
@@ -216,14 +259,14 @@ impl Vfs {
     }
 
     /// Split an absolute path into (parent, name). `/` has no parent.
-    fn parent_and_name(abs: &str) -> Option<(String, String)> {
+    fn parent_and_name(abs: &str) -> Option<(&str, &str)> {
         let trimmed = abs.trim_end_matches('/');
         if trimmed.is_empty() {
             return None;
         }
         match trimmed.rfind('/') {
-            Some(0) => Some(("/".to_string(), trimmed[1..].to_string())),
-            Some(i) => Some((trimmed[..i].to_string(), trimmed[i + 1..].to_string())),
+            Some(0) => Some(("/", &trimmed[1..])),
+            Some(i) => Some((&trimmed[..i], &trimmed[i + 1..])),
             None => None,
         }
     }
@@ -255,24 +298,25 @@ impl Vfs {
     pub fn write_file(&mut self, abs: &str, content: &[u8], mode: u32) -> Result<bool, VfsError> {
         let (parent, name) =
             Self::parent_and_name(abs).ok_or_else(|| VfsError::WrongKind(abs.to_string()))?;
-        self.mkdir_p(&parent)?;
-        let pnode = self.lookup_mut(&parent).expect("parent just created");
+        self.mkdir_p(parent)?;
+        let pnode = self.lookup_mut(parent).expect("parent just created");
         match &mut pnode.kind {
             NodeKind::Dir(children) => {
-                if let Some(existing) = children.get_mut(&name) {
-                    match &mut existing.kind {
+                if let Some(existing) = children.get_mut(name) {
+                    match &mut Arc::make_mut(existing).kind {
                         NodeKind::File(c) => {
-                            *c = content.to_vec();
+                            c.clear();
+                            c.extend_from_slice(content);
                             Ok(true)
                         }
                         NodeKind::Dir(_) => Err(VfsError::WrongKind(abs.to_string())),
                     }
                 } else {
-                    children.insert(name, Node::file(content, mode));
+                    children.insert(name.to_string(), Arc::new(Node::file(content, mode)));
                     Ok(false)
                 }
             }
-            NodeKind::File(_) => Err(VfsError::WrongKind(parent)),
+            NodeKind::File(_) => Err(VfsError::WrongKind(parent.to_string())),
         }
     }
 
@@ -296,7 +340,11 @@ impl Vfs {
         for comp in abs.split('/').filter(|c| !c.is_empty()) {
             match &mut cur.kind {
                 NodeKind::Dir(children) => {
-                    cur = children.entry(comp.to_string()).or_insert_with(Node::dir);
+                    cur = Arc::make_mut(
+                        children
+                            .entry(comp.to_string())
+                            .or_insert_with(|| Arc::new(Node::dir())),
+                    );
                 }
                 NodeKind::File(_) => return Err(VfsError::WrongKind(abs.to_string())),
             }
@@ -311,12 +359,12 @@ impl Vfs {
     pub fn remove(&mut self, abs: &str) -> Result<(), VfsError> {
         let (parent, name) =
             Self::parent_and_name(abs).ok_or_else(|| VfsError::Exists("/".to_string()))?;
-        match self.lookup_mut(&parent) {
+        match self.lookup_mut(parent) {
             Some(Node {
                 kind: NodeKind::Dir(children),
                 ..
             }) => children
-                .remove(&name)
+                .remove(name)
                 .map(|_| ())
                 .ok_or(VfsError::NotFound(abs.to_string())),
             _ => Err(VfsError::NotFound(abs.to_string())),
@@ -470,6 +518,39 @@ mod tests {
             fs.write_file("/f/child", b"", 0o644),
             Err(VfsError::WrongKind(_))
         ));
+    }
+
+    #[test]
+    fn cow_clones_do_not_observe_each_other() {
+        let base = Vfs::seeded(&SystemProfile::default());
+        let mut a = base.clone();
+        let mut b = base.clone();
+        a.write_file("/tmp/a-only", b"A", 0o644).unwrap();
+        b.write_file("/etc/passwd", b"hacked", 0o644).unwrap();
+        b.remove("/bin/busybox").unwrap();
+        assert!(!base.exists("/tmp/a-only"));
+        assert!(!b.exists("/tmp/a-only"));
+        assert!(a.read_file("/etc/passwd").unwrap() != b"hacked");
+        assert!(base.exists("/bin/busybox"));
+        assert!(a.exists("/bin/busybox"));
+        assert!(!b.exists("/bin/busybox"));
+    }
+
+    #[test]
+    fn seeded_cached_matches_seeded() {
+        let p = SystemProfile::for_node(7);
+        assert_eq!(Vfs::seeded_cached(&p), Vfs::seeded(&p));
+        // Second hit comes from the memo and must be identical too.
+        assert_eq!(Vfs::seeded_cached(&p), Vfs::seeded(&p));
+    }
+
+    #[test]
+    fn resolve_path_into_reuses_buffer() {
+        let mut buf = String::new();
+        resolve_path_into("/root", "../tmp/./x", &mut buf);
+        assert_eq!(buf, "/tmp/x");
+        resolve_path_into("/a/b", "", &mut buf);
+        assert_eq!(buf, "/a/b");
     }
 
     proptest! {

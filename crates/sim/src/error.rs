@@ -1,0 +1,61 @@
+//! Typed simulation errors.
+//!
+//! The day loop's prepared paths (pre-parsed scripts for full emulation,
+//! pre-computed outcomes for the script cache) rely on a coverage contract:
+//! the serial pre-pass must visit every plan the workers will execute. A gap
+//! is a caller bug, but it should fail loudly with the missing key — not
+//! panic mid-shard where the unwind obscures which plan was uncovered.
+
+/// A simulation-level failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A plan referenced a campaign variant the day pre-pass never prepared.
+    MissingPreparedScript {
+        /// Campaign id (`CampaignId.0`).
+        campaign: u32,
+        /// Variant active on the plan's day.
+        variant: u32,
+    },
+    /// A plan referenced a recon template the day pre-pass never prepared.
+    MissingPreparedRecon {
+        /// Recon cache key (`variant ^ (seed % 8)`).
+        key: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingPreparedScript { campaign, variant } => write!(
+                f,
+                "day pre-pass did not prepare campaign {campaign} variant {variant} \
+                 (prepare_day/precompute_day must cover every plan executed)"
+            ),
+            SimError::MissingPreparedRecon { key } => write!(
+                f,
+                "day pre-pass did not prepare recon template {key} \
+                 (prepare_day/precompute_day must cover every plan executed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_missing_key() {
+        let e = SimError::MissingPreparedScript {
+            campaign: 7,
+            variant: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("campaign 7"));
+        assert!(s.contains("variant 2"));
+        let r = SimError::MissingPreparedRecon { key: 11 }.to_string();
+        assert!(r.contains("11"));
+    }
+}

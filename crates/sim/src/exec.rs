@@ -1,28 +1,51 @@
 //! Plan execution: one [`SessionPlan`] → one [`SessionRecord`], via the real
 //! honeypot state machine.
 
+use std::sync::Arc;
+
 use hf_agents::campaigns::{recon_script, CampaignCatalog};
 use hf_agents::credentials::CredentialModel;
 use hf_agents::{Behavior, ClientPool, SessionPlan};
 use hf_farm::{FarmPlan, TagDb};
+use hf_hash::{Digest, Sha256};
 use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
 use hf_proto::creds::Credentials;
 use hf_proto::ssh_ident::CLIENT_BANNERS;
 use hf_proto::Protocol;
-use hf_shell::RemoteFetcher;
+use hf_shell::{LineBuf, RemoteFetcher};
 use hf_simclock::SimInstant;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::error::SimError;
+
 /// Fetcher that serves a single campaign payload for any URI — the simulated
-/// equivalent of the dropper's distribution host.
+/// equivalent of the dropper's distribution host. The body is shared
+/// (`Arc`) and its digest pre-computed, so every session of a (campaign,
+/// variant) hands the shell a ready digest hint instead of re-hashing the
+/// same dropper on each download.
 struct CampaignFetcher {
-    body: Vec<u8>,
+    body: Arc<Vec<u8>>,
+    digest: Digest,
+}
+
+impl CampaignFetcher {
+    fn new(body: Vec<u8>) -> Self {
+        let digest = Sha256::digest(&body);
+        CampaignFetcher {
+            body: Arc::new(body),
+            digest,
+        }
+    }
 }
 
 impl RemoteFetcher for CampaignFetcher {
     fn fetch(&mut self, _uri: &str) -> Option<Vec<u8>> {
-        Some(self.body.clone())
+        Some(self.body.as_ref().clone())
+    }
+
+    fn digest_hint(&self, _uri: &str) -> Option<Digest> {
+        Some(self.digest)
     }
 }
 
@@ -87,9 +110,8 @@ impl ScriptCache {
                     self.campaigns
                         .entry((campaign.0, variant))
                         .or_insert_with(|| {
-                            let fetcher = Box::new(CampaignFetcher {
-                                body: spec.payload_bytes(variant),
-                            });
+                            let fetcher =
+                                Box::new(CampaignFetcher::new(spec.payload_bytes(variant)));
                             compute_outcome(ctx, plan.honeypot, &spec.script(variant), fetcher)
                         });
                 }
@@ -103,6 +125,106 @@ impl ScriptCache {
                             Box::new(hf_shell::NullFetcher),
                         )
                     });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// One script line, parsed once: the raw text, its pre-lexed statement
+/// buffer, and the number of transfer commands on the line.
+#[derive(Debug)]
+pub struct PreparedLine {
+    /// The line as the client would type it.
+    pub text: String,
+    /// Pre-parsed statements (reused read-only by every session).
+    pub buf: LineBuf,
+    /// Fetch commands on the line (each adds transfer time + timer reset).
+    pub transfers: u32,
+}
+
+fn prepare_lines(lines: &[String]) -> Vec<PreparedLine> {
+    lines
+        .iter()
+        .map(|text| {
+            let mut buf = LineBuf::new();
+            buf.parse(text);
+            PreparedLine {
+                text: text.clone(),
+                buf,
+                transfers: transfer_count(text),
+            }
+        })
+        .collect()
+}
+
+/// A campaign variant's prepared form: pre-parsed script plus the shared
+/// payload body and its digest (for the per-session [`CampaignFetcher`]).
+#[derive(Debug)]
+pub struct PreparedScript {
+    /// Pre-parsed script lines.
+    pub lines: Vec<PreparedLine>,
+    body: Arc<Vec<u8>>,
+    digest: Digest,
+}
+
+/// Day-prepared scripts for the *full-emulation* path: every campaign
+/// variant and recon template a day's plans reference, lexed and parsed
+/// once. Sessions then execute through
+/// [`hf_honeypot::SessionDriver::run_parsed_quiet`] — the shell still runs
+/// per session (real VFS, real events), but parsing happens once per
+/// (campaign, variant) per study, not once per session.
+///
+/// Entries persist across days (variants repeat), so [`PreparedScripts::prepare_day`]
+/// only fills gaps. Like [`ScriptCache::precompute_day`], the pre-pass runs
+/// serially before workers fan out; the map is then read immutably.
+#[derive(Debug, Default)]
+pub struct PreparedScripts {
+    campaigns: std::collections::HashMap<(u32, u32), PreparedScript>,
+    recon: std::collections::HashMap<u64, Vec<PreparedLine>>,
+}
+
+impl PreparedScripts {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of prepared entries (campaign variants + recon templates).
+    pub fn len(&self) -> usize {
+        self.campaigns.len() + self.recon.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ensure every script a day's plans will execute is prepared.
+    pub fn prepare_day(&mut self, ctx: &ExecCtx<'_>, plans: &[SessionPlan]) {
+        for plan in plans {
+            match plan.behavior {
+                Behavior::Script { campaign } => {
+                    let spec = ctx.catalog.get(campaign);
+                    let variant = spec.variant_on(plan.day);
+                    self.campaigns
+                        .entry((campaign.0, variant))
+                        .or_insert_with(|| {
+                            let body = spec.payload_bytes(variant);
+                            let digest = Sha256::digest(&body);
+                            PreparedScript {
+                                lines: prepare_lines(&spec.script(variant)),
+                                body: Arc::new(body),
+                                digest,
+                            }
+                        });
+                }
+                Behavior::Recon { variant } => {
+                    let key = variant as u64 ^ (plan.seed % 8);
+                    self.recon
+                        .entry(key)
+                        .or_insert_with(|| prepare_lines(&recon_script(key)));
                 }
                 _ => {}
             }
@@ -215,9 +337,7 @@ pub fn execute_plan_cached(
                 .campaigns
                 .entry((campaign.0, variant))
                 .or_insert_with(|| {
-                    let fetcher = Box::new(CampaignFetcher {
-                        body: spec.payload_bytes(variant),
-                    });
+                    let fetcher = Box::new(CampaignFetcher::new(spec.payload_bytes(variant)));
                     compute_outcome(ctx, plan.honeypot, &spec.script(variant), fetcher)
                 });
             (&*outcome, Some((spec.tag.label(), spec.name.as_str())))
@@ -243,21 +363,24 @@ pub fn execute_plan_cached(
 /// day by [`ScriptCache::precompute_day`]. This is the form the parallel
 /// day loop uses: the cache is shared immutably across worker threads, so
 /// a missing entry is a caller bug (the pre-pass must cover every plan it
-/// hands out) and panics rather than silently recomputing.
+/// hands out) and surfaces as a typed [`SimError`] naming the missing key
+/// instead of panicking mid-shard.
 pub fn execute_plan_prepared(
     ctx: &ExecCtx<'_>,
     plan: &SessionPlan,
     tags: &mut TagDb,
     cache: &ScriptCache,
-) -> SessionRecord {
+) -> Result<SessionRecord, SimError> {
     let (outcome, tag_info): (&ScriptOutcome, Option<(&str, &str)>) = match plan.behavior {
         Behavior::Script { campaign } => {
             let spec = ctx.catalog.get(campaign);
             let variant = spec.variant_on(plan.day);
-            let outcome = cache
-                .campaigns
-                .get(&(campaign.0, variant))
-                .expect("precompute_day must cover every campaign variant executed");
+            let outcome = cache.campaigns.get(&(campaign.0, variant)).ok_or(
+                SimError::MissingPreparedScript {
+                    campaign: campaign.0,
+                    variant,
+                },
+            )?;
             (outcome, Some((spec.tag.label(), spec.name.as_str())))
         }
         Behavior::Recon { variant } => {
@@ -265,12 +388,155 @@ pub fn execute_plan_prepared(
             let outcome = cache
                 .recon
                 .get(&key)
-                .expect("precompute_day must cover every recon template executed");
+                .ok_or(SimError::MissingPreparedRecon { key })?;
             (outcome, None)
         }
-        _ => return execute_plan(ctx, plan, tags),
+        _ => return Ok(execute_plan(ctx, plan, tags)),
     };
-    replay_cached(ctx, plan, outcome, tag_info, tags)
+    Ok(replay_cached(ctx, plan, outcome, tag_info, tags))
+}
+
+/// Execute a plan with full shell emulation against day-prepared scripts:
+/// the real per-session shell runs (fresh VFS, real events, real timing),
+/// but script lines come pre-parsed from [`PreparedScripts::prepare_day`]
+/// and campaign payload digests are pre-computed. Byte-identical to
+/// [`execute_plan`] for the same plan; a missing entry is a pre-pass
+/// coverage bug surfaced as a typed [`SimError`].
+pub fn execute_plan_full(
+    ctx: &ExecCtx<'_>,
+    plan: &SessionPlan,
+    tags: &mut TagDb,
+    prepared: &PreparedScripts,
+) -> Result<SessionRecord, SimError> {
+    let mut rng = SmallRng::seed_from_u64(plan.seed);
+    let client = ctx.pool.get(plan.client);
+    let start = SimInstant::from_day_and_secs(plan.day, plan.start_secs.min(86_399));
+    let config = ctx.configs[plan.honeypot as usize].clone();
+
+    // Fetcher: campaign payload for scripts, unreachable host otherwise.
+    let fetcher: Box<dyn RemoteFetcher> = match plan.behavior {
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            let script = prepared.campaigns.get(&(campaign.0, variant)).ok_or(
+                SimError::MissingPreparedScript {
+                    campaign: campaign.0,
+                    variant,
+                },
+            )?;
+            Box::new(CampaignFetcher {
+                body: Arc::clone(&script.body),
+                digest: script.digest,
+            })
+        }
+        _ => Box::new(hf_shell::NullFetcher),
+    };
+
+    let mut driver = SessionDriver::accept(
+        config,
+        plan.honeypot,
+        plan.protocol,
+        client.ip,
+        rng.gen_range(1024..65_535),
+        start,
+        fetcher,
+    );
+
+    if plan.protocol == Protocol::Ssh {
+        driver.client_banner(CLIENT_BANNERS[rng.gen_range(0..CLIENT_BANNERS.len())]);
+    }
+
+    match plan.behavior {
+        Behavior::Scan { linger_secs } => {
+            if driver.advance(linger_secs as u32) {
+                driver.client_close();
+            }
+        }
+        Behavior::Scout { attempts } => {
+            for _ in 0..attempts {
+                let c = ctx.creds.failed(&mut rng);
+                driver.offer_credentials(c, rng.gen_range(1..5));
+                if driver.finished() {
+                    break;
+                }
+            }
+            driver.client_close();
+        }
+        Behavior::LoginIdle { idle_to_timeout } => {
+            login(&mut driver, ctx, None, &mut rng);
+            if idle_to_timeout {
+                // Wait out the 3-minute idle timer.
+                driver.advance(200);
+            } else {
+                driver.advance(rng.gen_range(3..50));
+                driver.client_close();
+            }
+        }
+        Behavior::Recon { variant } => {
+            let key = variant as u64 ^ (plan.seed % 8);
+            let lines = prepared
+                .recon
+                .get(&key)
+                .ok_or(SimError::MissingPreparedRecon { key })?;
+            login(&mut driver, ctx, None, &mut rng);
+            for line in lines {
+                if driver
+                    .run_parsed_quiet(&line.buf, rng.gen_range(1..6))
+                    .is_none()
+                {
+                    break;
+                }
+            }
+            // A substantial share of CMD sessions end in the idle timeout
+            // (Fig. 7); the rest close promptly.
+            if !driver.finished() {
+                if rng.gen_range(0..100) < 35 {
+                    driver.advance(200);
+                } else {
+                    driver.client_close();
+                }
+            }
+        }
+        Behavior::Script { campaign } => {
+            let spec = ctx.catalog.get(campaign);
+            let variant = spec.variant_on(plan.day);
+            let script = prepared
+                .campaigns
+                .get(&(campaign.0, variant))
+                .expect("checked when building the fetcher");
+            login(&mut driver, ctx, spec.fixed_password, &mut rng);
+            for line in &script.lines {
+                if driver
+                    .run_parsed_quiet(&line.buf, rng.gen_range(1..5))
+                    .is_none()
+                {
+                    break;
+                }
+                for _ in 0..line.transfers {
+                    // Transfer time; resets the idle timer (CMD+URI sessions
+                    // may legitimately exceed the 3-minute cap).
+                    driver.external_transfer(rng.gen_range(2..120));
+                }
+            }
+            if !driver.finished() {
+                if rng.gen_range(0..100) < 20 {
+                    driver.advance(200);
+                } else {
+                    driver.client_close();
+                }
+            }
+            let record = driver.into_record();
+            for h in record
+                .file_hashes
+                .iter()
+                .chain(record.download_hashes.iter())
+            {
+                tags.record(*h, spec.tag.label(), &spec.name);
+            }
+            return Ok(record);
+        }
+    }
+    Ok(driver.into_record())
 }
 
 /// Shared tail of the cached paths: drive a real [`SessionDriver`] through
@@ -351,9 +617,7 @@ pub fn execute_plan(ctx: &ExecCtx<'_>, plan: &SessionPlan, tags: &mut TagDb) -> 
         Behavior::Script { campaign } => {
             let spec = ctx.catalog.get(campaign);
             let variant = spec.variant_on(plan.day);
-            Box::new(CampaignFetcher {
-                body: spec.payload_bytes(variant),
-            })
+            Box::new(CampaignFetcher::new(spec.payload_bytes(variant)))
         }
         _ => Box::new(hf_shell::NullFetcher),
     };
@@ -726,7 +990,7 @@ mod tests {
         let mut pre_tags = TagDb::new();
         let prepared: Vec<_> = plans
             .iter()
-            .map(|p| execute_plan_prepared(&c, p, &mut pre_tags, &pre_cache))
+            .map(|p| execute_plan_prepared(&c, p, &mut pre_tags, &pre_cache).unwrap())
             .collect();
 
         assert_eq!(lazy, prepared);
@@ -734,5 +998,82 @@ mod tests {
         for (h, e) in lazy_tags.iter() {
             assert_eq!(pre_tags.tag(h), Some(e.tag.as_str()));
         }
+    }
+
+    #[test]
+    fn full_prepared_matches_reference_execution() {
+        // The prepared full-emulation path (pre-parsed scripts, digest
+        // hints, quiet execution) must be bit-identical to execute_plan for
+        // every behavior shape.
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h5 = f.eco.catalog.by_name("H5").unwrap().id;
+        let h1 = f.eco.catalog.by_name("H1").unwrap().id;
+        let plans = vec![
+            plan_with(Behavior::Script { campaign: h5 }, Protocol::Telnet),
+            plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh),
+            plan_with(Behavior::Recon { variant: 3 }, Protocol::Ssh),
+            plan_with(Behavior::Scan { linger_secs: 5 }, Protocol::Telnet),
+            plan_with(Behavior::Scout { attempts: 2 }, Protocol::Ssh),
+            plan_with(
+                Behavior::LoginIdle {
+                    idle_to_timeout: false,
+                },
+                Protocol::Ssh,
+            ),
+        ];
+        let mut prepared = PreparedScripts::new();
+        prepared.prepare_day(&c, &plans);
+        assert!(!prepared.is_empty());
+
+        let mut ref_tags = TagDb::new();
+        let reference: Vec<_> = plans
+            .iter()
+            .map(|p| execute_plan(&c, p, &mut ref_tags))
+            .collect();
+        let mut full_tags = TagDb::new();
+        let full: Vec<_> = plans
+            .iter()
+            .map(|p| execute_plan_full(&c, p, &mut full_tags, &prepared).unwrap())
+            .collect();
+
+        assert_eq!(reference, full);
+        assert_eq!(ref_tags.len(), full_tags.len());
+        for (h, e) in ref_tags.iter() {
+            assert_eq!(full_tags.tag(h), Some(e.tag.as_str()));
+        }
+    }
+
+    #[test]
+    fn missing_prepared_entry_is_a_typed_error() {
+        let f = fixture();
+        let c = ctx(&f, true);
+        let h1 = f.eco.catalog.by_name("H1").unwrap().id;
+        let empty = PreparedScripts::new();
+        let mut tags = TagDb::new();
+        let err = execute_plan_full(
+            &c,
+            &plan_with(Behavior::Script { campaign: h1 }, Protocol::Ssh),
+            &mut tags,
+            &empty,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::MissingPreparedScript { campaign, .. } if campaign == h1.0
+        ));
+
+        let empty_cache = ScriptCache::new();
+        let err = execute_plan_prepared(
+            &c,
+            &plan_with(Behavior::Recon { variant: 3 }, Protocol::Ssh),
+            &mut tags,
+            &empty_cache,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::SimError::MissingPreparedRecon { .. }
+        ));
     }
 }

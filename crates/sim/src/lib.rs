@@ -12,12 +12,15 @@
 //! private 402M-session database is replaced by a synthetic dataset that
 //! flows through the identical honeypot code path.
 
+pub mod error;
 pub mod exec;
 pub mod parallel;
 pub mod runner;
 
+pub use error::SimError;
 pub use exec::{
-    execute_plan, execute_plan_cached, execute_plan_prepared, ExecCtx, ScriptCache, ScriptOutcome,
+    execute_plan, execute_plan_cached, execute_plan_full, execute_plan_prepared, ExecCtx,
+    PreparedScripts, ScriptCache, ScriptOutcome,
 };
-pub use parallel::{execute_day_sharded, DayStats};
+pub use parallel::{execute_day_sharded, DayMode, DayStats};
 pub use runner::{SimConfig, SimOutput, Simulation};

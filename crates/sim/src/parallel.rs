@@ -14,9 +14,9 @@
 //!    unique key; see `Ecosystem::plan_day`).
 //! 2. The plan slice is split into `threads` *contiguous* chunks. Each worker
 //!    executes its chunk in order into a private record vector and a private
-//!    [`TagDb`] shard. Workers share nothing mutable — the script cache, when
-//!    enabled, is pre-filled serially by `ScriptCache::precompute_day` and
-//!    read immutably.
+//!    [`TagDb`] shard. Workers share nothing mutable — both [`DayMode`]s
+//!    carry day state that was pre-filled serially (pre-parsed scripts or
+//!    pre-computed outcomes) and is read immutably.
 //! 3. Shards are merged *in chunk order*: record vectors are concatenated
 //!    (which reproduces the serial ingest order exactly, because
 //!    concatenating in-order chunks of an ordered sequence yields the
@@ -32,7 +32,36 @@ use hf_agents::SessionPlan;
 use hf_farm::TagDb;
 use hf_honeypot::SessionRecord;
 
-use crate::exec::{execute_plan, execute_plan_prepared, ExecCtx, ScriptCache};
+use crate::error::SimError;
+use crate::exec::{
+    execute_plan_full, execute_plan_prepared, ExecCtx, PreparedScripts, ScriptCache,
+};
+
+/// How a day's sessions are executed. Both variants borrow day state that a
+/// serial pre-pass filled (and that workers read immutably), so the choice
+/// here is purely fidelity-vs-speed:
+///
+/// * [`DayMode::Full`] drives the real honeypot state machine and shell
+///   emulator per session, with scripts pre-parsed once per
+///   `(campaign, variant)` by [`PreparedScripts::prepare_day`].
+/// * [`DayMode::Cached`] replays pre-computed script outcomes filled by
+///   [`ScriptCache::precompute_day`], skipping shell execution entirely.
+#[derive(Clone, Copy, Debug)]
+pub enum DayMode<'a> {
+    /// Full shell emulation over pre-parsed scripts.
+    Full(&'a PreparedScripts),
+    /// Script-cache replay fast path.
+    Cached(&'a ScriptCache),
+}
+
+impl DayMode<'_> {
+    fn min_shard_plans(&self) -> usize {
+        match self {
+            DayMode::Full(_) => MIN_SHARD_PLANS,
+            DayMode::Cached(_) => MIN_SHARD_PLANS_CACHED,
+        }
+    }
+}
 
 /// Per-day throughput report, passed to the progress callback after each
 /// simulated day completes.
@@ -80,18 +109,18 @@ pub const MIN_SHARD_PLANS_CACHED: usize = 384;
 fn execute_chunk(
     ctx: &ExecCtx<'_>,
     chunk: &[SessionPlan],
-    cache: Option<&ScriptCache>,
-) -> (Vec<SessionRecord>, TagDb) {
+    mode: DayMode<'_>,
+) -> Result<(Vec<SessionRecord>, TagDb), SimError> {
     let mut records = Vec::with_capacity(chunk.len());
     let mut tags = TagDb::new();
     for plan in chunk {
-        let rec = match cache {
-            Some(c) => execute_plan_prepared(ctx, plan, &mut tags, c),
-            None => execute_plan(ctx, plan, &mut tags),
+        let rec = match mode {
+            DayMode::Full(prepared) => execute_plan_full(ctx, plan, &mut tags, prepared)?,
+            DayMode::Cached(cache) => execute_plan_prepared(ctx, plan, &mut tags, cache)?,
         };
         records.push(rec);
     }
-    (records, tags)
+    Ok((records, tags))
 }
 
 /// Execute one day's plans across up to `threads` workers, returning each
@@ -100,28 +129,24 @@ fn execute_chunk(
 /// Callers consume shards in order (ingest shard 0's records, then shard
 /// 1's, …; fold tags with [`TagDb::merge`]) which reproduces the serial
 /// execution exactly while skipping the whole-day record concatenation the
-/// old single-vector API paid. `cache` selects the script fast-path: `Some`
-/// must be a cache already filled for these plans by
-/// [`ScriptCache::precompute_day`].
+/// old single-vector API paid. The `mode`'s day state must already cover
+/// these plans (see [`DayMode`]); a gap surfaces as `Err(SimError)` naming
+/// the missing key. A worker panic (a bug, not a coverage gap) is resumed
+/// on the caller's thread.
 pub fn execute_day_shards(
     ctx: &ExecCtx<'_>,
     plans: &[SessionPlan],
     threads: usize,
-    cache: Option<&ScriptCache>,
-) -> Vec<(Vec<SessionRecord>, TagDb)> {
+    mode: DayMode<'_>,
+) -> Result<Vec<(Vec<SessionRecord>, TagDb)>, SimError> {
     let threads = threads.max(1);
-    let min_plans = if cache.is_some() {
-        MIN_SHARD_PLANS_CACHED
-    } else {
-        MIN_SHARD_PLANS
-    };
-    let max_useful = plans.len().div_ceil(min_plans).max(1);
+    let max_useful = plans.len().div_ceil(mode.min_shard_plans()).max(1);
     let shards_n = threads.min(max_useful);
     if shards_n == 1 {
         // One shard: run inline, no spawn/join round-trip.
         hf_obs::counter!("sim.shards_executed", 1);
         let _span = hf_obs::span!("sim.shard_execute");
-        return vec![execute_chunk(ctx, plans, cache)];
+        return Ok(vec![execute_chunk(ctx, plans, mode)?]);
     }
     let chunk_len = plans.len().div_ceil(shards_n).max(1);
 
@@ -136,7 +161,7 @@ pub fn execute_day_shards(
                     hf_obs::counter!("sim.shards_executed", 1);
                     let out = {
                         let _span = hf_obs::span!("sim.shard_execute");
-                        execute_chunk(ctx, chunk, cache)
+                        execute_chunk(ctx, chunk, mode)
                     };
                     hf_obs::flush();
                     out
@@ -144,10 +169,15 @@ pub fn execute_day_shards(
             })
             .collect();
         // Joining in spawn order *is* the ordered merge: chunk i's results
-        // land before chunk i+1's regardless of which finished first.
+        // land before chunk i+1's regardless of which finished first. A
+        // panicking worker re-raises its payload here instead of being
+        // swallowed into a generic join error.
         handles
             .into_iter()
-            .map(|h| h.join().expect("simulation worker panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     })
 }
@@ -162,15 +192,15 @@ pub fn execute_day_sharded(
     ctx: &ExecCtx<'_>,
     plans: &[SessionPlan],
     threads: usize,
-    cache: Option<&ScriptCache>,
-) -> (Vec<SessionRecord>, TagDb) {
+    mode: DayMode<'_>,
+) -> Result<(Vec<SessionRecord>, TagDb), SimError> {
     let mut records = Vec::with_capacity(plans.len());
     let mut tags = TagDb::new();
-    for (shard_records, shard_tags) in execute_day_shards(ctx, plans, threads, cache) {
+    for (shard_records, shard_tags) in execute_day_shards(ctx, plans, threads, mode)? {
         records.extend(shard_records);
         tags.merge(shard_tags);
     }
-    (records, tags)
+    Ok((records, tags))
 }
 
 #[cfg(test)]
@@ -200,14 +230,15 @@ mod tests {
             creds: &eco.creds,
             pool: eco.pool_ref(),
         };
-        let mut cache = ScriptCache::new();
-        let cache_ref = if use_cache {
+        if use_cache {
+            let mut cache = ScriptCache::new();
             cache.precompute_day(&ctx, &plans);
-            Some(&cache)
+            execute_day_sharded(&ctx, &plans, threads, DayMode::Cached(&cache)).unwrap()
         } else {
-            None
-        };
-        execute_day_sharded(&ctx, &plans, threads, cache_ref)
+            let mut prepared = PreparedScripts::new();
+            prepared.prepare_day(&ctx, &plans);
+            execute_day_sharded(&ctx, &plans, threads, DayMode::Full(&prepared)).unwrap()
+        }
     }
 
     fn assert_same(a: &(Vec<SessionRecord>, TagDb), b: &(Vec<SessionRecord>, TagDb)) {
@@ -248,7 +279,9 @@ mod tests {
             pool: eco.pool_ref(),
         };
         let few = &plans[..3.min(plans.len())];
-        let (records, _) = execute_day_sharded(&ctx, few, 64, None);
+        let mut prepared = PreparedScripts::new();
+        prepared.prepare_day(&ctx, few);
+        let (records, _) = execute_day_sharded(&ctx, few, 64, DayMode::Full(&prepared)).unwrap();
         assert_eq!(records.len(), few.len());
     }
 
@@ -263,15 +296,34 @@ mod tests {
             creds: &eco.creds,
             pool: eco.pool_ref(),
         };
-        let reference = execute_day_sharded(&ctx, &plans, 1, None);
+        let mut prepared = PreparedScripts::new();
+        prepared.prepare_day(&ctx, &plans);
+        let reference = execute_day_sharded(&ctx, &plans, 1, DayMode::Full(&prepared)).unwrap();
         for threads in [2, 8, 64] {
-            let shards = execute_day_shards(&ctx, &plans, threads, None);
+            let shards =
+                execute_day_shards(&ctx, &plans, threads, DayMode::Full(&prepared)).unwrap();
             // The cap bounds worker count by available work.
             assert!(shards.len() <= plans.len().div_ceil(MIN_SHARD_PLANS).max(1));
             assert!(shards.len() <= threads);
             let flat: Vec<SessionRecord> = shards.into_iter().flat_map(|(r, _)| r).collect();
             assert_eq!(flat, reference.0, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn coverage_gap_surfaces_as_error_not_panic() {
+        let (eco, plans) = day_plans();
+        let configs = build_configs(&eco.plan);
+        let ctx = ExecCtx {
+            plan: &eco.plan,
+            configs: &configs,
+            catalog: &eco.catalog,
+            creds: &eco.creds,
+            pool: eco.pool_ref(),
+        };
+        let empty = PreparedScripts::new();
+        let err = execute_day_sharded(&ctx, &plans, 4, DayMode::Full(&empty));
+        assert!(err.is_err(), "empty prepared set must be a typed error");
     }
 
     #[test]

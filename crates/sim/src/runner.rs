@@ -6,8 +6,9 @@ use hf_agents::{Ecosystem, EcosystemConfig, Scale};
 use hf_farm::{Collector, Dataset, Snapshot, SnapshotMeta, TagDb};
 use hf_simclock::StudyWindow;
 
-use crate::exec::{build_configs, execute_plan, execute_plan_cached, ExecCtx, ScriptCache};
-use crate::parallel::{execute_day_shards, DayStats};
+use crate::error::SimError;
+use crate::exec::{build_configs, ExecCtx, PreparedScripts, ScriptCache};
+use crate::parallel::{execute_day_shards, DayMode, DayStats};
 
 /// Simulation configuration (mirrors [`EcosystemConfig`]).
 #[derive(Debug, Clone)]
@@ -23,10 +24,12 @@ pub struct SimConfig {
     /// command-heavy runs; session *content* is identical, only per-session
     /// timing randomness differs from the reference path. Default off.
     pub use_script_cache: bool,
-    /// Worker threads for day execution. `1` (the default) runs the
-    /// reference serial loop; `N > 1` shards each day's plans across `N`
-    /// scoped workers with an ordered merge, producing byte-identical
-    /// output for every thread count (see `crate::parallel`).
+    /// Worker threads for day execution. `1` (the default) executes each
+    /// day's plans inline in plan order; `N > 1` shards them across `N`
+    /// scoped workers with an ordered merge. Both run the same prepared
+    /// pipeline (scripts parsed once per campaign variant per day, not once
+    /// per session) and produce byte-identical output for every thread
+    /// count (see `crate::parallel`).
     pub threads: usize,
 }
 
@@ -103,14 +106,31 @@ impl SimOutput {
 pub struct Simulation;
 
 impl Simulation {
-    /// Run the full window.
+    /// Run the full window, panicking on an internal coverage bug (see
+    /// [`Simulation::try_run`] for the fallible form).
     pub fn run(config: SimConfig) -> SimOutput {
-        Self::run_with_progress(config, |_| {})
+        Self::try_run(config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
     }
 
     /// Run with a per-day progress callback receiving a [`DayStats`]
     /// throughput report after each simulated day.
-    pub fn run_with_progress(config: SimConfig, mut progress: impl FnMut(&DayStats)) -> SimOutput {
+    pub fn run_with_progress(config: SimConfig, progress: impl FnMut(&DayStats)) -> SimOutput {
+        Self::try_run_with_progress(config, progress)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Simulation::run`]: a day pre-pass coverage gap
+    /// (a `prepare_day`/`precompute_day` bug) surfaces as a typed
+    /// [`SimError`] naming the missing key instead of a panic mid-shard.
+    pub fn try_run(config: SimConfig) -> Result<SimOutput, SimError> {
+        Self::try_run_with_progress(config, |_| {})
+    }
+
+    /// Fallible form of [`Simulation::run_with_progress`].
+    pub fn try_run_with_progress(
+        config: SimConfig,
+        mut progress: impl FnMut(&DayStats),
+    ) -> Result<SimOutput, SimError> {
         let mut eco = Ecosystem::new(EcosystemConfig {
             seed: config.seed,
             scale: config.scale,
@@ -120,7 +140,11 @@ impl Simulation {
         let mut collector =
             Collector::with_capacity(&eco.world, eco.plan.clone(), eco.estimated_sessions());
         let mut tags = TagDb::new();
+        // Both per-day pre-passes persist across days: campaign variants
+        // repeat day after day, so parse/outcome work amortizes across the
+        // whole window, not just within one day.
         let mut cache = ScriptCache::new();
+        let mut prepared = PreparedScripts::new();
         let days = config.window.num_days();
         let threads = config.threads.max(1);
         hf_obs::gauge!("sim.threads", threads);
@@ -140,34 +164,23 @@ impl Simulation {
                 creds: &eco.creds,
                 pool: eco.pool_ref(),
             };
-            if threads == 1 {
-                // Reference serial path: execute and ingest in plan order,
-                // filling the script cache lazily when enabled.
-                for plan in &plans {
-                    let rec = if config.use_script_cache {
-                        execute_plan_cached(&ctx, plan, &mut tags, &mut cache)
-                    } else {
-                        execute_plan(&ctx, plan, &mut tags)
-                    };
-                    collector.ingest(&rec);
-                }
+            // Serial pre-pass: parse each distinct campaign/recon script
+            // once (or pre-compute its cached outcome), then execute the
+            // day's plans through the shard machinery. With `threads == 1`
+            // the single shard runs inline — same plan order, no spawn.
+            let mode = if config.use_script_cache {
+                cache.precompute_day(&ctx, &plans);
+                DayMode::Cached(&cache)
             } else {
-                // Parallel path: serial cache pre-pass, sharded execution,
-                // ordered merge. Byte-identical to the serial path — see
-                // `crate::parallel` for the argument.
-                let cache_ref = if config.use_script_cache {
-                    cache.precompute_day(&ctx, &plans);
-                    Some(&cache)
-                } else {
-                    None
-                };
-                // Ingest shard-by-shard in shard order — same row/tag order
-                // as the serial path without concatenating the whole day's
-                // records into one intermediate vector first.
-                for (records, day_tags) in execute_day_shards(&ctx, &plans, threads, cache_ref) {
-                    collector.ingest_batch(&records);
-                    tags.merge(day_tags);
-                }
+                prepared.prepare_day(&ctx, &plans);
+                DayMode::Full(&prepared)
+            };
+            // Ingest shard-by-shard in shard order — same row/tag order
+            // as a serial loop without concatenating the whole day's
+            // records into one intermediate vector first.
+            for (records, day_tags) in execute_day_shards(&ctx, &plans, threads, mode)? {
+                collector.ingest_batch(&records);
+                tags.merge(day_tags);
             }
             total_sessions += plans.len();
             progress(&DayStats {
@@ -179,11 +192,11 @@ impl Simulation {
                 day_wall: day_start.elapsed(),
             });
         }
-        SimOutput {
+        Ok(SimOutput {
             dataset: collector.finish(),
             tags,
             n_clients: eco.n_clients(),
-        }
+        })
     }
 }
 

@@ -21,15 +21,19 @@
 //! * [`claims`] — the declarative paper-claims table: every Table/Figure
 //!   tolerance as one [`claims::ClaimSpec`], shared between
 //!   `tests/paper_claims.rs` and `hfarm verify --claims`.
+//! * [`alloc`] — a counting `#[global_allocator]` so allocation-budget
+//!   tests can pin the hot path's zero-steady-state-allocation discipline.
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod claims;
 pub mod golden;
 pub mod oracle;
 pub mod scenario;
 pub mod strategies;
 
+pub use alloc::{allocated_bytes, allocation_count, CountingAlloc};
 pub use claims::{claim_specs, evaluate, ClaimCtx, ClaimResult, ClaimSpec, Expectation};
 pub use golden::{assert_golden, check_golden, GoldenError, GoldenOutcome};
 pub use oracle::{

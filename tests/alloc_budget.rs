@@ -1,0 +1,121 @@
+//! Allocation-budget tests for the session hot path.
+//!
+//! The shell pipeline (lexer → interpreter → builtins → VFS) keeps all of
+//! its per-line scratch in reusable arenas ([`hf_shell::SessionScratch`]):
+//! after a warmup pass has grown every buffer to workload capacity,
+//! re-running the same workload must allocate **nothing**. This binary
+//! installs the testkit's counting global allocator and pins that contract,
+//! plus a coarser per-session allocation budget for the full honeypot
+//! driver path the simulator runs.
+//!
+//! Counters are per-thread, so the harness running other test binaries in
+//! parallel doesn't perturb the windows.
+
+use honeyfarm::agents::{Ecosystem, EcosystemConfig, Scale};
+use honeyfarm::shell::{NullFetcher, ShellSession, SystemProfile};
+use honeyfarm::sim::exec::{build_configs, execute_plan_full, ExecCtx, PreparedScripts};
+use honeyfarm::simclock::StudyWindow;
+use honeyfarm::testkit::alloc::{allocation_count, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// A command-line workload covering the lexer, pipelines, quoting,
+/// redirect-free builtins, and VFS reads — everything on the per-line hot
+/// path that must run out of arena scratch. No downloads and no filesystem
+/// writes: those legitimately allocate (artifact bodies, new VFS nodes).
+const WORKLOAD: &[&str] = &[
+    "echo hello world",
+    "uname -a; id",
+    "echo 'single quoted  spaces' \"double quoted\"",
+    "cat /etc/passwd | grep root",
+    "cat /proc/cpuinfo | head -4",
+    "cd /tmp",
+    "ls",
+    "cd /",
+    "busybox echo probe",
+    "nohup uname -m",
+    "unknowncmd --flag",
+    "sh -c \"echo nested; uname\"",
+];
+
+fn run_workload(sh: &mut ShellSession) {
+    for line in WORKLOAD {
+        sh.execute_quiet(line);
+    }
+}
+
+/// After one warmup pass (which sizes the arenas) and an event drain (which
+/// clears them keeping capacity), the same workload re-run through the same
+/// session performs zero heap allocations.
+#[test]
+fn steady_state_shell_pipeline_allocates_nothing() {
+    let mut sh = ShellSession::new(SystemProfile::default(), Box::new(NullFetcher));
+    // Warmup: grows the line buffers, event arena, and path scratch.
+    run_workload(&mut sh);
+    let _ = sh.take_events(); // clears the arena, keeps capacity
+
+    let before = allocation_count();
+    run_workload(&mut sh);
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta,
+        0,
+        "steady-state lexer/interp/builtins path must not allocate \
+         (got {delta} allocations for {} lines)",
+        WORKLOAD.len()
+    );
+
+    // Drain outside the window: materializing owned SessionEvents is the
+    // serde/record boundary and is allowed to allocate.
+    let events = sh.take_events();
+    assert!(!events.commands.is_empty());
+}
+
+/// The full simulator driver path (honeypot state machine + prepared
+/// scripts + record materialization) stays within a pinned per-session
+/// allocation budget once warm. The budget is deliberately loose — records
+/// and tag strings legitimately allocate — but it catches order-of-magnitude
+/// regressions like per-line parsing or per-session VFS seeding coming back.
+#[test]
+fn full_driver_stays_within_per_session_budget() {
+    const BUDGET_PER_SESSION: u64 = 60;
+
+    let mut eco = Ecosystem::new(EcosystemConfig {
+        seed: 0x5ca1e,
+        scale: Scale::tiny(),
+        window: StudyWindow::first_days(4),
+    });
+    let configs = build_configs(&eco.plan);
+    let plans = eco.plan_day(0);
+    let ctx = ExecCtx {
+        plan: &eco.plan,
+        configs: &configs,
+        catalog: &eco.catalog,
+        creds: &eco.creds,
+        pool: eco.pool_ref(),
+    };
+    let mut prepared = PreparedScripts::new();
+    prepared.prepare_day(&ctx, &plans);
+    let mut tags = honeyfarm::farm::TagDb::new();
+
+    // Warmup pass: fills the scratch pool, VFS seed cache, and tag DB.
+    let mut records = Vec::with_capacity(plans.len());
+    for plan in &plans {
+        records.push(execute_plan_full(&ctx, plan, &mut tags, &prepared).unwrap());
+    }
+    records.clear();
+
+    let before = allocation_count();
+    for plan in &plans {
+        records.push(execute_plan_full(&ctx, plan, &mut tags, &prepared).unwrap());
+    }
+    let delta = allocation_count() - before;
+    let per_session = delta as f64 / plans.len() as f64;
+    assert!(
+        per_session <= BUDGET_PER_SESSION as f64,
+        "full-driver path exceeded the allocation budget: {per_session:.1} \
+         allocations/session over {} sessions (budget {BUDGET_PER_SESSION})",
+        plans.len()
+    );
+}

@@ -1,0 +1,179 @@
+//! Differential oracle: the arena lexer vs the preserved reference lexer.
+//!
+//! The session hot path parses with [`hf_shell::LineBuf`] — a byte-slice,
+//! allocation-reusing parser. The pre-refactor allocating implementation is
+//! preserved verbatim as `hf_shell::lexer::reference` precisely so this
+//! suite can hold the two against each other: for *any* input line, the
+//! arena parser must produce token-for-token, field-for-field identical
+//! structure to the original.
+//!
+//! Three input sources drive the comparison:
+//!
+//! * the vendored-proptest command-line strategies (realistic intruder
+//!   composition plus raw printable noise),
+//! * the checked-in Cowrie-style corpus (`tests/scenarios/corpus_commands.txt`),
+//!   including its hostile-quoting and UTF-8 sections,
+//! * a hand-picked set of adversarial edge cases (unterminated quotes,
+//!   dangling escapes, operator runs, high-byte and multi-byte input).
+//!
+//! Equality is asserted twice per line: once on the owned
+//! [`hf_shell::Statement`] form (which exercises `LineBuf::to_statements`)
+//! and once walking the borrowed views (`statements()` / `commands()` /
+//! `argv()` / `redirs()`), so the zero-copy accessors are proven against
+//! the same oracle rather than trusted to match the owned conversion.
+
+use honeyfarm::shell::lexer::reference;
+use honeyfarm::shell::{LineBuf, Redirection, Statement};
+use honeyfarm::testkit::{command_line, uri_command_line};
+use proptest::prelude::*;
+
+/// Assert the arena parser and the reference parser agree on `line`, at
+/// both the owned-statement and borrowed-view levels.
+fn assert_equivalent(line: &str) {
+    let expected: Vec<Statement> = reference::split_statements(line);
+
+    // Owned boundary.
+    let mut buf = LineBuf::new();
+    buf.parse(line);
+    let owned = buf.to_statements();
+    assert_eq!(owned, expected, "owned statements diverge for {line:?}");
+
+    // Borrowed views, field by field.
+    let views: Vec<_> = buf.statements().collect();
+    assert_eq!(views.len(), expected.len(), "statement count for {line:?}");
+    for (view, stmt) in views.iter().zip(&expected) {
+        assert_eq!(view.chain(), stmt.chain, "chain for {line:?}");
+        assert_eq!(
+            view.pipeline_len(),
+            stmt.pipeline.len(),
+            "pipeline length for {line:?}"
+        );
+        for (cmd_view, cmd) in view.commands().zip(&stmt.pipeline) {
+            let argv: Vec<&str> = cmd_view.argv().iter().collect();
+            assert_eq!(argv, cmd.argv, "argv for {line:?}");
+            assert_eq!(cmd_view.name(), cmd.argv.first().map(String::as_str));
+            let redirs: Vec<Redirection> = cmd_view
+                .redirs()
+                .map(|r| {
+                    use honeyfarm::shell::lexer::RedirView;
+                    match r {
+                        RedirView::Out(t) => Redirection::Out(t.to_string()),
+                        RedirView::Append(t) => Redirection::Append(t.to_string()),
+                        RedirView::In(t) => Redirection::In(t.to_string()),
+                        RedirView::Err(t) => Redirection::Err(t.to_string()),
+                        RedirView::ErrToOut => Redirection::ErrToOut,
+                    }
+                })
+                .collect();
+            assert_eq!(redirs, cmd.redirs, "redirs for {line:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generated intruder-style command lines (quoting, pipes, chains,
+    /// redirections, raw noise) parse identically under both lexers.
+    #[test]
+    fn generated_lines_lex_identically(line in command_line()) {
+        assert_equivalent(&line);
+    }
+
+    /// URI-biased lines (download tool invocations with generated hosts
+    /// and paths) parse identically under both lexers.
+    #[test]
+    fn uri_lines_lex_identically(line in uri_command_line()) {
+        assert_equivalent(&line);
+    }
+}
+
+/// Every line of the checked-in corpus — including the hostile-quoting and
+/// UTF-8 sections — parses identically under both lexers.
+#[test]
+fn corpus_lines_lex_identically() {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/scenarios/corpus_commands.txt");
+    let corpus = std::fs::read_to_string(&path).expect("corpus file");
+    let mut n = 0usize;
+    for line in corpus.lines() {
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        n += 1;
+        // Untrimmed: leading/trailing whitespace is lexer input too.
+        assert_equivalent(line);
+    }
+    assert!(n >= 70, "corpus unexpectedly small: {n} lines");
+}
+
+/// Adversarial edge cases targeted at the places a byte-slice rewrite most
+/// plausibly diverges: quote state machines, escape handling at end of
+/// input, operator fusing (`2>`, `2>&1`, `&&`, `||`, `>>`), and non-ASCII
+/// transcoding.
+#[test]
+fn hostile_edges_lex_identically() {
+    const EDGES: &[&str] = &[
+        "",
+        " ",
+        "\t\t",
+        "'",
+        "\"",
+        "\\",
+        "'\\",
+        "\"\\",
+        "\"\\\"",
+        "'''",
+        "\"\"\"",
+        "a'",
+        "a\"",
+        "a\\",
+        "2>",
+        "2>&",
+        "2>&1",
+        "2>&2",
+        "a 2>&1",
+        "a2>&1",
+        "22>x",
+        ">",
+        ">>",
+        ">>>",
+        "<",
+        "<<",
+        "<>",
+        "><",
+        "&",
+        "&&",
+        "&&&",
+        "|",
+        "||",
+        "|||",
+        "||||",
+        ";|;|;",
+        "a;b;c;d",
+        "a|b|c|d",
+        "a&&b||c;d",
+        "a > b > c >> d < e",
+        "echo '2>&1' \"2>&1\" 2>&1",
+        "echo \"a'b\" 'c\"d'",
+        "echo 'it'\\''s'",
+        "echo \"\\$HOME \\`cmd\\` \\\\ \\\" \\n\"",
+        "echo \\' \\\" \\\\",
+        "wget http://h/p;wget http://h/q&&wget http://h/r",
+        "é",
+        "'é'",
+        "\"é\"",
+        "\\é",
+        "日本語",
+        "echo \u{fffd}",
+        "echo \u{0080}\u{00ff}",
+        "ü>ö",
+        "ü 2>ö",
+        "мир&&мир",
+        "路|径",
+        "sh -c \"echo 'nested \\\"deep\\\" quote'\"",
+    ];
+    for line in EDGES {
+        assert_equivalent(line);
+    }
+}
