@@ -12,7 +12,7 @@ use crate::campaigns::CampaignCatalog;
 use crate::clients::{Client, ClientPool, ClientRef};
 use crate::credentials::CredentialModel;
 use crate::plan::SessionPlan;
-use crate::scale::Scale;
+use crate::scale::{checked_u32, checked_u64, Scale};
 use crate::sources::{
     BruteforceSource, CampaignPlanner, NoCmdSource, PlanCtx, ReconSource, ScannerSource,
     SharedPools, TrafficSource,
@@ -81,7 +81,7 @@ impl Ecosystem {
         let window = config.window;
         // AS breadth scales sub-linearly, like hash diversity.
         let world_cfg = WorldConfig {
-            client_as_count: ((17_700.0 * scale.hashes).ceil() as u32).max(300),
+            client_as_count: Self::client_as_count(&scale),
             ..WorldConfig::default()
         };
         let world = World::build(
@@ -95,30 +95,28 @@ impl Ecosystem {
             &scale,
             &window,
         );
-        // Truncated windows (tests) get a proportional share of the volume.
-        let window_frac = window.num_days() as f64 / StudyWindow::paper().num_days() as f64;
-        let total = scale.count(paper::TOTAL_SESSIONS) as f64 * window_frac;
+        let total = Self::session_budget_f64(&scale, &window);
         let scanner = ScannerSource::new(
             Fnv64::new().mix_u64(seed).mix(b"scan").finish(),
-            (total * paper::FRAC_NO_CRED) as u64,
+            checked_u64(total * paper::FRAC_NO_CRED, "NO_CRED budget"),
             &window,
             n_honeypots,
         );
         let bruteforce = BruteforceSource::new(
             Fnv64::new().mix_u64(seed).mix(b"brute").finish(),
-            (total * paper::FRAC_FAIL_LOG) as u64,
+            checked_u64(total * paper::FRAC_FAIL_LOG, "FAIL_LOG budget"),
             &window,
             n_honeypots,
         );
         let nocmd = NoCmdSource::new(
             Fnv64::new().mix_u64(seed).mix(b"nocmd").finish(),
-            (total * paper::FRAC_NO_CMD) as u64,
+            checked_u64(total * paper::FRAC_NO_CMD, "NO_CMD budget"),
             &window,
             n_honeypots,
         );
         let recon = ReconSource::new(
             Fnv64::new().mix_u64(seed).mix(b"recon").finish(),
-            (total * paper::FRAC_RECON) as u64,
+            checked_u64(total * paper::FRAC_RECON, "CMD recon budget"),
             &window,
             n_honeypots,
         );
@@ -139,14 +137,39 @@ impl Ecosystem {
         }
     }
 
+    /// Sub-linear AS breadth for the synthetic Internet (paper: 17,700 client
+    /// ASes at full scale; small runs keep at least 300 so geography stays
+    /// plausible). Checked: an absurd hash scale panics instead of silently
+    /// saturating `u32`.
+    pub fn client_as_count(scale: &Scale) -> u32 {
+        checked_u32((17_700.0 * scale.hashes).ceil(), "client AS count").max(300)
+    }
+
+    /// Session budget for a scale and window, before the per-source category
+    /// split. Truncated windows (tests) get a proportional share of the
+    /// volume. Kept as `f64` so the category fractions below multiply the
+    /// exact proportional value; the checked truncation happens per source.
+    fn session_budget_f64(scale: &Scale, window: &StudyWindow) -> f64 {
+        let window_frac = window.num_days() as f64 / StudyWindow::paper().num_days() as f64;
+        scale.count(paper::TOTAL_SESSIONS) as f64 * window_frac
+    }
+
+    /// [`Self::session_budget_f64`] as a checked integer count — the total
+    /// the traffic sources are sized from.
+    pub fn session_budget(scale: &Scale, window: &StudyWindow) -> u64 {
+        checked_u64(Self::session_budget_f64(scale, window), "session budget")
+    }
+
     /// Expected session total for the configured scale and window — the
     /// budget the traffic sources were sized from. Actual counts drift a
     /// little (per-day rounding, diurnal shaping), so treat this as a
     /// capacity hint, not an exact count.
     pub fn estimated_sessions(&self) -> usize {
-        let window_frac =
-            self.config.window.num_days() as f64 / StudyWindow::paper().num_days() as f64;
-        (self.config.scale.count(paper::TOTAL_SESSIONS) as f64 * window_frac) as usize
+        usize::try_from(Self::session_budget(
+            &self.config.scale,
+            &self.config.window,
+        ))
+        .expect("session budget overflows usize")
     }
 
     /// Plan all sessions for one day.
@@ -283,6 +306,54 @@ mod tests {
             planned / 2 <= est && est <= planned * 2,
             "estimate {est} vs planned {planned}"
         );
+    }
+
+    #[test]
+    fn sizing_math_is_exact_across_scales() {
+        // `Scale::of` rejects >1.0, so build the 10× scale directly; these
+        // helpers are pure sizing math and never allocate a 4-billion-session
+        // world.
+        for volume in [0.001, 1.0, 10.0] {
+            let scale = Scale {
+                volume,
+                hashes: volume.sqrt(),
+            };
+            let asn = Ecosystem::client_as_count(&scale);
+            let expected = (17_700.0 * scale.hashes).ceil() as u32;
+            assert_eq!(asn, expected.max(300), "AS count at volume {volume}");
+            let total = Ecosystem::session_budget(&scale, &StudyWindow::paper());
+            assert_eq!(
+                total,
+                (402_000_000.0f64 * volume).round() as u64,
+                "session budget at volume {volume}"
+            );
+            // A truncated window gets a proportional share.
+            let short = Ecosystem::session_budget(&scale, &StudyWindow::first_days(243));
+            assert!(
+                short <= total / 2 + 1,
+                "half window over-budgeted: {short} vs {total}"
+            );
+        }
+        // 10× the paper is ~4.02 B sessions: past u32, comfortably in u64 —
+        // the old unchecked `as` casts were one word-size slip away from
+        // silently wrapping this.
+        let ten = Scale {
+            volume: 10.0,
+            hashes: 10.0f64.sqrt(),
+        };
+        assert_eq!(
+            Ecosystem::session_budget(&ten, &StudyWindow::paper()),
+            4_020_000_000
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "client AS count")]
+    fn non_finite_scale_panics_instead_of_saturating() {
+        Ecosystem::client_as_count(&Scale {
+            volume: 1.0,
+            hashes: f64::INFINITY,
+        });
     }
 
     #[test]

@@ -54,7 +54,7 @@ impl Scale {
 
     /// Scale a session/client count.
     pub fn count(&self, paper_value: f64) -> u64 {
-        (paper_value * self.volume).round().max(0.0) as u64
+        checked_u64((paper_value * self.volume).round().max(0.0), "scaled count")
     }
 
     /// Scale a count, but never below `min` (for small populations that lose
@@ -65,8 +65,33 @@ impl Scale {
 
     /// Scale a distinct-hash count.
     pub fn hash_count(&self, paper_value: f64) -> u64 {
-        (paper_value * self.hashes).round().max(1.0) as u64
+        checked_u64(
+            (paper_value * self.hashes).round().max(1.0),
+            "scaled hash count",
+        )
     }
+}
+
+/// Checked float→integer conversion for sizing math. A bare `as u64` cast
+/// silently saturates NaN/negative/huge values, which turns a mis-scaled
+/// budget into a mysteriously wrong (or allocation-exploding) run; sizing
+/// errors should instead fail loudly, naming the quantity.
+pub fn checked_u64(value: f64, what: &str) -> u64 {
+    assert!(value.is_finite(), "{what}: non-finite sizing value {value}");
+    assert!(value >= 0.0, "{what}: negative sizing value {value}");
+    // 2^63 is exactly representable; every f64 below it converts exactly
+    // enough for a count. (u64::MAX as f64 rounds up, so compare strictly.)
+    assert!(
+        value < u64::MAX as f64,
+        "{what}: sizing value {value:e} overflows u64"
+    );
+    value as u64
+}
+
+/// [`checked_u64`] narrowed to `u32` (world/AS cardinalities).
+pub fn checked_u32(value: f64, what: &str) -> u32 {
+    let v = checked_u64(value, what);
+    u32::try_from(v).unwrap_or_else(|_| panic!("{what}: sizing value {v} overflows u32"))
 }
 
 impl Default for Scale {
@@ -111,5 +136,30 @@ mod tests {
     #[should_panic]
     fn zero_scale_rejected() {
         Scale::of(0.0);
+    }
+
+    #[test]
+    fn checked_casts_accept_the_whole_sizing_range() {
+        assert_eq!(checked_u64(0.0, "zero"), 0);
+        assert_eq!(checked_u64(4.02e9, "10x paper"), 4_020_000_000);
+        assert_eq!(checked_u32(17_700.0, "as count"), 17_700);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn checked_cast_rejects_nan() {
+        checked_u64(f64::NAN, "bad budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn checked_cast_rejects_negative() {
+        checked_u64(-1.0, "bad budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u32")]
+    fn checked_cast_rejects_narrowing_overflow() {
+        checked_u32(1e12, "too many ASes");
     }
 }

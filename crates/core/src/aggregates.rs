@@ -29,10 +29,32 @@
 //!
 //! The merge order is fixed (shard index), so the result is bit-identical
 //! for any thread count, including `threads = 1`.
+//!
+//! # Out-of-core folding
+//!
+//! The same algebra powers the streaming path: [`StreamingFold`] wraps one
+//! shard fold whose day-indexed vectors grow as days appear, so the sim
+//! runner (or a chunked snapshot reader) can ingest each completed day and
+//! retire its rows immediately. Freshness is drained incrementally at day
+//! boundaries through the same serial [`FreshnessSeries`] replay, making
+//! the finished state bit-identical to a materialized
+//! [`Aggregates::compute`] over the concatenated rows.
+//!
+//! # Overflow discipline
+//!
+//! Whole-run totals are `u64`. The `u32` accumulators that remain are all
+//! bounded by something much smaller than a scale-1.0 run's 402 M sessions:
+//! per-`(day, honeypot)` and per-day cells (no single day slot can absorb
+//! the whole run thanks to day-aligned sharding), per-entity distinct-day
+//! counts (≤ the 486-day window), and per-honeypot first-sighting counts
+//! (≤ the digest pool size, capped at 2³¹). [`Aggregates::merge`] still
+//! refuses to wrap: every `u32` cell add is `checked_add` and the
+//! first-sighting retraction is `checked_sub`, so a hypothetical overflow
+//! panics loudly instead of corrupting totals silently.
 
 use std::collections::{HashMap, HashSet};
 
-use hf_farm::{Dataset, SessionView};
+use hf_farm::{Dataset, FarmPlan, SessionView};
 use hf_geo::World;
 use hf_honeypot::EndReason;
 use hf_proto::Protocol;
@@ -228,6 +250,9 @@ pub struct Aggregates {
     pub ssh_version_counts: HashMap<u32, u64>,
     /// Sessions that created/modified ≥1, ≥2, >10 files.
     pub file_sessions: (u64, u64, u64),
+    /// Distinct client AS numbers observed (§7.1 breadth). Tracked here so
+    /// row-free (fold-mode) outputs can still answer the claims table.
+    pub asns: HashSet<u32>,
     /// Daily hash freshness (Fig. 17). Empty on partial (pre-merge) states;
     /// filled once by the final freshness replay.
     pub freshness: Vec<FreshnessPoint>,
@@ -266,9 +291,32 @@ impl Aggregates {
             command_counts: HashMap::new(),
             ssh_version_counts: HashMap::new(),
             file_sessions: (0, 0, 0),
+            asns: HashSet::new(),
             freshness: Vec::new(),
             total_sessions: 0,
         }
+    }
+
+    /// Extend every day-indexed vector to cover `n_days` (append-only:
+    /// existing day slots keep their values). The streaming fold grows its
+    /// window as days appear instead of pre-scanning for the maximum day.
+    fn grow_days(&mut self, n_days: u32) {
+        if n_days <= self.n_days {
+            return;
+        }
+        let nd = n_days as usize;
+        self.day_hp_sessions.resize(nd * self.n_honeypots, 0);
+        for v in &mut self.day_hp_by_cat {
+            v.resize(nd * self.n_honeypots, 0);
+        }
+        self.day_total.resize(nd, 0);
+        for v in &mut self.day_by_cat {
+            v.resize(nd, 0);
+        }
+        self.day_unique_ips.resize(nd, [0; 6]);
+        self.day_combo_clients.resize(nd, [0; 8]);
+        self.day_region_combos.resize(nd, [[0; 8]; 6]);
+        self.n_days = n_days;
     }
 
     /// Run the pass serially (equivalent to `compute_threaded(dataset, 1)`).
@@ -301,7 +349,7 @@ impl Aggregates {
             order.sort_by_key(|&i| store.rows()[i as usize].start_secs);
             let mut fold = ShardFold::new(n_days, n_honeypots);
             for &idx in &order {
-                fold.ingest(dataset, &store.view(idx as usize));
+                fold.ingest(&dataset.plan, &store.view(idx as usize));
             }
             return Self::assemble(n_days, n_honeypots, vec![fold.finish()]);
         }
@@ -316,7 +364,7 @@ impl Aggregates {
                     let _span = hf_obs::span!("analysis.shard_fold");
                     let mut fold = ShardFold::new(n_days, n_honeypots);
                     for v in store.iter_range(r) {
-                        fold.ingest(dataset, &v);
+                        fold.ingest(&dataset.plan, &v);
                     }
                     fold.finish()
                 })
@@ -336,7 +384,7 @@ impl Aggregates {
                                 let _span = hf_obs::span!("analysis.shard_fold");
                                 let mut fold = ShardFold::new(n_days, n_honeypots);
                                 for v in store.iter_range(r) {
-                                    fold.ingest(dataset, &v);
+                                    fold.ingest(&dataset.plan, &v);
                                 }
                                 fold.finish()
                             };
@@ -360,9 +408,27 @@ impl Aggregates {
         Self::assemble(n_days, n_honeypots, parts)
     }
 
+    /// Fold one contiguous, day-ordered row range into a partial state:
+    /// the mergeable [`Aggregates`] plus the range's per-day-unique
+    /// `(day, hash)` freshness sightings in observation order. Partials of
+    /// consecutive day-disjoint ranges combine with [`Aggregates::merge`] /
+    /// [`Aggregates::assemble`] — the building block the partition
+    /// properties in `tests/streaming_analysis.rs` exercise directly.
+    pub fn partial(
+        dataset: &Dataset,
+        range: std::ops::Range<usize>,
+        n_days: u32,
+    ) -> (Aggregates, Vec<(u32, u32)>) {
+        let mut fold = ShardFold::new(n_days, dataset.plan.len());
+        for v in dataset.sessions.iter_range(range) {
+            fold.ingest(&dataset.plan, &v);
+        }
+        fold.finish()
+    }
+
     /// Fold shard results in shard order and replay their freshness
     /// observations through one serial series.
-    fn assemble(
+    pub fn assemble(
         n_days: u32,
         n_honeypots: usize,
         parts: Vec<(Aggregates, Vec<(u32, u32)>)>,
@@ -402,9 +468,12 @@ impl Aggregates {
         debug_assert_eq!(self.n_days, other.n_days);
         debug_assert_eq!(self.n_honeypots, other.n_honeypots);
 
+        // u32 cells are per-day/per-honeypot and provably can't overflow at
+        // paper scale (see the module's overflow discipline) — but a wrap
+        // here would silently corrupt every downstream total, so refuse it.
         fn add_u32s(a: &mut [u32], b: &[u32]) {
             for (x, y) in a.iter_mut().zip(b) {
-                *x += *y;
+                *x = x.checked_add(*y).expect("u32 aggregate cell overflow");
             }
         }
         fn add_u64s(a: &mut [u64], b: &[u64]) {
@@ -488,7 +557,10 @@ impl Aggregates {
             // Both shards sighted this hash: the earlier shard's first
             // sighting stands, so retract the later shard's credit (the
             // blind add of hp_first_hashes above counted both).
-            self.hp_first_hashes[h.first_honeypot as usize] -= 1;
+            self.hp_first_hashes[h.first_honeypot as usize] = self.hp_first_hashes
+                [h.first_honeypot as usize]
+                .checked_sub(1)
+                .expect("first-sighting retraction underflow");
             a.sessions += h.sessions;
             a.clients.extend(h.clients);
             a.days += h.days;
@@ -508,6 +580,7 @@ impl Aggregates {
         self.file_sessions.0 += other.file_sessions.0;
         self.file_sessions.1 += other.file_sessions.1;
         self.file_sessions.2 += other.file_sessions.2;
+        self.asns.extend(other.asns);
         self.total_sessions += other.total_sessions;
         debug_assert!(other.freshness.is_empty(), "merge partial states only");
     }
@@ -585,12 +658,21 @@ impl ShardFold {
     }
 
     /// Ingest one session. Rows must arrive in non-decreasing day order.
-    fn ingest(&mut self, dataset: &Dataset, v: &SessionView<'_>) {
+    /// `plan` resolves honeypot geography; everything else comes through
+    /// the view's pools, so external row chunks (streamed snapshots,
+    /// about-to-be-retired day shards) fold exactly like stored rows.
+    fn ingest(&mut self, plan: &FarmPlan, v: &SessionView<'_>) {
         let day = v.day();
         if day != self.current_day {
             self.agg.flush_day(self.current_day, &mut self.day_state);
             self.fresh_seen.clear();
             self.current_day = day;
+        }
+        if day >= self.agg.n_days {
+            // Fixed-shape folds (compute_threaded pre-scans the day span)
+            // never hit this; the streaming fold starts at zero days and
+            // grows one day at a time.
+            self.agg.grow_days(day + 1);
         }
 
         let agg = &mut self.agg;
@@ -602,7 +684,13 @@ impl ShardFold {
 
         agg.total_sessions += 1;
 
-        // Volume matrices.
+        // Volume matrices. The u32 day cells are bounded by sessions per
+        // (day, honeypot); guard the wrap in debug so a pathological input
+        // can't silently truncate (see the module's overflow discipline).
+        debug_assert!(
+            agg.day_hp_sessions[d * agg.n_honeypots + hp as usize] < u32::MAX,
+            "day×honeypot session cell about to wrap"
+        );
         agg.day_hp_sessions[d * agg.n_honeypots + hp as usize] += 1;
         agg.day_hp_by_cat[ci][d * agg.n_honeypots + hp as usize] += 1;
         agg.day_total[d] += 1;
@@ -645,15 +733,18 @@ impl ShardFold {
                 client.country = c.0;
             }
         }
+        if let Some(asn) = v.client_asn() {
+            agg.asns.insert(asn.0);
+        }
 
         // Credentials / commands / ssh versions, counted by interned id.
         // Password counts: successful attempts only.
-        for packed in dataset.sessions.lists.get(v.raw().login_list_id) {
+        for packed in v.login_packed() {
             if packed & 1 == 1 {
                 *agg.password_counts.entry(packed >> 1).or_default() += 1;
             }
         }
-        for packed in dataset.sessions.lists.get(v.raw().cmd_list_id) {
+        for packed in v.command_packed() {
             *agg.command_counts.entry(packed >> 1).or_default() += 1;
         }
         let vid = v.raw().ssh_version_id;
@@ -720,7 +811,7 @@ impl ShardFold {
 
         // Regional relation.
         if let Some(cc) = v.client_country() {
-            let hp_country = dataset.plan.node(hp).country;
+            let hp_country = plan.node(hp).country;
             let rel = World::region_relation(cc, hp_country);
             let bit = match rel {
                 hf_geo::RegionRelation::SameCountry => 1u8,
@@ -737,6 +828,76 @@ impl ShardFold {
     fn finish(mut self) -> (Aggregates, Vec<(u32, u32)>) {
         self.agg.flush_day(self.current_day, &mut self.day_state);
         (self.agg, self.fresh_pairs)
+    }
+}
+
+/// Incremental out-of-core fold over day-ordered sessions.
+///
+/// One shard fold whose day window grows as days appear, plus the serial
+/// [`FreshnessSeries`] fed at day boundaries — the pieces a fold-as-you-go
+/// runner needs to ingest each completed day's rows and retire them, or a
+/// streaming snapshot reader needs to fold verified chunks as they arrive.
+/// Feeding the same rows in the same order as a materialized store yields
+/// an [`Aggregates`] bit-identical to [`Aggregates::compute`].
+pub struct StreamingFold {
+    fold: ShardFold,
+    fresh: FreshnessSeries,
+}
+
+impl StreamingFold {
+    /// Empty fold for a farm of `n_honeypots` nodes. The day window starts
+    /// at zero and grows with the data, so no day-count pre-scan is needed.
+    pub fn new(n_honeypots: usize) -> Self {
+        StreamingFold {
+            fold: ShardFold::new(0, n_honeypots),
+            fresh: FreshnessSeries::new(),
+        }
+    }
+
+    /// Ingest one session view. Rows must arrive in non-decreasing day
+    /// order across *all* ingest calls (the same contract as the serial
+    /// pass). `plan` resolves honeypot geography.
+    pub fn ingest(&mut self, plan: &FarmPlan, v: &SessionView<'_>) {
+        self.fold.ingest(plan, v);
+    }
+
+    /// Drain the freshness sightings of every *completed* day (strictly
+    /// before the fold's current day) into the sliding-window series, so
+    /// the pending-pair buffer stays bounded by one day's unique hashes.
+    /// Safe to call at any point; callers typically do so after each
+    /// simulated day or each snapshot chunk.
+    pub fn drain_freshness(&mut self) {
+        let current = self.fold.current_day;
+        let pairs = &mut self.fold.fresh_pairs;
+        let cut = pairs
+            .iter()
+            .position(|&(day, _)| day >= current)
+            .unwrap_or(pairs.len());
+        for &(day, hid) in &pairs[..cut] {
+            self.fresh.observe(hid, day);
+        }
+        pairs.drain(..cut);
+    }
+
+    /// Sessions folded so far.
+    pub fn total_sessions(&self) -> u64 {
+        self.fold.agg.total_sessions
+    }
+
+    /// Flush the trailing day, replay the remaining freshness sightings,
+    /// and return the finished aggregates. An empty fold yields the same
+    /// single-empty-day shape as [`Aggregates::compute`] on an empty store.
+    pub fn finish(mut self) -> Aggregates {
+        self.drain_freshness();
+        let (mut agg, pairs) = self.fold.finish();
+        for (day, hid) in pairs {
+            self.fresh.observe(hid, day);
+        }
+        if agg.n_days == 0 {
+            agg.grow_days(1);
+        }
+        agg.freshness = self.fresh.finish();
+        agg
     }
 }
 
@@ -886,6 +1047,7 @@ mod tests {
             "{label}: first hashes"
         );
         assert_eq!(a.freshness, b.freshness, "{label}: freshness");
+        assert_eq!(a.asns, b.asns, "{label}: asns");
         assert_eq!(a.n_clients(), b.n_clients(), "{label}: clients");
         assert_eq!(a.n_hashes(), b.n_hashes(), "{label}: hashes");
         for (ip, ca) in &a.clients {
@@ -931,6 +1093,89 @@ mod tests {
         assert!(out.dataset.sessions.is_day_ordered());
         let agg = Aggregates::compute_threaded(&out.dataset, 4);
         assert_eq!(agg.total_sessions, out.dataset.len() as u64);
+    }
+
+    #[test]
+    fn streaming_fold_matches_materialized_compute() {
+        let ds = small();
+        let materialized = Aggregates::compute(&ds);
+        // Replay the store day by day through the streaming fold, draining
+        // freshness at each day boundary like the fold-mode runner does.
+        let mut fold = StreamingFold::new(ds.plan.len());
+        let mut last_day = 0;
+        for v in ds.sessions.iter() {
+            if v.day() != last_day {
+                fold.drain_freshness();
+                last_day = v.day();
+            }
+            fold.ingest(&ds.plan, &v);
+        }
+        let streamed = fold.finish();
+        assert_eq!(streamed.n_days, materialized.n_days);
+        assert_agg_eq(&materialized, &streamed, "streaming");
+    }
+
+    #[test]
+    fn streaming_fold_empty_matches_empty_compute() {
+        let agg = StreamingFold::new(221).finish();
+        assert_eq!(agg.n_days, 1);
+        assert_eq!(agg.total_sessions, 0);
+        assert!(agg.freshness.is_empty());
+        assert_eq!(agg.day_total, vec![0]);
+    }
+
+    #[test]
+    fn asns_match_row_derived_set() {
+        let ds = small();
+        let agg = Aggregates::compute(&ds);
+        let from_rows: HashSet<u32> = ds
+            .sessions
+            .iter()
+            .filter_map(|v| v.client_asn().map(|a| a.0))
+            .collect();
+        assert!(!agg.asns.is_empty());
+        assert_eq!(agg.asns, from_rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "u32 aggregate cell overflow")]
+    fn merge_refuses_to_wrap_u32_cells() {
+        let mut a = Aggregates::empty(1, 1);
+        let mut b = Aggregates::empty(1, 1);
+        a.day_hp_sessions[0] = u32::MAX;
+        b.day_hp_sessions[0] = 1;
+        a.merge(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "first-sighting retraction underflow")]
+    fn merge_refuses_first_sighting_underflow() {
+        // Both sides claim hash 0, but the left side never credited a
+        // first sighting — the retraction must refuse to wrap.
+        let mut a = Aggregates::empty(1, 1);
+        let mut b = Aggregates::empty(1, 1);
+        let ha = HashAgg {
+            sessions: 1,
+            first_honeypot: 0,
+            ..HashAgg::default()
+        };
+        a.hashes = vec![ha.clone()];
+        b.hashes = vec![ha];
+        a.merge(b);
+    }
+
+    #[test]
+    fn partial_ranges_assemble_to_compute() {
+        let ds = small();
+        let serial = Aggregates::compute(&ds);
+        let n_days = serial.n_days;
+        let ranges = ds.sessions.day_aligned_ranges(3);
+        let parts: Vec<_> = ranges
+            .into_iter()
+            .map(|r| Aggregates::partial(&ds, r, n_days))
+            .collect();
+        let assembled = Aggregates::assemble(n_days, ds.plan.len(), parts);
+        assert_agg_eq(&serial, &assembled, "partial/assemble");
     }
 
     #[test]

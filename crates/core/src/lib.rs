@@ -38,7 +38,7 @@ pub mod federation;
 pub mod metrics;
 pub mod report;
 
-pub use aggregates::Aggregates;
+pub use aggregates::{Aggregates, StreamingFold};
 pub use birth::{birth_report, BirthReport};
 pub use claims::Claims;
 pub use classify::{classify, BehaviorClass, Category};

@@ -93,6 +93,25 @@ impl Collector {
         }
     }
 
+    /// The session store as ingested so far (fold-mode runs scan the
+    /// current day's rows through this before retiring them).
+    pub fn sessions(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// The deployment plan this collector serves.
+    pub fn plan(&self) -> &FarmPlan {
+        &self.plan
+    }
+
+    /// Drop all buffered rows, keeping interning pools, artifacts, and row
+    /// capacity. The out-of-core fold calls this after each completed day;
+    /// [`Collector::finish`] then yields a row-free [`Dataset`] whose pools
+    /// and artifact store still cover the whole run.
+    pub fn retire_rows(&mut self) {
+        self.store.retire_rows();
+    }
+
     /// Sessions ingested so far.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -5,7 +5,7 @@
 //! the collected [`SessionStore`] + [`TagDb`] + deployment plan once, and
 //! `hfarm report` (or any reanalysis tool) reloads it without re-simulating.
 //!
-//! ## Format (version 1)
+//! ## Format (version 2)
 //!
 //! ```text
 //! [magic "HFSTORE\0" : 8 bytes]
@@ -14,7 +14,7 @@
 //! then, for each section in the fixed order below:
 //! [section id   : u32 LE]
 //! [payload len  : u64 LE]
-//! [SHA-256 of the payload : 32 bytes]          (via hf-hash)
+//! [SHA-256     : 32 bytes]                     (via hf-hash)
 //! [payload      : len bytes]
 //! ```
 //!
@@ -25,12 +25,38 @@
 //! entries sorted by digest, so snapshots of a deterministic run are
 //! byte-identical across thread counts (see DESIGN.md §5).
 //!
+//! For every section except ROWS, the header's SHA-256 covers the payload
+//! bytes and readers materialize the payload whole. The ROWS section — the
+//! only one that grows with the window (~19 GB at scale 1.0) — is chunked
+//! so both sides stream it in bounded memory:
+//!
+//! ```text
+//! ROWS payload := [n_rows        : u64 LE]
+//!                 [rows_per_chunk: u32 LE]     (writer uses ROWS_PER_CHUNK)
+//!                 [n_chunks      : u32 LE]     (= ceil(n_rows / rows_per_chunk))
+//!                 then, per chunk:
+//!                 [chunk rows    : u32 LE]     (rows_per_chunk except the last)
+//!                 [SHA-256 of the chunk's row bytes : 32 bytes]
+//!                 [chunk rows × 48 bytes of row data]
+//! ```
+//!
+//! The ROWS header checksum covers the *chunk manifest* — the 16-byte
+//! prologue followed by every per-chunk `[rows ‖ digest]` header — not the
+//! row data itself (Merkle style: the manifest authenticates the chunk
+//! digests, each digest authenticates its data). A reader therefore
+//! verifies each chunk the moment it arrives
+//! ([`SnapshotError::ChunkChecksumMismatch`] names the failing chunk) and
+//! confirms the manifest after the last one, without ever holding more
+//! than one chunk; [`SnapshotReader`] is that streaming reader, and
+//! [`Snapshot::read_from`] is a thin materializing wrapper over it.
+//!
 //! ## Error handling
 //!
 //! The load path never panics and never `unwrap()`s: a truncated file, bad
-//! magic, unsupported version, checksum mismatch, or dangling interned id
-//! each surfaces as a distinct [`SnapshotError`] variant, verified by the
-//! fault-injection suite in `tests/snapshot_faults.rs`.
+//! magic, unsupported version, section or chunk checksum mismatch, or
+//! dangling interned id each surfaces as a distinct [`SnapshotError`]
+//! variant, verified by the fault-injection suite in
+//! `tests/snapshot_faults.rs`.
 
 use std::fmt;
 use std::fs::File;
@@ -52,8 +78,28 @@ use crate::tags::TagDb;
 pub const MAGIC: [u8; 8] = *b"HFSTORE\0";
 
 /// Current format version. Bump on any layout change; readers reject other
-/// versions with [`SnapshotError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// versions with [`SnapshotError::UnsupportedVersion`]. Version 2 chunked
+/// the ROWS section (see the module docs); version-1 files are no longer
+/// readable.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Rows per chunk the writer emits: 65 536 rows × 48 bytes = 3 MiB of row
+/// data per chunk. Readers accept any `rows_per_chunk` up to
+/// [`MAX_ROWS_PER_CHUNK`], so this can be retuned without a format bump.
+pub const ROWS_PER_CHUNK: u32 = 1 << 16;
+
+/// Upper bound on a file's declared `rows_per_chunk` (48 MiB of row data):
+/// the streaming reader's per-chunk allocation is bounded by this, so a
+/// hostile prologue cannot force a giant buffer.
+pub const MAX_ROWS_PER_CHUNK: u32 = 1 << 20;
+
+/// Bytes of per-chunk header inside the ROWS payload: u32 row count +
+/// 32-byte chunk digest.
+const CHUNK_HEADER_LEN: usize = 4 + 32;
+
+/// Bytes of ROWS-payload prologue: u64 row count + u32 rows-per-chunk +
+/// u32 chunk count.
+const ROWS_PROLOGUE_LEN: usize = 8 + 4 + 4;
 
 /// `(section id, section name)` in on-disk order. Section ids are part of
 /// the format; names appear in error messages and tests.
@@ -126,6 +172,15 @@ pub enum SnapshotError {
         /// The corrupted section.
         section: &'static str,
     },
+    /// One chunk of a chunked section does not hash to its stored chunk
+    /// digest. The rest of the section (and every earlier chunk) may be
+    /// intact — this is corruption pinpointed to `chunk`.
+    ChunkChecksumMismatch {
+        /// The chunked section ("rows").
+        section: &'static str,
+        /// Zero-based index of the failing chunk.
+        chunk: u32,
+    },
     /// A section header carries an id other than the one mandated by the
     /// fixed section order.
     UnexpectedSection {
@@ -177,6 +232,9 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in the {section} section")
+            }
+            SnapshotError::ChunkChecksumMismatch { section, chunk } => {
+                write!(f, "checksum mismatch in {section} chunk {chunk}")
             }
             SnapshotError::UnexpectedSection { expected, found } => write!(
                 f,
@@ -240,6 +298,14 @@ impl Snapshot {
         let mut buf = Vec::new();
         for (id, name) in SECTIONS {
             let _sec = hf_obs::span_owned_with(|| format!("snapshot.write.{name}"));
+            if name == "rows" {
+                // The one section that grows with the window: stream it in
+                // bounded chunks instead of building a multi-GB payload.
+                let payload_len = write_rows_section(w, id, s.rows())?;
+                hf_obs::observe!("snapshot.section_bytes", payload_len);
+                hf_obs::counter!("snapshot.bytes_written", payload_len + 4 + 8 + 32);
+                continue;
+            }
             buf.clear();
             match name {
                 "meta" => self.encode_meta(&mut buf),
@@ -250,7 +316,6 @@ impl Snapshot {
                 "ssh_versions" => encode_string_pool(&s.ssh_versions, &mut buf),
                 "digests" => encode_digest_pool(&s.digests, &mut buf),
                 "lists" => encode_list_pool(&s.lists, &mut buf),
-                "rows" => encode_rows(s.rows(), &mut buf),
                 "tags" => encode_tags(&self.tags, &mut buf),
                 _ => unreachable!("section table is exhaustive"),
             }
@@ -272,88 +337,28 @@ impl Snapshot {
         self.write_to(&mut w)
     }
 
-    /// Read a snapshot from `r`, validating magic, version, per-section
-    /// checksums, and every interned id a row references.
+    /// Read a snapshot from `r`, validating magic, version, section and
+    /// chunk checksums, and every interned id a row references.
+    ///
+    /// A materializing wrapper over [`SnapshotReader`]: rows accumulate
+    /// into one `Vec`, so memory grows with the file. Analyses that only
+    /// need a fold over the rows should drive [`SnapshotReader`] directly.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Snapshot, SnapshotError> {
         let _span = hf_obs::span!("snapshot.load");
-        let mut magic = [0u8; 8];
-        read_exact(r, &mut magic, "header")?;
-        if magic != MAGIC {
-            return Err(SnapshotError::BadMagic { found: magic });
+        let mut reader = SnapshotReader::open(r)?;
+        // Grown chunk by chunk: the declared row count is untrusted until
+        // the data actually arrives, so no upfront n_rows-sized reserve.
+        let mut rows = Vec::new();
+        let mut chunk = Vec::new();
+        while reader.next_chunk(&mut chunk)? {
+            rows.extend_from_slice(&chunk);
         }
-        let version = u32::from_le_bytes(read_array(r, "header")?);
-        if version != FORMAT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion {
-                found: version,
-                supported: FORMAT_VERSION,
-            });
-        }
-        let n_sections = u32::from_le_bytes(read_array(r, "header")?);
-        if n_sections != SECTIONS.len() as u32 {
-            return Err(SnapshotError::Corrupt {
-                section: "header",
-                detail: format!(
-                    "section count {n_sections}, version {FORMAT_VERSION} has {}",
-                    SECTIONS.len()
-                ),
-            });
-        }
-
-        // Sections arrive in the fixed SECTIONS order; decode each fully
-        // (including a trailing-bytes check) before moving to the next.
-        fn section<R: Read, T>(
-            r: &mut R,
-            idx: usize,
-            decode: impl FnOnce(&mut Cursor<'_>) -> Result<T, SnapshotError>,
-        ) -> Result<T, SnapshotError> {
-            let (id, name) = SECTIONS[idx];
-            let _sec = hf_obs::span_owned_with(|| format!("snapshot.load.{name}"));
-            let payload = read_section(r, id, name)?;
-            let mut cur = Cursor::new(&payload, name);
-            let out = decode(&mut cur)?;
-            cur.finish()?;
-            Ok(out)
-        }
-        let meta = section(r, 0, decode_meta)?;
-        let plan = section(r, 1, decode_plan)?;
-        let creds = section(r, 2, decode_string_pool)?;
-        let commands = section(r, 3, decode_string_pool)?;
-        let uris = section(r, 4, decode_string_pool)?;
-        let ssh_versions = section(r, 5, decode_string_pool)?;
-        let digests = section(r, 6, decode_digest_pool)?;
-        let lists = section(r, 7, decode_list_pool)?;
-        let rows = section(r, 8, decode_rows)?;
-        let tags = section(r, 9, decode_tags)?;
-
-        validate_rows(
-            &rows,
-            &creds,
-            &commands,
-            &uris,
-            &ssh_versions,
-            &digests,
-            &lists,
-        )?;
-        if meta.n_rows != rows.len() as u64 {
-            return Err(SnapshotError::Corrupt {
-                section: "rows",
-                detail: format!("meta declares {} rows, found {}", meta.n_rows, rows.len()),
-            });
-        }
-        hf_obs::counter!("snapshot.rows_loaded", rows.len() as u64);
-
+        let (meta, plan, mut sessions, tags) = reader.finish()?;
+        sessions.set_rows(rows);
         Ok(Snapshot {
-            meta: meta.public,
+            meta,
             plan,
-            sessions: SessionStore::from_parts(
-                rows,
-                creds,
-                commands,
-                uris,
-                ssh_versions,
-                digests,
-                lists,
-            ),
+            sessions,
             tags,
         })
     }
@@ -414,6 +419,281 @@ struct DecodedMeta {
     n_rows: u64,
 }
 
+/// Read one fully-materialized section in the fixed SECTIONS order and
+/// decode it (including a trailing-bytes check) before moving on.
+fn read_decoded_section<R: Read, T>(
+    r: &mut R,
+    idx: usize,
+    decode: impl FnOnce(&mut Cursor<'_>) -> Result<T, SnapshotError>,
+) -> Result<T, SnapshotError> {
+    let (id, name) = SECTIONS[idx];
+    let _sec = hf_obs::span_owned_with(|| format!("snapshot.load.{name}"));
+    let payload = read_section(r, id, name)?;
+    let mut cur = Cursor::new(&payload, name);
+    let out = decode(&mut cur)?;
+    cur.finish()?;
+    Ok(out)
+}
+
+/// Streaming hfstore reader: the small, row-count-independent sections
+/// (meta, plan, pools) are materialized by [`SnapshotReader::open`]; the
+/// rows section is then consumed one verified chunk at a time through
+/// [`SnapshotReader::next_chunk`]; [`SnapshotReader::finish`] reads the
+/// tags and hands back the pools-only [`SessionStore`] shell. Peak memory
+/// is the pools plus a single chunk — never the whole rows section.
+///
+/// Rows handed out by `next_chunk` are already fully validated (chunk
+/// checksum, enum bytes, interned ids against the pools), so
+/// [`SessionStore::view_row`] against [`SnapshotReader::store`] is safe:
+///
+/// ```no_run
+/// # fn main() -> Result<(), hf_farm::SnapshotError> {
+/// # let file = std::io::empty();
+/// let mut reader = hf_farm::SnapshotReader::open(file)?;
+/// let mut rows = Vec::new();
+/// while reader.next_chunk(&mut rows)? {
+///     for row in &rows {
+///         let _view = reader.store().view_row(row);
+///         // … fold the session …
+///     }
+/// }
+/// let (meta, plan, shell, tags) = reader.finish()?;
+/// # Ok(()) }
+/// ```
+pub struct SnapshotReader<R: Read> {
+    r: R,
+    meta: DecodedMeta,
+    plan: FarmPlan,
+    /// Pools-only shell; rows stay with the caller.
+    store: SessionStore,
+    /// Header checksum of the rows section = SHA-256 of the chunk manifest.
+    rows_checksum: [u8; 32],
+    rows_per_chunk: u32,
+    n_chunks: u32,
+    chunks_read: u32,
+    rows_read: u64,
+    /// Prologue + per-chunk headers, re-accumulated while streaming and
+    /// verified against `rows_checksum` after the last chunk.
+    manifest: Vec<u8>,
+    /// Reusable raw-bytes buffer for one chunk.
+    data_buf: Vec<u8>,
+    rows_done: bool,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// Open a snapshot stream: validate the header, materialize the meta /
+    /// plan / pool sections, and position the stream at the first rows
+    /// chunk (validating the rows prologue against the section length and
+    /// the meta row count).
+    pub fn open(mut r: R) -> Result<Self, SnapshotError> {
+        let mut magic = [0u8; 8];
+        read_exact(&mut r, &mut magic, "header")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(read_array(&mut r, "header")?);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let n_sections = u32::from_le_bytes(read_array(&mut r, "header")?);
+        if n_sections != SECTIONS.len() as u32 {
+            return Err(SnapshotError::Corrupt {
+                section: "header",
+                detail: format!(
+                    "section count {n_sections}, version {FORMAT_VERSION} has {}",
+                    SECTIONS.len()
+                ),
+            });
+        }
+
+        let meta = read_decoded_section(&mut r, 0, decode_meta)?;
+        let plan = read_decoded_section(&mut r, 1, decode_plan)?;
+        let creds = read_decoded_section(&mut r, 2, decode_string_pool)?;
+        let commands = read_decoded_section(&mut r, 3, decode_string_pool)?;
+        let uris = read_decoded_section(&mut r, 4, decode_string_pool)?;
+        let ssh_versions = read_decoded_section(&mut r, 5, decode_string_pool)?;
+        let digests = read_decoded_section(&mut r, 6, decode_digest_pool)?;
+        let lists = read_decoded_section(&mut r, 7, decode_list_pool)?;
+
+        // Rows section header + prologue. Every prologue field is
+        // cross-checked structurally here; the manifest checksum after the
+        // last chunk then confirms the bytes themselves.
+        let (rows_id, _) = SECTIONS[8];
+        let found = u32::from_le_bytes(read_array(&mut r, "rows")?);
+        if found != rows_id {
+            return Err(SnapshotError::UnexpectedSection {
+                expected: rows_id,
+                found,
+            });
+        }
+        let payload_len = u64::from_le_bytes(read_array(&mut r, "rows")?);
+        let rows_checksum: [u8; 32] = read_array(&mut r, "rows")?;
+        let n_rows = u64::from_le_bytes(read_array(&mut r, "rows")?);
+        let rows_per_chunk = u32::from_le_bytes(read_array(&mut r, "rows")?);
+        let n_chunks = u32::from_le_bytes(read_array(&mut r, "rows")?);
+        if rows_per_chunk == 0 || rows_per_chunk > MAX_ROWS_PER_CHUNK {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("rows_per_chunk {rows_per_chunk} outside 1..={MAX_ROWS_PER_CHUNK}"),
+            });
+        }
+        let expected_chunks = n_rows.div_ceil(rows_per_chunk as u64);
+        if n_chunks as u64 != expected_chunks {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!(
+                    "{n_chunks} chunks declared; {n_rows} rows at {rows_per_chunk}/chunk \
+                     need {expected_chunks}"
+                ),
+            });
+        }
+        if meta.n_rows != n_rows {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("meta declares {} rows, prologue {n_rows}", meta.n_rows),
+            });
+        }
+        let expected_len =
+            ROWS_PROLOGUE_LEN as u64 + n_chunks as u64 * CHUNK_HEADER_LEN as u64 + n_rows * 48;
+        if payload_len != expected_len {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!(
+                    "payload length {payload_len} disagrees with prologue \
+                     (expected {expected_len})"
+                ),
+            });
+        }
+        // Re-accumulate the manifest as chunks stream by; growth is bounded
+        // by bytes actually read, so a lying n_chunks cannot balloon it.
+        let mut manifest = Vec::new();
+        manifest.extend_from_slice(&n_rows.to_le_bytes());
+        manifest.extend_from_slice(&rows_per_chunk.to_le_bytes());
+        manifest.extend_from_slice(&n_chunks.to_le_bytes());
+
+        Ok(SnapshotReader {
+            r,
+            meta,
+            plan,
+            store: SessionStore::from_parts(
+                Vec::new(),
+                creds,
+                commands,
+                uris,
+                ssh_versions,
+                digests,
+                lists,
+            ),
+            rows_checksum,
+            rows_per_chunk,
+            n_chunks,
+            chunks_read: 0,
+            rows_read: 0,
+            manifest,
+            data_buf: Vec::new(),
+            rows_done: false,
+        })
+    }
+
+    /// Run-level metadata.
+    pub fn meta(&self) -> &SnapshotMeta {
+        &self.meta.public
+    }
+
+    /// The deployment plan.
+    pub fn plan(&self) -> &FarmPlan {
+        &self.plan
+    }
+
+    /// The pools-only store shell rows from [`SnapshotReader::next_chunk`]
+    /// resolve against (via [`SessionStore::view_row`]).
+    pub fn store(&self) -> &SessionStore {
+        &self.store
+    }
+
+    /// Total rows the snapshot declares.
+    pub fn n_rows(&self) -> u64 {
+        self.meta.n_rows
+    }
+
+    /// Rows verified and handed out so far.
+    pub fn rows_read(&self) -> u64 {
+        self.rows_read
+    }
+
+    /// Read the next rows chunk into `rows` (replacing its contents).
+    /// Returns `false` once every chunk has been consumed and the chunk
+    /// manifest has verified against the section checksum. Each returned
+    /// chunk is fully validated: chunk checksum, per-row enum bytes, and
+    /// every interned id resolved against the pools.
+    pub fn next_chunk(&mut self, rows: &mut Vec<Row>) -> Result<bool, SnapshotError> {
+        rows.clear();
+        if self.rows_done {
+            return Ok(false);
+        }
+        if self.chunks_read == self.n_chunks {
+            if Sha256::digest(&self.manifest).0 != self.rows_checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: "rows" });
+            }
+            self.rows_done = true;
+            return Ok(false);
+        }
+        let idx = self.chunks_read;
+        let chunk_rows = u32::from_le_bytes(read_array(&mut self.r, "rows")?);
+        let digest: [u8; 32] = read_array(&mut self.r, "rows")?;
+        // Every chunk is full except the last; the expected count is fully
+        // determined by the validated prologue, so a header that disagrees
+        // is structural corruption, not just a checksum problem.
+        let expected = (self.meta.n_rows - self.rows_read).min(self.rows_per_chunk as u64);
+        if chunk_rows as u64 != expected {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("chunk {idx} declares {chunk_rows} rows, expected {expected}"),
+            });
+        }
+        self.data_buf.clear();
+        self.data_buf.resize(chunk_rows as usize * 48, 0);
+        read_exact(&mut self.r, &mut self.data_buf, "rows")?;
+        if Sha256::digest(&self.data_buf).0 != digest {
+            return Err(SnapshotError::ChunkChecksumMismatch {
+                section: "rows",
+                chunk: idx,
+            });
+        }
+        self.manifest.extend_from_slice(&chunk_rows.to_le_bytes());
+        self.manifest.extend_from_slice(&digest);
+        decode_row_chunk(&self.data_buf, chunk_rows as usize, rows)?;
+        validate_rows(
+            rows,
+            &self.store.creds,
+            &self.store.commands,
+            &self.store.uris,
+            &self.store.ssh_versions,
+            &self.store.digests,
+            &self.store.lists,
+        )?;
+        self.chunks_read += 1;
+        self.rows_read += chunk_rows as u64;
+        Ok(true)
+    }
+
+    /// Finish the stream: drain (and verify) any rows chunks the caller
+    /// did not consume, read the tags section, and return the metadata,
+    /// plan, pools-only store shell, and tags.
+    pub fn finish(
+        mut self,
+    ) -> Result<(SnapshotMeta, FarmPlan, SessionStore, TagDb), SnapshotError> {
+        let mut rest = Vec::new();
+        while self.next_chunk(&mut rest)? {}
+        let tags = read_decoded_section(&mut self.r, 9, decode_tags)?;
+        hf_obs::counter!("snapshot.rows_loaded", self.rows_read);
+        Ok((self.meta.public, self.plan, self.store, tags))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Section encoders. All integers little-endian; lengths precede payloads.
 
@@ -457,9 +737,8 @@ fn encode_list_pool(pool: &ListPool, buf: &mut Vec<u8>) {
     }
 }
 
-fn encode_rows(rows: &[Row], buf: &mut Vec<u8>) {
-    buf.reserve(8 + rows.len() * 48);
-    buf.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+fn encode_row_chunk(rows: &[Row], buf: &mut Vec<u8>) {
+    buf.reserve(rows.len() * 48);
     for r in rows {
         buf.extend_from_slice(&r.start_secs.to_le_bytes());
         buf.extend_from_slice(&r.duration_secs.to_le_bytes());
@@ -477,6 +756,50 @@ fn encode_rows(rows: &[Row], buf: &mut Vec<u8>) {
         buf.extend_from_slice(&r.hash_list_id.to_le_bytes());
         buf.extend_from_slice(&r.dl_list_id.to_le_bytes());
     }
+}
+
+/// The chunk manifest of a rows section: the 16-byte prologue followed by
+/// every per-chunk `[row count ‖ digest]` header, in order. These are
+/// exactly the non-row-data payload bytes, and the section header's
+/// checksum is the SHA-256 of this manifest (module docs).
+fn rows_manifest(rows: &[Row]) -> Vec<u8> {
+    let n_chunks = rows.len().div_ceil(ROWS_PER_CHUNK as usize);
+    let mut manifest = Vec::with_capacity(ROWS_PROLOGUE_LEN + n_chunks * CHUNK_HEADER_LEN);
+    manifest.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+    manifest.extend_from_slice(&ROWS_PER_CHUNK.to_le_bytes());
+    manifest.extend_from_slice(&(n_chunks as u32).to_le_bytes());
+    let mut buf = Vec::new();
+    for chunk in rows.chunks(ROWS_PER_CHUNK as usize) {
+        buf.clear();
+        encode_row_chunk(chunk, &mut buf);
+        manifest.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        manifest.extend_from_slice(&Sha256::digest(&buf).0);
+    }
+    manifest
+}
+
+/// Write the framed rows section: header, prologue, then one chunk at a
+/// time — peak memory is one encoded chunk (3 MiB) plus the manifest,
+/// regardless of row count. Returns the payload length. Two encode passes
+/// per chunk (digest pass, write pass) keep the writer single-buffer; row
+/// encoding is a flat memcpy-style loop, so the second pass is cheap next
+/// to hashing.
+fn write_rows_section<W: Write>(w: &mut W, id: u32, rows: &[Row]) -> Result<u64, SnapshotError> {
+    let manifest = rows_manifest(rows);
+    let payload_len = manifest.len() as u64 + rows.len() as u64 * 48;
+    w.write_all(&id.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    w.write_all(&Sha256::digest(&manifest).0)?;
+    w.write_all(&manifest[..ROWS_PROLOGUE_LEN])?;
+    let mut buf = Vec::new();
+    for (i, chunk) in rows.chunks(ROWS_PER_CHUNK as usize).enumerate() {
+        let h = ROWS_PROLOGUE_LEN + i * CHUNK_HEADER_LEN;
+        w.write_all(&manifest[h..h + CHUNK_HEADER_LEN])?;
+        buf.clear();
+        encode_row_chunk(chunk, &mut buf);
+        w.write_all(&buf)?;
+    }
+    Ok(payload_len)
 }
 
 fn encode_tags(tags: &TagDb, buf: &mut Vec<u8>) {
@@ -691,11 +1014,11 @@ fn decode_list_pool(cur: &mut Cursor<'_>) -> Result<ListPool, SnapshotError> {
     Ok(pool)
 }
 
-fn decode_rows(cur: &mut Cursor<'_>) -> Result<Vec<Row>, SnapshotError> {
-    let n = cur.u64()? as usize;
-    // Guard the allocation against a lying count: each row takes 48 payload
-    // bytes, so the remaining payload bounds the real row count.
-    let mut rows = Vec::with_capacity(n.min(cur.buf.len() / 48 + 1));
+/// Decode one checksum-verified chunk of `n` rows (exactly `n × 48` bytes)
+/// into `rows`, validating the per-row enum bytes.
+fn decode_row_chunk(data: &[u8], n: usize, rows: &mut Vec<Row>) -> Result<(), SnapshotError> {
+    let mut cur = Cursor::new(data, "rows");
+    rows.reserve(n);
     for _ in 0..n {
         let start_secs = cur.u32()?;
         let duration_secs = cur.u32()?;
@@ -736,7 +1059,7 @@ fn decode_rows(cur: &mut Cursor<'_>) -> Result<Vec<Row>, SnapshotError> {
             dl_list_id: cur.u32()?,
         });
     }
-    Ok(rows)
+    cur.finish()
 }
 
 fn decode_tags(cur: &mut Cursor<'_>) -> Result<TagDb, SnapshotError> {

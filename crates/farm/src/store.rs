@@ -98,10 +98,20 @@ impl SessionStore {
         }
     }
 
-    /// Pre-allocate row capacity.
+    /// Rows the eager [`SessionStore::with_capacity`] hint may reserve
+    /// upfront: 512 Ki rows = 24 MiB. Estimates above the cap (a scale-1.0
+    /// run estimates ~402 M sessions ≈ 19 GB) start here and grow
+    /// geometrically through `Vec`'s normal doubling; fold-mode runs that
+    /// retire rows every day never grow past their largest single day.
+    pub const EAGER_ROW_RESERVE_CAP: usize = 1 << 19;
+
+    /// Pre-allocate row capacity. `n` is a hint: reservations are capped at
+    /// [`SessionStore::EAGER_ROW_RESERVE_CAP`] rows so whole-run session
+    /// estimates can be passed directly without committing gigabytes before
+    /// the first session exists.
     pub fn with_capacity(n: usize) -> Self {
         let mut s = Self::new();
-        s.rows.reserve(n);
+        s.rows.reserve(n.min(Self::EAGER_ROW_RESERVE_CAP));
         s
     }
 
@@ -131,6 +141,23 @@ impl SessionStore {
     /// Reserve room for `n` additional rows.
     pub fn reserve(&mut self, n: usize) {
         self.rows.reserve(n);
+    }
+
+    /// Drop every row, keeping the interning pools (and the row buffer's
+    /// capacity) intact. The out-of-core fold path calls this after folding
+    /// a completed day into `Aggregates`: interned ids stay stable, so
+    /// later days and the final row-free report see the same pool ids a
+    /// materialized run would.
+    pub fn retire_rows(&mut self) {
+        self.rows.clear();
+    }
+
+    /// Replace the (empty) row vector of a pools-only shell — used by the
+    /// snapshot loader to materialize a store after streaming the rows
+    /// section chunk by chunk.
+    pub(crate) fn set_rows(&mut self, rows: Vec<Row>) {
+        debug_assert!(self.rows.is_empty(), "set_rows on a non-empty store");
+        self.rows = rows;
     }
 
     /// Ingest a finished session record. `geo` is the collector-side
@@ -233,6 +260,14 @@ impl SessionStore {
             store: self,
             row: &self.rows[idx],
         }
+    }
+
+    /// Typed view of an externally held row, resolved against this store's
+    /// pools. Streaming readers hold row chunks outside the store (the
+    /// store itself stays a pools-only shell); the row's interned ids must
+    /// have been validated against these pools first.
+    pub fn view_row<'a>(&'a self, row: &'a Row) -> SessionView<'a> {
+        SessionView { store: self, row }
     }
 
     /// Iterate typed views over all sessions.
@@ -422,6 +457,17 @@ impl<'a> SessionView<'a> {
     /// Did any command reference a URI?
     pub fn has_uri(&self) -> bool {
         self.row.uri_list_id != ListPool::EMPTY
+    }
+
+    /// Packed login-attempt ids (`cred_id << 1 | accepted`) — the raw form
+    /// analyses count by without resolving strings.
+    pub fn login_packed(&self) -> &'a [u32] {
+        self.store.lists.get(self.row.login_list_id)
+    }
+
+    /// Packed command ids (`cmd_id << 1 | known`).
+    pub fn command_packed(&self) -> &'a [u32] {
+        self.store.lists.get(self.row.cmd_list_id)
     }
 
     /// Interned ids of file hashes (use [`SessionStore::digests`] to resolve).
@@ -633,6 +679,50 @@ mod tests {
             s.ingest(&record(0, 7, Protocol::Ssh), None);
         }
         assert_eq!(s.day_aligned_ranges(8), vec![0..100]);
+    }
+
+    #[test]
+    fn eager_capacity_hint_is_capped() {
+        // A scale-1.0 estimate (~402 M rows ≈ 19 GB) must not be committed
+        // upfront; the reservation is clamped to the eager cap.
+        let s = SessionStore::with_capacity(402_000_000);
+        assert!(s.rows.capacity() <= SessionStore::EAGER_ROW_RESERVE_CAP * 2);
+        // Small hints still pre-allocate exactly.
+        let s = SessionStore::with_capacity(1000);
+        assert!(s.rows.capacity() >= 1000);
+    }
+
+    #[test]
+    fn retire_rows_keeps_pools_and_ids_stable() {
+        let mut s = SessionStore::new();
+        s.ingest(&record(1, 0, Protocol::Ssh), None);
+        let creds_before = s.creds.len();
+        let lists_before = s.lists.len();
+        s.retire_rows();
+        assert!(s.is_empty());
+        assert_eq!(s.creds.len(), creds_before);
+        assert_eq!(s.lists.len(), lists_before);
+        // Re-ingesting the same session re-uses the same interned ids.
+        s.ingest(&record(1, 1, Protocol::Ssh), None);
+        assert_eq!(s.creds.len(), creds_before);
+        assert_eq!(s.lists.len(), lists_before);
+    }
+
+    #[test]
+    fn view_row_matches_in_store_view() {
+        let mut s = SessionStore::new();
+        s.ingest(&record(2, 3, Protocol::Ssh), Some((CountryId(7), Asn(42))));
+        let row = s.rows()[0];
+        let external = s.view_row(&row);
+        assert_eq!(external.honeypot(), 2);
+        assert_eq!(external.day(), 3);
+        assert_eq!(external.client_asn(), Some(Asn(42)));
+        assert_eq!(
+            external.logins().collect::<Vec<_>>(),
+            s.view(0).logins().collect::<Vec<_>>()
+        );
+        assert_eq!(external.login_packed(), s.view(0).login_packed());
+        assert_eq!(external.command_packed(), s.view(0).command_packed());
     }
 
     #[test]

@@ -237,6 +237,31 @@ pub(crate) fn record_span(name: Name, wall_ns: u64, cpu_ns: u64) {
     LOCAL.with(|l| l.borrow_mut().span_record(name, wall_ns, cpu_ns));
 }
 
+// ------------------------------------------------------------------- rss --
+
+/// Peak resident set size of this process in kilobytes, read from Linux's
+/// `/proc/self/status` `VmHWM` line. `None` off Linux or when the field is
+/// absent/unparsable — callers treat RSS accounting as best-effort.
+pub fn peak_rss_kb() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // "VmHWM:     123456 kB"
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Sample [`peak_rss_kb`] into the `process.peak_rss_kb` high-water-mark
+/// gauge (a no-op when recording is disabled or the value is unreadable).
+/// The out-of-core fold samples once per day; `hfarm` samples once more
+/// before writing the run manifest, so the manifest's gauge reflects the
+/// whole process.
+pub fn sample_peak_rss() {
+    if enabled() {
+        if let Some(kb) = peak_rss_kb() {
+            gauge!("process.peak_rss_kb", kb);
+        }
+    }
+}
+
 // ------------------------------------------------------------ harvesting --
 
 /// Flush the calling thread, then fold every registry shard into one
@@ -332,6 +357,29 @@ mod tests {
         assert_eq!(m.spans["unit.phase"].count, 1);
         disable();
         reset();
+    }
+
+    #[test]
+    fn peak_rss_sampling_populates_the_gauge() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        sample_peak_rss();
+        let m = manifest("unit");
+        disable();
+        reset();
+        // Best-effort: on Linux the gauge must be present and positive; on
+        // other platforms the sampler records nothing.
+        match peak_rss_kb() {
+            Some(kb) => {
+                assert!(kb > 0, "VmHWM should be positive, got {kb}");
+                let recorded = m.peak_rss_kb().expect("gauge sampled");
+                assert!(recorded > 0);
+                // High-water mark: the later read can only be >= the sample.
+                assert!(kb >= recorded);
+            }
+            None => assert!(m.peak_rss_kb().is_none()),
+        }
     }
 
     #[test]

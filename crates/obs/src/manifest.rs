@@ -111,6 +111,14 @@ impl RunManifest {
         }
     }
 
+    /// Peak resident set size recorded by [`crate::sample_peak_rss`]
+    /// (kilobytes), if this run sampled it. The out-of-core analysis paths
+    /// sample once per folded day plus once at manifest time, so a fold
+    /// run's manifest always carries its RSS high-water mark.
+    pub fn peak_rss_kb(&self) -> Option<i64> {
+        self.gauges.get("process.peak_rss_kb").copied()
+    }
+
     // ------------------------------------------------------------ JSON --
 
     /// Render `metrics.json` (deterministic: maps are name-sorted, layout

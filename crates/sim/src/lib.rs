@@ -23,4 +23,4 @@ pub use exec::{
     PreparedScripts, ScriptCache, ScriptOutcome,
 };
 pub use parallel::{execute_day_sharded, DayMode, DayStats};
-pub use runner::{SimConfig, SimOutput, Simulation};
+pub use runner::{FoldOutput, SimConfig, SimOutput, Simulation};

@@ -1,9 +1,26 @@
 //! The day-loop runner: ecosystem → plans → honeypot execution → collector.
+//!
+//! Two terminal modes share one day loop:
+//!
+//! - **Materialized** ([`Simulation::run`]): every session row accumulates in
+//!   the collector's [`hf_farm::SessionStore`]; analyses run afterwards over
+//!   the full store. Memory grows with the window (~19 GB of rows at scale
+//!   1.0).
+//! - **Out-of-core fold** ([`Simulation::run_fold`]): after each completed
+//!   day, the day's rows are folded straight into an incremental
+//!   [`StreamingFold`] and then retired. Peak RSS is bounded by the largest
+//!   single day plus the interning pools, independent of window length; the
+//!   resulting [`Aggregates`] are bit-identical to
+//!   [`Aggregates::compute`] over the materialized store (proven by
+//!   `tests/streaming_analysis.rs`).
 
+use std::io::Read;
 use std::time::Instant;
 
 use hf_agents::{Ecosystem, EcosystemConfig, Scale};
-use hf_farm::{Collector, Dataset, Snapshot, SnapshotMeta, TagDb};
+use hf_core::{Aggregates, StreamingFold};
+use hf_farm::{Collector, Dataset, Snapshot, SnapshotError, SnapshotMeta, TagDb};
+use hf_honeypot::ArtifactStore;
 use hf_simclock::StudyWindow;
 
 use crate::error::SimError;
@@ -102,6 +119,81 @@ impl SimOutput {
     }
 }
 
+/// Everything an out-of-core run produces: a **rowless** dataset (interning
+/// pools, artifact store, and deployment plan survive; session rows were
+/// folded and retired day by day) plus the finished [`Aggregates`]. The
+/// report/claims pipeline runs from `aggregates` + the rowless `dataset`.
+pub struct FoldOutput {
+    /// Pools + artifacts + plan; `dataset.sessions` holds no rows.
+    pub dataset: Dataset,
+    /// Hash → tag/campaign database.
+    pub tags: TagDb,
+    /// Distinct client IPs allocated by the ecosystem.
+    pub n_clients: usize,
+    /// The whole-run aggregates, bit-identical to
+    /// [`Aggregates::compute`] over the materialized store.
+    pub aggregates: Aggregates,
+}
+
+impl FoldOutput {
+    /// Stream an hfstore snapshot through the incremental fold without ever
+    /// materializing the rows section: chunks are decoded, folded, and
+    /// dropped (`hfarm report --streaming`). The artifact store is replayed
+    /// per row exactly like the live collector (file hashes then download
+    /// hashes, in row order), so `dataset.artifacts` matches a materialized
+    /// [`SimOutput::from_snapshot`] load of the same bytes.
+    ///
+    /// The incremental freshness series requires day-ordered rows (which
+    /// every runner-produced snapshot has); an unordered store surfaces as
+    /// [`SnapshotError::Corrupt`] rather than silently wrong freshness.
+    pub fn from_snapshot_stream<R: Read>(r: R) -> Result<FoldOutput, SnapshotError> {
+        let mut reader = hf_farm::SnapshotReader::open(r)?;
+        let mut fold = StreamingFold::new(reader.plan().len());
+        let mut artifacts = ArtifactStore::new();
+        let mut rows = Vec::new();
+        let mut last_day = 0u32;
+        while reader.next_chunk(&mut rows)? {
+            let store = reader.store();
+            let plan = reader.plan();
+            for row in &rows {
+                let v = store.view_row(row);
+                let day = v.day();
+                if day < last_day {
+                    return Err(SnapshotError::Corrupt {
+                        section: "rows",
+                        detail: format!(
+                            "streaming fold requires day-ordered rows; \
+                             a day-{day} row follows day {last_day}"
+                        ),
+                    });
+                }
+                last_day = day;
+                for h in v.file_hashes() {
+                    artifacts.observe_hash(h, 0, v.start());
+                }
+                for &id in v.download_hash_ids() {
+                    artifacts.observe_hash(store.digests.get(id), 0, v.start());
+                }
+                fold.ingest(plan, &v);
+            }
+            fold.drain_freshness();
+            hf_obs::counter!("analysis.rows_folded", rows.len() as u64);
+        }
+        hf_obs::sample_peak_rss();
+        let (meta, plan, sessions, tags) = reader.finish()?;
+        Ok(FoldOutput {
+            dataset: Dataset {
+                sessions,
+                artifacts,
+                plan,
+            },
+            tags,
+            n_clients: meta.n_clients as usize,
+            aggregates: fold.finish(),
+        })
+    }
+}
+
 /// The simulator.
 pub struct Simulation;
 
@@ -131,6 +223,88 @@ impl Simulation {
         config: SimConfig,
         mut progress: impl FnMut(&DayStats),
     ) -> Result<SimOutput, SimError> {
+        let (collector, tags, n_clients) = Self::run_loop(&config, &mut progress, &mut |_| {})?;
+        Ok(SimOutput {
+            dataset: collector.finish(),
+            tags,
+            n_clients,
+        })
+    }
+
+    /// Out-of-core form of [`Simulation::run`]: fold each completed day into
+    /// incremental [`Aggregates`] and retire its rows, so peak memory is
+    /// bounded by one day of sessions (plus the interning pools), not the
+    /// whole window. Panics on internal coverage bugs like
+    /// [`Simulation::run`].
+    pub fn run_fold(config: SimConfig) -> FoldOutput {
+        Self::try_run_fold(config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// [`Simulation::run_fold`] with a per-day [`DayStats`] callback.
+    pub fn run_fold_with_progress(
+        config: SimConfig,
+        progress: impl FnMut(&DayStats),
+    ) -> FoldOutput {
+        Self::try_run_fold_with_progress(config, progress)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// Fallible form of [`Simulation::run_fold`].
+    pub fn try_run_fold(config: SimConfig) -> Result<FoldOutput, SimError> {
+        Self::try_run_fold_with_progress(config, |_| {})
+    }
+
+    /// Fallible form of [`Simulation::run_fold_with_progress`].
+    ///
+    /// The fold hook runs after each day's ingest: it scans the day's rows
+    /// into a [`StreamingFold`] (same per-row ingest as
+    /// [`Aggregates::compute`], same row order, so the result is
+    /// bit-identical), drains completed days into the freshness series, and
+    /// retires the rows. Peak RSS is sampled once per day into the
+    /// `process.peak_rss_kb` gauge for the run manifest.
+    pub fn try_run_fold_with_progress(
+        config: SimConfig,
+        mut progress: impl FnMut(&DayStats),
+    ) -> Result<FoldOutput, SimError> {
+        let mut fold: Option<StreamingFold> = None;
+        let (collector, tags, n_clients) =
+            Self::run_loop(&config, &mut progress, &mut |collector| {
+                let f = fold.get_or_insert_with(|| StreamingFold::new(collector.plan().len()));
+                let store = collector.sessions();
+                let plan = collector.plan();
+                for i in 0..store.len() {
+                    f.ingest(plan, &store.view(i));
+                }
+                f.drain_freshness();
+                hf_obs::counter!("analysis.rows_folded", store.len() as u64);
+                collector.retire_rows();
+                hf_obs::sample_peak_rss();
+            })?;
+        // Rowless: every day was folded and retired; pools/artifacts remain.
+        let dataset = collector.finish();
+        let aggregates = match fold {
+            Some(f) => f.finish(),
+            // Zero-day window: an empty fold still yields the canonical
+            // empty aggregates (one all-zero day, like `compute`).
+            None => StreamingFold::new(dataset.plan.len()).finish(),
+        };
+        Ok(FoldOutput {
+            dataset,
+            tags,
+            n_clients,
+            aggregates,
+        })
+    }
+
+    /// The shared day loop. `after_day` runs once per simulated day after
+    /// the day's records are ingested (and before the progress callback);
+    /// the materialized path passes a no-op, the fold path scans and
+    /// retires the day's rows.
+    fn run_loop(
+        config: &SimConfig,
+        progress: &mut dyn FnMut(&DayStats),
+        after_day: &mut dyn FnMut(&mut Collector),
+    ) -> Result<(Collector, TagDb, usize), SimError> {
         let mut eco = Ecosystem::new(EcosystemConfig {
             seed: config.seed,
             scale: config.scale,
@@ -183,6 +357,7 @@ impl Simulation {
                 tags.merge(day_tags);
             }
             total_sessions += plans.len();
+            after_day(&mut collector);
             progress(&DayStats {
                 day: day + 1,
                 days_total: days,
@@ -192,11 +367,7 @@ impl Simulation {
                 day_wall: day_start.elapsed(),
             });
         }
-        Ok(SimOutput {
-            dataset: collector.finish(),
-            tags,
-            n_clients: eco.n_clients(),
-        })
+        Ok((collector, tags, eco.n_clients()))
     }
 }
 
@@ -358,6 +529,54 @@ mod tests {
         }
         // Deployment metadata survives.
         assert_eq!(loaded.dataset.plan, out.dataset.plan);
+    }
+
+    #[test]
+    fn fold_run_matches_materialized_run() {
+        let out = Simulation::run(SimConfig::test(8));
+        let agg = Aggregates::compute(&out.dataset);
+        let fold = Simulation::run_fold(SimConfig::test(8));
+        // Rows were retired day by day; pools and artifacts survive.
+        assert!(fold.dataset.sessions.is_empty());
+        assert_eq!(fold.n_clients, out.n_clients);
+        assert_eq!(fold.tags.len(), out.tags.len());
+        assert_eq!(
+            fold.dataset.sessions.digests.len(),
+            out.dataset.sessions.digests.len()
+        );
+        assert_eq!(fold.dataset.artifacts.len(), out.dataset.artifacts.len());
+        for (h, meta) in out.dataset.artifacts.iter() {
+            let r = fold.dataset.artifacts.get(h).expect("artifact");
+            assert_eq!(r.first_seen, meta.first_seen);
+            assert_eq!(r.occurrences, meta.occurrences);
+        }
+        // Aggregates: same totals (the full bit-for-bit differential lives
+        // in tests/streaming_analysis.rs via the testkit oracle).
+        assert_eq!(fold.aggregates.total_sessions, agg.total_sessions);
+        assert_eq!(fold.aggregates.day_total, agg.day_total);
+        assert_eq!(fold.aggregates.asns, agg.asns);
+    }
+
+    #[test]
+    fn fold_streams_a_snapshot_identically() {
+        let cfg = SimConfig::test(6);
+        let out = Simulation::run(cfg.clone());
+        let mut bytes = Vec::new();
+        out.to_snapshot(&cfg).write_to(&mut bytes).expect("write");
+        let agg = Aggregates::compute(&out.dataset);
+        let fold = FoldOutput::from_snapshot_stream(bytes.as_slice()).expect("stream");
+        assert!(fold.dataset.sessions.is_empty());
+        assert_eq!(fold.n_clients, out.n_clients);
+        assert_eq!(fold.tags.len(), out.tags.len());
+        assert_eq!(fold.dataset.artifacts.len(), out.dataset.artifacts.len());
+        for (h, meta) in out.dataset.artifacts.iter() {
+            let r = fold.dataset.artifacts.get(h).expect("artifact");
+            assert_eq!(r.first_seen, meta.first_seen);
+            assert_eq!(r.last_seen, meta.last_seen);
+            assert_eq!(r.occurrences, meta.occurrences);
+        }
+        assert_eq!(fold.aggregates.total_sessions, agg.total_sessions);
+        assert_eq!(fold.aggregates.day_total, agg.day_total);
     }
 
     #[test]

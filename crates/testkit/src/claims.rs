@@ -12,13 +12,17 @@
 use hf_core::report::{figures, tables, HashSortKey};
 use hf_core::report::{Fig10, Fig16, Fig2, Fig7, HashTable, Table2, Table3};
 use hf_core::{Aggregates, Category, Claims};
+use hf_farm::{Dataset, TagDb};
 use hf_sim::SimOutput;
 use hf_simclock::{Date, StudyWindow};
 
 /// Everything a claim accessor may need, computed once per evaluation.
 pub struct ClaimCtx<'a> {
-    /// The simulation output under test.
-    pub out: &'a SimOutput,
+    /// The dataset under test. May be row-free (streaming fold): every
+    /// claim reads the aggregates or the dataset's pools/plan, never rows.
+    pub dataset: &'a Dataset,
+    /// Tag/campaign associations for the dataset's hashes.
+    pub tags: &'a TagDb,
     /// Aggregates over the dataset.
     pub agg: Aggregates,
     /// The repo's derived claim metrics.
@@ -38,19 +42,26 @@ impl<'a> ClaimCtx<'a> {
     /// Compute aggregates, claims, and the figures/tables the claim table
     /// reads from.
     pub fn new(out: &'a SimOutput) -> ClaimCtx<'a> {
-        let agg = Aggregates::compute(&out.dataset);
+        ClaimCtx::from_parts(&out.dataset, &out.tags, Aggregates::compute(&out.dataset))
+    }
+
+    /// Build a context from already-computed aggregates — the entry point
+    /// for the streaming fold path, where the dataset carries no session
+    /// rows and the aggregates came from [`hf_core::StreamingFold`].
+    pub fn from_parts(dataset: &'a Dataset, tags: &'a TagDb, agg: Aggregates) -> ClaimCtx<'a> {
         let claims = Claims::compute(&agg);
         ClaimCtx {
             fig2: figures::fig2(&agg),
             fig7: figures::fig7(&agg),
             fig10: figures::fig10(&agg),
             fig16: figures::fig16(&agg),
-            t2: tables::table2(&out.dataset, &agg),
-            t3: tables::table3(&out.dataset, &agg),
-            t4: tables::hash_table(&out.dataset, &agg, &out.tags, HashSortKey::Sessions, 20),
-            t6: tables::hash_table(&out.dataset, &agg, &out.tags, HashSortKey::Days, 20),
-            t6_full: tables::hash_table(&out.dataset, &agg, &out.tags, HashSortKey::Days, 5000),
-            out,
+            t2: tables::table2(dataset, &agg),
+            t3: tables::table3(dataset, &agg),
+            t4: tables::hash_table(dataset, &agg, tags, HashSortKey::Sessions, 20),
+            t6: tables::hash_table(dataset, &agg, tags, HashSortKey::Days, 20),
+            t6_full: tables::hash_table(dataset, &agg, tags, HashSortKey::Days, 5000),
+            dataset,
+            tags,
             agg,
             claims,
         }
@@ -98,16 +109,10 @@ impl<'a> ClaimCtx<'a> {
     }
 
     fn as_breadth(&self) -> f64 {
-        let mut ases: Vec<u32> = self
-            .out
-            .dataset
-            .sessions
-            .iter()
-            .filter_map(|v| v.client_asn().map(|a| a.0))
-            .collect();
-        ases.sort_unstable();
-        ases.dedup();
-        ases.len() as f64
+        // The aggregates' ASN set is proven row-equivalent by the hf-core
+        // suite; reading it here keeps the claim evaluable on a row-free
+        // (streaming) dataset.
+        self.agg.asns.len() as f64
     }
 }
 

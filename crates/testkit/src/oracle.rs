@@ -486,6 +486,16 @@ pub fn diff_aggregates(
         (&a.ssh_version_counts, &b.ssh_version_counts),
         "ssh_version_counts"
     );
+    if a.asns != b.asns {
+        report.push(
+            "asns",
+            format!(
+                "ASN sets differ: {} vs {} entries",
+                a.asns.len(),
+                b.asns.len()
+            ),
+        );
+    }
     let _ = budget;
     report
 }

@@ -1,12 +1,18 @@
 //! `hfarm` — command-line front door to the honeyfarm reproduction suite.
 //!
 //! ```text
-//! hfarm simulate [--scale F] [--days N] [--seed S] [--out DIR] [--snapshot FILE]
+//! hfarm simulate [--scale F] [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--fold]
 //!     Simulate the study window, write every table/figure + claims, and
-//!     persist the collected run as an hfstore snapshot.
-//! hfarm report   [--snapshot FILE] [--out DIR]
+//!     persist the collected run as an hfstore snapshot. With `--fold`,
+//!     run out-of-core: each completed day is folded into the aggregates
+//!     and its rows retired, so peak memory is bounded by one day's
+//!     traffic instead of the whole window (no snapshot is written; the
+//!     report is identical to the in-memory path).
+//! hfarm report   [--snapshot FILE] [--out DIR] [--streaming]
 //!     Load a snapshot and run the full report pipeline without
 //!     re-simulating; output is byte-identical to the producing simulate.
+//!     With `--streaming`, rows are folded chunk-by-chunk as they are read
+//!     instead of materializing the whole store.
 //! hfarm claims   [--scale F] [--days N] [--seed S]
 //!     Print the headline findings only.
 //! hfarm birth    [--scale F] [--days N] [--seed S]
@@ -46,6 +52,8 @@ struct Common {
     threads: usize,
     claims: bool,
     md: bool,
+    fold: bool,
+    streaming: bool,
     scenarios: Option<PathBuf>,
     metrics: Option<PathBuf>,
 }
@@ -62,6 +70,8 @@ fn parse(args: &[String]) -> Common {
         threads: 1,
         claims: false,
         md: false,
+        fold: false,
+        streaming: false,
         scenarios: None,
         metrics: None,
     };
@@ -82,6 +92,8 @@ fn parse(args: &[String]) -> Common {
             "--threads" => c.threads = val().parse().unwrap_or_else(|_| usage("--threads usize")),
             "--claims" => c.claims = true,
             "--md" => c.md = true,
+            "--fold" => c.fold = true,
+            "--streaming" => c.streaming = true,
             "--scenarios" => c.scenarios = Some(PathBuf::from(val())),
             "--metrics" => c.metrics = Some(PathBuf::from(val())),
             other => usage(&format!("unknown flag {other}")),
@@ -95,7 +107,8 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: hfarm <simulate|report|claims|birth|serve|verify|metrics> [--scale F] \
          [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] \
-         [--threads N] [--claims] [--md] [--scenarios DIR] [--metrics DIR]"
+         [--threads N] [--claims] [--md] [--fold] [--streaming] [--scenarios DIR] \
+         [--metrics DIR]"
     );
     std::process::exit(2)
 }
@@ -153,6 +166,9 @@ fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Pat
 /// back (a malformed manifest is a bug worth failing loudly on).
 fn emit_metrics(c: &Common, tool: &str) {
     let Some(dir) = &c.metrics else { return };
+    // Final RSS high-water-mark sample so every manifest carries the
+    // process-wide peak, not just the fold loop's per-day samples.
+    honeyfarm::obs::sample_peak_rss();
     let manifest = honeyfarm::obs::manifest(tool);
     if let Err(e) = manifest.write_dir(dir) {
         eprintln!("error writing metrics manifest: {e}");
@@ -229,6 +245,36 @@ fn main() {
         honeyfarm::obs::enable();
     }
     match cmd.as_str() {
+        "simulate" if c.fold => {
+            let config = sim_config(&c);
+            eprintln!(
+                "simulating {} days at scale {} (seed {}, {} thread{}, out-of-core fold) …",
+                config.window.num_days(),
+                c.scale,
+                c.seed,
+                c.threads,
+                if c.threads == 1 { "" } else { "s" }
+            );
+            let fold = Simulation::run_fold(config);
+            eprintln!(
+                "{} sessions folded / {} clients / {} hashes",
+                fold.aggregates.total_sessions,
+                fold.n_clients,
+                fold.tags.len()
+            );
+            eprintln!("fold mode retires rows as it goes; no snapshot written");
+            if let Some(kb) = honeyfarm::obs::peak_rss_kb() {
+                eprintln!("peak RSS: {} MB", kb / 1024);
+            }
+            write_report(
+                &fold.dataset,
+                &fold.tags,
+                &fold.aggregates,
+                &c.out,
+                c.threads,
+            );
+            emit_metrics(&c, "hfarm simulate");
+        }
         "simulate" => {
             let config = sim_config(&c);
             let (out, agg) = simulate(&c);
@@ -242,6 +288,35 @@ fn main() {
             eprintln!("snapshot written to {}", c.snapshot.display());
             write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
             emit_metrics(&c, "hfarm simulate");
+        }
+        "report" if c.streaming => {
+            eprintln!("streaming snapshot {} …", c.snapshot.display());
+            let file = std::fs::File::open(&c.snapshot).unwrap_or_else(|e| {
+                eprintln!("error opening snapshot: {e}");
+                std::process::exit(1);
+            });
+            let fold = FoldOutput::from_snapshot_stream(std::io::BufReader::new(file))
+                .unwrap_or_else(|e| {
+                    eprintln!("error streaming snapshot: {e}");
+                    std::process::exit(1);
+                });
+            eprintln!(
+                "{} sessions folded / {} clients / {} hashes",
+                fold.aggregates.total_sessions,
+                fold.n_clients,
+                fold.tags.len()
+            );
+            if let Some(kb) = honeyfarm::obs::peak_rss_kb() {
+                eprintln!("peak RSS: {} MB", kb / 1024);
+            }
+            write_report(
+                &fold.dataset,
+                &fold.tags,
+                &fold.aggregates,
+                &c.out,
+                c.threads,
+            );
+            emit_metrics(&c, "hfarm report");
         }
         "report" => {
             eprintln!("loading snapshot {} …", c.snapshot.display());

@@ -61,7 +61,7 @@ pub mod prelude {
     pub use hf_core::{Aggregates, Claims, Report};
     pub use hf_farm::{Collector, Dataset, FarmPlan, Snapshot, SnapshotError, TagDb};
     pub use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
-    pub use hf_sim::{DayStats, SimConfig, SimOutput, Simulation};
+    pub use hf_sim::{DayStats, FoldOutput, SimConfig, SimOutput, Simulation};
     pub use hf_simclock::StudyWindow;
 }
 

@@ -15,7 +15,7 @@ use honeyfarm::agents::{Ecosystem, EcosystemConfig, Scale};
 use honeyfarm::shell::{NullFetcher, ShellSession, SystemProfile};
 use honeyfarm::sim::exec::{build_configs, execute_plan_full, ExecCtx, PreparedScripts};
 use honeyfarm::simclock::StudyWindow;
-use honeyfarm::testkit::alloc::{allocation_count, CountingAlloc};
+use honeyfarm::testkit::alloc::{allocated_bytes, allocation_count, CountingAlloc};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc::new();
@@ -70,6 +70,34 @@ fn steady_state_shell_pipeline_allocates_nothing() {
     // serde/record boundary and is allowed to allocate.
     let events = sh.take_events();
     assert!(!events.commands.is_empty());
+}
+
+/// Constructing a collector sized for the full paper scale must not eagerly
+/// reserve the whole estimated session count — 402 M rows × 48 bytes is a
+/// ~19 GB upfront reservation that made scale-1.0 runs die on startup. The
+/// eager hint is capped ([`honeyfarm::farm::SessionStore::EAGER_ROW_RESERVE_CAP`])
+/// and the store grows geometrically as rows actually arrive.
+#[test]
+fn full_scale_collector_construction_stays_under_64mb() {
+    use honeyfarm::farm::{Collector, FarmPlan};
+    use honeyfarm::geo::{World, WorldConfig};
+
+    let world = World::build(1, &WorldConfig::tiny());
+    let plan = FarmPlan::paper();
+    let estimated = Ecosystem::session_budget(&Scale::full(), &StudyWindow::paper()) as usize;
+    assert!(
+        estimated >= 400_000_000,
+        "paper-scale estimate: {estimated}"
+    );
+
+    let before = allocated_bytes();
+    let collector = Collector::with_capacity(&world, plan, estimated);
+    let delta = allocated_bytes() - before;
+    assert!(
+        delta < 64 * 1024 * 1024,
+        "scale-1.0 collector construction allocated {delta} bytes (≥ 64 MB)"
+    );
+    drop(collector);
 }
 
 /// The full simulator driver path (honeypot state machine + prepared

@@ -16,6 +16,12 @@ use honeyfarm::simclock::SimInstant;
 const HEADER: usize = 8 + 4 + 4;
 /// Per-section frame: id (u32) + len (u64) + sha-256 (32 bytes).
 const FRAME: usize = 4 + 8 + 32;
+/// Rows-section prologue: n_rows (u64) + rows_per_chunk (u32) + n_chunks (u32).
+const ROWS_PROLOGUE: usize = 8 + 4 + 4;
+/// Per-chunk header: row count (u32) + chunk-data sha-256.
+const CHUNK_HEADER: usize = 4 + 32;
+/// Encoded row width.
+const ROW: usize = 48;
 
 fn record(n: u64) -> SessionRecord {
     SessionRecord {
@@ -95,6 +101,77 @@ fn restamp(bytes: &mut [u8], payload_start: usize, payload_len: usize) {
     bytes[payload_start - 32..payload_start].copy_from_slice(&digest.0);
 }
 
+/// Walk a rows payload's chunks, returning each chunk's header offset and
+/// row count.
+fn rows_chunks(bytes: &[u8], start: usize) -> Vec<(usize, usize)> {
+    let n_chunks = u32::from_le_bytes(bytes[start + 12..start + 16].try_into().unwrap()) as usize;
+    let mut chunks = Vec::with_capacity(n_chunks);
+    let mut off = start + ROWS_PROLOGUE;
+    for _ in 0..n_chunks {
+        let rows = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        chunks.push((off, rows));
+        off += CHUNK_HEADER + rows * ROW;
+    }
+    chunks
+}
+
+/// Re-stamp the rows section after deliberately editing chunk data: each
+/// chunk's digest covers its row bytes, and the section checksum covers the
+/// chunk manifest (prologue ‖ per-chunk headers) — both must be recomputed
+/// to reach the semantic row validators underneath.
+fn restamp_rows(bytes: &mut [u8], start: usize, len: usize) {
+    for (off, rows) in rows_chunks(bytes, start) {
+        let data = off + CHUNK_HEADER;
+        let digest = Sha256::digest(&bytes[data..data + rows * ROW]);
+        bytes[off + 4..off + CHUNK_HEADER].copy_from_slice(&digest.0);
+    }
+    let mut manifest = bytes[start..start + ROWS_PROLOGUE].to_vec();
+    let mut end = start + ROWS_PROLOGUE;
+    for (off, rows) in rows_chunks(bytes, start) {
+        manifest.extend_from_slice(&bytes[off..off + CHUNK_HEADER]);
+        end = off + CHUNK_HEADER + rows * ROW;
+    }
+    assert_eq!(end, start + len, "chunk walk must cover the payload");
+    let digest = Sha256::digest(&manifest);
+    bytes[start - 32..start].copy_from_slice(&digest.0);
+}
+
+/// Rebuild the rows section with a different `rows_per_chunk`, re-splitting
+/// the same row data into more chunks (the writer always uses the default;
+/// the reader must honor whatever a valid file declares).
+fn rechunk_rows(bytes: &[u8], rows_per_chunk: usize) -> Vec<u8> {
+    let spans = section_spans(bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, len) = spans[rows_idx];
+    let n_rows = u64::from_le_bytes(bytes[start..start + 8].try_into().unwrap()) as usize;
+    let mut data = Vec::with_capacity(n_rows * ROW);
+    for (off, rows) in rows_chunks(bytes, start) {
+        data.extend_from_slice(&bytes[off + CHUNK_HEADER..off + CHUNK_HEADER + rows * ROW]);
+    }
+    assert_eq!(data.len(), n_rows * ROW);
+
+    let n_chunks = n_rows.div_ceil(rows_per_chunk);
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(n_rows as u64).to_le_bytes());
+    payload.extend_from_slice(&(rows_per_chunk as u32).to_le_bytes());
+    payload.extend_from_slice(&(n_chunks as u32).to_le_bytes());
+    for chunk in data.chunks(rows_per_chunk * ROW) {
+        payload.extend_from_slice(&((chunk.len() / ROW) as u32).to_le_bytes());
+        payload.extend_from_slice(&Sha256::digest(chunk).0);
+        payload.extend_from_slice(chunk);
+    }
+
+    let mut out = bytes[..start - FRAME].to_vec();
+    out.extend_from_slice(&bytes[start - FRAME..start - FRAME + 4]); // section id
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&[0u8; 32]); // checksum stamped below
+    let new_start = out.len();
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&bytes[start + len..]);
+    restamp_rows(&mut out, new_start, payload.len());
+    out
+}
+
 #[test]
 fn pristine_snapshot_loads() {
     let bytes = snapshot_bytes();
@@ -139,10 +216,15 @@ fn flipped_byte_in_every_section_is_caught_by_its_checksum() {
         let mut bytes = pristine.clone();
         bytes[start + len / 2] ^= 0x40;
         match load(&bytes) {
-            Err(SnapshotError::ChecksumMismatch { section }) => {
+            // The rows payload is chunked; a mid-payload flip lands in
+            // chunk data and is blamed on that chunk, not the section.
+            Err(SnapshotError::ChunkChecksumMismatch { section, .. }) if name == "rows" => {
+                assert_eq!(section, "rows");
+            }
+            Err(SnapshotError::ChecksumMismatch { section }) if name != "rows" => {
                 assert_eq!(section, name, "flip in {name} blamed on {section}");
             }
-            other => panic!("flip in {name}: expected ChecksumMismatch, got {other:?}"),
+            other => panic!("flip in {name}: expected a checksum mismatch, got {other:?}"),
         }
     }
 }
@@ -190,12 +272,13 @@ fn dangling_ssh_version_id_is_rejected() {
     let spans = section_spans(&bytes);
     let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
     let (start, len) = spans[rows_idx];
-    // Rows payload: count (u64) then 48-byte rows; ssh_version_id sits at
-    // row offset 24. Point it far past the pool and re-stamp the checksum
-    // so only the semantic validator can object.
-    let field = start + 8 + 24;
+    // Rows payload: prologue, then per-chunk [header ‖ 48-byte rows];
+    // ssh_version_id sits at row offset 24. Point it far past the pool and
+    // re-stamp the chunk + section checksums so only the semantic validator
+    // can object.
+    let field = start + ROWS_PROLOGUE + CHUNK_HEADER + 24;
     bytes[field..field + 4].copy_from_slice(&0x7fff_fff0u32.to_le_bytes());
-    restamp(&mut bytes, start, len);
+    restamp_rows(&mut bytes, start, len);
     match load(&bytes) {
         Err(SnapshotError::DanglingId { kind, id }) => {
             assert_eq!(kind, "ssh_version");
@@ -212,9 +295,9 @@ fn dangling_list_id_is_rejected() {
     let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
     let (start, len) = spans[rows_idx];
     // login_list_id sits at row offset 28.
-    let field = start + 8 + 28;
+    let field = start + ROWS_PROLOGUE + CHUNK_HEADER + 28;
     bytes[field..field + 4].copy_from_slice(&0x00ff_ffffu32.to_le_bytes());
-    restamp(&mut bytes, start, len);
+    restamp_rows(&mut bytes, start, len);
     match load(&bytes) {
         Err(SnapshotError::DanglingId { kind, .. }) => assert_eq!(kind, "list"),
         other => panic!("expected DanglingId, got {other:?}"),
@@ -228,8 +311,8 @@ fn corrupt_row_enum_is_rejected() {
     let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
     let (start, len) = spans[rows_idx];
     // protocol byte sits at row offset 22.
-    bytes[start + 8 + 22] = 9;
-    restamp(&mut bytes, start, len);
+    bytes[start + ROWS_PROLOGUE + CHUNK_HEADER + 22] = 9;
+    restamp_rows(&mut bytes, start, len);
     match load(&bytes) {
         Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "rows"),
         other => panic!("expected Corrupt, got {other:?}"),
@@ -249,6 +332,106 @@ fn lying_interior_length_is_rejected() {
     match load(&bytes) {
         Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "creds"),
         other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-granular faults in the streaming rows section.
+
+/// A flipped byte inside chunk data is blamed on that exact chunk.
+#[test]
+fn flipped_chunk_data_names_the_chunk() {
+    // Re-chunk to 3 rows/chunk (8 rows → chunks of 3, 3, 2) so a non-zero
+    // chunk index is reachable.
+    let bytes = rechunk_rows(&snapshot_bytes(), 3);
+    load(&bytes).expect("re-chunked snapshot must load");
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, _) = spans[rows_idx];
+    for (i, &(off, rows)) in rows_chunks(&bytes, start).iter().enumerate() {
+        let mut corrupted = bytes.clone();
+        corrupted[off + CHUNK_HEADER + (rows * ROW) / 2] ^= 0x01;
+        match load(&corrupted) {
+            Err(SnapshotError::ChunkChecksumMismatch { section, chunk }) => {
+                assert_eq!(section, "rows");
+                assert_eq!(
+                    chunk as usize, i,
+                    "flip in chunk {i} blamed on chunk {chunk}"
+                );
+            }
+            other => panic!("flip in chunk {i}: expected ChunkChecksumMismatch, got {other:?}"),
+        }
+    }
+}
+
+/// A flipped byte in a chunk's *stored digest* also fails that chunk's
+/// verification (the manifest checksum would catch it too, but the chunk
+/// check fires first and localizes the damage).
+#[test]
+fn flipped_chunk_digest_is_caught() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, _) = spans[rows_idx];
+    let (off, _) = rows_chunks(&bytes, start)[0];
+    bytes[off + 4] ^= 0x80; // first byte of the chunk digest
+    match load(&bytes) {
+        Err(SnapshotError::ChunkChecksumMismatch { section, chunk }) => {
+            assert_eq!((section, chunk), ("rows", 0));
+        }
+        other => panic!("expected ChunkChecksumMismatch, got {other:?}"),
+    }
+}
+
+/// A lying chunk count no longer adds up against the declared row count and
+/// payload length; the reader rejects it before reading any chunk.
+#[test]
+fn lying_chunk_count_is_rejected() {
+    let mut bytes = snapshot_bytes();
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, _) = spans[rows_idx];
+    bytes[start + 12..start + 16].copy_from_slice(&1000u32.to_le_bytes());
+    match load(&bytes) {
+        Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "rows"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// `rows_per_chunk` outside `1..=MAX_ROWS_PER_CHUNK` is rejected up front —
+/// a hostile value can never size an allocation.
+#[test]
+fn lying_rows_per_chunk_is_rejected() {
+    for lie in [0u32, u32::MAX] {
+        let mut bytes = snapshot_bytes();
+        let spans = section_spans(&bytes);
+        let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+        let (start, _) = spans[rows_idx];
+        bytes[start + 8..start + 12].copy_from_slice(&lie.to_le_bytes());
+        match load(&bytes) {
+            Err(SnapshotError::Corrupt { section, .. }) => assert_eq!(section, "rows"),
+            other => panic!("rows_per_chunk={lie}: expected Corrupt, got {other:?}"),
+        }
+    }
+}
+
+/// Truncation exactly at a chunk boundary (a valid prefix of chunks, then
+/// nothing) is a typed truncation error, not a short read of partial data.
+#[test]
+fn truncation_at_chunk_boundary_is_typed() {
+    let bytes = rechunk_rows(&snapshot_bytes(), 3);
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, _) = spans[rows_idx];
+    for &(off, rows) in &rows_chunks(&bytes, start)[1..] {
+        // Cut right where this chunk's header should begin, and again right
+        // after its header (header read OK, data missing).
+        for cut in [off, off + CHUNK_HEADER, off + CHUNK_HEADER + rows * ROW - 1] {
+            match load(&bytes[..cut]) {
+                Err(SnapshotError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
     }
 }
 
