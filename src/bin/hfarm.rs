@@ -17,9 +17,21 @@
 //!     Print the headline findings only.
 //! hfarm birth    [--scale F] [--days N] [--seed S]
 //!     Print the farm-discovery timeline (Section 9).
-//! hfarm serve    [--nodes N]
-//!     Run live TCP honeypots on loopback and stream Cowrie JSON events
-//!     until Ctrl-C.
+//! hfarm serve    [--nodes N] [--ssh-port P] [--telnet-port P] [--per-ip-cap N]
+//!                [--wall-timeout S] [--virtual-time] [--snapshot FILE]
+//!     Run the live TCP honeyfarm: every node's SSH+Telnet listener bound
+//!     on its own 127.18/127.19 mirror address, all multiplexed through
+//!     one epoll reactor into the collector. Prints one `node <id> ssh
+//!     <addr> telnet <addr>` line per node and then `ready`; stops on
+//!     Ctrl-C or stdin EOF, prints a final `accounting …` line, and (with
+//!     --snapshot) writes the collected run as an hfstore snapshot.
+//! hfarm loadgen  [--sessions N] [--concurrent N] [--hold-all] [--spawn-serve]
+//!                [--scenarios DIR] [--nodes N]
+//!     Replay the scenario corpus over real loopback TCP against a live
+//!     farm (in-process by default; --spawn-serve drives a child `hfarm
+//!     serve` so client and server each get their own fd budget) and
+//!     enforce the ingest-accounting invariant: every driven connection is
+//!     either ingested or rejected, none lost.
 //! hfarm verify   [--claims] [--md] [--scenarios DIR] [--scale F] [--days N]
 //!     Run the correctness oracles end-to-end: thread-count differential
 //!     (1 vs 2 vs 8), snapshot round-trip equivalence, optional scenario
@@ -56,6 +68,16 @@ struct Common {
     streaming: bool,
     scenarios: Option<PathBuf>,
     metrics: Option<PathBuf>,
+    snapshot_explicit: bool,
+    ssh_port: u16,
+    telnet_port: u16,
+    per_ip_cap: u32,
+    wall_timeout: u32,
+    virtual_time: bool,
+    sessions: usize,
+    concurrent: usize,
+    hold_all: bool,
+    spawn_serve: bool,
 }
 
 fn parse(args: &[String]) -> Common {
@@ -74,6 +96,16 @@ fn parse(args: &[String]) -> Common {
         streaming: false,
         scenarios: None,
         metrics: None,
+        snapshot_explicit: false,
+        ssh_port: 0,
+        telnet_port: 0,
+        per_ip_cap: 1024,
+        wall_timeout: 30,
+        virtual_time: false,
+        sessions: 1000,
+        concurrent: 100,
+        hold_all: false,
+        spawn_serve: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -86,7 +118,10 @@ fn parse(args: &[String]) -> Common {
             "--days" => c.days = val().parse().unwrap_or_else(|_| usage("--days u32")),
             "--seed" => c.seed = val().parse().unwrap_or_else(|_| usage("--seed u64")),
             "--out" => c.out = PathBuf::from(val()),
-            "--snapshot" => c.snapshot = PathBuf::from(val()),
+            "--snapshot" => {
+                c.snapshot = PathBuf::from(val());
+                c.snapshot_explicit = true;
+            }
             "--nodes" => c.nodes = val().parse().unwrap_or_else(|_| usage("--nodes u16")),
             "--fast" => c.fast = true,
             "--threads" => c.threads = val().parse().unwrap_or_else(|_| usage("--threads usize")),
@@ -96,6 +131,29 @@ fn parse(args: &[String]) -> Common {
             "--streaming" => c.streaming = true,
             "--scenarios" => c.scenarios = Some(PathBuf::from(val())),
             "--metrics" => c.metrics = Some(PathBuf::from(val())),
+            "--ssh-port" => c.ssh_port = val().parse().unwrap_or_else(|_| usage("--ssh-port u16")),
+            "--telnet-port" => {
+                c.telnet_port = val().parse().unwrap_or_else(|_| usage("--telnet-port u16"))
+            }
+            "--per-ip-cap" => {
+                c.per_ip_cap = val().parse().unwrap_or_else(|_| usage("--per-ip-cap u32"))
+            }
+            "--wall-timeout" => {
+                c.wall_timeout = val()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--wall-timeout u32"))
+            }
+            "--virtual-time" => c.virtual_time = true,
+            "--sessions" => {
+                c.sessions = val().parse().unwrap_or_else(|_| usage("--sessions usize"))
+            }
+            "--concurrent" => {
+                c.concurrent = val()
+                    .parse()
+                    .unwrap_or_else(|_| usage("--concurrent usize"))
+            }
+            "--hold-all" => c.hold_all = true,
+            "--spawn-serve" => c.spawn_serve = true,
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -105,10 +163,12 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|report|claims|birth|serve|verify|metrics> [--scale F] \
+        "usage: hfarm <simulate|report|claims|birth|serve|loadgen|verify|metrics> [--scale F] \
          [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] \
          [--threads N] [--claims] [--md] [--fold] [--streaming] [--scenarios DIR] \
-         [--metrics DIR]"
+         [--metrics DIR] [--ssh-port P] [--telnet-port P] [--per-ip-cap N] \
+         [--wall-timeout S] [--virtual-time] [--sessions N] [--concurrent N] \
+         [--hold-all] [--spawn-serve]"
     );
     std::process::exit(2)
 }
@@ -347,7 +407,8 @@ fn main() {
             let (_, agg) = simulate(&c);
             println!("{}", birth_report(&agg));
         }
-        "serve" => serve(c.nodes),
+        "serve" => serve(&c),
+        "loadgen" => loadgen(&c),
         "verify" => verify(&c),
         other => usage(&format!("unknown subcommand {other}")),
     }
@@ -492,14 +553,288 @@ fn verify(c: &Common) -> ! {
     std::process::exit(1)
 }
 
-fn serve(nodes: u16) {
-    // The live TCP front-end lives in hf-wire, which needs Tokio; that crate
-    // is parked while builds run offline (see crates/wire/Cargo.toml).
-    let _ = nodes;
+/// Set by the SIGINT handler and the stdin watcher; polled by `serve`.
+static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigint(_sig: i32) {
+    SERVE_STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+const SIGINT: i32 = 2;
+
+fn wire_config(c: &Common) -> honeyfarm::wire::FarmConfig {
+    honeyfarm::wire::FarmConfig {
+        nodes: c.nodes,
+        ssh_port: c.ssh_port,
+        telnet_port: c.telnet_port,
+        timing: if c.virtual_time {
+            honeyfarm::wire::Timing::Virtual
+        } else {
+            honeyfarm::wire::Timing::Wall
+        },
+        per_ip_cap: c.per_ip_cap,
+        wall_timeout_secs: c.wall_timeout,
+        ..honeyfarm::wire::FarmConfig::default()
+    }
+}
+
+/// One parsable line of final farm accounting, consumed by
+/// `loadgen --spawn-serve` and by humans alike.
+fn accounting_line(stats: &honeyfarm::wire::FarmStats, sessions: usize, clients: u64) -> String {
+    format!(
+        "accounting accepted={} ingested={} rejected={} wall_timeouts={} oversized={} \
+         storms={} read_errors={} auth_ok={} auth_fail={} commands={} open_peak={} \
+         sessions={} clients={}",
+        stats.accepted(),
+        stats.ingested(),
+        stats.rejected_ip_cap(),
+        stats.wall_timeouts(),
+        stats.oversized_lines(),
+        stats.telnet_storms(),
+        stats.read_errors(),
+        stats.auths_ok(),
+        stats.auths_fail(),
+        stats.commands(),
+        stats.open_peak(),
+        sessions,
+        clients,
+    )
+}
+
+/// `hfarm serve` — run the live farm until Ctrl-C or stdin EOF.
+fn serve(c: &Common) -> ! {
+    use std::io::{BufRead, Write};
+
+    let farm = honeyfarm::wire::LiveFarm::start(wire_config(c)).unwrap_or_else(|e| {
+        eprintln!("error starting live farm: {e}");
+        std::process::exit(1);
+    });
+    {
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for node in farm.nodes() {
+            writeln!(
+                out,
+                "node {} ssh {} telnet {}",
+                node.id, node.ssh, node.telnet
+            )
+            .expect("stdout");
+        }
+        writeln!(out, "ready").expect("stdout");
+        out.flush().expect("stdout");
+    }
     eprintln!(
-        "hfarm serve is unavailable in this build: the hf-wire crate (live \
-         Tokio TCP front-end) is excluded from offline builds. Restore it in \
-         the root Cargo.toml on a machine with crates.io access."
+        "live farm up: {} nodes ({} listeners); stop with Ctrl-C or stdin EOF",
+        farm.nodes().len(),
+        farm.nodes().len() * 2
     );
-    std::process::exit(1)
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+    // A parent process (loadgen --spawn-serve) stops us by closing stdin;
+    // interactive use stops with Ctrl-C. Either path sets the same flag.
+    std::thread::spawn(|| {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        let _ = stdin.lock().read_line(&mut line);
+        SERVE_STOP.store(true, std::sync::atomic::Ordering::SeqCst);
+    });
+    while !SERVE_STOP.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("draining …");
+    let out = farm.shutdown();
+    println!(
+        "{}",
+        accounting_line(&out.stats, out.dataset.len(), out.n_clients)
+    );
+    if c.snapshot_explicit {
+        if let Some(dir) = c.snapshot.parent() {
+            std::fs::create_dir_all(dir).expect("snapshot dir");
+        }
+        if let Err(e) = out.to_snapshot().write_file(&c.snapshot) {
+            eprintln!("error writing snapshot: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("snapshot written to {}", c.snapshot.display());
+    }
+    emit_metrics(c, "hfarm serve");
+    if !out.stats.accounting_balanced() {
+        eprintln!("accounting violation: accepted != ingested + rejected");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
+/// Load the `.hfs` corpus for load generation.
+fn load_corpus(c: &Common) -> Vec<honeyfarm::testkit::Scenario> {
+    let dir = c
+        .scenarios
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("tests/scenarios"));
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| usage(&format!("--scenarios {}: {e}", dir.display())))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "hfs"))
+        .collect();
+    paths.sort();
+    let scenarios: Vec<_> = paths
+        .iter()
+        .map(|p| {
+            honeyfarm::testkit::Scenario::load(p)
+                .unwrap_or_else(|e| usage(&format!("{}: {e}", p.display())))
+        })
+        .collect();
+    if scenarios.is_empty() {
+        usage(&format!("no .hfs scenarios in {}", dir.display()));
+    }
+    scenarios
+}
+
+/// `hfarm loadgen` — replay scenarios over loopback TCP and enforce the
+/// ingest-accounting invariant.
+fn loadgen(c: &Common) -> ! {
+    let scenarios = load_corpus(c);
+    let needed = scenarios.iter().map(|s| s.honeypot + 1).max().unwrap_or(1);
+    let nodes = c.nodes.max(needed);
+    let cfg = honeyfarm::wire::LoadgenConfig {
+        sessions: c.sessions,
+        concurrency: c.concurrent,
+        hold_all: c.hold_all,
+        io_timeout: std::time::Duration::from_secs(120),
+    };
+    eprintln!(
+        "loadgen: {} sessions over {} scenarios against {} nodes ({})",
+        cfg.sessions,
+        scenarios.len(),
+        nodes,
+        if c.hold_all {
+            "hold-all".to_string()
+        } else {
+            format!("{} concurrent", cfg.concurrency)
+        }
+    );
+    let (report, accepted, ingested, rejected) = if c.spawn_serve {
+        loadgen_against_child(nodes, &scenarios, &cfg)
+    } else {
+        let farm = honeyfarm::wire::LiveFarm::start(honeyfarm::wire::FarmConfig {
+            nodes,
+            timing: honeyfarm::wire::Timing::Virtual,
+            per_ip_cap: 1 << 30,
+            wall_timeout_secs: 600,
+            ..honeyfarm::wire::FarmConfig::default()
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("error starting live farm: {e}");
+            std::process::exit(1);
+        });
+        let report = honeyfarm::wire::loadgen::run(farm.nodes(), &scenarios, &cfg);
+        let out = farm.shutdown();
+        let s = &out.stats;
+        (report, s.accepted(), s.ingested(), s.rejected_ip_cap())
+    };
+    println!(
+        "driven {} (connect errors {}), completed {}, failed {}, peak open {}, \
+         {} bytes read, {:.2}s",
+        report.driven,
+        report.connect_errors,
+        report.completed,
+        report.failed,
+        report.peak_open,
+        report.bytes_in,
+        report.elapsed.as_secs_f64(),
+    );
+    println!("farm: accepted {accepted}, ingested {ingested}, rejected {rejected}");
+    emit_metrics(c, "hfarm loadgen");
+    // The invariant the whole pipeline hangs off: every connection the
+    // client established was either turned into a session record or
+    // explicitly rejected — none lost, even under shutdown or faults.
+    if accepted != report.driven || ingested + rejected != report.driven {
+        eprintln!(
+            "ACCOUNTING VIOLATION: driven={} accepted={} ingested+rejected={}",
+            report.driven,
+            accepted,
+            ingested + rejected
+        );
+        std::process::exit(1);
+    }
+    println!("accounting ok: ingested + rejected == driven == accepted");
+    std::process::exit(0)
+}
+
+/// Drive a child `hfarm serve` process — client and server each get their
+/// own fd budget, which is what lets a single machine demonstrate 10k+
+/// concurrent sessions.
+fn loadgen_against_child(
+    nodes: u16,
+    scenarios: &[honeyfarm::testkit::Scenario],
+    cfg: &honeyfarm::wire::LoadgenConfig,
+) -> (honeyfarm::wire::LoadgenReport, u64, u64, u64) {
+    use std::io::BufRead;
+
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "serve",
+            "--virtual-time",
+            "--nodes",
+            &nodes.to_string(),
+            "--per-ip-cap",
+            &(1u32 << 30).to_string(),
+            "--wall-timeout",
+            "600",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("error spawning serve child: {e}");
+            std::process::exit(1);
+        });
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut node_addrs = Vec::new();
+    for line in lines.by_ref() {
+        let line = line.expect("child stdout");
+        if line == "ready" {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if let ["node", id, "ssh", ssh, "telnet", telnet] = parts[..] {
+            node_addrs.push(honeyfarm::wire::NodeAddrs {
+                id: id.parse().expect("node id"),
+                ssh: ssh.parse().expect("ssh addr"),
+                telnet: telnet.parse().expect("telnet addr"),
+            });
+        }
+    }
+    assert!(!node_addrs.is_empty(), "serve child announced no nodes");
+    let report = honeyfarm::wire::loadgen::run(&node_addrs, scenarios, cfg);
+    // Closing the child's stdin is the stop signal; it drains and prints
+    // its final accounting line before exiting.
+    drop(child.stdin.take());
+    let (mut accepted, mut ingested, mut rejected) = (0u64, 0u64, 0u64);
+    for line in lines {
+        let line = line.expect("child stdout");
+        if let Some(rest) = line.strip_prefix("accounting ") {
+            for kv in rest.split_whitespace() {
+                let Some((k, v)) = kv.split_once('=') else {
+                    continue;
+                };
+                let v: u64 = v.parse().unwrap_or(0);
+                match k {
+                    "accepted" => accepted = v,
+                    "ingested" => ingested = v,
+                    "rejected" => rejected = v,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let status = child.wait().expect("child wait");
+    assert!(status.success(), "serve child failed: {status}");
+    (report, accepted, ingested, rejected)
 }

