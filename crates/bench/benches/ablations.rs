@@ -128,7 +128,7 @@ fn bench_freshness(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_freshness");
     g.bench_function("sliding_last_seen", |b| {
         b.iter(|| {
-            let mut w = SlidingDayWindow::with_days(7);
+            let mut w = SlidingDayWindow::<u32>::with_days(7);
             let mut fresh = 0u64;
             for &(h, d) in &observations {
                 if w.observe(h, d) {

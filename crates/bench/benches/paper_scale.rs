@@ -1,0 +1,131 @@
+//! Paper-scale byte throughput: the persistence and streaming-analysis
+//! paths end to end, at a fixed fraction of the paper's 402 M-session
+//! volume.
+//!
+//! Three groups, each annotated with its work per iteration so the emitted
+//! JSON carries derived `bytes_per_sec` / `elements_per_sec` rates:
+//!
+//! * `hash_stream` — raw SHA-256 over a multi-megabyte buffer, the ceiling
+//!   every digesting path (chunk checksums, artifact hashing) sits under.
+//! * `snapshot_write` — full chunked hfstore encode of the fixture run,
+//!   bytes/sec over the finished snapshot size.
+//! * `streaming_fold` — `FoldOutput::from_snapshot_stream` over those same
+//!   bytes: checksum verify, zero-copy chunk decode, artifact replay, and
+//!   the day-windowed aggregation fold, rows/sec end to end. This is the
+//!   number the ISSUE-9 ≥2× gate is judged on.
+//!
+//! Measure mode simulates scale 0.01 over the full 486-day window
+//! (override via `HF_PAPER_BENCH_SCALE` / `HF_PAPER_BENCH_DAYS`); under
+//! `--test` a 6-day tiny run keeps the CI smoke fast. Writes
+//! `BENCH_paper_scale.json` at the repo root (scratch path + parse-back
+//! validation in smoke mode).
+//!
+//! ```sh
+//! cargo bench -p hf-bench --bench paper_scale           # measure
+//! cargo bench -p hf-bench --bench paper_scale -- --test # smoke
+//! ```
+
+use criterion::{black_box, Criterion, Throughput};
+use hf_hash::Sha256;
+use hf_sim::{FoldOutput, SimConfig, Simulation};
+use hf_simclock::StudyWindow;
+
+const SEED: u64 = 0x5ca1e;
+const HASH_BUF_LEN: usize = 4 * 1024 * 1024;
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn bench_hash_stream(c: &mut Criterion) {
+    let buf: Vec<u8> = (0..HASH_BUF_LEN).map(|i| (i * 131) as u8).collect();
+    let mut g = c.benchmark_group("hash_stream");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("sha256_4mib", |b| {
+        b.iter(|| black_box(Sha256::digest(&buf)))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_hash_stream(&mut c);
+
+    let (scale, days) = if c.is_test_mode() {
+        (0.001, 6)
+    } else {
+        (
+            env_f64("HF_PAPER_BENCH_SCALE", 0.01),
+            env_u32("HF_PAPER_BENCH_DAYS", 486),
+        )
+    };
+    let window = if days >= 486 {
+        StudyWindow::paper()
+    } else {
+        StudyWindow::first_days(days)
+    };
+    let cfg = SimConfig {
+        seed: SEED,
+        scale: hf_agents::Scale::of(scale),
+        window,
+        use_script_cache: false,
+        threads: 1,
+    };
+    eprintln!("[hf-bench] paper_scale fixture: scale {scale} over {days} days …");
+    let t0 = std::time::Instant::now();
+    let out = Simulation::run(cfg.clone());
+    let n_rows = out.dataset.len() as u64;
+    let snap = out.to_snapshot(&cfg);
+    let mut bytes = Vec::new();
+    snap.write_to(&mut bytes).expect("encode snapshot");
+    eprintln!(
+        "[hf-bench] fixture ready: {n_rows} sessions, {} snapshot bytes in {:.1}s",
+        bytes.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let mut g = c.benchmark_group("snapshot_write");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function(format!("chunked_encode_{days}d"), |b| {
+        let mut buf = Vec::with_capacity(bytes.len() + 1024);
+        b.iter(|| {
+            buf.clear();
+            snap.write_to(&mut buf).expect("encode snapshot");
+            black_box(buf.len())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("streaming_fold");
+    g.throughput(Throughput::Elements(n_rows));
+    g.bench_function(format!("snapshot_stream_{days}d"), |b| {
+        b.iter(|| {
+            let fold = FoldOutput::from_snapshot_stream(bytes.as_slice()).expect("stream fold");
+            black_box((fold.n_clients, fold.aggregates.clients.len()))
+        })
+    });
+    g.finish();
+
+    hf_bench::emit_bench_json(
+        &c,
+        "BENCH_paper_scale.json",
+        "paper_scale",
+        &[
+            ("seed", format!("{SEED}")),
+            ("scale", format!("{scale}")),
+            ("days", format!("{days}")),
+            ("rows", format!("{n_rows}")),
+            ("snapshot_bytes", format!("{}", bytes.len())),
+        ],
+    );
+}

@@ -147,7 +147,10 @@ fn bench_batch_hash(c: &mut Criterion) {
             body
         })
         .collect();
-    g.throughput(Throughput::Elements(bodies.len() as u64));
+    // Bytes, not elements: the emitted JSON then carries a derived
+    // `bytes_per_sec` for the digest paths, comparable across body sizes.
+    let total: u64 = bodies.iter().map(|b| b.len() as u64).sum();
+    g.throughput(Throughput::Bytes(total));
     g.bench_function("digest_each_64x600B", |b| {
         b.iter(|| {
             let mut acc = 0u8;

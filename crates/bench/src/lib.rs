@@ -25,9 +25,13 @@ pub fn repo_root() -> PathBuf {
 /// name, `config` the fixed workload parameters as key → JSON-literal
 /// pairs (a value that is not valid JSON is kept as a string), `results`
 /// one entry per measurement with the mean nanoseconds per iteration and
-/// the iteration count. Built through a [`serde_json::Value`] tree so
-/// names with quotes, backslashes, or control characters are escaped
-/// correctly instead of corrupting the file.
+/// the iteration count. A measurement carrying a throughput annotation
+/// additionally gets the derived rate — `bytes_per_sec` for byte
+/// throughputs, `elements_per_sec` for element (e.g. rows) throughputs —
+/// so trajectory diffs read as MB/s or rows/s directly. Built through a
+/// [`serde_json::Value`] tree so names with quotes, backslashes, or
+/// control characters are escaped correctly instead of corrupting the
+/// file.
 pub fn render_bench_json(
     bench: &str,
     config: &[(&str, String)],
@@ -44,14 +48,27 @@ pub fn render_bench_json(
     let results_seq: Vec<Value> = results
         .iter()
         .map(|m| {
-            Value::Map(vec![
+            let mut entry = vec![
                 ("name".into(), Value::Str(m.name.clone())),
                 (
                     "mean_ns".into(),
                     Value::U64(u64::try_from(m.mean_ns).unwrap_or(u64::MAX)),
                 ),
                 ("iters".into(), Value::U64(m.iters)),
-            ])
+            ];
+            if m.mean_ns > 0 {
+                let per_sec = |work: u64| work as f64 * 1e9 / m.mean_ns as f64;
+                match m.throughput {
+                    Some(criterion::Throughput::Bytes(b)) => {
+                        entry.push(("bytes_per_sec".into(), Value::U64(per_sec(b) as u64)));
+                    }
+                    Some(criterion::Throughput::Elements(n)) => {
+                        entry.push(("elements_per_sec".into(), Value::U64(per_sec(n) as u64)));
+                    }
+                    None => {}
+                }
+            }
+            Value::Map(entry)
         })
         .collect();
     let root = Value::Map(vec![
@@ -66,8 +83,9 @@ pub fn render_bench_json(
 
 /// Parse a bench trajectory file back and check its shape: top-level
 /// `bench` (string) / `config` (object) / `results` (array of
-/// `{name, mean_ns, iters}` with `iters >= 1`). Returns the number of
-/// result entries.
+/// `{name, mean_ns, iters}` with `iters >= 1`; optional derived
+/// `bytes_per_sec` / `elements_per_sec` must be non-negative integers
+/// when present). Returns the number of result entries.
 pub fn validate_bench_json(text: &str) -> Result<usize, String> {
     use serde_json::Value;
     let root: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e:?}"))?;
@@ -97,6 +115,13 @@ pub fn validate_bench_json(text: &str) -> Result<usize, String> {
             .ok_or_else(|| format!("results[{i}]: missing integer field \"iters\""))?;
         if iters == 0 {
             return Err(format!("results[{i}]: iters must be >= 1"));
+        }
+        for rate in ["bytes_per_sec", "elements_per_sec"] {
+            if let Some(v) = entry.get(rate) {
+                v.as_u64().ok_or_else(|| {
+                    format!("results[{i}]: {rate} must be a non-negative integer")
+                })?;
+            }
         }
     }
     Ok(results.len())
@@ -149,6 +174,7 @@ pub fn emit_bench_json(
             name: "smoke".to_string(),
             mean_ns: 0,
             iters: 1,
+            throughput: None,
         }];
         let results = if c.measurements().is_empty() {
             &placeholder[..]
@@ -175,6 +201,7 @@ pub fn measurements_from_spans(manifest: &hf_obs::RunManifest) -> Vec<criterion:
             name: name.clone(),
             mean_ns: u128::from(s.mean_wall_ns()),
             iters: s.count,
+            throughput: None,
         })
         .collect()
 }
@@ -257,6 +284,7 @@ mod tests {
             name: name.to_string(),
             mean_ns,
             iters,
+            throughput: None,
         }
     }
 
@@ -314,6 +342,7 @@ mod tests {
             "BENCH_thread_scaling.json",
             "BENCH_analysis.json",
             "BENCH_session_hot_path.json",
+            "BENCH_paper_scale.json",
         ] {
             let path = repo_root().join(name);
             let text = std::fs::read_to_string(&path)

@@ -52,14 +52,13 @@
 //! first-sighting retraction is `checked_sub`, so a hypothetical overflow
 //! panics loudly instead of corrupting totals silently.
 
-use std::collections::{HashMap, HashSet};
-
 use hf_farm::{Dataset, FarmPlan, SessionView};
 use hf_geo::World;
 use hf_honeypot::EndReason;
 use hf_proto::Protocol;
 
 use crate::classify::{classify, Category};
+use crate::idhash::{IdMap, IdSet};
 use crate::metrics::freshness::{FreshnessPoint, FreshnessSeries};
 
 /// Bitset over honeypots (the farm has 221 ≤ 256 nodes).
@@ -101,7 +100,7 @@ pub struct ClientAgg {
     /// Sessions by this client.
     pub sessions: u64,
     /// Distinct hashes this client produced (Fig. 21).
-    pub hashes: HashSet<u32>,
+    pub hashes: IdSet,
     /// Client country (u16::MAX = unknown).
     pub country: u16,
 }
@@ -117,7 +116,7 @@ impl Default for ClientAgg {
             last_day_by_cat: [u32::MAX; 5],
             cats: 0,
             sessions: 0,
-            hashes: HashSet::new(),
+            hashes: IdSet::default(),
             country: u16::MAX,
         }
     }
@@ -160,7 +159,7 @@ pub struct HashAgg {
     /// Sessions containing this hash.
     pub sessions: u64,
     /// Distinct client IPs.
-    pub clients: HashSet<u32>,
+    pub clients: IdSet,
     /// Distinct active days.
     pub days: u32,
     /// Last day counted (`u32::MAX` = none yet). Fold internal, public for
@@ -178,7 +177,7 @@ impl Default for HashAgg {
     fn default() -> Self {
         HashAgg {
             sessions: 0,
-            clients: HashSet::new(),
+            clients: IdSet::default(),
             days: 0,
             last_day: u32::MAX,
             first_day: u32::MAX,
@@ -192,9 +191,9 @@ impl Default for HashAgg {
 #[derive(Default)]
 struct DayState {
     /// ip → category bitmask seen today.
-    client_cats: HashMap<u32, u8>,
+    client_cats: IdMap<u8>,
     /// ip → (overall relation mask, per-category relation masks).
-    client_regions: HashMap<u32, [u8; 6]>,
+    client_regions: IdMap<[u8; 6]>,
 }
 
 /// Everything computed by the pass.
@@ -231,28 +230,28 @@ pub struct Aggregates {
     /// Sessions per honeypot.
     pub hp_sessions: Vec<u64>,
     /// Distinct clients per honeypot, overall.
-    pub hp_clients: Vec<HashSet<u32>>,
+    pub hp_clients: Vec<IdSet>,
     /// Distinct clients per honeypot per category.
-    pub hp_clients_by_cat: Vec<[HashSet<u32>; 5]>,
+    pub hp_clients_by_cat: Vec<[IdSet; 5]>,
     /// Distinct hashes per honeypot (Fig. 18/19).
-    pub hp_hashes: Vec<HashSet<u32>>,
+    pub hp_hashes: Vec<IdSet>,
     /// Hashes first seen at each honeypot (early-observer analysis).
     pub hp_first_hashes: Vec<u32>,
     /// Per-client aggregates keyed by IP.
-    pub clients: HashMap<u32, ClientAgg>,
+    pub clients: IdMap<ClientAgg>,
     /// Per-hash aggregates indexed by digest id.
     pub hashes: Vec<HashAgg>,
     /// Successful-login password counts (cred pool id → count).
-    pub password_counts: HashMap<u32, u64>,
+    pub password_counts: IdMap<u64>,
     /// Command popularity (command pool id → count).
-    pub command_counts: HashMap<u32, u64>,
+    pub command_counts: IdMap<u64>,
     /// SSH client version counts (pool id → count).
-    pub ssh_version_counts: HashMap<u32, u64>,
+    pub ssh_version_counts: IdMap<u64>,
     /// Sessions that created/modified ≥1, ≥2, >10 files.
     pub file_sessions: (u64, u64, u64),
     /// Distinct client AS numbers observed (§7.1 breadth). Tracked here so
     /// row-free (fold-mode) outputs can still answer the claims table.
-    pub asns: HashSet<u32>,
+    pub asns: IdSet,
     /// Daily hash freshness (Fig. 17). Empty on partial (pre-merge) states;
     /// filled once by the final freshness replay.
     pub freshness: Vec<FreshnessPoint>,
@@ -279,19 +278,19 @@ impl Aggregates {
             cat_end_reasons: [[0; 3]; 5],
             dur_hist: std::array::from_fn(|_| vec![0; 601]),
             hp_sessions: vec![0; n_honeypots],
-            hp_clients: vec![HashSet::new(); n_honeypots],
+            hp_clients: vec![IdSet::default(); n_honeypots],
             hp_clients_by_cat: (0..n_honeypots)
-                .map(|_| std::array::from_fn(|_| HashSet::new()))
+                .map(|_| std::array::from_fn(|_| IdSet::default()))
                 .collect(),
-            hp_hashes: vec![HashSet::new(); n_honeypots],
+            hp_hashes: vec![IdSet::default(); n_honeypots],
             hp_first_hashes: vec![0; n_honeypots],
-            clients: HashMap::new(),
+            clients: IdMap::default(),
             hashes: Vec::new(),
-            password_counts: HashMap::new(),
-            command_counts: HashMap::new(),
-            ssh_version_counts: HashMap::new(),
+            password_counts: IdMap::default(),
+            command_counts: IdMap::default(),
+            ssh_version_counts: IdMap::default(),
             file_sessions: (0, 0, 0),
-            asns: HashSet::new(),
+            asns: IdSet::default(),
             freshness: Vec::new(),
             total_sessions: 0,
         }
@@ -637,7 +636,7 @@ struct ShardFold {
     current_day: u32,
     /// Hashes already recorded for `current_day` (per-day dedupe of the
     /// freshness observations).
-    fresh_seen: HashSet<u32>,
+    fresh_seen: IdSet,
     /// Per-day-unique `(day, hash)` sightings, in observation order —
     /// replayed through the global [`FreshnessSeries`] after the merge.
     fresh_pairs: Vec<(u32, u32)>,
@@ -651,7 +650,7 @@ impl ShardFold {
             agg: Aggregates::empty(n_days, n_honeypots),
             day_state: DayState::default(),
             current_day: 0,
-            fresh_seen: HashSet::new(),
+            fresh_seen: IdSet::default(),
             fresh_pairs: Vec::new(),
             session_hashes: Vec::new(),
         }
@@ -1128,7 +1127,7 @@ mod tests {
     fn asns_match_row_derived_set() {
         let ds = small();
         let agg = Aggregates::compute(&ds);
-        let from_rows: HashSet<u32> = ds
+        let from_rows: IdSet = ds
             .sessions
             .iter()
             .filter_map(|v| v.client_asn().map(|a| a.0))

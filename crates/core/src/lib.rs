@@ -35,6 +35,7 @@ pub mod birth;
 pub mod claims;
 pub mod classify;
 pub mod federation;
+pub mod idhash;
 pub mod metrics;
 pub mod report;
 

@@ -36,11 +36,11 @@ impl FreshnessPoint {
 /// Streaming builder: feed day-ordered hash observations.
 #[derive(Debug, Clone)]
 pub struct FreshnessSeries {
-    ever: SlidingDayWindow<u32>,
-    w30: SlidingDayWindow<u32>,
-    w7: SlidingDayWindow<u32>,
+    ever: SlidingDayWindow<u32, crate::idhash::BuildIdHasher>,
+    w30: SlidingDayWindow<u32, crate::idhash::BuildIdHasher>,
+    w7: SlidingDayWindow<u32, crate::idhash::BuildIdHasher>,
     /// Hashes already counted for the current day.
-    today: std::collections::HashSet<u32>,
+    today: crate::idhash::IdSet,
     current_day: u32,
     current: FreshnessPoint,
     /// Finished days.

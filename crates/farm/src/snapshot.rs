@@ -62,6 +62,7 @@ use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::{mpsc, OnceLock};
 
 use hf_geo::{Asn, CountryId, Ip4, NetworkClass};
 use hf_hash::{Digest, Sha256};
@@ -93,9 +94,32 @@ pub const ROWS_PER_CHUNK: u32 = 1 << 16;
 /// hostile prologue cannot force a giant buffer.
 pub const MAX_ROWS_PER_CHUNK: u32 = 1 << 20;
 
+/// Serialized row width. The on-disk layout mirrors the in-memory [`Row`]
+/// field-for-field, so encode/decode are fixed-offset views over 48-byte
+/// records (no per-field cursor, no intermediate copies).
+const ROW_BYTES: usize = 48;
+const _: () = assert!(std::mem::size_of::<Row>() == ROW_BYTES);
+
 /// Bytes of per-chunk header inside the ROWS payload: u32 row count +
 /// 32-byte chunk digest.
 const CHUNK_HEADER_LEN: usize = 4 + 32;
+
+/// Chunks the overlapped reader/writer stages keep in flight: the helper
+/// stage works on chunk `k + 1` while the main thread consumes chunk `k`,
+/// double-buffered through a recycle channel (two buffers total, so the
+/// overlap never holds more than two decoded-size chunks).
+const OVERLAP_DEPTH: usize = 2;
+
+/// `HF_SNAPSHOT_NO_OVERLAP=1` disables the helper-thread prefetch in
+/// [`SnapshotReader::fold_chunks`] and the encode-ahead stage in the rows
+/// writer, forcing the bit-identical serial paths (checked once, like
+/// `HF_HASH_FORCE_SCALAR`).
+fn overlap_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| {
+        std::env::var_os("HF_SNAPSHOT_NO_OVERLAP").is_some_and(|v| !v.is_empty() && v != "0")
+    })
+}
 
 /// Bytes of ROWS-payload prologue: u64 row count + u32 rows-per-chunk +
 /// u32 chunk count.
@@ -272,6 +296,23 @@ impl From<io::Error> for SnapshotError {
 impl Snapshot {
     /// Write the snapshot to `w` in hfstore format.
     pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), SnapshotError> {
+        self.write_to_chunked(w, ROWS_PER_CHUNK)
+    }
+
+    /// [`Snapshot::write_to`] with an explicit rows-per-chunk — a
+    /// test/tooling knob for producing multi-chunk files from small stores
+    /// (readers accept any value in `1..=`[`MAX_ROWS_PER_CHUNK`], so this
+    /// is not a format change). The default writer always uses
+    /// [`ROWS_PER_CHUNK`].
+    pub fn write_to_chunked<W: Write>(
+        &self,
+        w: &mut W,
+        rows_per_chunk: u32,
+    ) -> Result<(), SnapshotError> {
+        assert!(
+            (1..=MAX_ROWS_PER_CHUNK).contains(&rows_per_chunk),
+            "rows_per_chunk {rows_per_chunk} outside 1..={MAX_ROWS_PER_CHUNK}"
+        );
         let s = &self.sessions;
         for (pool, len) in [
             ("creds", s.creds.len()),
@@ -301,7 +342,7 @@ impl Snapshot {
             if name == "rows" {
                 // The one section that grows with the window: stream it in
                 // bounded chunks instead of building a multi-GB payload.
-                let payload_len = write_rows_section(w, id, s.rows())?;
+                let payload_len = write_rows_section(w, id, s.rows(), rows_per_chunk)?;
                 hf_obs::observe!("snapshot.section_bytes", payload_len);
                 hf_obs::counter!("snapshot.bytes_written", payload_len + 4 + 8 + 32);
                 continue;
@@ -343,17 +384,16 @@ impl Snapshot {
     /// A materializing wrapper over [`SnapshotReader`]: rows accumulate
     /// into one `Vec`, so memory grows with the file. Analyses that only
     /// need a fold over the rows should drive [`SnapshotReader`] directly.
-    pub fn read_from<R: Read>(r: &mut R) -> Result<Snapshot, SnapshotError> {
+    pub fn read_from<R: Read + Send>(r: &mut R) -> Result<Snapshot, SnapshotError> {
         let _span = hf_obs::span!("snapshot.load");
-        let mut reader = SnapshotReader::open(r)?;
+        let reader = SnapshotReader::open(r)?;
         // Grown chunk by chunk: the declared row count is untrusted until
         // the data actually arrives, so no upfront n_rows-sized reserve.
         let mut rows = Vec::new();
-        let mut chunk = Vec::new();
-        while reader.next_chunk(&mut chunk)? {
-            rows.extend_from_slice(&chunk);
-        }
-        let (meta, plan, mut sessions, tags) = reader.finish()?;
+        let (meta, plan, mut sessions, tags) = reader.fold_chunks(|_, _, chunk| {
+            rows.extend_from_slice(chunk);
+            Ok(())
+        })?;
         sessions.set_rows(rows);
         Ok(Snapshot {
             meta,
@@ -461,23 +501,81 @@ fn read_decoded_section<R: Read, T>(
 /// # Ok(()) }
 /// ```
 pub struct SnapshotReader<R: Read> {
-    r: R,
+    /// The stream-position half: underlying reader, chunk cursor, and
+    /// manifest re-accumulation. Split out so the overlapped fold can hand
+    /// it to a prefetch thread while decode/validate stays on the caller's
+    /// thread (see [`SnapshotReader::fold_chunks`]).
+    raw: RawChunks<R>,
     meta: DecodedMeta,
     plan: FarmPlan,
     /// Pools-only shell; rows stay with the caller.
     store: SessionStore,
+    /// Already-validated interned ids, so repeated list references cost a
+    /// bit test instead of a pool walk.
+    memo: ValidationMemo,
+    /// Reusable raw-bytes buffer for one chunk.
+    data_buf: Vec<u8>,
+    rows_done: bool,
+}
+
+/// The raw, row-agnostic half of the streaming reader: reads one chunk at
+/// a time from the underlying stream, verifies its checksum, and
+/// re-accumulates the chunk manifest. Owns everything a prefetch thread
+/// needs — and nothing the decode/validate/fold side touches.
+struct RawChunks<R: Read> {
+    r: R,
     /// Header checksum of the rows section = SHA-256 of the chunk manifest.
     rows_checksum: [u8; 32],
     rows_per_chunk: u32,
     n_chunks: u32,
+    n_rows: u64,
     chunks_read: u32,
     rows_read: u64,
     /// Prologue + per-chunk headers, re-accumulated while streaming and
     /// verified against `rows_checksum` after the last chunk.
     manifest: Vec<u8>,
-    /// Reusable raw-bytes buffer for one chunk.
-    data_buf: Vec<u8>,
-    rows_done: bool,
+}
+
+impl<R: Read> RawChunks<R> {
+    /// Read and checksum-verify the next raw chunk into `buf` (replacing
+    /// its contents), returning its row count — or `None` once every chunk
+    /// has been consumed and the manifest has verified against the section
+    /// checksum.
+    fn next_raw(&mut self, buf: &mut Vec<u8>) -> Result<Option<u32>, SnapshotError> {
+        if self.chunks_read == self.n_chunks {
+            if Sha256::digest(&self.manifest).0 != self.rows_checksum {
+                return Err(SnapshotError::ChecksumMismatch { section: "rows" });
+            }
+            return Ok(None);
+        }
+        let idx = self.chunks_read;
+        let chunk_rows = u32::from_le_bytes(read_array(&mut self.r, "rows")?);
+        let digest: [u8; 32] = read_array(&mut self.r, "rows")?;
+        // Every chunk is full except the last; the expected count is fully
+        // determined by the validated prologue, so a header that disagrees
+        // is structural corruption, not just a checksum problem.
+        let expected = (self.n_rows - self.rows_read).min(self.rows_per_chunk as u64);
+        if chunk_rows as u64 != expected {
+            return Err(SnapshotError::Corrupt {
+                section: "rows",
+                detail: format!("chunk {idx} declares {chunk_rows} rows, expected {expected}"),
+            });
+        }
+        buf.clear();
+        buf.resize(chunk_rows as usize * ROW_BYTES, 0);
+        read_exact(&mut self.r, buf, "rows")?;
+        if Sha256::digest(buf).0 != digest {
+            return Err(SnapshotError::ChunkChecksumMismatch {
+                section: "rows",
+                chunk: idx,
+            });
+        }
+        self.manifest.extend_from_slice(&chunk_rows.to_le_bytes());
+        self.manifest.extend_from_slice(&digest);
+        self.chunks_read += 1;
+        self.rows_read += chunk_rows as u64;
+        Ok(Some(chunk_rows))
+    }
 }
 
 impl<R: Read> SnapshotReader<R> {
@@ -569,13 +667,27 @@ impl<R: Read> SnapshotReader<R> {
         }
         // Re-accumulate the manifest as chunks stream by; growth is bounded
         // by bytes actually read, so a lying n_chunks cannot balloon it.
-        let mut manifest = Vec::new();
+        // The reserve is capped for the same reason: n_chunks is a header
+        // field, and the declared chunks need not exist.
+        let mut manifest = Vec::with_capacity(
+            ROWS_PROLOGUE_LEN + (n_chunks as usize).min(1 << 16) * CHUNK_HEADER_LEN,
+        );
         manifest.extend_from_slice(&n_rows.to_le_bytes());
         manifest.extend_from_slice(&rows_per_chunk.to_le_bytes());
         manifest.extend_from_slice(&n_chunks.to_le_bytes());
 
+        let memo = ValidationMemo::new(ssh_versions.len(), lists.len());
         Ok(SnapshotReader {
-            r,
+            raw: RawChunks {
+                r,
+                rows_checksum,
+                rows_per_chunk,
+                n_chunks,
+                n_rows,
+                chunks_read: 0,
+                rows_read: 0,
+                manifest,
+            },
             meta,
             plan,
             store: SessionStore::from_parts(
@@ -587,12 +699,7 @@ impl<R: Read> SnapshotReader<R> {
                 digests,
                 lists,
             ),
-            rows_checksum,
-            rows_per_chunk,
-            n_chunks,
-            chunks_read: 0,
-            rows_read: 0,
-            manifest,
+            memo,
             data_buf: Vec::new(),
             rows_done: false,
         })
@@ -621,7 +728,7 @@ impl<R: Read> SnapshotReader<R> {
 
     /// Rows verified and handed out so far.
     pub fn rows_read(&self) -> u64 {
-        self.rows_read
+        self.raw.rows_read
     }
 
     /// Read the next rows chunk into `rows` (replacing its contents).
@@ -634,50 +741,131 @@ impl<R: Read> SnapshotReader<R> {
         if self.rows_done {
             return Ok(false);
         }
-        if self.chunks_read == self.n_chunks {
-            if Sha256::digest(&self.manifest).0 != self.rows_checksum {
-                return Err(SnapshotError::ChecksumMismatch { section: "rows" });
+        match self.raw.next_raw(&mut self.data_buf)? {
+            None => {
+                self.rows_done = true;
+                Ok(false)
             }
-            self.rows_done = true;
-            return Ok(false);
+            Some(chunk_rows) => {
+                decode_row_chunk(&self.data_buf, chunk_rows as usize, rows)?;
+                validate_rows(rows, &self.store, &mut self.memo)?;
+                Ok(true)
+            }
         }
-        let idx = self.chunks_read;
-        let chunk_rows = u32::from_le_bytes(read_array(&mut self.r, "rows")?);
-        let digest: [u8; 32] = read_array(&mut self.r, "rows")?;
-        // Every chunk is full except the last; the expected count is fully
-        // determined by the validated prologue, so a header that disagrees
-        // is structural corruption, not just a checksum problem.
-        let expected = (self.meta.n_rows - self.rows_read).min(self.rows_per_chunk as u64);
-        if chunk_rows as u64 != expected {
-            return Err(SnapshotError::Corrupt {
-                section: "rows",
-                detail: format!("chunk {idx} declares {chunk_rows} rows, expected {expected}"),
+    }
+
+    /// Consume the reader, driving `fold` over every remaining rows chunk,
+    /// then read the tags section and return what [`SnapshotReader::finish`]
+    /// returns. `fold` receives the pools-only store, the plan, and one
+    /// fully-validated chunk of rows per call, in file order.
+    ///
+    /// Unless `HF_SNAPSHOT_NO_OVERLAP` is set (or the file has at most one
+    /// chunk), a helper thread reads and checksums chunk `k + 1` while the
+    /// calling thread decodes, validates, and folds chunk `k` — the read +
+    /// SHA-256 side of the stream runs entirely in the shadow of the fold.
+    /// Buffers rotate through a bounded recycle channel ([`OVERLAP_DEPTH`]
+    /// chunks in flight), and chunks are delivered strictly in order, so
+    /// results — and the *first* error, should one surface — are identical
+    /// to the serial path's.
+    ///
+    /// Time the calling thread spends blocked on the prefetcher is recorded
+    /// in the `snapshot.chunk_wait` span: if it is a large share of the
+    /// fold wall time, the disk (or the hash) is the bottleneck; if near
+    /// zero, the fold is.
+    pub fn fold_chunks<F>(
+        mut self,
+        mut fold: F,
+    ) -> Result<(SnapshotMeta, FarmPlan, SessionStore, TagDb), SnapshotError>
+    where
+        R: Send,
+        F: FnMut(&SessionStore, &FarmPlan, &[Row]) -> Result<(), SnapshotError>,
+    {
+        if self.raw.n_chunks - self.raw.chunks_read <= 1 || overlap_disabled() {
+            let mut rows = Vec::new();
+            while self.next_chunk(&mut rows)? {
+                fold(&self.store, &self.plan, &rows)?;
+            }
+            return self.finish();
+        }
+        let SnapshotReader {
+            mut raw,
+            meta,
+            plan,
+            store,
+            mut memo,
+            data_buf,
+            ..
+        } = self;
+        let mut rows: Vec<Row> = Vec::new();
+        let mut first_err: Option<SnapshotError> = None;
+        let mut raw = std::thread::scope(|s| {
+            let (full_tx, full_rx) =
+                mpsc::sync_channel::<Result<(u32, Vec<u8>), SnapshotError>>(OVERLAP_DEPTH);
+            let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
+            for buf in [data_buf, Vec::new()] {
+                let _ = free_tx.send(buf);
+            }
+            let prefetcher = s.spawn(move || {
+                loop {
+                    let mut buf = free_rx.recv().unwrap_or_default();
+                    match raw.next_raw(&mut buf) {
+                        Ok(Some(n)) => {
+                            if full_tx.send(Ok((n, buf))).is_err() {
+                                break; // consumer bailed; stop reading
+                            }
+                        }
+                        Ok(None) => break, // dropping full_tx ends the fold
+                        Err(e) => {
+                            let _ = full_tx.send(Err(e));
+                            break;
+                        }
+                    }
+                }
+                // Hash throughput counters were recorded on this thread.
+                hf_obs::flush();
+                raw
             });
+            // Chunks are processed strictly in delivery order, so the first
+            // error observed here — whether it came over the channel or
+            // from decode/validate/fold below — is the same error the
+            // serial path would have hit first.
+            loop {
+                let msg = {
+                    let _wait = hf_obs::span!("snapshot.chunk_wait");
+                    full_rx.recv()
+                };
+                let Ok(msg) = msg else { break };
+                match msg {
+                    Ok((chunk_rows, buf)) => {
+                        rows.clear();
+                        let step = decode_row_chunk(&buf, chunk_rows as usize, &mut rows)
+                            .and_then(|()| validate_rows(&rows, &store, &mut memo))
+                            .and_then(|()| fold(&store, &plan, &rows));
+                        let _ = free_tx.send(buf);
+                        if let Err(e) = step {
+                            first_err = Some(e);
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            // On early exit these drops unblock a prefetcher mid-send.
+            drop(full_rx);
+            drop(free_tx);
+            prefetcher
+                .join()
+                .expect("snapshot prefetch thread panicked")
+        });
+        if let Some(e) = first_err {
+            return Err(e);
         }
-        self.data_buf.clear();
-        self.data_buf.resize(chunk_rows as usize * 48, 0);
-        read_exact(&mut self.r, &mut self.data_buf, "rows")?;
-        if Sha256::digest(&self.data_buf).0 != digest {
-            return Err(SnapshotError::ChunkChecksumMismatch {
-                section: "rows",
-                chunk: idx,
-            });
-        }
-        self.manifest.extend_from_slice(&chunk_rows.to_le_bytes());
-        self.manifest.extend_from_slice(&digest);
-        decode_row_chunk(&self.data_buf, chunk_rows as usize, rows)?;
-        validate_rows(
-            rows,
-            &self.store.creds,
-            &self.store.commands,
-            &self.store.uris,
-            &self.store.ssh_versions,
-            &self.store.digests,
-            &self.store.lists,
-        )?;
-        self.chunks_read += 1;
-        self.rows_read += chunk_rows as u64;
-        Ok(true)
+        let tags = read_decoded_section(&mut raw.r, 9, decode_tags)?;
+        hf_obs::counter!("snapshot.rows_loaded", raw.rows_read);
+        Ok((meta.public, plan, store, tags))
     }
 
     /// Finish the stream: drain (and verify) any rows chunks the caller
@@ -688,8 +876,8 @@ impl<R: Read> SnapshotReader<R> {
     ) -> Result<(SnapshotMeta, FarmPlan, SessionStore, TagDb), SnapshotError> {
         let mut rest = Vec::new();
         while self.next_chunk(&mut rest)? {}
-        let tags = read_decoded_section(&mut self.r, 9, decode_tags)?;
-        hf_obs::counter!("snapshot.rows_loaded", self.rows_read);
+        let tags = read_decoded_section(&mut self.raw.r, 9, decode_tags)?;
+        hf_obs::counter!("snapshot.rows_loaded", self.raw.rows_read);
         Ok((self.meta.public, self.plan, self.store, tags))
     }
 }
@@ -737,24 +925,29 @@ fn encode_list_pool(pool: &ListPool, buf: &mut Vec<u8>) {
     }
 }
 
+/// Append `rows` to `buf` in the fixed 48-byte on-disk layout: the buffer
+/// is sized once, then filled through fixed-offset slice views over each
+/// record — a flat memcpy-style pass with no per-field growth checks and
+/// no steady-state allocation once the buffer has reached chunk capacity.
 fn encode_row_chunk(rows: &[Row], buf: &mut Vec<u8>) {
-    buf.reserve(rows.len() * 48);
-    for r in rows {
-        buf.extend_from_slice(&r.start_secs.to_le_bytes());
-        buf.extend_from_slice(&r.duration_secs.to_le_bytes());
-        buf.extend_from_slice(&r.honeypot.to_le_bytes());
-        buf.extend_from_slice(&r.client_port.to_le_bytes());
-        buf.extend_from_slice(&r.client_ip.to_le_bytes());
-        buf.extend_from_slice(&r.client_asn.to_le_bytes());
-        buf.extend_from_slice(&r.client_country.to_le_bytes());
-        buf.push(r.protocol);
-        buf.push(r.end_reason);
-        buf.extend_from_slice(&r.ssh_version_id.to_le_bytes());
-        buf.extend_from_slice(&r.login_list_id.to_le_bytes());
-        buf.extend_from_slice(&r.cmd_list_id.to_le_bytes());
-        buf.extend_from_slice(&r.uri_list_id.to_le_bytes());
-        buf.extend_from_slice(&r.hash_list_id.to_le_bytes());
-        buf.extend_from_slice(&r.dl_list_id.to_le_bytes());
+    let start = buf.len();
+    buf.resize(start + rows.len() * ROW_BYTES, 0);
+    for (r, out) in rows.iter().zip(buf[start..].chunks_exact_mut(ROW_BYTES)) {
+        out[0..4].copy_from_slice(&r.start_secs.to_le_bytes());
+        out[4..8].copy_from_slice(&r.duration_secs.to_le_bytes());
+        out[8..10].copy_from_slice(&r.honeypot.to_le_bytes());
+        out[10..12].copy_from_slice(&r.client_port.to_le_bytes());
+        out[12..16].copy_from_slice(&r.client_ip.to_le_bytes());
+        out[16..20].copy_from_slice(&r.client_asn.to_le_bytes());
+        out[20..22].copy_from_slice(&r.client_country.to_le_bytes());
+        out[22] = r.protocol;
+        out[23] = r.end_reason;
+        out[24..28].copy_from_slice(&r.ssh_version_id.to_le_bytes());
+        out[28..32].copy_from_slice(&r.login_list_id.to_le_bytes());
+        out[32..36].copy_from_slice(&r.cmd_list_id.to_le_bytes());
+        out[36..40].copy_from_slice(&r.uri_list_id.to_le_bytes());
+        out[40..44].copy_from_slice(&r.hash_list_id.to_le_bytes());
+        out[44..48].copy_from_slice(&r.dl_list_id.to_le_bytes());
     }
 }
 
@@ -762,43 +955,120 @@ fn encode_row_chunk(rows: &[Row], buf: &mut Vec<u8>) {
 /// every per-chunk `[row count ‖ digest]` header, in order. These are
 /// exactly the non-row-data payload bytes, and the section header's
 /// checksum is the SHA-256 of this manifest (module docs).
-fn rows_manifest(rows: &[Row]) -> Vec<u8> {
-    let n_chunks = rows.len().div_ceil(ROWS_PER_CHUNK as usize);
+///
+/// This pass is hash-bound, so consecutive chunks are encoded into two
+/// ping-pong buffers and digested as a pair through [`Sha256::digest_many`],
+/// which routes to the interleaved two-buffer SHA-NI backend when the CPU
+/// has one — close to twice the single-stream checksum rate.
+fn rows_manifest(rows: &[Row], rows_per_chunk: u32) -> Vec<u8> {
+    let n_chunks = rows.len().div_ceil(rows_per_chunk as usize);
     let mut manifest = Vec::with_capacity(ROWS_PROLOGUE_LEN + n_chunks * CHUNK_HEADER_LEN);
     manifest.extend_from_slice(&(rows.len() as u64).to_le_bytes());
-    manifest.extend_from_slice(&ROWS_PER_CHUNK.to_le_bytes());
+    manifest.extend_from_slice(&rows_per_chunk.to_le_bytes());
     manifest.extend_from_slice(&(n_chunks as u32).to_le_bytes());
-    let mut buf = Vec::new();
-    for chunk in rows.chunks(ROWS_PER_CHUNK as usize) {
-        buf.clear();
-        encode_row_chunk(chunk, &mut buf);
-        manifest.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
-        manifest.extend_from_slice(&Sha256::digest(&buf).0);
+    let mut buf_a = Vec::new();
+    let mut buf_b = Vec::new();
+    let mut digests = Vec::with_capacity(2);
+    let mut chunks = rows.chunks(rows_per_chunk as usize);
+    while let Some(a) = chunks.next() {
+        buf_a.clear();
+        encode_row_chunk(a, &mut buf_a);
+        digests.clear();
+        let b = chunks.next();
+        if let Some(b) = b {
+            buf_b.clear();
+            encode_row_chunk(b, &mut buf_b);
+            Sha256::digest_many([buf_a.as_slice(), buf_b.as_slice()], &mut digests);
+        } else {
+            digests.push(Sha256::digest(&buf_a));
+        }
+        for (chunk, digest) in [Some(a), b].into_iter().flatten().zip(&digests) {
+            manifest.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+            manifest.extend_from_slice(&digest.0);
+        }
     }
     manifest
 }
 
+/// Drive `f` over `(chunk_index, encoded_bytes)` for every chunk of `rows`.
+/// Serial (one reused buffer) when overlap is off or there is at most one
+/// chunk; otherwise a helper thread encodes chunk `k + 1` into a recycled
+/// buffer while `f` — checksumming or file write-out — consumes chunk `k`.
+/// Either way `f` sees identical bytes in identical order.
+fn for_each_encoded_chunk(
+    rows: &[Row],
+    rows_per_chunk: u32,
+    mut f: impl FnMut(usize, &[u8]) -> Result<(), SnapshotError>,
+) -> Result<(), SnapshotError> {
+    let size = rows_per_chunk as usize;
+    if rows.len() <= size || overlap_disabled() {
+        let mut buf = Vec::new();
+        for (i, chunk) in rows.chunks(size).enumerate() {
+            buf.clear();
+            encode_row_chunk(chunk, &mut buf);
+            f(i, &buf)?;
+        }
+        return Ok(());
+    }
+    std::thread::scope(|s| {
+        let (full_tx, full_rx) = mpsc::sync_channel::<(usize, Vec<u8>)>(OVERLAP_DEPTH);
+        let (free_tx, free_rx) = mpsc::channel::<Vec<u8>>();
+        for _ in 0..OVERLAP_DEPTH {
+            let _ = free_tx.send(Vec::new());
+        }
+        s.spawn(move || {
+            for (i, chunk) in rows.chunks(size).enumerate() {
+                let mut buf = free_rx.recv().unwrap_or_default();
+                buf.clear();
+                encode_row_chunk(chunk, &mut buf);
+                if full_tx.send((i, buf)).is_err() {
+                    return; // consumer bailed
+                }
+            }
+        });
+        let mut result = Ok(());
+        while let Ok((i, buf)) = full_rx.recv() {
+            result = f(i, &buf);
+            if result.is_err() {
+                break;
+            }
+            let _ = free_tx.send(buf);
+        }
+        // Dropping the channel ends unblocks the encoder if we bailed
+        // early; the scope then joins it.
+        result
+    })
+}
+
 /// Write the framed rows section: header, prologue, then one chunk at a
-/// time — peak memory is one encoded chunk (3 MiB) plus the manifest,
-/// regardless of row count. Returns the payload length. Two encode passes
-/// per chunk (digest pass, write pass) keep the writer single-buffer; row
-/// encoding is a flat memcpy-style loop, so the second pass is cheap next
-/// to hashing.
-fn write_rows_section<W: Write>(w: &mut W, id: u32, rows: &[Row]) -> Result<u64, SnapshotError> {
-    let manifest = rows_manifest(rows);
-    let payload_len = manifest.len() as u64 + rows.len() as u64 * 48;
+/// time — peak memory is a couple of encoded chunks (3 MiB each) plus the
+/// manifest, regardless of row count. Returns the payload length.
+///
+/// The manifest-first Merkle layout means every chunk digest must be known
+/// before any row byte can be written, so checksumming cannot overlap the
+/// write-out of the *same* pass. Instead each pass overlaps with encoding:
+/// the digest pass pairs chunks through the multi-buffer hash backend
+/// ([`rows_manifest`]), and the write pass encodes chunk `k + 1` on a
+/// helper thread while chunk `k` drains to the file
+/// ([`for_each_encoded_chunk`]).
+fn write_rows_section<W: Write>(
+    w: &mut W,
+    id: u32,
+    rows: &[Row],
+    rows_per_chunk: u32,
+) -> Result<u64, SnapshotError> {
+    let manifest = rows_manifest(rows, rows_per_chunk);
+    let payload_len = manifest.len() as u64 + rows.len() as u64 * ROW_BYTES as u64;
     w.write_all(&id.to_le_bytes())?;
     w.write_all(&payload_len.to_le_bytes())?;
     w.write_all(&Sha256::digest(&manifest).0)?;
     w.write_all(&manifest[..ROWS_PROLOGUE_LEN])?;
-    let mut buf = Vec::new();
-    for (i, chunk) in rows.chunks(ROWS_PER_CHUNK as usize).enumerate() {
+    for_each_encoded_chunk(rows, rows_per_chunk, |i, buf| {
         let h = ROWS_PROLOGUE_LEN + i * CHUNK_HEADER_LEN;
         w.write_all(&manifest[h..h + CHUNK_HEADER_LEN])?;
-        buf.clear();
-        encode_row_chunk(chunk, &mut buf);
-        w.write_all(&buf)?;
-    }
+        w.write_all(buf)?;
+        Ok(())
+    })?;
     Ok(payload_len)
 }
 
@@ -1014,21 +1284,29 @@ fn decode_list_pool(cur: &mut Cursor<'_>) -> Result<ListPool, SnapshotError> {
     Ok(pool)
 }
 
-/// Decode one checksum-verified chunk of `n` rows (exactly `n × 48` bytes)
-/// into `rows`, validating the per-row enum bytes.
+/// Decode one checksum-verified chunk of `n` rows (exactly `n ×`
+/// [`ROW_BYTES`] bytes) into `rows`, validating the per-row enum bytes.
+/// Each row is read through fixed-offset views over its 48-byte record —
+/// the mirror of [`encode_row_chunk`], with no per-field cursor.
 fn decode_row_chunk(data: &[u8], n: usize, rows: &mut Vec<Row>) -> Result<(), SnapshotError> {
-    let mut cur = Cursor::new(data, "rows");
+    #[inline]
+    fn u16_at(raw: &[u8], at: usize) -> u16 {
+        u16::from_le_bytes(raw[at..at + 2].try_into().expect("len 2"))
+    }
+    #[inline]
+    fn u32_at(raw: &[u8], at: usize) -> u32 {
+        u32::from_le_bytes(raw[at..at + 4].try_into().expect("len 4"))
+    }
+    if data.len() != n * ROW_BYTES {
+        return Err(SnapshotError::Corrupt {
+            section: "rows",
+            detail: format!("chunk holds {} bytes for {n} rows", data.len()),
+        });
+    }
     rows.reserve(n);
-    for _ in 0..n {
-        let start_secs = cur.u32()?;
-        let duration_secs = cur.u32()?;
-        let honeypot = cur.u16()?;
-        let client_port = cur.u16()?;
-        let client_ip = cur.u32()?;
-        let client_asn = cur.u32()?;
-        let client_country = cur.u16()?;
-        let protocol = cur.u8()?;
-        let end_reason = cur.u8()?;
+    for raw in data.chunks_exact(ROW_BYTES) {
+        let protocol = raw[22];
+        let end_reason = raw[23];
         if protocol > 1 {
             return Err(SnapshotError::Corrupt {
                 section: "rows",
@@ -1042,24 +1320,24 @@ fn decode_row_chunk(data: &[u8], n: usize, rows: &mut Vec<Row>) -> Result<(), Sn
             });
         }
         rows.push(Row {
-            start_secs,
-            duration_secs,
-            honeypot,
-            client_port,
-            client_ip,
-            client_asn,
-            client_country,
+            start_secs: u32_at(raw, 0),
+            duration_secs: u32_at(raw, 4),
+            honeypot: u16_at(raw, 8),
+            client_port: u16_at(raw, 10),
+            client_ip: u32_at(raw, 12),
+            client_asn: u32_at(raw, 16),
+            client_country: u16_at(raw, 20),
             protocol,
             end_reason,
-            ssh_version_id: cur.u32()?,
-            login_list_id: cur.u32()?,
-            cmd_list_id: cur.u32()?,
-            uri_list_id: cur.u32()?,
-            hash_list_id: cur.u32()?,
-            dl_list_id: cur.u32()?,
+            ssh_version_id: u32_at(raw, 24),
+            login_list_id: u32_at(raw, 28),
+            cmd_list_id: u32_at(raw, 32),
+            uri_list_id: u32_at(raw, 36),
+            hash_list_id: u32_at(raw, 40),
+            dl_list_id: u32_at(raw, 44),
         });
     }
-    cur.finish()
+    Ok(())
 }
 
 fn decode_tags(cur: &mut Cursor<'_>) -> Result<TagDb, SnapshotError> {
@@ -1082,58 +1360,124 @@ fn decode_tags(cur: &mut Cursor<'_>) -> Result<TagDb, SnapshotError> {
     Ok(tags)
 }
 
+/// A plain `Vec<u64>` bitmap keyed by interned id. Ids beyond the domain
+/// (i.e. dangling) fall outside the words and always test false — they are
+/// never memoized, so the pool lookup still runs and reports them.
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn for_ids(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Test the bit for `id`, setting it as a side effect; returns the
+    /// previous value.
+    fn test_and_set(&mut self, id: u32) -> bool {
+        match self.words.get_mut(id as usize / 64) {
+            Some(w) => {
+                let mask = 1u64 << (id % 64);
+                let seen = *w & mask != 0;
+                *w |= mask;
+                seen
+            }
+            None => false,
+        }
+    }
+}
+
+/// Memo of interned ids [`validate_rows`] has already walked. Rows repeat
+/// list ids constantly (every failed-login session in a campaign shares a
+/// handful of credential lists), so each distinct (role, id) pair is
+/// validated once and afterwards answered with a bit test — amortized O(1)
+/// per row instead of a pool walk per row. Sized to the pools at
+/// [`SnapshotReader::open`]; zero allocations while streaming.
+struct ValidationMemo {
+    ssh: BitSet,
+    login: BitSet,
+    cmd: BitSet,
+    uri: BitSet,
+    /// Hash and download lists resolve against the same digest pool, so
+    /// one memo serves both roles.
+    digest: BitSet,
+}
+
+impl ValidationMemo {
+    fn new(n_ssh_versions: usize, n_lists: usize) -> ValidationMemo {
+        ValidationMemo {
+            ssh: BitSet::for_ids(n_ssh_versions),
+            login: BitSet::for_ids(n_lists),
+            cmd: BitSet::for_ids(n_lists),
+            uri: BitSet::for_ids(n_lists),
+            digest: BitSet::for_ids(n_lists),
+        }
+    }
+}
+
 /// Check that every pool id a row references resolves — the "dangling
 /// intern id" class of corruption a checksum cannot catch (a consistent
 /// snapshot re-encoded with a hostile tool, or a bug in a foreign writer).
-#[allow(clippy::too_many_arguments)]
+/// `memo` carries the already-validated ids across chunks.
 fn validate_rows(
     rows: &[Row],
-    creds: &StringPool,
-    commands: &StringPool,
-    uris: &StringPool,
-    ssh_versions: &StringPool,
-    digests: &DigestPool,
-    lists: &ListPool,
+    store: &SessionStore,
+    memo: &mut ValidationMemo,
 ) -> Result<(), SnapshotError> {
     let dangling = |kind, id| SnapshotError::DanglingId { kind, id };
     for row in rows {
-        if row.ssh_version_id != NONE_ID && ssh_versions.try_get(row.ssh_version_id).is_none() {
+        if row.ssh_version_id != NONE_ID
+            && !memo.ssh.test_and_set(row.ssh_version_id)
+            && store.ssh_versions.try_get(row.ssh_version_id).is_none()
+        {
             return Err(dangling("ssh_version", row.ssh_version_id));
         }
-        for (kind, list_id) in [
-            ("login list", row.login_list_id),
-            ("command list", row.cmd_list_id),
-            ("uri list", row.uri_list_id),
-            ("hash list", row.hash_list_id),
-            ("download list", row.dl_list_id),
-        ] {
-            if lists.try_get(list_id).is_none() {
-                return Err(dangling("list", list_id));
-            }
-            let _ = kind;
-        }
-        for &packed in lists.get(row.login_list_id) {
-            if creds.try_get(packed >> 1).is_none() {
-                return Err(dangling("cred", packed >> 1));
+        if !memo.login.test_and_set(row.login_list_id) {
+            let list = store
+                .lists
+                .try_get(row.login_list_id)
+                .ok_or_else(|| dangling("list", row.login_list_id))?;
+            for &packed in list {
+                if store.creds.try_get(packed >> 1).is_none() {
+                    return Err(dangling("cred", packed >> 1));
+                }
             }
         }
-        for &packed in lists.get(row.cmd_list_id) {
-            if commands.try_get(packed >> 1).is_none() {
-                return Err(dangling("command", packed >> 1));
+        if !memo.cmd.test_and_set(row.cmd_list_id) {
+            let list = store
+                .lists
+                .try_get(row.cmd_list_id)
+                .ok_or_else(|| dangling("list", row.cmd_list_id))?;
+            for &packed in list {
+                if store.commands.try_get(packed >> 1).is_none() {
+                    return Err(dangling("command", packed >> 1));
+                }
             }
         }
-        for &id in lists.get(row.uri_list_id) {
-            if uris.try_get(id).is_none() {
-                return Err(dangling("uri", id));
+        if !memo.uri.test_and_set(row.uri_list_id) {
+            let list = store
+                .lists
+                .try_get(row.uri_list_id)
+                .ok_or_else(|| dangling("list", row.uri_list_id))?;
+            for &id in list {
+                if store.uris.try_get(id).is_none() {
+                    return Err(dangling("uri", id));
+                }
             }
         }
-        for &id in lists
-            .get(row.hash_list_id)
-            .iter()
-            .chain(lists.get(row.dl_list_id))
-        {
-            if digests.try_get(id).is_none() {
-                return Err(dangling("digest", id));
+        for list_id in [row.hash_list_id, row.dl_list_id] {
+            if !memo.digest.test_and_set(list_id) {
+                let list = store
+                    .lists
+                    .try_get(list_id)
+                    .ok_or_else(|| dangling("list", list_id))?;
+                for &id in list {
+                    if store.digests.try_get(id).is_none() {
+                        return Err(dangling("digest", id));
+                    }
+                }
             }
         }
     }
@@ -1364,5 +1708,92 @@ mod tests {
         let mut out = Vec::new();
         assert!(snap.write_to(&mut out).is_ok());
         assert_eq!(&out[..8], &MAGIC);
+    }
+
+    #[test]
+    fn chunked_writes_roundtrip_at_every_chunk_shape() {
+        // Odd and even chunk counts, a non-dividing remainder, and a
+        // single chunk: together they exercise the writer's pairwise
+        // digest batching (with and without an odd tail), the encode-ahead
+        // write pass, and the reader's prefetch thread.
+        let snap = sample_snapshot(100);
+        for rows_per_chunk in [1u32, 3, 7, 50, 100, 1000] {
+            let mut bytes = Vec::new();
+            snap.write_to_chunked(&mut bytes, rows_per_chunk)
+                .expect("write");
+            let back = Snapshot::read_from(&mut bytes.as_slice()).expect("read back");
+            assert_eq!(
+                back.sessions.rows(),
+                snap.sessions.rows(),
+                "rows_per_chunk={rows_per_chunk}"
+            );
+            assert_eq!(back.tags.len(), snap.tags.len());
+            assert_eq!(back.meta, snap.meta);
+        }
+    }
+
+    #[test]
+    fn chunked_serialization_is_deterministic() {
+        // The overlapped write pass must emit the same bytes as any other
+        // write of the same data — buffers rotate, output order must not.
+        let snap = sample_snapshot(90);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        snap.write_to_chunked(&mut a, 7).unwrap();
+        snap.write_to_chunked(&mut b, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fold_chunks_visits_every_row_in_order() {
+        let snap = sample_snapshot(64);
+        let mut bytes = Vec::new();
+        snap.write_to_chunked(&mut bytes, 5).expect("write");
+        let reader = SnapshotReader::open(bytes.as_slice()).expect("open");
+        let mut seen = Vec::new();
+        let (meta, _plan, store, tags) = reader
+            .fold_chunks(|store, _, rows| {
+                // The pools are fully usable mid-stream.
+                for row in rows {
+                    assert!(store.lists.try_get(row.login_list_id).is_some());
+                }
+                seen.extend_from_slice(rows);
+                Ok(())
+            })
+            .expect("fold");
+        assert_eq!(seen, snap.sessions.rows());
+        assert_eq!(meta, snap.meta);
+        assert!(store.is_empty(), "fold hands rows only to the callback");
+        assert_eq!(tags.len(), snap.tags.len());
+    }
+
+    #[test]
+    fn fold_chunks_propagates_the_fold_error_and_stops() {
+        let snap = sample_snapshot(64);
+        let mut bytes = Vec::new();
+        snap.write_to_chunked(&mut bytes, 4).expect("write");
+        let reader = SnapshotReader::open(bytes.as_slice()).expect("open");
+        let mut calls = 0u32;
+        let err = reader
+            .fold_chunks(|_, _, _| {
+                calls += 1;
+                if calls == 2 {
+                    Err(SnapshotError::Corrupt {
+                        section: "rows",
+                        detail: "fold bailed".into(),
+                    })
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("fold error must propagate");
+        match err {
+            SnapshotError::Corrupt { section, detail } => {
+                assert_eq!(section, "rows");
+                assert_eq!(detail, "fold bailed");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert_eq!(calls, 2, "the fold must stop at the first error");
     }
 }

@@ -1,0 +1,187 @@
+//! The original straight-line scalar SHA-256, kept verbatim as the oracle.
+//!
+//! Every other backend (the unrolled scalar core, the SHA-NI paths) is tested
+//! differentially against this implementation: same FIPS 180-4 spec, written
+//! with no unrolling, no intrinsics, and no cleverness. It is deliberately
+//! boring — do not optimise this module; optimise the dispatched backends in
+//! the parent module instead.
+
+use super::{Digest, H0, K};
+
+/// Streaming SHA-256 state (reference implementation).
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes buffered, always < 64 after `update` returns.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes.
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Fresh hasher state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot convenience: hash `data` in a single call.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorb more message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        // Top up a partially filled block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while data.len() >= 64 {
+            let (block, rest) = data.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            data = rest;
+        }
+        // Stash the tail.
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Apply padding and produce the digest, consuming the state.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        let mut pad = [0u8; 72];
+        pad[0] = 0x80;
+        // Number of zero bytes so that (buf_len + 1 + zeros) % 64 == 56.
+        let zeros = (55usize.wrapping_sub(self.buf_len)) % 64;
+        pad[1 + zeros..1 + zeros + 8].copy_from_slice(&bit_len.to_be_bytes());
+        // `update` must not recount padding bytes in total_len; compress directly.
+        let pad_len = 1 + zeros + 8;
+        let mut i = 0;
+        while i < pad_len {
+            let need = 64 - self.buf_len;
+            let take = need.min(pad_len - i);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&pad[i..i + take]);
+            self.buf_len += take;
+            i += take;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        debug_assert_eq!(self.buf_len, 0, "padding must end on a block boundary");
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// The compression function: one 512-bit block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        for t in 16..64 {
+            let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+            let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+            w[t] = w[t - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[t - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for t in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[t])
+                .wrapping_add(w[t]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl std::io::Write for Sha256 {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.update(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_known_vectors() {
+        for (msg, want) in super::super::tests::VECTORS {
+            assert_eq!(Sha256::digest(msg).to_hex(), *want, "msg={msg:?}");
+        }
+    }
+
+    #[test]
+    fn reference_incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let want = Sha256::digest(&data);
+        for split in 0..=data.len() {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split={split}");
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Schedule-unrolled scalar SHA-256 core — the portable dispatch target.
+//!
+//! Differences from [`super::reference`] (same FIPS 180-4 math, faster shape):
+//!
+//! - **Rotationless rounds.** Instead of shifting all eight working variables
+//!   every round, each round macro-expands with the variables in a rotated
+//!   argument order, so a round is two adds into two registers and the
+//!   "rotation" costs nothing.
+//! - **16-word circular schedule.** `w[t]` for `t >= 16` only depends on the
+//!   previous 16 words, so the schedule lives in a 16-word ring computed
+//!   on the fly instead of a fully materialized `[u32; 64]`.
+//! - **Multi-block entry point.** Callers hand over whole runs of blocks, so
+//!   the working variables stay in registers across blocks.
+
+use super::K;
+
+/// One round, rotationless: `$h` accumulates T1, `$d` absorbs it, then `$h`
+/// finishes with T2. Argument order supplies the per-round rotation.
+macro_rules! rnd {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $w:expr, $k:expr) => {{
+        $h = $h
+            .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+            .wrapping_add(($e & $f) ^ (!$e & $g))
+            .wrapping_add($k)
+            .wrapping_add($w);
+        $d = $d.wrapping_add($h);
+        $h = $h
+            .wrapping_add($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+            .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+    }};
+}
+
+/// Extend the circular message schedule in place and yield `w[t]`.
+macro_rules! sched {
+    ($w:ident, $t:expr) => {{
+        let w15 = $w[($t + 1) & 15];
+        let w2 = $w[($t + 14) & 15];
+        let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+        let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+        $w[$t & 15] = $w[$t & 15]
+            .wrapping_add(s0)
+            .wrapping_add($w[($t + 9) & 15])
+            .wrapping_add(s1);
+        $w[$t & 15]
+    }};
+}
+
+/// Eight rounds straight from the loaded message block (`$t` in 0 or 8).
+macro_rules! round8_load {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $w:ident, $t:expr) => {
+        rnd!($a, $b, $c, $d, $e, $f, $g, $h, $w[$t], K[$t]);
+        rnd!($h, $a, $b, $c, $d, $e, $f, $g, $w[$t + 1], K[$t + 1]);
+        rnd!($g, $h, $a, $b, $c, $d, $e, $f, $w[$t + 2], K[$t + 2]);
+        rnd!($f, $g, $h, $a, $b, $c, $d, $e, $w[$t + 3], K[$t + 3]);
+        rnd!($e, $f, $g, $h, $a, $b, $c, $d, $w[$t + 4], K[$t + 4]);
+        rnd!($d, $e, $f, $g, $h, $a, $b, $c, $w[$t + 5], K[$t + 5]);
+        rnd!($c, $d, $e, $f, $g, $h, $a, $b, $w[$t + 6], K[$t + 6]);
+        rnd!($b, $c, $d, $e, $f, $g, $h, $a, $w[$t + 7], K[$t + 7]);
+    };
+}
+
+/// Eight rounds with on-the-fly schedule extension (`$t` in 16..=56, step 8).
+macro_rules! round8_sched {
+    ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $w:ident, $t:expr) => {
+        rnd!($a, $b, $c, $d, $e, $f, $g, $h, sched!($w, $t), K[$t]);
+        rnd!(
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            sched!($w, $t + 1),
+            K[$t + 1]
+        );
+        rnd!(
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            sched!($w, $t + 2),
+            K[$t + 2]
+        );
+        rnd!(
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            $e,
+            sched!($w, $t + 3),
+            K[$t + 3]
+        );
+        rnd!(
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            $d,
+            sched!($w, $t + 4),
+            K[$t + 4]
+        );
+        rnd!(
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            $c,
+            sched!($w, $t + 5),
+            K[$t + 5]
+        );
+        rnd!(
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            $b,
+            sched!($w, $t + 6),
+            K[$t + 6]
+        );
+        rnd!(
+            $b,
+            $c,
+            $d,
+            $e,
+            $f,
+            $g,
+            $h,
+            $a,
+            sched!($w, $t + 7),
+            K[$t + 7]
+        );
+    };
+}
+
+/// Compress a run of whole 64-byte blocks into `state`.
+pub(super) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0, "whole blocks only");
+    let mut s = *state;
+    for block in data.chunks_exact(64) {
+        let mut w = [0u32; 16];
+        for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *wi = u32::from_be_bytes(chunk.try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = s;
+        round8_load!(a, b, c, d, e, f, g, h, w, 0);
+        round8_load!(a, b, c, d, e, f, g, h, w, 8);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 16);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 24);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 32);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 40);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 48);
+        round8_sched!(a, b, c, d, e, f, g, h, w, 56);
+        s[0] = s[0].wrapping_add(a);
+        s[1] = s[1].wrapping_add(b);
+        s[2] = s[2].wrapping_add(c);
+        s[3] = s[3].wrapping_add(d);
+        s[4] = s[4].wrapping_add(e);
+        s[5] = s[5].wrapping_add(f);
+        s[6] = s[6].wrapping_add(g);
+        s[7] = s[7].wrapping_add(h);
+    }
+    *state = s;
+}

@@ -146,16 +146,23 @@ impl FoldOutput {
     /// The incremental freshness series requires day-ordered rows (which
     /// every runner-produced snapshot has); an unordered store surfaces as
     /// [`SnapshotError::Corrupt`] rather than silently wrong freshness.
-    pub fn from_snapshot_stream<R: Read>(r: R) -> Result<FoldOutput, SnapshotError> {
-        let mut reader = hf_farm::SnapshotReader::open(r)?;
+    ///
+    /// Chunks are driven through [`hf_farm::SnapshotReader::fold_chunks`],
+    /// so (unless `HF_SNAPSHOT_NO_OVERLAP` is set) the next chunk is read
+    /// and checksummed on a prefetch thread while the current one folds —
+    /// the `snapshot.chunk_wait` span records how long the fold actually
+    /// waited on bytes.
+    pub fn from_snapshot_stream<R: Read + Send>(r: R) -> Result<FoldOutput, SnapshotError> {
+        // Umbrella span: the whole verify → decode → replay → fold pass,
+        // so `hfarm metrics` has an end-to-end wall to derive global hash
+        // throughput against (the per-phase spans nest under it).
+        let _span = hf_obs::span!("analysis.stream_fold");
+        let reader = hf_farm::SnapshotReader::open(r)?;
         let mut fold = StreamingFold::new(reader.plan().len());
         let mut artifacts = ArtifactStore::new();
-        let mut rows = Vec::new();
         let mut last_day = 0u32;
-        while reader.next_chunk(&mut rows)? {
-            let store = reader.store();
-            let plan = reader.plan();
-            for row in &rows {
+        let (meta, plan, sessions, tags) = reader.fold_chunks(|store, plan, rows| {
+            for row in rows {
                 let v = store.view_row(row);
                 let day = v.day();
                 if day < last_day {
@@ -178,9 +185,9 @@ impl FoldOutput {
             }
             fold.drain_freshness();
             hf_obs::counter!("analysis.rows_folded", rows.len() as u64);
-        }
+            Ok(())
+        })?;
         hf_obs::sample_peak_rss();
-        let (meta, plan, sessions, tags) = reader.finish()?;
         Ok(FoldOutput {
             dataset: Dataset {
                 sessions,

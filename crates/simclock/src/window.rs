@@ -8,27 +8,31 @@
 //! whole map.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 
 /// Tracks, for each key, whether it has been seen within the last `n_days`
 /// days (a value of `None` for `n_days` means "ever").
+///
+/// Generic over the hasher so hot consumers (the freshness series hashes
+/// millions of interned ids) can substitute a cheap deterministic one; the
+/// default stays `RandomState`, matching `HashMap`.
 #[derive(Debug, Clone)]
-pub struct SlidingDayWindow<K: Eq + Hash + Clone> {
+pub struct SlidingDayWindow<K: Eq + Hash + Clone, S = std::collections::hash_map::RandomState> {
     /// Window length in days; `None` = unbounded ("ever seen").
     n_days: Option<u32>,
     /// Last day each live key was seen.
-    last_seen: HashMap<K, u32>,
+    last_seen: HashMap<K, u32, S>,
     /// Current day being recorded.
     current_day: u32,
 }
 
-impl<K: Eq + Hash + Clone> SlidingDayWindow<K> {
+impl<K: Eq + Hash + Clone, S: BuildHasher + Default> SlidingDayWindow<K, S> {
     /// A bounded window: "seen within the last `n_days` days" (n >= 1).
     pub fn with_days(n_days: u32) -> Self {
         assert!(n_days >= 1);
         SlidingDayWindow {
             n_days: Some(n_days),
-            last_seen: HashMap::new(),
+            last_seen: HashMap::default(),
             current_day: 0,
         }
     }
@@ -37,7 +41,7 @@ impl<K: Eq + Hash + Clone> SlidingDayWindow<K> {
     pub fn unbounded() -> Self {
         SlidingDayWindow {
             n_days: None,
-            last_seen: HashMap::new(),
+            last_seen: HashMap::default(),
             current_day: 0,
         }
     }
@@ -99,9 +103,13 @@ impl<K: Eq + Hash + Clone> SlidingDayWindow<K> {
 mod tests {
     use super::*;
 
+    /// Constructor calls don't infer the defaulted hasher parameter, so the
+    /// tests name the default explicitly.
+    type W = SlidingDayWindow<&'static str>;
+
     #[test]
     fn unbounded_fresh_only_once() {
-        let mut w = SlidingDayWindow::unbounded();
+        let mut w = W::unbounded();
         assert!(w.observe("h1", 0));
         assert!(!w.observe("h1", 0));
         assert!(!w.observe("h1", 400));
@@ -111,7 +119,7 @@ mod tests {
 
     #[test]
     fn seven_day_window_semantics() {
-        let mut w = SlidingDayWindow::with_days(7);
+        let mut w = W::with_days(7);
         assert!(w.observe("h", 10)); // first sighting
         assert!(!w.observe("h", 11)); // 1 day later: not fresh
         assert!(!w.observe("h", 16)); // gap 5 < 7: not fresh
@@ -121,7 +129,7 @@ mod tests {
 
     #[test]
     fn is_fresh_does_not_mutate() {
-        let mut w = SlidingDayWindow::with_days(30);
+        let mut w = W::with_days(30);
         w.observe("x", 5);
         assert!(!w.is_fresh(&"x", 20));
         assert!(w.is_fresh(&"x", 35));
@@ -132,7 +140,7 @@ mod tests {
 
     #[test]
     fn compact_preserves_semantics() {
-        let mut w = SlidingDayWindow::with_days(7);
+        let mut w = W::with_days(7);
         w.observe("old", 0);
         w.observe("new", 99);
         w.compact();
@@ -144,7 +152,7 @@ mod tests {
 
     #[test]
     fn same_day_repeat_is_not_fresh() {
-        let mut w = SlidingDayWindow::with_days(1);
+        let mut w = W::with_days(1);
         assert!(w.observe("k", 3));
         assert!(!w.observe("k", 3));
         // Next day: "within the last 1 day" excludes yesterday, so fresh.

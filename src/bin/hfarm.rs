@@ -284,6 +284,27 @@ fn metrics_summary(dir: &Path) -> ! {
                     s.max_wall_ns / 1_000_000
                 );
             }
+            // Derived figures. Hash throughput divides the global
+            // `hash.bytes` counter by the longest recorded span's wall —
+            // spans nest, so summing them would double-count; the longest
+            // one is the run's dominant phase and the honest denominator.
+            if let Some(&bytes) = m.counters.get("hash.bytes") {
+                if let Some((span, s)) = m.spans.iter().max_by_key(|(_, s)| s.wall_ns) {
+                    if s.wall_ns > 0 {
+                        let mib_s = bytes as f64 / (s.wall_ns as f64 / 1e9) / (1024.0 * 1024.0);
+                        println!(
+                            "derived    hash.throughput = {mib_s:.1} MiB/s \
+                             ({bytes} hashed bytes over `{span}` wall)"
+                        );
+                    }
+                }
+            }
+            if let Some(kb) = m.peak_rss_kb() {
+                println!(
+                    "derived    process.peak_rss = {:.1} MiB ({kb} kB high-water mark)",
+                    kb as f64 / 1024.0
+                );
+            }
             std::process::exit(0)
         }
     }

@@ -147,3 +147,78 @@ fn full_driver_stays_within_per_session_budget() {
         plans.len()
     );
 }
+
+/// A chunked snapshot whose rows section spans many chunks, for the
+/// streaming-codec budgets below. Overlap is forced off first so both the
+/// reader and writer paths under test are the serial ones — the counting
+/// allocator is per-thread, and the overlapped paths deliberately move
+/// work (and its allocations) onto helper threads.
+fn chunked_snapshot(rows_per_chunk: u32) -> Vec<u8> {
+    std::env::set_var("HF_SNAPSHOT_NO_OVERLAP", "1");
+    let cfg = honeyfarm::sim::SimConfig::test(6);
+    let out = honeyfarm::sim::Simulation::run(cfg.clone());
+    let snap = out.to_snapshot(&cfg);
+    let mut bytes = Vec::new();
+    snap.write_to_chunked(&mut bytes, rows_per_chunk)
+        .expect("encode snapshot");
+    bytes
+}
+
+/// Steady-state chunk decode allocates nothing: after the first chunk has
+/// grown the reader's scratch (row buffer, raw-chunk buffer — the manifest
+/// is pre-reserved at open), every further `next_chunk` reuses it. This is
+/// the zero-copy codec contract: fixed-offset field views over one reused
+/// byte buffer, no per-row or per-field allocation.
+#[test]
+fn steady_state_chunk_reads_allocate_nothing() {
+    let bytes = chunked_snapshot(64);
+    let mut reader = honeyfarm::farm::SnapshotReader::open(&bytes[..]).expect("open snapshot");
+    let mut rows = Vec::new();
+
+    // Warmup: the first chunk sizes rows + the raw chunk buffer.
+    assert!(reader.next_chunk(&mut rows).expect("first chunk"));
+    let mut chunks = 1u32;
+
+    let before = allocation_count();
+    while reader.next_chunk(&mut rows).expect("next chunk") {
+        chunks += 1;
+    }
+    let delta = allocation_count() - before;
+    assert!(chunks > 10, "want a many-chunk stream, got {chunks}");
+    assert_eq!(
+        delta, 0,
+        "steady-state next_chunk must not allocate \
+         (got {delta} allocations over {chunks} chunks)"
+    );
+}
+
+/// The writer's per-chunk hot loop (encode into ping-pong buffers, digest,
+/// frame, write) reuses its scratch: re-encoding a snapshot allocates far
+/// fewer times than it writes chunks, i.e. nothing on the per-chunk path.
+/// The fixed budget covers the per-call setup — section staging buffers,
+/// the manifest, the encode scratch growing once each.
+#[test]
+fn chunked_writer_allocations_do_not_scale_with_chunks() {
+    const ROWS_PER_CHUNK: u32 = 64;
+    let bytes = chunked_snapshot(ROWS_PER_CHUNK);
+    let snap = honeyfarm::farm::Snapshot::read_from(&mut &bytes[..]).expect("reload");
+    let n_chunks = (snap.sessions.rows().len() as u32).div_ceil(ROWS_PER_CHUNK);
+    assert!(n_chunks > 10, "want a many-chunk snapshot, got {n_chunks}");
+
+    // Warmup writes grow nothing persistent (the writer's scratch is
+    // per-call), but they do populate pool/obs lazies outside the window.
+    let mut out = Vec::with_capacity(bytes.len() + 1024);
+    snap.write_to_chunked(&mut out, ROWS_PER_CHUNK)
+        .expect("warmup write");
+
+    out.clear();
+    let before = allocation_count();
+    snap.write_to_chunked(&mut out, ROWS_PER_CHUNK)
+        .expect("steady write");
+    let delta = allocation_count() - before;
+    assert!(
+        delta < n_chunks as u64,
+        "writer allocations scale with chunk count: {delta} allocations \
+         for {n_chunks} chunks — the per-chunk loop must reuse its scratch"
+    );
+}

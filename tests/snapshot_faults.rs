@@ -415,6 +415,30 @@ fn lying_rows_per_chunk_is_rejected() {
     }
 }
 
+/// A dangling id planted in the *last* chunk is still caught: the reader's
+/// per-(role, id) validation memo only skips ids that already validated in
+/// earlier chunks, and the prefetching fold delivers the error in chunk
+/// order after the clean chunks before it.
+#[test]
+fn dangling_id_in_a_later_chunk_is_rejected() {
+    let mut bytes = rechunk_rows(&snapshot_bytes(), 3);
+    let spans = section_spans(&bytes);
+    let rows_idx = SECTIONS.iter().position(|(_, n)| *n == "rows").unwrap();
+    let (start, len) = spans[rows_idx];
+    let &(off, _) = rows_chunks(&bytes, start).last().unwrap();
+    // login_list_id of the final chunk's first row (row offset 28).
+    let field = off + CHUNK_HEADER + 28;
+    bytes[field..field + 4].copy_from_slice(&0x00ff_fffeu32.to_le_bytes());
+    restamp_rows(&mut bytes, start, len);
+    match load(&bytes) {
+        Err(SnapshotError::DanglingId { kind, id }) => {
+            assert_eq!(kind, "list");
+            assert_eq!(id, 0x00ff_fffe);
+        }
+        other => panic!("expected DanglingId, got {other:?}"),
+    }
+}
+
 /// Truncation exactly at a chunk boundary (a valid prefix of chunks, then
 /// nothing) is a typed truncation error, not a short read of partial data.
 #[test]

@@ -21,6 +21,9 @@ pub struct Measurement {
     pub mean_ns: u128,
     /// Iterations in the measured loop.
     pub iters: u64,
+    /// The group's throughput annotation (work done per iteration), so
+    /// emitters can derive bytes/sec or elements/sec from `mean_ns`.
+    pub throughput: Option<Throughput>,
 }
 
 /// Benchmark context; also carries the CLI filter and test mode.
@@ -192,6 +195,7 @@ where
         name: name.to_string(),
         mean_ns: mean.as_nanos(),
         iters: bench.iters,
+        throughput,
     });
 }
 
