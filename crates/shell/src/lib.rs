@@ -40,7 +40,9 @@ pub use interp::{
     SessionEvents, ShellSession, SyntheticFetcher,
 };
 pub use lexer::reference::Lexer;
-pub use lexer::{split_statements, LineBuf, Redirection, SimpleCommand, Statement};
+pub use lexer::{
+    for_each_command_head, split_statements, LineBuf, Redirection, SimpleCommand, Statement,
+};
 pub use profile::SystemProfile;
 pub use uri::extract_uris;
 pub use vfs::{NodeKind, Vfs, VfsError};

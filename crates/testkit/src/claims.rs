@@ -27,6 +27,10 @@ pub struct ClaimCtx<'a> {
     pub agg: Aggregates,
     /// The repo's derived claim metrics.
     pub claims: Claims,
+    /// Attacker clustering over the dataset's rows, `None` on a row-free
+    /// (streaming-fold) dataset — the cluster claims, like the absolute-day
+    /// figure claims, only run on materialized full-window fixtures.
+    pub clusters: Option<hf_cluster::ClusterOutput>,
     fig2: Fig2,
     fig7: Fig7,
     fig10: Fig10,
@@ -50,7 +54,19 @@ impl<'a> ClaimCtx<'a> {
     /// rows and the aggregates came from [`hf_core::StreamingFold`].
     pub fn from_parts(dataset: &'a Dataset, tags: &'a TagDb, agg: Aggregates) -> ClaimCtx<'a> {
         let claims = Claims::compute(&agg);
+        // A dataset with aggregated sessions but no rows is the streaming
+        // fold: feature extraction needs rows, so the cluster claims are
+        // skipped there (the invariance suite separately proves streaming
+        // feature extraction matches the materialized path bit-for-bit).
+        let clusters = if dataset.sessions.is_empty() && claims.total_sessions > 0 {
+            None
+        } else {
+            let run =
+                hf_cluster::ClusterRun::over(dataset, 1, &hf_cluster::KMeansConfig::default());
+            Some(run.output)
+        };
         ClaimCtx {
+            clusters,
             fig2: figures::fig2(&agg),
             fig7: figures::fig7(&agg),
             fig10: figures::fig10(&agg),
@@ -738,6 +754,60 @@ pub fn claim_specs() -> &'static [ClaimSpec] {
             description: "NO_CMD share in the first two months",
             expectation: AtLeast(0.15),
             measure: |c| c.no_cmd_share(0..60),
+        },
+        // ----- Attacker clustering (PAPERS.md clustering methodology) -----
+        ClaimSpec {
+            id: "cluster.count",
+            source: "Clustering",
+            description: "silhouette sweep lands on a small attacker-cluster count",
+            expectation: Range { lo: 2.0, hi: 9.0 },
+            measure: |c| c.clusters.as_ref().map_or(f64::NAN, |o| o.k as f64),
+        },
+        ClaimSpec {
+            id: "cluster.coverage",
+            source: "Clustering",
+            description: "every distinct client lands in exactly one non-empty cluster",
+            expectation: Holds,
+            measure: |c| {
+                let Some(o) = c.clusters.as_ref() else {
+                    return f64::NAN;
+                };
+                let total: u64 = o.sizes.iter().sum();
+                b(o.assignments.len() == c.agg.clients.len()
+                    && total == o.assignments.len() as u64
+                    && o.sizes.iter().all(|&s| s > 0))
+            },
+        },
+        ClaimSpec {
+            id: "cluster.largest_share",
+            source: "Clustering",
+            description: "largest cluster's share of clients (no single-blob collapse)",
+            expectation: AtMost(0.90),
+            measure: |c| {
+                c.clusters.as_ref().map_or(f64::NAN, |o| {
+                    let total: u64 = o.sizes.iter().sum();
+                    o.sizes.first().copied().unwrap_or(0) as f64 / total.max(1) as f64
+                })
+            },
+        },
+        ClaimSpec {
+            id: "cluster.silhouette",
+            source: "Clustering",
+            description: "chosen k separates clients with a positive silhouette",
+            expectation: AtLeast(0.05),
+            measure: |c| c.clusters.as_ref().map_or(f64::NAN, |o| o.silhouette),
+        },
+        ClaimSpec {
+            id: "cluster.size_distribution",
+            source: "Clustering",
+            description: "canonical labelling: cluster sizes are non-increasing",
+            expectation: Holds,
+            measure: |c| {
+                let Some(o) = c.clusters.as_ref() else {
+                    return f64::NAN;
+                };
+                b(o.sizes.windows(2).all(|w| w[0] >= w[1]))
+            },
         },
     ];
     SPECS

@@ -28,6 +28,7 @@
 
 pub mod alloc;
 pub mod claims;
+pub mod cluster_oracle;
 pub mod golden;
 pub mod oracle;
 pub mod scenario;
@@ -35,6 +36,7 @@ pub mod strategies;
 
 pub use alloc::{allocated_bytes, allocation_count, CountingAlloc};
 pub use claims::{claim_specs, evaluate, ClaimCtx, ClaimResult, ClaimSpec, Expectation};
+pub use cluster_oracle::{diff_clusters, diff_features};
 pub use golden::{assert_golden, check_golden, GoldenError, GoldenOutcome};
 pub use oracle::{
     assert_outputs_identical, diff_aggregates, diff_datasets, diff_manifests, diff_reports,

@@ -21,7 +21,7 @@ use hf_obs::{Histogram, RunManifest};
 use hf_sim::SimOutput;
 
 /// Cap on per-section mismatch detail; beyond this only a count is kept.
-const MAX_DETAIL: usize = 8;
+pub(crate) const MAX_DETAIL: usize = 8;
 
 /// One field-level divergence between two outputs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +52,7 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    fn new(left: &str, right: &str) -> Self {
+    pub(crate) fn new(left: &str, right: &str) -> Self {
         DiffReport {
             left: left.to_string(),
             right: right.to_string(),
@@ -61,7 +61,7 @@ impl DiffReport {
         }
     }
 
-    fn push(&mut self, field: impl Into<String>, detail: impl Into<String>) {
+    pub(crate) fn push(&mut self, field: impl Into<String>, detail: impl Into<String>) {
         self.mismatches.push(Mismatch {
             field: field.into(),
             detail: detail.into(),

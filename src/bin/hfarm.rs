@@ -13,6 +13,17 @@
 //!     re-simulating; output is byte-identical to the producing simulate.
 //!     With `--streaming`, rows are folded chunk-by-chunk as they are read
 //!     instead of materializing the whole store.
+//! hfarm cluster  [--scale F] [--days N] [--seed S] [--threads N] [--out DIR]
+//!                [--snapshot FILE] [--streaming] [--k N]
+//!     Cluster attackers: extract per-client behavioural features
+//!     (credentials, command n-grams, timing, ident, geography, taxonomy
+//!     mix), normalize with the fixed DESIGN.md §15 scaling, and run the
+//!     deterministic seeded k-means with its silhouette sweep. Reads a
+//!     live sim by default, a snapshot with `--snapshot`, or folds the
+//!     snapshot chunk-at-a-time with `--streaming` (bounded RSS). Writes
+//!     `cluster_assignments.tsv` + `cluster_summary.tsv` into `--out` and
+//!     prints the per-cluster summary; output is bit-identical across
+//!     thread counts and ingest paths. `--k` pins k and skips the sweep.
 //! hfarm claims   [--scale F] [--days N] [--seed S]
 //!     Print the headline findings only.
 //! hfarm birth    [--scale F] [--days N] [--seed S]
@@ -78,6 +89,7 @@ struct Common {
     concurrent: usize,
     hold_all: bool,
     spawn_serve: bool,
+    k: Option<usize>,
 }
 
 fn parse(args: &[String]) -> Common {
@@ -106,6 +118,7 @@ fn parse(args: &[String]) -> Common {
         concurrent: 100,
         hold_all: false,
         spawn_serve: false,
+        k: None,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -154,6 +167,7 @@ fn parse(args: &[String]) -> Common {
             }
             "--hold-all" => c.hold_all = true,
             "--spawn-serve" => c.spawn_serve = true,
+            "--k" => c.k = Some(val().parse().unwrap_or_else(|_| usage("--k usize"))),
             other => usage(&format!("unknown flag {other}")),
         }
     }
@@ -163,12 +177,12 @@ fn parse(args: &[String]) -> Common {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: hfarm <simulate|report|claims|birth|serve|loadgen|verify|metrics> [--scale F] \
-         [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] \
+        "usage: hfarm <simulate|report|cluster|claims|birth|serve|loadgen|verify|metrics> \
+         [--scale F] [--days N] [--seed S] [--out DIR] [--snapshot FILE] [--nodes N] [--fast] \
          [--threads N] [--claims] [--md] [--fold] [--streaming] [--scenarios DIR] \
          [--metrics DIR] [--ssh-port P] [--telnet-port P] [--per-ip-cap N] \
          [--wall-timeout S] [--virtual-time] [--sessions N] [--concurrent N] \
-         [--hold-all] [--spawn-serve]"
+         [--hold-all] [--spawn-serve] [--k N]"
     );
     std::process::exit(2)
 }
@@ -220,6 +234,66 @@ fn write_report(dataset: &Dataset, tags: &TagDb, agg: &Aggregates, out_dir: &Pat
     std::fs::write(out_dir.join("claims.json"), claims.to_json()).expect("claims");
     println!("{}", report.summary());
     println!("report written to {}", out_dir.display());
+}
+
+/// `hfarm cluster` — per-client feature extraction + seeded k-means, from
+/// a live sim, a materialized snapshot, or a bounded-RSS streaming read.
+/// All three paths produce bit-identical TSVs from the same data (held by
+/// `tests/cluster_invariance.rs` and the CI streaming smoke's `diff`).
+fn cluster_cmd(c: &Common) {
+    use honeyfarm::cluster;
+
+    let cfg = cluster::KMeansConfig {
+        force_k: c.k,
+        ..cluster::KMeansConfig::default()
+    };
+    let run = if c.snapshot_explicit && c.streaming {
+        eprintln!("streaming snapshot {} …", c.snapshot.display());
+        let file = std::fs::File::open(&c.snapshot).unwrap_or_else(|e| {
+            eprintln!("error opening snapshot: {e}");
+            std::process::exit(1);
+        });
+        let (_plan, feats) = cluster::features_from_snapshot_stream(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("error streaming snapshot: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("{} clients folded (streaming)", feats.len());
+        if let Some(kb) = honeyfarm::obs::peak_rss_kb() {
+            eprintln!("peak RSS: {} MB", kb / 1024);
+        }
+        ClusterRun::finish(feats, &cfg)
+    } else if c.snapshot_explicit {
+        eprintln!("loading snapshot {} …", c.snapshot.display());
+        let snap = Snapshot::read_file(&c.snapshot).unwrap_or_else(|e| {
+            eprintln!("error loading snapshot: {e}");
+            std::process::exit(1);
+        });
+        let out = SimOutput::from_snapshot(snap);
+        eprintln!("{} sessions / {} clients", out.dataset.len(), out.n_clients);
+        ClusterRun::over(&out.dataset, c.threads, &cfg)
+    } else {
+        let config = sim_config(c);
+        eprintln!(
+            "simulating {} days at scale {} (seed {}, {} thread{}) …",
+            config.window.num_days(),
+            c.scale,
+            c.seed,
+            c.threads,
+            if c.threads == 1 { "" } else { "s" }
+        );
+        let out = Simulation::run(config);
+        eprintln!("{} sessions / {} clients", out.dataset.len(), out.n_clients);
+        ClusterRun::over(&out.dataset, c.threads, &cfg)
+    };
+    std::fs::create_dir_all(&c.out).expect("out dir");
+    let assignments = cluster::assignments_tsv(&run.features, &run.matrix, &run.output);
+    std::fs::write(c.out.join("cluster_assignments.tsv"), assignments).expect("assignments tsv");
+    let summary = cluster::summary_tsv(&run.output);
+    std::fs::write(c.out.join("cluster_summary.tsv"), summary).expect("summary tsv");
+    print!("{}", cluster::summary_text(&run.features, &run.output));
+    println!("cluster tables written to {}", c.out.display());
+    emit_metrics(c, "hfarm cluster");
 }
 
 /// Flush, package, and write the run's metrics manifest, then parse it
@@ -420,6 +494,7 @@ fn main() {
             write_report(&out.dataset, &out.tags, &agg, &c.out, c.threads);
             emit_metrics(&c, "hfarm report");
         }
+        "cluster" => cluster_cmd(&c),
         "claims" => {
             let (_, agg) = simulate(&c);
             println!("{}", Claims::compute(&agg));

@@ -20,6 +20,7 @@
 //! | [`agents`] | `hf-agents` | the attacker ecosystem |
 //! | [`sim`] | `hf-sim` | the 15-month simulator |
 //! | [`core`] | `hf-core` | classification, metrics, tables & figures |
+//! | [`cluster`] | `hf-cluster` | attacker clustering: features + seeded k-means |
 //! | [`testkit`] | `hf-testkit` | scenario replay, differential oracles, fuzzing |
 //! | [`obs`] | `hf-obs` | runtime metrics, span timing, run manifests |
 //! | [`wire`] | `hf-wire` | live TCP farm: epoll reactor, loadgen, wire client |
@@ -40,6 +41,7 @@
 //! ```
 
 pub use hf_agents as agents;
+pub use hf_cluster as cluster;
 pub use hf_core as core;
 pub use hf_farm as farm;
 pub use hf_geo as geo;
@@ -56,6 +58,7 @@ pub use hf_wire as wire;
 /// The most common imports in one place.
 pub mod prelude {
     pub use hf_agents::{Ecosystem, EcosystemConfig, Scale};
+    pub use hf_cluster::{ClusterRun, KMeansConfig};
     pub use hf_core::{Aggregates, Claims, Report};
     pub use hf_farm::{Collector, Dataset, FarmPlan, Snapshot, SnapshotError, TagDb};
     pub use hf_honeypot::{HoneypotConfig, SessionDriver, SessionRecord};

@@ -1,0 +1,302 @@
+//! Differential invariance suite for the attacker-clustering pipeline
+//! (ISSUE 10 tentpole), proven with the testkit's `diff_features` /
+//! `diff_clusters` oracles. Four equivalences, all **bit-for-bit**:
+//!
+//! * `extract_threaded` across thread counts {1, 2, 8} — the integer
+//!   accumulators merge exactly, so sharding cannot move a single bit of
+//!   the normalized matrix or the clustering built on it.
+//! * Streaming feature extraction from a snapshot
+//!   (`features_from_snapshot_stream`, chunk-at-a-time, rows never
+//!   materialized) against extraction over the materialized dataset.
+//! * Snapshot write→load round-trip: clustering the reloaded dataset
+//!   equals clustering the original.
+//! * A proptest that *any* day-aligned partition of the row range, folded
+//!   segment-by-segment and merged in order, finishes to the same matrix
+//!   as the one-shot pass — the associativity the whole design rests on.
+//!
+//! Plus the pinned edge cases: empty store, single client, all-identical
+//! clients (k collapse), and degenerate columns through the NaN guard.
+
+use std::sync::OnceLock;
+
+use honeyfarm::cluster::{
+    assignments_tsv, cluster, extract, extract_threaded, features_from_snapshot_stream,
+    summary_text, summary_tsv, unit01, ClusterRun, FeatureFold, FeatureMatrix, HeadMap,
+    KMeansConfig, N_FEATURES,
+};
+use honeyfarm::farm::SessionStore;
+use honeyfarm::honeypot::ArtifactStore;
+use honeyfarm::prelude::*;
+use honeyfarm::testkit::{diff_clusters, diff_features, Scenario};
+use proptest::prelude::*;
+
+const SECS_PER_DAY: u32 = 86_400;
+
+fn fixture_config() -> SimConfig {
+    SimConfig::test(16)
+}
+
+fn fixture() -> &'static SimOutput {
+    static OUT: OnceLock<SimOutput> = OnceLock::new();
+    OUT.get_or_init(|| Simulation::run(fixture_config()))
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn feature_extraction_thread_invariant() {
+    let out = fixture();
+    assert!(out.dataset.len() > 100, "fixture must be non-trivial");
+    let serial = extract(&out.dataset).matrix();
+    for threads in [2usize, 8] {
+        let parallel = extract_threaded(&out.dataset, threads).matrix();
+        diff_features(
+            &serial,
+            &parallel,
+            "threads=1",
+            &format!("threads={threads}"),
+        )
+        .assert_identical();
+    }
+}
+
+#[test]
+fn clustering_thread_invariant() {
+    let out = fixture();
+    let cfg = KMeansConfig::default();
+    let serial = ClusterRun::over(&out.dataset, 1, &cfg);
+    assert!(serial.output.k >= 2, "fixture must actually cluster");
+    for threads in [2usize, 8] {
+        let parallel = ClusterRun::over(&out.dataset, threads, &cfg);
+        diff_clusters(
+            &serial.output,
+            &parallel.output,
+            "threads=1",
+            &format!("threads={threads}"),
+        )
+        .assert_identical();
+    }
+}
+
+/// The rendered TSVs — what `hfarm cluster` writes and the goldens pin —
+/// must also be byte-identical across thread counts.
+#[test]
+fn rendered_tsvs_thread_invariant() {
+    let out = fixture();
+    let cfg = KMeansConfig::default();
+    let render = |threads: usize| {
+        let run = ClusterRun::over(&out.dataset, threads, &cfg);
+        (
+            assignments_tsv(&run.features, &run.matrix, &run.output),
+            summary_tsv(&run.output),
+        )
+    };
+    let one = render(1);
+    assert_eq!(one, render(2), "threads=2 TSVs diverged from threads=1");
+    assert_eq!(one, render(8), "threads=8 TSVs diverged from threads=1");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming-vs-materialized and snapshot round-trip
+// ---------------------------------------------------------------------------
+
+fn snapshot_bytes() -> Vec<u8> {
+    let mut bytes = Vec::new();
+    fixture()
+        .to_snapshot(&fixture_config())
+        .write_to(&mut bytes)
+        .expect("write snapshot");
+    bytes
+}
+
+#[test]
+fn streaming_features_match_materialized() {
+    let bytes = snapshot_bytes();
+    let materialized = extract(&fixture().dataset);
+    let (plan, streamed) =
+        features_from_snapshot_stream(bytes.as_slice()).expect("streaming extract");
+    assert_eq!(plan.len(), fixture().dataset.plan.len());
+    diff_features(
+        &materialized.matrix(),
+        &streamed.matrix(),
+        "materialized",
+        "streaming",
+    )
+    .assert_identical();
+
+    let cfg = KMeansConfig::default();
+    let mat_run = ClusterRun::finish(materialized, &cfg);
+    let stream_run = ClusterRun::finish(streamed, &cfg);
+    diff_clusters(
+        &mat_run.output,
+        &stream_run.output,
+        "materialized",
+        "streaming",
+    )
+    .assert_identical();
+}
+
+#[test]
+fn snapshot_roundtrip_clusters_identically() {
+    let bytes = snapshot_bytes();
+    let reloaded = SimOutput::from_snapshot(
+        Snapshot::read_from(&mut bytes.as_slice()).expect("snapshot load"),
+    );
+    let cfg = KMeansConfig::default();
+    let original = ClusterRun::over(&fixture().dataset, 1, &cfg);
+    let roundtrip = ClusterRun::over(&reloaded.dataset, 1, &cfg);
+    diff_features(&original.matrix, &roundtrip.matrix, "original", "roundtrip").assert_identical();
+    diff_clusters(&original.output, &roundtrip.output, "original", "roundtrip").assert_identical();
+}
+
+// ---------------------------------------------------------------------------
+// Partition associativity (proptest)
+// ---------------------------------------------------------------------------
+
+/// Row indices where a new day starts (candidate cut points).
+fn day_boundaries(store: &SessionStore) -> Vec<usize> {
+    let rows = store.rows();
+    let mut cuts = Vec::new();
+    for i in 1..rows.len() {
+        if rows[i].start_secs / SECS_PER_DAY != rows[i - 1].start_secs / SECS_PER_DAY {
+            cuts.push(i);
+        }
+    }
+    cuts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Fold any day-aligned partition of the fixture's rows segment by
+    /// segment, merge the shards in order, and the finished matrix must be
+    /// bit-identical to the one-shot extraction.
+    #[test]
+    fn any_day_partition_folds_to_the_same_features(
+        cut_mask in prop::collection::vec(any::<bool>(), 8..32)
+    ) {
+        let dataset = &fixture().dataset;
+        let store = &dataset.sessions;
+        prop_assert!(store.is_day_ordered());
+
+        let boundaries = day_boundaries(store);
+        let cuts: Vec<usize> = boundaries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *cut_mask.get(i % cut_mask.len()).unwrap_or(&false))
+            .map(|(_, &b)| b)
+            .collect();
+
+        let mut heads = HeadMap::new();
+        heads.sync(&store.commands);
+
+        let mut merged = FeatureFold::new();
+        let mut start = 0usize;
+        for end in cuts.into_iter().chain(std::iter::once(store.len())) {
+            let mut shard = FeatureFold::new();
+            for v in store.iter_range(start..end) {
+                shard.ingest(&dataset.plan, &heads, &v);
+            }
+            merged.merge(shard);
+            start = end;
+        }
+
+        let partitioned = merged.finish(dataset.plan.len()).matrix();
+        let one_shot = extract(dataset).matrix();
+        diff_features(&one_shot, &partitioned, "one-shot", "partitioned").assert_identical();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases — defined, non-panicking output
+// ---------------------------------------------------------------------------
+
+fn empty_dataset() -> Dataset {
+    Dataset {
+        sessions: SessionStore::new(),
+        artifacts: ArtifactStore::new(),
+        plan: FarmPlan::paper(),
+    }
+}
+
+#[test]
+fn empty_store_yields_empty_defined_output() {
+    let run = ClusterRun::over(&empty_dataset(), 4, &KMeansConfig::default());
+    assert!(run.matrix.is_empty());
+    assert_eq!(run.output.k, 0);
+    assert!(run.output.assignments.is_empty());
+    assert!(run.output.sizes.is_empty());
+
+    // The report surfaces still render (header-only TSVs, no panic).
+    let a = assignments_tsv(&run.features, &run.matrix, &run.output);
+    assert_eq!(a.lines().count(), 1, "assignments TSV is header-only:\n{a}");
+    let s = summary_tsv(&run.output);
+    assert!(
+        s.contains("# clients\t0"),
+        "summary renders its preamble:\n{s}"
+    );
+    let t = summary_text(&run.features, &run.output);
+    assert!(t.contains("clients 0"), "text summary renders:\n{t}");
+}
+
+/// One client cannot be split: k = 1, one cluster of size 1, and the
+/// degenerate silhouette is pinned rather than NaN.
+#[test]
+fn single_client_collapses_to_one_cluster() {
+    let world = honeyfarm::geo::World::build(1, &honeyfarm::geo::WorldConfig::tiny());
+    let text = "name solo\nprotocol ssh\nhoneypot 0\nclient 203.0.113.7\nport 40001\n\
+                login root root\ncmd uname -a\nclose\n";
+    let rec = Scenario::parse(text).expect("scenario").replay();
+    let mut c = Collector::new(&world, FarmPlan::paper());
+    c.ingest(&rec);
+    let run = ClusterRun::over(&c.finish(), 1, &KMeansConfig::default());
+    assert_eq!(run.matrix.len(), 1);
+    assert_eq!(run.output.k, 1);
+    assert_eq!(run.output.sizes, vec![1]);
+    assert_eq!(run.output.assignments[0].1, 0);
+    assert_eq!(run.output.silhouette, -1.0);
+}
+
+/// All-identical feature rows: every candidate k collapses to a single
+/// nonempty cluster, so the canonical output is k = 1 with the pinned
+/// degenerate silhouette — not a panic, not an arbitrary split.
+#[test]
+fn identical_clients_collapse_to_one_cluster() {
+    let n = 12usize;
+    let mut row = [0.0f64; N_FEATURES];
+    row[0] = 0.25;
+    row[7] = 0.5;
+    let m = FeatureMatrix {
+        clients: (1..=n as u32).collect(),
+        data: row.iter().copied().cycle().take(n * N_FEATURES).collect(),
+    };
+    let out = cluster(&m, &KMeansConfig::default());
+    assert_eq!(out.k, 1);
+    assert_eq!(out.sizes, vec![n as u64]);
+    assert_eq!(out.silhouette, -1.0);
+    assert!(out.assignments.iter().all(|&(_, c)| c == 0));
+}
+
+/// Degenerate columns (0/0 rates on clients with no logins, no commands)
+/// must come out of the NaN guard as finite unit-interval cells — checked
+/// on the guard itself and on every cell of the real fixture matrix.
+#[test]
+fn matrix_cells_are_finite_unit_interval() {
+    assert_eq!(unit01(f64::NAN), 0.0);
+    assert_eq!(unit01(f64::INFINITY), 0.0);
+    assert_eq!(unit01(-3.0), 0.0);
+    assert_eq!(unit01(7.5), 1.0);
+
+    let m = extract(&fixture().dataset).matrix();
+    assert!(!m.is_empty());
+    for i in 0..m.len() {
+        for (f, &v) in m.row(i).iter().enumerate() {
+            assert!(
+                v.is_finite() && (0.0..=1.0).contains(&v),
+                "cell [{i}][{f}] out of range: {v}"
+            );
+        }
+    }
+}
